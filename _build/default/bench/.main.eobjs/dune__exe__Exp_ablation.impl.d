@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Anafault Cat Defects Domain Faults Geom Helpers Layout Lazy List Netlist Printf Sim String Unix

@@ -1,0 +1,1 @@
+bench/exp_counts.ml: Cat Defects Faults Float Helpers Lazy List Printf

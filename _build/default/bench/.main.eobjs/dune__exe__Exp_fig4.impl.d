@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Anafault Cat Defects Faults Helpers Lazy List Printf Sim Vco

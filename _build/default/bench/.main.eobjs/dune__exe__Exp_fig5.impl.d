@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Anafault Cat Format Helpers List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Anafault Cat Helpers List Printf

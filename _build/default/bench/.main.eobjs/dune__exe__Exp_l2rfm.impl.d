@@ -1,0 +1,1 @@
+bench/exp_l2rfm.ml: Cat Defects Faults Helpers List Printf

@@ -1,0 +1,1 @@
+bench/exp_models.ml: Anafault Cat Faults Float Helpers List Printf Sim Unix

@@ -1,0 +1,1 @@
+bench/exp_montecarlo.ml: Cat Defects Extract Faults Format Geom Helpers Layout Lazy List Printf

@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Helpers Layout List Printf

@@ -1,0 +1,1 @@
+bench/exp_testprep.ml: Anafault Cat Format Helpers Netlist Printf

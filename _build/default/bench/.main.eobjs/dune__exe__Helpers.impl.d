@@ -1,0 +1,1 @@
+bench/helpers.ml: Array Cat Defects Faults Lazy List Netlist Printf Sim Vco

@@ -1,0 +1,1 @@
+bench/micro.ml: Anafault Analyze Array Bechamel Benchmark Cat Defects Faults Float Geom Hashtbl Helpers Instance Layout Lazy List Measure Netlist Printf Sim Staged Test Time Toolkit

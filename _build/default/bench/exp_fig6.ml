@@ -1,0 +1,47 @@
+(* Fig. 6 - the resistor fault model's value matters: the drain of
+   Schmitt-trigger transistor M11 (node 13) bridged to ground through
+   1 kohm, 41 ohm, 21 ohm and 1 ohm.
+
+   Paper: at 1 kohm the waveform is only slightly affected; decreasing R
+   makes the impact more visible; at 1 ohm the oscillation stops after
+   one cycle. *)
+
+let m11_drain = "13"
+
+let run () =
+  Helpers.banner "Fig. 6 - resistor-model sweep on M11 drain -> GND";
+  let base = Cat.Demo.schematic () in
+  let nominal = Helpers.simulate base in
+  Printf.printf "%-14s %6s %8s %22s\n" "R [ohm]" "edges" "f [MHz]" "behaviour";
+  Printf.printf "%-14s %6d %8.2f %22s\n" "fault-free"
+    (Helpers.count_edges nominal) (Helpers.frequency_mhz nominal) "reference";
+  let behave edges nominal_edges =
+    if edges <= 1 then "oscillation stops"
+    else if edges > nominal_edges then "faster, distorted"
+    else "slightly affected"
+  in
+  let cases =
+    List.map
+      (fun r ->
+        let wf = Helpers.simulate (Helpers.inject_resistor base m11_drain "0" r) in
+        let e = Helpers.count_edges wf in
+        Printf.printf "%-14.0f %6d %8.2f %22s\n" r e (Helpers.frequency_mhz wf)
+          (behave e (Helpers.count_edges nominal));
+        (r, wf))
+      [ 1000.0; 41.0; 21.0; 1.0 ]
+  in
+  Printf.printf "\n";
+  print_string
+    (Anafault.Ascii_plot.render ~height:14 ~x_label:"time [s]" ~y_label:"V(11)"
+       ~series:
+         (("fault-free", Helpers.series_of nominal)
+         :: List.filter_map
+              (fun (r, wf) ->
+                if r = 41.0 || r = 1.0 then
+                  Some (Printf.sprintf "R=%.0f" r, Helpers.series_of wf)
+                else None)
+              cases)
+       ());
+  Printf.printf
+    "paper shape: 1 kohm barely visible, 41/21 ohm visible distortion, 1 ohm dies\n\
+     after one cycle - the optimal modelling resistance depends on the location.\n"

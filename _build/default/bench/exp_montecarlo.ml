@@ -1,0 +1,45 @@
+(* Validation of LIFT's closed-form critical-area ranking against the
+   original Monte-Carlo inductive fault analysis ([25]): random spot
+   defects dropped on the layout must hit the faults LIFT predicted, at
+   rates proportional to the analytic probabilities. *)
+
+let samples = 200_000
+
+let run () =
+  Helpers.banner "IFA cross-check - Monte-Carlo defects vs LIFT's analytic ranking";
+  let ext = (Lazy.force Helpers.glrfm).Cat.extraction in
+  let tech = Layout.Tech.default in
+  let die =
+    Geom.Rect.expand
+      (Layout.Mask.bbox ext.Extract.Extraction.mask)
+      tech.Layout.Tech.defect_x_max
+  in
+  let a_die = float_of_int (Geom.Rect.area die) in
+  (* Analytic expectation of topology-changing shorts per sample. *)
+  let weights =
+    [ (Layout.Layer.Ndiff, 1.0); (Layout.Layer.Pdiff, 1.0); (Layout.Layer.Poly, 1.25);
+      (Layout.Layer.Metal1, 1.0); (Layout.Layer.Metal2, 1.5) ]
+  in
+  let total_w = 1.0 +. 1.0 +. 1.25 +. 1.0 +. 1.5 +. 0.01 +. 0.01 +. 0.25 +. 0.01 +. 0.02 +. 0.66 +. 0.67 +. 0.8 in
+  let expected_shorts =
+    List.fold_left
+      (fun acc (s : Defects.Sites.bridge_site) ->
+        let w = List.assoc s.Defects.Sites.bridge_layer weights in
+        acc +. (w /. total_w *. (s.Defects.Sites.bridge_ca /. a_die)))
+      0.0 (Defects.Sites.bridges ext)
+    *. float_of_int samples
+  in
+  let mc = Defects.Monte_carlo.run ~samples ext in
+  Format.printf "%a@." Defects.Monte_carlo.pp_summary mc;
+  Printf.printf "%-44s %10.1f\n" "analytic expectation (shorts)" expected_shorts;
+  Printf.printf "%-44s %10d\n" "observed topology-changing defects"
+    mc.Defects.Monte_carlo.effective;
+  Printf.printf "%-44s %9.1f%%\n" "hits landing on LIFT-listed faults"
+    (100.0 *. Defects.Monte_carlo.agreement mc (Helpers.lift_faults ()));
+  Printf.printf "%-44s %10d\n" "defects causing multiple faults at once"
+    mc.Defects.Monte_carlo.multi_effect;
+  Printf.printf "\nmost frequent Monte-Carlo faults (LIFT's #1 should lead):\n";
+  List.iteri
+    (fun i (f, n) ->
+      if i < 8 then Printf.printf "%6d hits  %s\n" n (Faults.Fault.to_string f))
+    mc.Defects.Monte_carlo.hits

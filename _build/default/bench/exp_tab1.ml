@@ -1,0 +1,24 @@
+(* Tab. 1 - Likely physical failure modes in a digital CMOS process and
+   typical failure densities.  The table is the tool's default defect
+   statistics; this prints it in the paper's layout together with the
+   paper's values so any drift is visible. *)
+
+let paper =
+  [ ("ad", 0.01); ("bd", 1.00); ("ap", 0.25); ("bp", 1.25); ("am1", 0.01);
+    ("bm1", 1.00); ("am2", 0.02); ("bm2", 1.50); ("acd", 0.66); ("acp", 0.67);
+    ("acv", 0.80) ]
+
+let run () =
+  Helpers.banner "Tab. 1 - failure mechanisms and relative defect densities";
+  Printf.printf "%-18s %-7s %-6s %10s %10s\n" "layer(s)" "failure" "symbol" "ours"
+    "paper";
+  let rows = Layout.Tech.table1 Layout.Tech.default in
+  List.iter
+    (fun (layer, failure, sym, density) ->
+      let expected = List.assoc sym paper in
+      Printf.printf "%-18s %-7s %-6s %10.2f %10.2f%s\n" layer failure sym density
+        expected
+        (if density = expected then "" else "   <-- MISMATCH"))
+    rows;
+  Printf.printf "\nmetal-1 short density anchor: %.1f defect/cm^2 (paper: 1)\n"
+    Layout.Tech.default.Layout.Tech.d0_per_cm2

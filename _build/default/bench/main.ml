@@ -1,0 +1,28 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index), then runs the
+   bechamel micro-suite.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- quick   # skip ablations and micro-benchmarks
+*)
+
+let () =
+  let quick = Array.exists (String.equal "quick") Sys.argv in
+  Printf.printf
+    "Reproduction harness: Sebeke/Teixeira/Ohletz, DATE 1995\n\
+     'Automatic Fault Extraction and Simulation of Layout Realistic Faults\n\
+     for Integrated Analogue Circuits'\n";
+  Exp_tab1.run ();
+  Exp_counts.run ();
+  Exp_l2rfm.run ();
+  Exp_fig4.run ();
+  let fig5_run = Exp_fig5.run () in
+  Exp_fig6.run ();
+  Exp_models.run ();
+  if not quick then begin
+    Exp_montecarlo.run ();
+    Exp_testprep.run ();
+    Exp_ablation.run fig5_run;
+    Micro.run ()
+  end;
+  Helpers.banner "Done"

@@ -1,0 +1,1 @@
+bin/anafault_main.ml: Anafault Arg Cat Cmd Cmdliner Faults Format Fun List Netlist Option Term

@@ -1,0 +1,1 @@
+bin/anafault_main.mli:

@@ -1,0 +1,1 @@
+bin/lift_main.ml: Arg Cmd Cmdliner Defects Extract Faults Format Fun Geom Layout Term

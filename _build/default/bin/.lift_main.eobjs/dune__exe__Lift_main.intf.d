@@ -1,0 +1,1 @@
+bin/lift_main.mli:

@@ -1,0 +1,1 @@
+bin/vcogen_main.ml: Arg Cat Cmd Cmdliner Defects Faults Filename Format Layout List Netlist Sys Term Vco

@@ -1,0 +1,1 @@
+bin/vcogen_main.mli:

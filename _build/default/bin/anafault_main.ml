@@ -1,0 +1,109 @@
+(* anafault: automatic analogue fault simulation.
+
+     dune exec bin/anafault_main.exe -- CIRCUIT.cir
+         [--faults faults.flt | --universe] [--observe NODE]
+         [--model source|resistor] [--tol-v V] [--tol-t S]
+         [--domains N] [--csv FILE] [--plot]
+
+   The circuit must contain a .tran card; the fault list comes from lift
+   (or --universe builds the complete schematic fault set). *)
+
+let run input fault_file universe observe model_name tol_v tol_t domains csv_file plot =
+  let deck = Netlist.Parser.parse_file input in
+  let circuit = deck.Netlist.Parser.circuit in
+  match deck.Netlist.Parser.tran with
+  | None ->
+    Format.eprintf "error: %s has no .tran card@." input;
+    1
+  | Some tran -> begin
+    let faults =
+      match (fault_file, universe) with
+      | Some path, _ -> Faults.Fault_list.load path
+      | None, true -> Faults.Universe.build circuit
+      | None, false ->
+        Format.eprintf "error: need --faults FILE or --universe@.";
+        exit 1
+    in
+    let observed =
+      match observe with
+      | Some node -> node
+      | None -> begin
+        (* Default: the last non-ground node, which by SPICE habit is the
+           output. *)
+        match List.rev (Netlist.Circuit.nodes circuit) with
+        | n :: _ when n <> "0" -> n
+        | _ -> "0"
+      end
+    in
+    let model =
+      match model_name with
+      | "resistor" -> Faults.Inject.default_resistor
+      | "source" -> Faults.Inject.Source
+      | other ->
+        Format.eprintf "error: unknown model %S (source|resistor)@." other;
+        exit 1
+    in
+    let config =
+      { (Anafault.Simulate.default_config ~tran ~observed) with
+        model;
+        tolerance = { Anafault.Detect.tol_v; tol_t };
+      }
+    in
+    Format.printf "observing %s, %d faults, %s model@." observed (List.length faults)
+      model_name;
+    let run_result = Cat.run_fault_simulation ~domains config circuit faults in
+    Format.printf "%a@.@.%a@." Anafault.Report.pp_table run_result
+      Anafault.Report.pp_summary run_result;
+    if plot then print_string (Anafault.Report.coverage_plot run_result);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            output_string oc (Anafault.Report.csv run_result));
+        Format.eprintf "csv written to %s@." path)
+      csv_file;
+    0
+  end
+
+open Cmdliner
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CIRCUIT" ~doc:"SPICE netlist with a .tran card.")
+
+let fault_file =
+  Arg.(value & opt (some file) None & info [ "faults" ] ~docv:"FILE" ~doc:"Fault list produced by lift.")
+
+let universe =
+  Arg.(value & flag & info [ "universe" ] ~doc:"Simulate the complete schematic fault universe.")
+
+let observe =
+  Arg.(value & opt (some string) None & info [ "observe" ] ~docv:"NODE" ~doc:"Observed output node.")
+
+let model_name =
+  Arg.(value & opt string "source" & info [ "model" ] ~docv:"MODEL" ~doc:"Fault model: source or resistor.")
+
+let tol_v =
+  Arg.(value & opt float Anafault.Detect.paper_tolerance.Anafault.Detect.tol_v
+       & info [ "tol-v" ] ~docv:"V" ~doc:"Amplitude tolerance in volts.")
+
+let tol_t =
+  Arg.(value & opt float Anafault.Detect.paper_tolerance.Anafault.Detect.tol_t
+       & info [ "tol-t" ] ~docv:"S" ~doc:"Time tolerance in seconds.")
+
+let domains =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Run fault simulations on $(docv) domains.")
+
+let csv_file =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-fault results as CSV.")
+
+let plot = Arg.(value & flag & info [ "plot" ] ~doc:"Print the coverage-versus-time plot.")
+
+let cmd =
+  let doc = "automatic analogue fault simulation (AnaFAULT)" in
+  Cmd.v
+    (Cmd.info "anafault" ~doc)
+    Term.(
+      const run $ input $ fault_file $ universe $ observe $ model_name $ tol_v $ tol_t
+      $ domains $ csv_file $ plot)
+
+let () = exit (Cmd.eval' cmd)

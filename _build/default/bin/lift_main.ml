@@ -1,0 +1,64 @@
+(* lift: extract realistic faults from a layout.
+
+     dune exec bin/lift_main.exe -- LAYOUT.cif [-o faults.flt] [--p-min P]
+         [--uniform-pdf] [--no-merge] [--report]
+
+   The input is the CIF-like layout format of {!Layout.Cif}; the output is
+   the fault-list interface format consumed by anafault. *)
+
+let run input output p_min uniform no_merge report_flag =
+  let tech = Layout.Tech.default in
+  let mask = Layout.Cif.load ~tech input in
+  let ext = Extract.Extractor.extract mask in
+  let pdf =
+    if uniform then
+      Some
+        (Geom.Critical_area.Uniform
+           { x_min = float_of_int tech.Layout.Tech.defect_x_min;
+             x_max = float_of_int tech.Layout.Tech.defect_x_max })
+    else None
+  in
+  let options =
+    { Defects.Lift.pdf; p_min; merge_equivalent = not no_merge }
+  in
+  let result = Defects.Lift.run ~options ext in
+  if report_flag then Format.printf "%a@." Defects.Lift.pp_report result
+  else begin
+    let text = Faults.Fault_list.to_string (Defects.Lift.ranked result) in
+    match output with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Format.eprintf "%a -> %s@." Defects.Lift.pp_classes result.Defects.Lift.classes path
+    | None -> print_string text
+  end;
+  0
+
+open Cmdliner
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"LAYOUT" ~doc:"Layout file (CIF-like format).")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the fault list to $(docv).")
+
+let p_min =
+  Arg.(value & opt float Defects.Lift.default_options.Defects.Lift.p_min
+       & info [ "p-min" ] ~docv:"P" ~doc:"Drop faults less likely than $(docv).")
+
+let uniform =
+  Arg.(value & flag & info [ "uniform-pdf" ] ~doc:"Use a uniform defect-size density instead of the 1/x^3 model.")
+
+let no_merge =
+  Arg.(value & flag & info [ "no-merge" ] ~doc:"Keep electrically equivalent faults separate.")
+
+let report_flag =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print a human-readable report instead of a fault list.")
+
+let cmd =
+  let doc = "extract layout-realistic faults (LIFT)" in
+  Cmd.v
+    (Cmd.info "lift" ~doc)
+    Term.(const run $ input $ output $ p_min $ uniform $ no_merge $ report_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,37 @@
+(* vcogen: export the VCO demonstrator's artefacts - the inputs the lift
+   and anafault tools consume, plus an SVG rendering of the layout.
+
+     dune exec bin/vcogen_main.exe -- [-o DIR]
+
+   writes  vco.cir  (SPICE netlist with the paper's .tran card)
+           vco.cif  (mask layout, CIF-like format)
+           vco.svg  (layout rendering)
+           vco.flt  (LIFT's ranked fault list) *)
+
+let run dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path name = Filename.concat dir name in
+  let schematic = Cat.Demo.schematic () in
+  Netlist.Printer.save ~tran:Vco.Schematic.tran schematic (path "vco.cir");
+  let mask = Cat.Demo.mask () in
+  Layout.Cif.save mask (path "vco.cif");
+  Layout.Svg.save ~width:1200 mask (path "vco.svg");
+  let g =
+    Cat.run_glrfm ~extractor_options:Cat.Demo.extractor_options ~golden:schematic mask
+  in
+  Faults.Fault_list.save (Defects.Lift.ranked g.Cat.lift) (path "vco.flt");
+  Format.printf "wrote vco.cir, vco.cif, vco.svg, vco.flt to %s@." dir;
+  Format.printf "LVS mismatches: %d; %a@." (List.length g.Cat.lvs)
+    Defects.Lift.pp_classes g.Cat.lift.Defects.Lift.classes;
+  0
+
+open Cmdliner
+
+let dir =
+  Arg.(value & opt string "." & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let cmd =
+  let doc = "export the VCO demonstrator artefacts" in
+  Cmd.v (Cmd.info "vcogen" ~doc) Term.(const run $ dir)
+
+let () = exit (Cmd.eval' cmd)

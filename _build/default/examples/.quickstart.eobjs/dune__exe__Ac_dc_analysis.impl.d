@@ -1,0 +1,1 @@
+examples/ac_dc_analysis.ml: Anafault Array Cat Faults Float Format List Netlist Printf Sim

@@ -1,0 +1,1 @@
+examples/ac_dc_analysis.mli:

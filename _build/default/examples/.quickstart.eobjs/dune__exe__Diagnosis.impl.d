@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Anafault Cat Defects Faults List Printf Sim

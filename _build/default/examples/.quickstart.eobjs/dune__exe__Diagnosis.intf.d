@@ -1,0 +1,1 @@
+examples/diagnosis.mli:

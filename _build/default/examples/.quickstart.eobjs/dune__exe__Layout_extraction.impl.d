@@ -1,0 +1,1 @@
+examples/layout_extraction.ml: Defects Extract Faults Format Geom Layout List Netlist Printf

@@ -1,0 +1,1 @@
+examples/opamp_flow.ml: Anafault Cat Defects Extract Faults Format Layout List Netlist Option Printf Sim Synth

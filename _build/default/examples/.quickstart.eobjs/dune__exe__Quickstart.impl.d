@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anafault Faults Format List Netlist Option Printf Sim String

@@ -1,0 +1,1 @@
+examples/schmitt_bridge.ml: Anafault Array Cat List Netlist Printf Sim Vco

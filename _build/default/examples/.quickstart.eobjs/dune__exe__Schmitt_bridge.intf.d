@@ -1,0 +1,1 @@
+examples/schmitt_bridge.mli:

@@ -1,0 +1,1 @@
+examples/vco_flow.ml: Anafault Cat Defects Extract Faults Format Layout List Netlist Printf

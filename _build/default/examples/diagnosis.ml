@@ -1,0 +1,53 @@
+(* Fault diagnosis with a fault dictionary: simulate every realistic
+   fault once, store the signatures, then identify an "unknown" faulty
+   device from its measured output waveform - the fault-recognition
+   use-case the paper's state-of-the-art section reviews.
+
+   dune exec examples/diagnosis.exe *)
+
+let () =
+  print_endline "building the fault dictionary from LIFT's list...";
+  let g =
+    Cat.run_glrfm ~extractor_options:Cat.Demo.extractor_options
+      ~golden:(Cat.Demo.schematic ()) (Cat.Demo.mask ())
+  in
+  let faults = g.Cat.lift.Defects.Lift.faults in
+  let circuit = Cat.Demo.schematic () in
+  let dict = Anafault.Diagnose.build Cat.Demo.config circuit faults in
+  Printf.printf "dictionary holds %d signatures\n\n" (Anafault.Diagnose.fault_count dict);
+
+  (* A "fabricated die" comes back from the tester with this response -
+     actually fault #5 (the 0<->6 mirror bridge) simulated secretly. *)
+  let culprit =
+    List.find
+      (fun (f : Faults.Fault.t) ->
+        match f.kind with
+        | Faults.Fault.Bridge { net_a; net_b } ->
+          List.sort compare [ net_a; net_b ] = [ "0"; "6" ]
+        | _ -> false)
+      faults
+  in
+  let measured =
+    let faulty = Faults.Inject.apply ~model:Faults.Inject.default_resistor circuit culprit in
+    Sim.Engine.transient faulty ~tstep:10e-9 ~tstop:4e-6 ~uic:true
+  in
+  Printf.printf "device under test deviates from nominal by %.2f V RMS\n"
+    (Anafault.Diagnose.nominal_distance dict measured);
+  print_endline "top diagnosis candidates:";
+  List.iteri
+    (fun i (f, d) ->
+      if i < 5 then
+        Printf.printf "  %d. %-40s rms %.3f V%s\n" (i + 1) (Faults.Fault.to_string f) d
+          (if f.Faults.Fault.id = culprit.Faults.Fault.id then "   <-- injected fault"
+           else ""))
+    (Anafault.Diagnose.rank dict measured);
+
+  (* And a good die diagnoses as... nothing close. *)
+  let good = Sim.Engine.transient circuit ~tstep:10e-9 ~tstop:4e-6 ~uic:true in
+  Printf.printf "\na good die deviates by %.3f V RMS from nominal"
+    (Anafault.Diagnose.nominal_distance dict good);
+  (match Anafault.Diagnose.diagnose dict good with
+  | Some (f, d) ->
+    Printf.printf "; nearest dictionary entry is %s at %.2f V RMS (far)\n"
+      f.Faults.Fault.id d
+  | None -> print_newline ())

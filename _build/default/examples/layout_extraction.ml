@@ -1,0 +1,116 @@
+(* Layout-to-netlist walkthrough on a hand-built CMOS NAND2 gate: draw it
+   with the builder, check design rules, extract the transistor netlist,
+   verify it against the intended schematic, and list the realistic
+   faults LIFT finds in the geometry.
+
+   dune exec examples/layout_extraction.exe *)
+
+let pt = Geom.Point.make
+
+(* NAND2: two series NMOS to ground, two parallel PMOS to VDD. *)
+let nand2_mask () =
+  let b = Layout.Builder.create Layout.Tech.default in
+  (* Series NMOS pair sharing a diffusion strip. *)
+  let mn1 = Layout.Builder.mos b ~name:"MN1" ~kind:`N ~at:(pt 0 0) ~w:6000 ~l:1000 () in
+  let mn2 =
+    Layout.Builder.mos b ~name:"MN2" ~kind:`N ~at:(pt 30000 0) ~w:6000 ~l:1000 ()
+  in
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ mn1.Layout.Builder.drain; mn2.Layout.Builder.source ];
+  (* Parallel PMOS pair. *)
+  let mp1 =
+    Layout.Builder.mos b ~name:"MP1" ~kind:`P ~at:(pt 0 40000) ~w:12000 ~l:1000 ()
+  in
+  let mp2 =
+    Layout.Builder.mos b ~name:"MP2" ~kind:`P ~at:(pt 30000 40000) ~w:12000 ~l:1000 ()
+  in
+  (* Gates: A drives MN1 and MP1, B drives MN2 and MP2. *)
+  List.iter
+    (fun ((m : Layout.Builder.mos_ports), name, x_contact) ->
+      let g = m.Layout.Builder.gate in
+      Layout.Builder.wire b Layout.Layer.Poly ~width:1000
+        [ g; pt g.Geom.Point.x 30000; pt x_contact 30000 ];
+      ignore name)
+    [ (mn1, "a", -8000); (mp1, "a", -8000) ];
+  Layout.Builder.wire b Layout.Layer.Poly ~width:1000
+    [ mn2.Layout.Builder.gate; pt mn2.Layout.Builder.gate.Geom.Point.x 24000;
+      pt 52000 24000 ];
+  Layout.Builder.wire b Layout.Layer.Poly ~width:1000
+    [ mp2.Layout.Builder.gate; pt mp2.Layout.Builder.gate.Geom.Point.x 32000;
+      pt 52000 32000 ];
+  Layout.Builder.contact b ~to_:Layout.Layer.Poly (pt (-8000) 30000);
+  Layout.Builder.contact b ~to_:Layout.Layer.Poly (pt 52000 24000);
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000 [ pt 52000 24000; pt 52000 32000 ];
+  Layout.Builder.contact b ~to_:Layout.Layer.Poly (pt 52000 32000);
+  (* Output: MN2 drain + both PMOS drains; MP1's drain jogs through the
+     routing gap between the rows so it never crosses MP2's supply rail. *)
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ mn2.Layout.Builder.drain; pt 60000 3000; pt 60000 46000;
+      mp2.Layout.Builder.drain ];
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ mp1.Layout.Builder.drain; pt mp1.Layout.Builder.drain.Geom.Point.x 37000;
+      pt 60000 37000; pt 60000 46000 ];
+  (* Rails. *)
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ mn1.Layout.Builder.source; pt mn1.Layout.Builder.source.Geom.Point.x (-9000) ];
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ mp1.Layout.Builder.source; pt mp1.Layout.Builder.source.Geom.Point.x 70000 ];
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ mp2.Layout.Builder.source; pt mp2.Layout.Builder.source.Geom.Point.x 70000 ];
+  Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+    [ pt mp1.Layout.Builder.source.Geom.Point.x 70000;
+      pt mp2.Layout.Builder.source.Geom.Point.x 70000 ];
+  Layout.Builder.label b Layout.Layer.Metal1
+    (pt mn1.Layout.Builder.source.Geom.Point.x (-9000)) "0";
+  Layout.Builder.label b Layout.Layer.Metal1
+    (pt mp1.Layout.Builder.source.Geom.Point.x 70000) "vdd";
+  Layout.Builder.label b Layout.Layer.Metal1 (pt (-8000) 30000) "a";
+  Layout.Builder.label b Layout.Layer.Metal1 (pt 52000 28000) "b";
+  Layout.Builder.label b Layout.Layer.Metal1 (pt 60000 40000) "out";
+  Layout.Builder.finish b
+
+let golden =
+  Netlist.Circuit.of_devices "nand2"
+    [
+      Netlist.Device.M
+        { name = "MN1"; d = "x"; g = "a"; s = "0"; b = "0";
+          model = Netlist.Device.default_nmos; w = 6e-6; l = 1e-6 };
+      Netlist.Device.M
+        { name = "MN2"; d = "out"; g = "b"; s = "x"; b = "0";
+          model = Netlist.Device.default_nmos; w = 6e-6; l = 1e-6 };
+      Netlist.Device.M
+        { name = "MP1"; d = "out"; g = "a"; s = "vdd"; b = "vdd";
+          model = Netlist.Device.default_pmos; w = 12e-6; l = 1e-6 };
+      Netlist.Device.M
+        { name = "MP2"; d = "out"; g = "b"; s = "vdd"; b = "vdd";
+          model = Netlist.Device.default_pmos; w = 12e-6; l = 1e-6 };
+    ]
+
+let () =
+  let mask = nand2_mask () in
+  Format.printf "mask:@.%a@." Layout.Mask.pp_stats mask;
+  let drc = Layout.Drc.check mask in
+  Printf.printf "\nDRC: %d violations\n" (List.length drc);
+  List.iter (fun v -> Format.printf "  %a@." Layout.Drc.pp_violation v) drc;
+  let options = { Extract.Extractor.default_options with pmos_bulk = "vdd" } in
+  let ext = Extract.Extractor.extract ~options mask in
+  Format.printf "\nextracted netlist:@.%a@." Netlist.Circuit.pp
+    ext.Extract.Extraction.circuit;
+  (* The internal node between the series NMOS gets a synthesised name;
+     LVS only needs the labelled nets to match, so rename the golden "x"
+     to whatever extraction called it. *)
+  let internal =
+    match Netlist.Circuit.find ext.Extract.Extraction.circuit "MN1" with
+    | Some (Netlist.Device.M { d; s; _ }) -> if d = "0" then s else d
+    | _ -> failwith "MN1 missing"
+  in
+  let golden = Netlist.Circuit.rename_node golden ~from_:"x" ~to_:internal in
+  let mism = Extract.Compare.run ~golden ~extracted:ext.Extract.Extraction.circuit () in
+  Printf.printf "LVS mismatches: %d\n" (List.length mism);
+  List.iter (fun m -> Format.printf "  %a@." Extract.Compare.pp_mismatch m) mism;
+  (* What can physically go wrong in this little layout? *)
+  let lift = Defects.Lift.run ext in
+  Format.printf "\nLIFT: %a@." Defects.Lift.pp_classes lift.Defects.Lift.classes;
+  List.iter
+    (fun f -> Printf.printf "  %s\n" (Faults.Fault.to_string f))
+    (Defects.Lift.ranked lift)

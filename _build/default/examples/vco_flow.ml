@@ -1,0 +1,55 @@
+(* The paper's complete flow on its VCO demonstrator (Fig. 1):
+
+     schematic -> fault universe --------------------\
+     layout -> DRC -> extraction -> LVS -> LIFT -> AnaFAULT -> coverage
+
+   dune exec examples/vco_flow.exe *)
+
+let banner title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  banner "Schematic";
+  let schematic = Cat.Demo.schematic () in
+  Printf.printf "%s\n%d devices\n" schematic.Netlist.Circuit.title
+    (Netlist.Circuit.device_count schematic);
+  let universe = Cat.Demo.universe () in
+  let opens, shorts = Faults.Universe.count universe in
+  Printf.printf "schematic fault universe: %d opens + %d shorts = %d faults\n" opens
+    shorts (opens + shorts);
+
+  banner "Layout";
+  let mask = Cat.Demo.mask () in
+  Format.printf "%a@." Layout.Mask.pp_stats mask;
+  let drc = Layout.Drc.check mask in
+  Printf.printf "DRC: %d violations\n" (List.length drc);
+
+  banner "Extraction + LVS + LIFT (GLRFM)";
+  let g =
+    Cat.run_glrfm ~extractor_options:Cat.Demo.extractor_options ~golden:schematic mask
+  in
+  Format.printf "%a@." Extract.Extraction.pp_summary g.Cat.extraction;
+  Printf.printf "LVS mismatches: %d\n" (List.length g.Cat.lvs);
+  let lift = g.Cat.lift in
+  Format.printf "LIFT: %a@." Defects.Lift.pp_classes lift.Defects.Lift.classes;
+  let total = Defects.Lift.total lift.Defects.Lift.classes in
+  Printf.printf "reduction vs universe: %d -> %d (%.0f %%)\n" (List.length universe)
+    total
+    (100.0 *. (1.0 -. (float_of_int total /. float_of_int (List.length universe))));
+  Printf.printf "\nten most likely faults:\n";
+  List.iteri
+    (fun i f -> if i < 10 then Printf.printf "  %s\n" (Faults.Fault.to_string f))
+    (Defects.Lift.ranked lift);
+
+  banner "AnaFAULT fault simulation (source model)";
+  let run =
+    Cat.run_fault_simulation ~domains:4 Cat.Demo.config schematic
+      lift.Defects.Lift.faults
+  in
+  Format.printf "%a@." Anafault.Report.pp_summary run;
+  Format.printf "@.%a@." Anafault.Report.pp_overview run;
+
+  banner "Fault coverage vs time (Fig. 5 style)";
+  print_string (Anafault.Report.coverage_plot run);
+
+  banner "Fault list (LIFT -> AnaFAULT interface file)";
+  print_string (Faults.Fault_list.to_string (Defects.Lift.ranked lift))

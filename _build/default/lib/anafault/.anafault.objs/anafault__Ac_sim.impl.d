@@ -1,0 +1,1 @@
+lib/anafault/ac_sim.ml: Array Faults Float Format List Sim

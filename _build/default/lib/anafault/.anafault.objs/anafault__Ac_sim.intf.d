@@ -1,0 +1,1 @@
+lib/anafault/ac_sim.mli: Faults Format Netlist Sim

@@ -1,0 +1,1 @@
+lib/anafault/ascii_plot.mli:

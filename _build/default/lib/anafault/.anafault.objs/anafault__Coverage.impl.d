@@ -1,0 +1,1 @@
+lib/anafault/coverage.ml: Faults List Netlist Simulate

@@ -1,0 +1,1 @@
+lib/anafault/coverage.mli: Simulate

@@ -1,0 +1,1 @@
+lib/anafault/detect.ml: Array Float Sim

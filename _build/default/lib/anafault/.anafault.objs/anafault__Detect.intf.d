@@ -1,0 +1,1 @@
+lib/anafault/detect.mli: Sim

@@ -1,0 +1,1 @@
+lib/anafault/diagnose.ml: Array Faults Float List Netlist Sim Simulate

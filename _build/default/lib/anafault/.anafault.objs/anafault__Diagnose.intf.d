@@ -1,0 +1,1 @@
+lib/anafault/diagnose.mli: Faults Netlist Sim Simulate

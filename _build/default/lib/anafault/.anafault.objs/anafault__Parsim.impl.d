@@ -1,0 +1,1 @@
+lib/anafault/parsim.ml: Domain Int List Simulate Unix

@@ -1,0 +1,1 @@
+lib/anafault/parsim.mli: Faults Netlist Simulate

@@ -1,0 +1,1 @@
+lib/anafault/report.mli: Format Simulate

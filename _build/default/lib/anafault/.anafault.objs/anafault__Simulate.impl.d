@@ -1,0 +1,1 @@
+lib/anafault/simulate.ml: Detect Faults List Netlist Sim Sys

@@ -1,0 +1,1 @@
+lib/anafault/simulate.mli: Detect Faults Netlist Sim

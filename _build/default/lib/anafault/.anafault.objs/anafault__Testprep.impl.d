@@ -1,0 +1,1 @@
+lib/anafault/testprep.ml: Coverage Float Format List Netlist Parsim Simulate Stdlib

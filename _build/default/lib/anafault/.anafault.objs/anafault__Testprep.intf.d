@@ -1,0 +1,1 @@
+lib/anafault/testprep.mli: Faults Format Netlist Simulate

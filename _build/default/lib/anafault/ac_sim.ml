@@ -1,0 +1,77 @@
+type config = {
+  model : Faults.Inject.model;
+  source : string;
+  observed : string;
+  freqs : float list;
+  tol_db : float;
+  sim_options : Sim.Engine.options;
+}
+
+let default_config ~source ~observed =
+  {
+    model = Faults.Inject.default_resistor;
+    source;
+    observed;
+    freqs = Sim.Spectrum.log_grid ~f_start:10.0 ~f_stop:100e6 ~per_decade:10;
+    tol_db = 3.0;
+    sim_options = Sim.Engine.default_options;
+  }
+
+type outcome = Detected of float | Undetected | Sim_failed of string
+
+type fault_result = { fault : Faults.Fault.t; outcome : outcome }
+
+type run = {
+  config : config;
+  nominal : Sim.Spectrum.t;
+  results : fault_result list;
+}
+
+let first_escape config ~nominal ~faulty =
+  let nom = Sim.Spectrum.magnitude_db nominal config.observed in
+  let flt = Sim.Spectrum.magnitude_db faulty config.observed in
+  let freqs = Sim.Spectrum.frequencies nominal in
+  let n = Array.length freqs in
+  let rec go i =
+    if i >= n then None
+    else if Float.abs (flt.(i) -. nom.(i)) > config.tol_db then Some freqs.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let run_one config circuit ~nominal fault =
+  match
+    let faulty_circuit = Faults.Inject.apply ~model:config.model circuit fault in
+    Sim.Engine.ac ~options:config.sim_options faulty_circuit ~source:config.source
+      ~freqs:config.freqs
+  with
+  | exception Not_found ->
+    { fault; outcome = Sim_failed "fault references unknown device/terminal" }
+  | exception Sim.Engine.No_convergence msg -> { fault; outcome = Sim_failed msg }
+  | faulty -> begin
+    match first_escape config ~nominal ~faulty with
+    | Some f -> { fault; outcome = Detected f }
+    | None -> { fault; outcome = Undetected }
+  end
+
+let run config circuit faults =
+  let nominal =
+    Sim.Engine.ac ~options:config.sim_options circuit ~source:config.source
+      ~freqs:config.freqs
+  in
+  { config; nominal; results = List.map (run_one config circuit ~nominal) faults }
+
+let tally run =
+  List.fold_left
+    (fun (d, u, f) r ->
+      match r.outcome with
+      | Detected _ -> (d + 1, u, f)
+      | Undetected -> (d, u + 1, f)
+      | Sim_failed _ -> (d, u, f + 1))
+    (0, 0, 0) run.results
+
+let pp_summary ppf run =
+  let d, u, f = tally run in
+  Format.fprintf ppf
+    "@[<v>faults analysed   %d@,detected (AC)     %d@,undetected        %d@,failures          %d@]"
+    (List.length run.results) d u f

@@ -1,0 +1,42 @@
+(** AC fault simulation: the frequency-domain counterpart of the
+    transient loop - the established approach of the AC/DC fault
+    simulators the paper builds on (its refs [30][31][6], e.g. linear
+    microcircuit fault detection from magnitude responses).
+
+    Each fault is injected (resistor model by default - a 0 V source is
+    invisible to small-signal magnitudes), the small-signal transfer
+    function to the observed node is recomputed, and the fault counts as
+    detected when the magnitude response leaves a +-[tol_db] band around
+    the nominal response at one or more frequencies. *)
+
+type config = {
+  model : Faults.Inject.model;
+  source : string;  (** AC-driven independent source *)
+  observed : string;
+  freqs : float list;  (** analysis grid, Hz, increasing *)
+  tol_db : float;  (** acceptance band around the nominal magnitude *)
+  sim_options : Sim.Engine.options;
+}
+
+(** Resistor model, 3 dB band, 10 points/decade over 10 Hz .. 100 MHz. *)
+val default_config : source:string -> observed:string -> config
+
+type outcome =
+  | Detected of float  (** lowest frequency at which the band is left *)
+  | Undetected
+  | Sim_failed of string
+
+type fault_result = { fault : Faults.Fault.t; outcome : outcome }
+
+type run = {
+  config : config;
+  nominal : Sim.Spectrum.t;
+  results : fault_result list;
+}
+
+val run : config -> Netlist.Circuit.t -> Faults.Fault.t list -> run
+
+(** Detected / undetected / failed counts. *)
+val tally : run -> int * int * int
+
+val pp_summary : Format.formatter -> run -> unit

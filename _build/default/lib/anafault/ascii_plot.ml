@@ -1,0 +1,69 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") ~series () =
+  let all_points = List.concat_map snd series in
+  match all_points with
+  | [] -> "(no data)\n"
+  | (x0, y0) :: rest ->
+    let fold (xmin, xmax, ymin, ymax) (x, y) =
+      (Float.min xmin x, Float.max xmax x, Float.min ymin y, Float.max ymax y)
+    in
+    let xmin, xmax, ymin, ymax = List.fold_left fold (x0, x0, y0, y0) rest in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_point g (x, y) =
+      let cx =
+        int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+      in
+      let cy =
+        int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+      in
+      if cx >= 0 && cx < width && cy >= 0 && cy < height then
+        grid.(height - 1 - cy).(cx) <- g
+    in
+    (* Linear interpolation between samples so sparse series still read as
+       lines. *)
+    let plot_series g pts =
+      let rec walk = function
+        | [] -> ()
+        | [ p ] -> plot_point g p
+        | ((x1, y1) as p) :: ((x2, y2) :: _ as rest) ->
+          plot_point g p;
+          let steps = width in
+          for i = 1 to steps - 1 do
+            let f = float_of_int i /. float_of_int steps in
+            plot_point g (x1 +. (f *. (x2 -. x1)), y1 +. (f *. (y2 -. y1)))
+          done;
+          walk rest
+      in
+      walk pts
+    in
+    List.iteri
+      (fun i (_, pts) -> plot_series glyphs.(i mod Array.length glyphs) pts)
+      series;
+    let buf = Buffer.create (width * height * 2) in
+    if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+    Array.iteri
+      (fun row line ->
+        let edge =
+          if row = 0 then Printf.sprintf "%10.3g +" ymax
+          else if row = height - 1 then Printf.sprintf "%10.3g +" ymin
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf edge;
+        Buffer.add_string buf (String.init width (fun i -> line.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%11s%.3g%s%.3g\n" "" xmin
+         (String.make (max 1 (width - 12)) ' ')
+         xmax);
+    if x_label <> "" then Buffer.add_string buf (Printf.sprintf "%*s\n" (width / 2) x_label);
+    List.iteri
+      (fun i (label, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" glyphs.(i mod Array.length glyphs) label))
+      series;
+    Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Character-cell plots for terminal reports (AnaFAULT presented its
+    results as fault-coverage plots; this renders them, and the Fig. 4/6
+    waveforms, without any graphics dependency). *)
+
+(** [render ~width ~height ~series ()] plots each (label, points) series
+    with its own glyph on a shared frame; axes are annotated with the data
+    extrema.  Points are (x, y) pairs, x ascending. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string

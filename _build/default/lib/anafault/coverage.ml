@@ -1,0 +1,49 @@
+let detection_times (run : Simulate.run) =
+  List.filter_map
+    (fun (r : Simulate.fault_result) ->
+      match r.outcome with
+      | Simulate.Detected t -> Some t
+      | Simulate.Undetected | Simulate.Sim_failed _ -> None)
+    run.results
+
+let curve (run : Simulate.run) ~points =
+  if points < 2 then invalid_arg "Coverage.curve: need at least 2 points";
+  let total = List.length run.results in
+  let times = detection_times run in
+  let tstop = run.config.tran.Netlist.Parser.tstop in
+  List.init points (fun i ->
+      let t = tstop *. float_of_int i /. float_of_int (points - 1) in
+      let detected = List.length (List.filter (fun td -> td <= t) times) in
+      let pct =
+        if total = 0 then 0.0 else 100.0 *. float_of_int detected /. float_of_int total
+      in
+      (t, pct))
+
+let final_percent run =
+  let total = List.length run.Simulate.results in
+  if total = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (List.length (detection_times run))
+    /. float_of_int total
+
+let time_to_percent run p =
+  let total = List.length run.Simulate.results in
+  if total = 0 then None
+  else begin
+    let times = List.sort compare (detection_times run) in
+    let need = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+    List.nth_opt times (max 0 (need - 1))
+  end
+
+let weighted_percent (run : Simulate.run) =
+  let num, den =
+    List.fold_left
+      (fun (num, den) (r : Simulate.fault_result) ->
+        let w = r.fault.Faults.Fault.prob in
+        match r.outcome with
+        | Simulate.Detected _ -> (num +. w, den +. w)
+        | Simulate.Undetected | Simulate.Sim_failed _ -> (num, den +. w))
+      (0.0, 0.0) run.results
+  in
+  if den = 0.0 then 0.0 else 100.0 *. num /. den

@@ -1,0 +1,20 @@
+(** Fault-coverage evaluation: the progress of detection over the test
+    (simulation) time - the data behind the paper's Fig. 5 plot. *)
+
+(** [curve run ~points] samples cumulative coverage (in percent of all
+    faults, failed simulations counted as undetected) on a uniform grid of
+    [points] times spanning the analysis; returns (time, percent) pairs. *)
+val curve : Simulate.run -> points:int -> (float * float) list
+
+(** [final_percent run] is the coverage at the end of the test. *)
+val final_percent : Simulate.run -> float
+
+(** [time_to_percent run p] is the earliest time at which coverage reaches
+    [p] percent, if it ever does. *)
+val time_to_percent : Simulate.run -> float -> float option
+
+(** [weighted_percent run] weights each fault by its probability of
+    occurrence (LIFT's ranking): the expected escape fraction depends on
+    the likely faults, not the raw count.  Faults with probability 0 count
+    with weight 0. *)
+val weighted_percent : Simulate.run -> float

@@ -1,0 +1,74 @@
+type tolerance = { tol_v : float; tol_t : float }
+
+let paper_tolerance = { tol_v = 2.0; tol_t = 0.2e-6 }
+
+(* Detection works on the two responses sampled over the nominal time
+   grid.  A fault is detected at grid instant [t] when either
+
+   - the raw responses have differed by more than [tol_v] continuously
+     for the whole preceding time tolerance (stuck levels, large shifts:
+     a genuine, persistent discrepancy), or
+   - the tol_t-wide moving averages have: an oscillation whose frequency
+     changes so much that the raw signals keep crossing still carries a
+     persistently different local mean.
+
+   Both criteria need a full window, so nothing can be detected before
+   [tol_t] - the flat start of the paper's Fig. 5 plot.  Phase wobble
+   well inside the time tolerance moves neither criterion: the raw
+   divergence collapses at each crossing and the local means stay
+   close. *)
+
+type sampled = { dt : float; nom : float array; flt : float array }
+
+let sample ~signal ~nominal ~faulty =
+  let times = Sim.Waveform.times nominal in
+  let n = Array.length times in
+  if n < 2 then invalid_arg "Detect: nominal waveform too short";
+  let nom = Sim.Waveform.samples nominal signal in
+  let flt = Array.map (Sim.Waveform.value_at faulty signal) times in
+  { dt = (times.(n - 1) -. times.(0)) /. float_of_int (n - 1); nom; flt }
+
+let moving_average ~half x =
+  let n = Array.length x in
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. x.(i)
+  done;
+  Array.init n (fun i ->
+      let lo = max 0 (i - half) and hi = min (n - 1) (i + half) in
+      (prefix.(hi + 1) -. prefix.(lo)) /. float_of_int (hi + 1 - lo))
+
+(* Index of the first grid point from which a window of [k] samples of
+   continuous divergence ends, or None. *)
+let first_sustained ~tol_v ~k a b =
+  let n = Array.length a in
+  let rec go i run =
+    if i >= n then None
+    else begin
+      let run = if Float.abs (a.(i) -. b.(i)) > tol_v then run + 1 else 0 in
+      if run >= k + 1 then Some i else go (i + 1) run
+    end
+  in
+  go 0 0
+
+let detection_index ~tolerance s =
+  let k = max 1 (int_of_float (Float.round (tolerance.tol_t /. s.dt))) in
+  let raw = first_sustained ~tol_v:tolerance.tol_v ~k s.nom s.flt in
+  let nom_avg = moving_average ~half:(k / 2) s.nom in
+  let flt_avg = moving_average ~half:(k / 2) s.flt in
+  let smooth = first_sustained ~tol_v:tolerance.tol_v ~k nom_avg flt_avg in
+  match (raw, smooth) with
+  | Some a, Some b -> Some (min a b)
+  | (Some _ as r), None | None, (Some _ as r) -> r
+  | None, None -> None
+
+let first_detection ~tolerance ~signal ~nominal ~faulty =
+  let s = sample ~signal ~nominal ~faulty in
+  match detection_index ~tolerance s with
+  | Some i -> Some (Sim.Waveform.times nominal).(i)
+  | None -> None
+
+let detected_at ~tolerance ~signal ~nominal ~faulty t =
+  match first_detection ~tolerance ~signal ~nominal ~faulty with
+  | Some td -> td <= t
+  | None -> false

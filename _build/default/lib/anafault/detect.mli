@@ -1,0 +1,39 @@
+(** Tolerance-based fault detection (the comparison phase of AnaFAULT's
+    post-processing).
+
+    A fault is detected at observation instant [t] when the faulty and
+    nominal responses have diverged by more than the amplitude tolerance
+    [tol_v] continuously over the whole preceding time-tolerance window
+    [t - tol_t, t] - either as raw waveforms (stuck levels, large shifts)
+    or after [tol_t]-wide moving-average smoothing (frequency changes
+    whose raw waveforms keep crossing but whose local means differ).
+    Level shifts below [tol_v] and phase wobble well below [tol_t] count
+    as process variation, not faults.  A full window is required, so
+    nothing is detected before [tol_t] - the flat start of the paper's
+    Fig. 5 plot.  The tolerance pair is the one its caption quotes:
+    "2V for the amplitude and 0.2 us for the time". *)
+
+type tolerance = { tol_v : float; tol_t : float }
+
+(** The paper's working point: 2 V / 0.2 us. *)
+val paper_tolerance : tolerance
+
+(** [first_detection ~tolerance ~signal ~nominal ~faulty] is the earliest
+    nominal-grid sample time at which the fault is visible, if any.
+    Raises [Not_found] if [signal] is missing from either waveform. *)
+val first_detection :
+  tolerance:tolerance ->
+  signal:string ->
+  nominal:Sim.Waveform.t ->
+  faulty:Sim.Waveform.t ->
+  float option
+
+(** [detected_at ~tolerance ~signal ~nominal ~faulty t] holds when the
+    first detection happens at or before [t]. *)
+val detected_at :
+  tolerance:tolerance ->
+  signal:string ->
+  nominal:Sim.Waveform.t ->
+  faulty:Sim.Waveform.t ->
+  float ->
+  bool

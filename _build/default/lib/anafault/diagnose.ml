@@ -1,0 +1,66 @@
+type signature = { fault : Faults.Fault.t; samples : float array option }
+
+type t = {
+  config : Simulate.config;
+  grid : float array;  (** observation times *)
+  nominal : float array;
+  signatures : signature list;
+}
+
+let sample_on grid config wf =
+  Array.map (fun t -> Sim.Waveform.value_at wf config.Simulate.observed t) grid
+
+let build config circuit faults =
+  let nominal_wf, _ = Simulate.nominal config circuit in
+  let grid = Sim.Waveform.times nominal_wf in
+  let signature fault =
+    match Faults.Inject.apply ~model:config.Simulate.model circuit fault with
+    | exception Not_found -> { fault; samples = None }
+    | faulty -> begin
+      match
+        Sim.Engine.transient ~options:config.Simulate.sim_options faulty
+          ~tstep:config.Simulate.tran.Netlist.Parser.tstep
+          ~tstop:config.Simulate.tran.Netlist.Parser.tstop
+          ~uic:config.Simulate.tran.Netlist.Parser.uic
+      with
+      | exception Sim.Engine.No_convergence _ -> { fault; samples = None }
+      | wf -> { fault; samples = Some (sample_on grid config wf) }
+    end
+  in
+  {
+    config;
+    grid;
+    nominal = sample_on grid config nominal_wf;
+    signatures = List.map signature faults;
+  }
+
+let fault_count t = List.length t.signatures
+
+let rms a b =
+  let n = Array.length a in
+  if n = 0 then infinity
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = a.(i) -. b.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    Float.sqrt (!acc /. float_of_int n)
+  end
+
+let nominal_distance t wf = rms t.nominal (sample_on t.grid t.config wf)
+
+let rank t wf =
+  let obs = sample_on t.grid t.config wf in
+  List.filter_map
+    (fun s ->
+      match s.samples with
+      | Some sig_ -> Some (s.fault, rms obs sig_)
+      | None -> None)
+    t.signatures
+  |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+
+let diagnose t wf =
+  match rank t wf with
+  | best :: _ -> Some best
+  | [] -> None

@@ -1,0 +1,30 @@
+(** Fault dictionary and diagnosis - the complement of fault simulation
+    the paper's state-of-the-art reviews (Bandler & Salama's fault
+    diagnosis [3], Epstein et al.'s fault recognition from measurements
+    [6]): once every fault's response is simulated, an observed faulty
+    waveform can be matched back to the most likely candidate faults.
+
+    The dictionary stores each fault's response sampled on the nominal
+    grid; diagnosis ranks faults by RMS distance between the observation
+    and the stored signature. *)
+
+type t
+
+(** [build config circuit faults] simulates every fault and stores its
+    signature at the observed node.  Faults whose simulation fails are
+    kept with an empty signature (they never match). *)
+val build : Simulate.config -> Netlist.Circuit.t -> Faults.Fault.t list -> t
+
+val fault_count : t -> int
+
+(** [nominal_distance t wf] is the RMS distance of waveform [wf] (signal
+    = the config's observed node) from the fault-free response - a quick
+    pass/fail indicator. *)
+val nominal_distance : t -> Sim.Waveform.t -> float
+
+(** [rank t wf] orders the dictionary's faults by ascending RMS distance
+    to the observation; each entry carries its distance (V, RMS). *)
+val rank : t -> Sim.Waveform.t -> (Faults.Fault.t * float) list
+
+(** [diagnose t wf] is the best match, when any signature exists. *)
+val diagnose : t -> Sim.Waveform.t -> (Faults.Fault.t * float) option

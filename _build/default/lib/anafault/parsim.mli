@@ -1,0 +1,20 @@
+(** Parallel fault simulation on OCaml 5 domains.
+
+    The paper notes AnaFAULT was "improved for parallel execution in a
+    workstation cluster environment"; per-fault simulations are
+    independent, so the same structure maps onto shared-memory domains:
+    the fault list is split into as many chunks as domains, each domain
+    runs its chunk against the shared nominal waveform, and results are
+    re-assembled in fault order. *)
+
+(** [run ~domains config circuit faults] behaves like {!Simulate.run} but
+    distributes the per-fault simulations over [domains] domains
+    (clamped to [1 .. recommended_domain_count]).  Results keep the input
+    fault order; [total_cpu_seconds] is wall-clock here, making speed-up
+    directly visible. *)
+val run :
+  domains:int ->
+  Simulate.config ->
+  Netlist.Circuit.t ->
+  Faults.Fault.t list ->
+  Simulate.run

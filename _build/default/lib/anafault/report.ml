@@ -1,0 +1,88 @@
+let outcome_to_string = function
+  | Simulate.Detected t -> Printf.sprintf "detected @ %s" (Netlist.Eng.to_string t)
+  | Simulate.Undetected -> "undetected"
+  | Simulate.Sim_failed m -> "sim failed: " ^ m
+
+let kind_label (f : Faults.Fault.t) =
+  match f.kind with
+  | Faults.Fault.Bridge _ -> "bridge"
+  | Faults.Fault.Break { moved; _ } ->
+    if List.length moved <= 1 then "open" else "split"
+  | Faults.Fault.Stuck_open _ -> "stuck-open"
+
+let pp_table ppf (run : Simulate.run) =
+  Format.fprintf ppf "@[<v>%-8s %-20s %-10s %-10s %s@," "id" "mechanism" "kind" "prob"
+    "outcome";
+  List.iter
+    (fun (r : Simulate.fault_result) ->
+      let f = r.fault in
+      Format.fprintf ppf "%-8s %-20s %-10s %-10.3g %s@," f.Faults.Fault.id
+        f.Faults.Fault.mechanism (kind_label f) f.Faults.Fault.prob
+        (outcome_to_string r.outcome))
+    run.results;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf (run : Simulate.run) =
+  let detected, undetected, failed = Simulate.tally run in
+  let total = List.length run.results in
+  let kernel_steps =
+    List.fold_left
+      (fun acc (r : Simulate.fault_result) -> acc + r.stats.Sim.Engine.accepted_steps)
+      run.nominal_stats.Sim.Engine.accepted_steps run.results
+  in
+  Format.fprintf ppf
+    "@[<v>faults simulated   %d@,detected           %d@,undetected         %d@,\
+     sim failures       %d@,final coverage     %.1f %%@,weighted coverage  %.1f %%@,\
+     kernel steps       %d@,cpu time           %.2f s@]"
+    total detected undetected failed
+    (Coverage.final_percent run)
+    (Coverage.weighted_percent run)
+    kernel_steps run.total_cpu_seconds
+
+let pp_overview ppf (run : Simulate.run) =
+  let tbl : (string, int * int * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Simulate.fault_result) ->
+      let m = r.fault.Faults.Fault.mechanism in
+      let total, det, tsum =
+        Option.value (Hashtbl.find_opt tbl m) ~default:(0, 0, 0.0)
+      in
+      let det, tsum =
+        match r.outcome with
+        | Simulate.Detected t -> (det + 1, tsum +. t)
+        | Simulate.Undetected | Simulate.Sim_failed _ -> (det, tsum)
+      in
+      Hashtbl.replace tbl m (total + 1, det, tsum))
+    run.results;
+  Format.fprintf ppf "@[<v>%-22s %7s %9s %14s@," "mechanism" "faults" "detected"
+    "mean t_detect";
+  Hashtbl.fold (fun m v acc -> (m, v) :: acc) tbl []
+  |> List.sort compare
+  |> List.iter (fun (m, (total, det, tsum)) ->
+         let mean =
+           if det = 0 then "-" else Netlist.Eng.to_string (tsum /. float_of_int det) ^ "s"
+         in
+         Format.fprintf ppf "%-22s %7d %9d %14s@," m total det mean);
+  Format.fprintf ppf "@]"
+
+let coverage_plot ?(points = 100) run =
+  let series = [ ("fault coverage [%]", Coverage.curve run ~points) ] in
+  Ascii_plot.render ~x_label:"time [s]" ~series ()
+
+let csv (run : Simulate.run) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "id,mechanism,kind,probability,outcome,t_detect\n";
+  List.iter
+    (fun (r : Simulate.fault_result) ->
+      let f = r.fault in
+      let outcome, t =
+        match r.outcome with
+        | Simulate.Detected t -> ("detected", Printf.sprintf "%g" t)
+        | Simulate.Undetected -> ("undetected", "")
+        | Simulate.Sim_failed _ -> ("failed", "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%g,%s,%s\n" f.Faults.Fault.id f.Faults.Fault.mechanism
+           (kind_label f) f.Faults.Fault.prob outcome t))
+    run.results;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** AnaFAULT's result presentation: detection tables, overview summaries
+    and coverage plots (the paper: "detailed reports, clearly arranged
+    overview tables and comprehensive fault coverage plots"). *)
+
+(** One row per fault: id, mechanism, kind, probability, outcome. *)
+val pp_table : Format.formatter -> Simulate.run -> unit
+
+(** Aggregate counts, coverage percentages and kernel workload. *)
+val pp_summary : Format.formatter -> Simulate.run -> unit
+
+(** Per-mechanism overview: fault count, detected count, mean detection
+    time - the paper's "clearly arranged overview tables". *)
+val pp_overview : Format.formatter -> Simulate.run -> unit
+
+(** The coverage-versus-time plot (Fig. 5 style), as ASCII art. *)
+val coverage_plot : ?points:int -> Simulate.run -> string
+
+(** [csv run] renders the per-fault table as comma-separated values for
+    external tooling. *)
+val csv : Simulate.run -> string

@@ -1,0 +1,57 @@
+(** The automatic fault-simulation loop: nominal run, then one kernel
+    simulation per fault with result comparison (the paper's repetitive
+    preprocessing / kernel / post-processing cycle). *)
+
+type config = {
+  model : Faults.Inject.model;  (** fault simulation model *)
+  tran : Netlist.Parser.tran;  (** analysis request *)
+  observed : string;  (** the node whose waveform the test observes *)
+  tolerance : Detect.tolerance;
+  sim_options : Sim.Engine.options;
+  samples : int;  (** output grid size (the paper uses a 400-step run) *)
+}
+
+(** [default_config ~tran ~observed] uses the source model, the paper's
+    tolerances and a 400-point grid. *)
+val default_config : tran:Netlist.Parser.tran -> observed:string -> config
+
+type outcome =
+  | Detected of float  (** first detection time *)
+  | Undetected
+  | Sim_failed of string  (** kernel did not converge *)
+
+type fault_result = {
+  fault : Faults.Fault.t;
+  outcome : outcome;
+  stats : Sim.Engine.stats;
+  cpu_seconds : float;
+}
+
+type run = {
+  config : config;
+  nominal : Sim.Waveform.t;
+  nominal_stats : Sim.Engine.stats;
+  results : fault_result list;
+  total_cpu_seconds : float;
+}
+
+(** [nominal config circuit] runs the fault-free simulation, resampled
+    onto the uniform output grid. *)
+val nominal : config -> Netlist.Circuit.t -> Sim.Waveform.t * Sim.Engine.stats
+
+(** [run_one config circuit ~nominal fault] injects, simulates and
+    compares one fault. *)
+val run_one :
+  config -> Netlist.Circuit.t -> nominal:Sim.Waveform.t -> Faults.Fault.t -> fault_result
+
+(** [run config circuit faults] performs the whole loop serially.
+    [progress] (if given) is called after each fault with (done, total). *)
+val run :
+  ?progress:(int -> int -> unit) ->
+  config ->
+  Netlist.Circuit.t ->
+  Faults.Fault.t list ->
+  run
+
+(** Detected / undetected / failed counts. *)
+val tally : run -> int * int * int

@@ -1,0 +1,1 @@
+lib/defects/l2rfm.ml: Array Extract Faults Float Geom Layout Lift List Netlist Option Printf

@@ -1,0 +1,1 @@
+lib/defects/l2rfm.mli: Faults Lift Netlist

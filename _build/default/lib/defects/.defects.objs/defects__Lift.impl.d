@@ -1,0 +1,1 @@
+lib/defects/lift.ml: Array Extract Faults Float Format Geom Layout List Printf Sites String

@@ -1,0 +1,1 @@
+lib/defects/lift.mli: Extract Faults Format Geom

@@ -1,0 +1,1 @@
+lib/defects/monte_carlo.ml: Array Extract Faults Float Format Geom Hashtbl Int Layout List Option Printf Random Sites

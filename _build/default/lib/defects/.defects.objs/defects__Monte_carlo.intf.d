@@ -1,0 +1,1 @@
+lib/defects/monte_carlo.mli: Extract Faults Format

@@ -1,0 +1,1 @@
+lib/defects/sites.ml: Array Extract Faults Fun Geom Hashtbl Int Layout List Option Seq

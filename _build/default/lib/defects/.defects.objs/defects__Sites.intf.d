@@ -1,0 +1,1 @@
+lib/defects/sites.mli: Extract Faults Geom Layout

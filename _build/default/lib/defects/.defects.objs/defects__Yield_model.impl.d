@@ -1,0 +1,1 @@
+lib/defects/yield_model.ml: Faults Format Hashtbl Lift List Option

@@ -1,0 +1,1 @@
+lib/defects/yield_model.mli: Extract Format

@@ -1,0 +1,33 @@
+(** L2RFM - "Local Layout Realistic Faults Mapping" (the paper's
+    pre-layout reduction path in Fig. 1, after [18]).
+
+    Before the final layout exists, each schematic element is mapped to
+    the realistic faults of its {e standard cell template}: a single-
+    device layout is generated from the element's W/L and the technology
+    rules, analysed exactly like a full layout (critical areas, size
+    density, thresholds), and the resulting local faults are expressed
+    against the element's schematic nets.
+
+    By construction the list contains only {e local} faults - the paper's
+    GLRFM contrast: global shorts between routed nets and single defects
+    causing multiple opens only appear once the real layout is known. *)
+
+type result = {
+  faults : Faults.Fault.t list;  (** ids ["L1"].. in device order *)
+  per_device : (string * int) list;  (** fault count per element *)
+}
+
+(** [run ?options circuit] maps every MOS transistor and capacitor of
+    [circuit].  [options] are {!Lift.options} (threshold, density);
+    independent sources and elements without a template (R, L, diodes)
+    contribute the plain universe faults for that element. *)
+val run : ?options:Lift.options -> Netlist.Circuit.t -> result
+
+(** [compare_with_glrfm ~l2rfm ~glrfm] partitions the GLRFM list into
+    faults L2RFM anticipated (same electrical effect) and faults only
+    visible globally - the paper's argument for running LIFT on the
+    final layout. *)
+val compare_with_glrfm :
+  l2rfm:result ->
+  glrfm:Faults.Fault.t list ->
+  [ `Anticipated of Faults.Fault.t list ] * [ `Global_only of Faults.Fault.t list ]

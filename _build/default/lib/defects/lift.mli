@@ -1,0 +1,51 @@
+(** LIFT: Layout-Induced Fault exTraction (the paper's GLRFM, after
+    inductive fault analysis).
+
+    From an extracted layout and the technology's defect statistics, LIFT
+    produces the list of realistic faults - each a {!Faults.Fault.t} with
+    its probability of occurrence [p_j = d_rel * D0 * A_crit], ready for
+    AnaFAULT. *)
+
+type options = {
+  pdf : Geom.Critical_area.size_pdf option;
+      (** defect-size density; [None] uses the technology's 1/x^3 model *)
+  p_min : float;
+      (** faults less likely than this are dropped (the paper reports
+          p_j between 1e-7 and 1e-9; default 3e-8, calibrated so the
+          demo VCO reproduces the paper's ~53 % list reduction) *)
+  merge_equivalent : bool;
+      (** merge faults with identical electrical effect, summing their
+          probabilities (default true) *)
+}
+
+val default_options : options
+
+(** Counts per fault class, mirroring the paper's "55 bridging, 8 line
+    opens and 7 transistor stuck open". *)
+type classes = {
+  bridging : int;
+  line_opens : int;
+  contact_opens : int;
+  stuck_opens : int;
+}
+
+val total : classes -> int
+
+type result = {
+  faults : Faults.Fault.t list;  (** in enumeration order, ids ["#1"].. *)
+  classes : classes;
+  sites_considered : int;  (** before thresholding and merging *)
+}
+
+(** [run ?options ext] performs the extraction. *)
+val run : ?options:options -> Extract.Extraction.t -> result
+
+(** [ranked r] is [r.faults] sorted by decreasing probability. *)
+val ranked : result -> Faults.Fault.t list
+
+val classify : Faults.Fault.t list -> classes
+
+val pp_classes : Format.formatter -> classes -> unit
+
+(** A one-line-per-fault report, most probable first. *)
+val pp_report : Format.formatter -> result -> unit

@@ -1,0 +1,34 @@
+(** Monte-Carlo inductive fault analysis: the original IFA procedure the
+    paper builds on ([25], [16]) - "based on random spot defects
+    introduced on the layout according to statistics, defects large
+    enough to modify the circuit topology ... are identified and
+    translated into realistic faults".
+
+    Random defects (mechanism ~ relative densities, diameter ~ the
+    defect-size density, position uniform over the die) are dropped on
+    the extracted layout and mapped to their electrical effect with the
+    same connectivity analysis LIFT uses.  The hit frequencies validate
+    LIFT's closed-form critical-area ranking; single defects cutting
+    several conductors surface as the "global multiple open" faults the
+    paper credits to layout-level analysis. *)
+
+type result = {
+  samples : int;
+  effective : int;  (** defects that changed the circuit topology *)
+  multi_effect : int;  (** defects causing more than one fault at once *)
+  hits : (Faults.Fault.t * int) list;
+      (** distinct faults with hit counts, most frequent first; each
+          fault's [prob] is its relative frequency among effective
+          defects *)
+}
+
+(** [run ?seed ~samples ext] drops [samples] defects (deterministic for a
+    fixed [seed], default 42). *)
+val run : ?seed:int -> samples:int -> Extract.Extraction.t -> result
+
+(** [agreement result faults] compares the Monte-Carlo ranking with an
+    analytic fault list: the fraction of Monte-Carlo hits that land on a
+    fault present in [faults] (weighted by hit count). *)
+val agreement : result -> Faults.Fault.t list -> float
+
+val pp_summary : Format.formatter -> result -> unit

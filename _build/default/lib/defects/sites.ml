@@ -1,0 +1,222 @@
+type bridge_site = {
+  bridge_layer : Layout.Layer.t;
+  net_a : int;
+  net_b : int;
+  bridge_ca : float;
+}
+
+type open_site = {
+  open_layer : Layout.Layer.t;
+  conductor : int;
+  moved : Faults.Fault.terminal list;
+  open_net : int;
+  open_ca : float;
+}
+
+type cut_open_site = {
+  cut_index : int;
+  cut_mech : Layout.Tech.mechanism;
+  cut_moved : Faults.Fault.terminal list;
+  cut_net : int;
+  cut_ca : float;
+}
+
+type stuck_site = {
+  channel : Extract.Extraction.channel;
+  stuck_ca : float;
+}
+
+let tech_of (ext : Extract.Extraction.t) = ext.mask.Layout.Mask.tech
+
+let pdf_of ?pdf ext =
+  match pdf with
+  | Some p -> p
+  | None -> Layout.Tech.size_pdf (tech_of ext)
+
+(* Weighted short critical area: closed form for the cubic pdf, numeric
+   integration otherwise. *)
+let short_ca ~x_max pdf ~spacing ~length =
+  match pdf with
+  | Geom.Critical_area.Cubic { x_min } ->
+    Geom.Critical_area.weighted_short_cubic ~x_max ~x_min ~spacing ~length ()
+  | Geom.Critical_area.Uniform _ ->
+    Geom.Critical_area.weighted pdf (Geom.Critical_area.short_area ~spacing ~length)
+
+let open_ca_of ~x_max pdf ~width ~length =
+  match pdf with
+  | Geom.Critical_area.Cubic { x_min } ->
+    Geom.Critical_area.weighted_open_cubic ~x_max ~x_min ~width ~length ()
+  | Geom.Critical_area.Uniform _ ->
+    Geom.Critical_area.weighted pdf (Geom.Critical_area.open_area ~width ~length)
+
+let x_max_of ext = float_of_int (tech_of ext).Layout.Tech.defect_x_max
+
+let bridges ?pdf (ext : Extract.Extraction.t) =
+  let pdf = pdf_of ?pdf ext in
+  let x_max = (tech_of ext).Layout.Tech.defect_x_max in
+  let acc : (Layout.Layer.t * int * int, float ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun layer ->
+      let members =
+        Array.of_seq
+          (Seq.filter_map
+             (fun (i, (c : Extract.Extraction.conductor)) ->
+               if Layout.Layer.equal c.layer layer then Some (i, c.rect) else None)
+             (Array.to_seqi ext.conductors))
+      in
+      let rects = Array.map snd members in
+      List.iter
+        (fun (a, b, spacing, length) ->
+          let ia = fst members.(a) and ib = fst members.(b) in
+          let na = ext.net_of.(ia) and nb = ext.net_of.(ib) in
+          if na <> nb then begin
+            let key = (layer, min na nb, max na nb) in
+            let ca = short_ca ~x_max:(x_max_of ext) pdf ~spacing ~length in
+            match Hashtbl.find_opt acc key with
+            | Some r -> r := !r +. ca
+            | None -> Hashtbl.add acc key (ref ca)
+          end)
+        (Geom.Rect_set.close_pairs ~within:x_max rects))
+    (List.filter Layout.Layer.conducting Layout.Layer.all);
+  Hashtbl.fold
+    (fun (bridge_layer, net_a, net_b) ca l ->
+      { bridge_layer; net_a; net_b; bridge_ca = !ca } :: l)
+    acc []
+  |> List.sort compare
+
+(* Effect of suppressing conductor [k] (or cut [c]): group the net's
+   terminals by the component their anchor lands in; terminals anchored on
+   the suppressed conductor form their own (disconnected) group.  The
+   largest group keeps the original net; the others move.  [None] when the
+   topology is unchanged (at most one group). *)
+let split_effect (ext : Extract.Extraction.t) ~skip_conductor ~skip_cut ~net =
+  let cut_shapes =
+    Array.map (fun (c : Extract.Extraction.cut) -> (c.cut_layer, c.cut_rect)) ext.cuts
+  in
+  let uf, _ =
+    Extract.Connectivity.unify ~conductors:ext.conductors ~cut_shapes ~skip_conductor ~skip_cut
+  in
+  let terminals = Extract.Extraction.terminals_of_net ext net in
+  let groups : (int, Faults.Fault.terminal list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Extract.Extraction.terminal) ->
+      let key =
+        if skip_conductor t.conductor then -1 else Geom.Union_find.find uf t.conductor
+      in
+      let term = { Faults.Fault.device = t.device; port = t.port } in
+      match Hashtbl.find_opt groups key with
+      | Some r -> r := term :: !r
+      | None -> Hashtbl.add groups key (ref [ term ]))
+    terminals;
+  let group_list =
+    Hashtbl.fold (fun key r acc -> (key, List.sort compare !r) :: acc) groups []
+    |> List.sort compare
+  in
+  match group_list with
+  | [] | [ _ ] -> None
+  | _ ->
+    let keep =
+      List.fold_left
+        (fun best (key, members) ->
+          match best with
+          | None -> Some (key, members)
+          | Some (bkey, bmembers) ->
+            (* Prefer the most populous group; never keep the detached
+               group (-1) if an attached one exists. *)
+            if key = -1 then best
+            else if bkey = -1 then Some (key, members)
+            else if List.length members > List.length bmembers then Some (key, members)
+            else best)
+        None group_list
+    in
+    let keep_key = match keep with Some (k, _) -> k | None -> assert false in
+    let moved =
+      List.concat_map
+        (fun (key, members) -> if key = keep_key then [] else members)
+        group_list
+    in
+    if moved = [] then None else Some moved
+
+let opens ?pdf (ext : Extract.Extraction.t) =
+  let pdf = pdf_of ?pdf ext in
+  Array.to_list
+    (Array.mapi
+       (fun k (c : Extract.Extraction.conductor) ->
+         let net = ext.net_of.(k) in
+         match
+           split_effect ext ~skip_conductor:(Int.equal k) ~skip_cut:(fun _ -> false) ~net
+         with
+         | None -> None
+         | Some moved ->
+           let w = min (Geom.Rect.width c.rect) (Geom.Rect.height c.rect)
+           and l = max (Geom.Rect.width c.rect) (Geom.Rect.height c.rect) in
+           Some
+             {
+               open_layer = c.layer;
+               conductor = k;
+               moved;
+               open_net = net;
+               open_ca = open_ca_of ~x_max:(x_max_of ext) pdf ~width:w ~length:l;
+             })
+       ext.conductors)
+  |> List.filter_map Fun.id
+
+let cut_opens ?pdf (ext : Extract.Extraction.t) =
+  let pdf = pdf_of ?pdf ext in
+  let tech = tech_of ext in
+  Array.to_list
+    (Array.mapi
+       (fun ci (cut : Extract.Extraction.cut) ->
+         match cut.joins with
+         | [] | [ _ ] -> None
+         | anchor :: _ ->
+           let net = ext.net_of.(anchor) in
+           (match
+              split_effect ext
+                ~skip_conductor:(fun _ -> false)
+                ~skip_cut:(Int.equal ci) ~net
+            with
+           | None -> None
+           | Some moved ->
+             let mech =
+               match cut.cut_layer with
+               | Layout.Layer.Via -> Layout.Tech.Via_open
+               | Layout.Layer.Contact ->
+                 (* Which lower layer does this contact land on? *)
+                 let lower =
+                   List.find_map
+                     (fun j ->
+                       let layer = ext.conductors.(j).Extract.Extraction.layer in
+                       match layer with
+                       | Layout.Layer.Poly | Layout.Layer.Ndiff | Layout.Layer.Pdiff ->
+                         Some layer
+                       | Layout.Layer.Metal1 | Layout.Layer.Metal2 | Layout.Layer.Contact
+                       | Layout.Layer.Via | Layout.Layer.Nwell ->
+                         None)
+                     cut.joins
+                 in
+                 Layout.Tech.Contact_open_to
+                   (Option.value lower ~default:Layout.Layer.Poly)
+               | Layout.Layer.Ndiff | Layout.Layer.Pdiff | Layout.Layer.Poly
+               | Layout.Layer.Metal1 | Layout.Layer.Metal2 | Layout.Layer.Nwell ->
+                 assert false
+             in
+             let ca =
+               Geom.Critical_area.weighted
+                 ~x_max:(float_of_int tech.Layout.Tech.defect_x_max) pdf
+                 (Geom.Critical_area.contact_open_area ~side:tech.Layout.Tech.cut_side)
+             in
+             Some { cut_index = ci; cut_mech = mech; cut_moved = moved; cut_net = net; cut_ca = ca }))
+       ext.cuts)
+  |> List.filter_map Fun.id
+
+let stuck ?pdf (ext : Extract.Extraction.t) =
+  let pdf = pdf_of ?pdf ext in
+  List.map
+    (fun (c : Extract.Extraction.channel) ->
+      (* Missing gate poly across the channel: the defect must span the
+         gate length somewhere along the width, leaving a channel that can
+         never invert. *)
+      { channel = c;
+        stuck_ca = open_ca_of ~x_max:(x_max_of ext) pdf ~width:c.l_nm ~length:c.w_nm })
+    ext.channels

@@ -1,0 +1,65 @@
+(** Fault-site enumeration: where on the layout can a single spot defect
+    change the circuit topology, and with what size-weighted critical
+    area.
+
+    Bridges come from pairs of unconnected shapes facing each other within
+    the maximum defect size; opens from shapes and cuts whose removal
+    splits their net (re-checked topologically); transistor stuck-opens
+    from defects across a channel. *)
+
+type bridge_site = {
+  bridge_layer : Layout.Layer.t;
+  net_a : int;
+  net_b : int;
+  bridge_ca : float;  (** size-weighted critical area, nm^2, summed over
+                          all facing pairs of the two nets on this layer *)
+}
+
+type open_site = {
+  open_layer : Layout.Layer.t;
+  conductor : int;
+  moved : Faults.Fault.terminal list;  (** terminals split off the net *)
+  open_net : int;
+  open_ca : float;
+}
+
+type cut_open_site = {
+  cut_index : int;
+  cut_mech : Layout.Tech.mechanism;
+  cut_moved : Faults.Fault.terminal list;
+  cut_net : int;
+  cut_ca : float;
+}
+
+type stuck_site = {
+  channel : Extract.Extraction.channel;
+  stuck_ca : float;
+}
+
+(** [bridges ?pdf ext] lists bridge sites (distinct unordered net pairs
+    per layer, [net_a < net_b]), using the technology's defect-size pdf
+    unless [pdf] overrides it. *)
+val bridges :
+  ?pdf:Geom.Critical_area.size_pdf -> Extract.Extraction.t -> bridge_site list
+
+(** [opens ?pdf ext] lists the line-open sites that actually split a net
+    (conductors whose removal leaves two or more terminal groups). *)
+val opens : ?pdf:Geom.Critical_area.size_pdf -> Extract.Extraction.t -> open_site list
+
+(** [cut_opens ?pdf ext] is the analogue for missing contacts/vias. *)
+val cut_opens :
+  ?pdf:Geom.Critical_area.size_pdf -> Extract.Extraction.t -> cut_open_site list
+
+(** [stuck ?pdf ext] lists transistor-channel defects (one per device). *)
+val stuck : ?pdf:Geom.Critical_area.size_pdf -> Extract.Extraction.t -> stuck_site list
+
+(** [split_effect ext ~skip_conductor ~skip_cut ~net] recomputes [net]'s
+    connectivity with the given shapes suppressed and returns the
+    terminals split off it, or [None] when the topology is unchanged
+    (shared with the Monte-Carlo defect injector). *)
+val split_effect :
+  Extract.Extraction.t ->
+  skip_conductor:(int -> bool) ->
+  skip_cut:(int -> bool) ->
+  net:int ->
+  Faults.Fault.terminal list option

@@ -1,0 +1,35 @@
+type t = {
+  lambda : float;
+  poisson_yield : float;
+  per_mechanism : (string * float) list;
+}
+
+let estimate ext =
+  let all =
+    Lift.run
+      ~options:{ Lift.pdf = None; p_min = 0.0; merge_equivalent = false }
+      ext
+  in
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Faults.Fault.t) ->
+      Hashtbl.replace tbl f.mechanism
+        (f.prob +. Option.value (Hashtbl.find_opt tbl f.mechanism) ~default:0.0))
+    all.Lift.faults;
+  let per_mechanism =
+    Hashtbl.fold (fun m l acc -> (m, l) :: acc) tbl [] |> List.sort compare
+  in
+  let lambda = List.fold_left (fun acc (_, l) -> acc +. l) 0.0 per_mechanism in
+  { lambda; poisson_yield = exp (-.lambda); per_mechanism }
+
+let negative_binomial t ~alpha =
+  if alpha <= 0.0 then invalid_arg "Yield_model.negative_binomial: alpha <= 0";
+  (1.0 +. (t.lambda /. alpha)) ** -.alpha
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>lambda (faults/die)  %.3g@,Poisson yield        %.6f@,"
+    t.lambda t.poisson_yield;
+  List.iter
+    (fun (m, l) -> Format.fprintf ppf "  %-22s %.3g@," m l)
+    t.per_mechanism;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+(** Functional-yield estimation from the same critical areas LIFT uses
+    (Stapper's integrated-circuit yield statistics, the paper's [28]).
+
+    Each fault site contributes an expected fault count
+    [lambda_j = d_rel * D0 * A_crit_j]; under the Poisson model the
+    probability that a die carries no topology-changing defect is
+    [Y = exp(-sum lambda_j)].  The negative-binomial variant with
+    clustering parameter [alpha] (Stapper's model) is also provided. *)
+
+type t = {
+  lambda : float;  (** expected topology-changing defects per die *)
+  poisson_yield : float;
+  per_mechanism : (string * float) list;  (** lambda split by mechanism *)
+}
+
+(** [estimate ext] sums over {e all} fault sites (no probability
+    threshold, no merging - every site kills the die). *)
+val estimate : Extract.Extraction.t -> t
+
+(** [negative_binomial t ~alpha] is Stapper's clustered yield
+    [(1 + lambda/alpha)^-alpha]; [alpha -> infinity] recovers Poisson. *)
+val negative_binomial : t -> alpha:float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/extract/compare.ml: Float Format List Netlist Printf String

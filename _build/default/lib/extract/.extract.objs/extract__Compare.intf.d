@@ -1,0 +1,1 @@
+lib/extract/compare.mli: Format Netlist

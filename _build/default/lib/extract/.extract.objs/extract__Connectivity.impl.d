@@ -1,0 +1,1 @@
+lib/extract/connectivity.ml: Array Extraction Geom Layout List Seq

@@ -1,0 +1,1 @@
+lib/extract/connectivity.mli: Extraction Geom Layout

@@ -1,0 +1,1 @@
+lib/extract/extraction.ml: Array Format Geom Layout List Netlist Seq

@@ -1,0 +1,1 @@
+lib/extract/extraction.mli: Format Geom Layout Netlist

@@ -1,0 +1,1 @@
+lib/extract/extractor.ml: Array Connectivity Extraction Format Geom Hashtbl Layout List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/extract/extractor.mli: Extraction Layout Netlist

@@ -1,0 +1,97 @@
+type mismatch =
+  | Missing_device of string
+  | Extra_device of string
+  | Kind_differs of string
+  | Connection_differs of { device : string; detail : string }
+  | Size_differs of { device : string; detail : string }
+
+let pp_mismatch ppf = function
+  | Missing_device d -> Format.fprintf ppf "missing device %s" d
+  | Extra_device d -> Format.fprintf ppf "extra device %s" d
+  | Kind_differs d -> Format.fprintf ppf "device %s has a different kind" d
+  | Connection_differs { device; detail } ->
+    Format.fprintf ppf "device %s connections differ: %s" device detail
+  | Size_differs { device; detail } ->
+    Format.fprintf ppf "device %s size differs: %s" device detail
+
+let is_stimulus = function
+  | Netlist.Device.V _ | Netlist.Device.I _ -> true
+  | Netlist.Device.R _ | Netlist.Device.C _ | Netlist.Device.L _ | Netlist.Device.D _
+  | Netlist.Device.M _ ->
+    false
+
+let close ~reltol a b = Float.abs (a -. b) <= reltol *. Float.max (Float.abs a) (Float.abs b)
+
+let compare_one ~reltol golden extracted =
+  let name = Netlist.Device.name golden in
+  match (golden, extracted) with
+  | ( Netlist.Device.M { d = d1; g = g1; s = s1; model = m1; w = w1; l = l1; _ },
+      Netlist.Device.M { d = d2; g = g2; s = s2; model = m2; w = w2; l = l2; _ } ) ->
+    let conn =
+      if g1 <> g2 then
+        Some (Printf.sprintf "gate %s vs %s" g1 g2)
+      else begin
+        let ds1 = List.sort compare [ d1; s1 ] and ds2 = List.sort compare [ d2; s2 ] in
+        if ds1 <> ds2 then
+          Some
+            (Printf.sprintf "d/s {%s} vs {%s}" (String.concat "," ds1)
+               (String.concat "," ds2))
+        else None
+      end
+    in
+    let kind_ok = m1.Netlist.Device.kind = m2.Netlist.Device.kind in
+    let size =
+      if not (close ~reltol w1 w2) then Some (Printf.sprintf "W %g vs %g" w1 w2)
+      else if not (close ~reltol l1 l2) then Some (Printf.sprintf "L %g vs %g" l1 l2)
+      else None
+    in
+    (if kind_ok then [] else [ Kind_differs name ])
+    @ (match conn with Some detail -> [ Connection_differs { device = name; detail } ] | None -> [])
+    @ (match size with Some detail -> [ Size_differs { device = name; detail } ] | None -> [])
+  | ( Netlist.Device.C { n1 = a1; n2 = b1; value = v1; _ },
+      Netlist.Device.C { n1 = a2; n2 = b2; value = v2; _ } ) ->
+    let p1 = List.sort compare [ a1; b1 ] and p2 = List.sort compare [ a2; b2 ] in
+    (if p1 <> p2 then
+       [ Connection_differs
+           { device = name;
+             detail = Printf.sprintf "{%s} vs {%s}" (String.concat "," p1) (String.concat "," p2) } ]
+     else [])
+    @
+    if close ~reltol v1 v2 then []
+    else [ Size_differs { device = name; detail = Printf.sprintf "C %g vs %g" v1 v2 } ]
+  | ( Netlist.Device.R { n1 = a1; n2 = b1; value = v1; _ },
+      Netlist.Device.R { n1 = a2; n2 = b2; value = v2; _ } ) ->
+    let p1 = List.sort compare [ a1; b1 ] and p2 = List.sort compare [ a2; b2 ] in
+    (if p1 <> p2 then
+       [ Connection_differs
+           { device = name;
+             detail = Printf.sprintf "{%s} vs {%s}" (String.concat "," p1) (String.concat "," p2) } ]
+     else [])
+    @
+    if close ~reltol v1 v2 then []
+    else [ Size_differs { device = name; detail = Printf.sprintf "R %g vs %g" v1 v2 } ]
+  | (Netlist.Device.R _ | Netlist.Device.C _ | Netlist.Device.L _ | Netlist.Device.V _
+    | Netlist.Device.I _ | Netlist.Device.D _ | Netlist.Device.M _), _ ->
+    [ Kind_differs name ]
+
+let run ?(size_reltol = 0.05) ~golden ~extracted () =
+  let golden_devs =
+    List.filter (fun d -> not (is_stimulus d)) (Netlist.Circuit.devices golden)
+  in
+  let missing_or_diff =
+    List.concat_map
+      (fun g ->
+        match Netlist.Circuit.find extracted (Netlist.Device.name g) with
+        | Some e -> compare_one ~reltol:size_reltol g e
+        | None -> [ Missing_device (Netlist.Device.name g) ])
+      golden_devs
+  in
+  let extras =
+    List.filter_map
+      (fun e ->
+        let n = Netlist.Device.name e in
+        if List.exists (fun g -> Netlist.Device.name g = n) golden_devs then None
+        else Some (Extra_device n))
+      (Netlist.Circuit.devices extracted)
+  in
+  missing_or_diff @ extras

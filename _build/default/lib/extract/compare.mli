@@ -1,0 +1,27 @@
+(** LVS-style comparison of an extracted circuit against its intended
+    schematic.
+
+    Devices are matched by name (layout device hints carry the schematic
+    names), nets by name (layout labels).  MOS source/drain are compared
+    as an unordered pair, since extraction cannot tell them apart. *)
+
+type mismatch =
+  | Missing_device of string  (** in the schematic, not extracted *)
+  | Extra_device of string  (** extracted, not in the schematic *)
+  | Kind_differs of string
+  | Connection_differs of { device : string; detail : string }
+  | Size_differs of { device : string; detail : string }
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** [run ~golden ~extracted] lists all mismatches; [[]] means the layout
+    implements the schematic.  Independent sources and the bulk terminals
+    of MOS devices in [golden] are ignored (a layout has neither stimulus
+    sources nor explicit bulk wiring).  [size_reltol] (default 0.05)
+    bounds the accepted relative W/L and capacitance deviation. *)
+val run :
+  ?size_reltol:float ->
+  golden:Netlist.Circuit.t ->
+  extracted:Netlist.Circuit.t ->
+  unit ->
+  mismatch list

@@ -1,0 +1,53 @@
+let cut_targets = function
+  | Layout.Layer.Contact ->
+    [ Layout.Layer.Metal1; Layout.Layer.Poly; Layout.Layer.Ndiff; Layout.Layer.Pdiff ]
+  | Layout.Layer.Via -> [ Layout.Layer.Metal1; Layout.Layer.Metal2 ]
+  | Layout.Layer.Ndiff | Layout.Layer.Pdiff | Layout.Layer.Poly | Layout.Layer.Metal1
+  | Layout.Layer.Metal2 | Layout.Layer.Nwell ->
+    invalid_arg "Connectivity: not a cut layer"
+
+let unify ~conductors ~cut_shapes ~skip_conductor ~skip_cut =
+  let n = Array.length conductors in
+  let uf = Geom.Union_find.create n in
+  (* Same-layer adjacency. *)
+  List.iter
+    (fun layer ->
+      let members =
+        Array.of_seq
+          (Seq.filter_map
+             (fun (i, (c : Extraction.conductor)) ->
+               if Layout.Layer.equal c.layer layer && not (skip_conductor i) then
+                 Some (i, c.rect)
+               else None)
+             (Array.to_seqi conductors))
+      in
+      let rects = Array.map snd members in
+      List.iter
+        (fun (a, b) ->
+          ignore (Geom.Union_find.union uf (fst members.(a)) (fst members.(b))))
+        (Geom.Rect_set.touching_pairs rects))
+    [ Layout.Layer.Ndiff; Layout.Layer.Pdiff; Layout.Layer.Poly; Layout.Layer.Metal1;
+      Layout.Layer.Metal2 ];
+  (* Vertical connections through cuts. *)
+  let joins =
+    Array.mapi
+      (fun ci (cut_layer, cut_rect) ->
+        if skip_cut ci then []
+        else begin
+          let targets = cut_targets cut_layer in
+          let joined = ref [] in
+          Array.iteri
+            (fun i (c : Extraction.conductor) ->
+              if (not (skip_conductor i))
+                 && List.exists (Layout.Layer.equal c.layer) targets
+                 && Geom.Rect.touches c.rect cut_rect
+              then joined := i :: !joined)
+            conductors;
+          (match !joined with
+          | first :: rest -> List.iter (fun i -> ignore (Geom.Union_find.union uf first i)) rest
+          | [] -> ());
+          List.rev !joined
+        end)
+      cut_shapes
+  in
+  (uf, joins)

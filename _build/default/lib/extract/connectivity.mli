@@ -1,0 +1,18 @@
+(** Net connectivity over conductors and cuts.
+
+    Exposed separately from the extractor because LIFT re-runs it with a
+    conductor or cut suppressed, to decide whether a spot defect that
+    removes that shape actually splits a net. *)
+
+(** [unify ~conductors ~cut_shapes ~skip_conductor ~skip_cut] merges
+    conductors that touch on the same layer, plus the conductor groups
+    joined by each cut (a contact joins metal1 with poly/diffusion; a via
+    joins metal1 with metal2).  Suppressed conductors/cuts take no part.
+    Returns the union-find and, for each cut, the conductor indices it
+    joined. *)
+val unify :
+  conductors:Extraction.conductor array ->
+  cut_shapes:(Layout.Layer.t * Geom.Rect.t) array ->
+  skip_conductor:(int -> bool) ->
+  skip_cut:(int -> bool) ->
+  Geom.Union_find.t * int list array

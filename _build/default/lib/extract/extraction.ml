@@ -1,0 +1,54 @@
+type conductor = { layer : Layout.Layer.t; rect : Geom.Rect.t }
+
+type cut = {
+  cut_layer : Layout.Layer.t;
+  cut_rect : Geom.Rect.t;
+  joins : int list;
+}
+
+type channel = {
+  device : string;
+  kind : [ `N | `P ];
+  channel_rect : Geom.Rect.t;
+  w_nm : int;
+  l_nm : int;
+  gate : int;
+  source : int;
+  drain : int;
+}
+
+type terminal = { device : string; port : int; conductor : int }
+
+type t = {
+  mask : Layout.Mask.t;
+  conductors : conductor array;
+  net_of : int array;
+  net_names : string array;
+  cuts : cut array;
+  channels : channel list;
+  circuit : Netlist.Circuit.t;
+  terminals : terminal list;
+}
+
+let net_count t = Array.length t.net_names
+
+let net_name t id = t.net_names.(id)
+
+let conductors_of_net t id =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter_map
+          (fun (k, net) -> if net = id then Some k else None)
+          (Array.to_seqi t.net_of)))
+
+let terminals_on_conductor t k = List.filter (fun term -> term.conductor = k) t.terminals
+
+let terminals_of_net t id =
+  List.filter (fun term -> t.net_of.(term.conductor) = id) t.terminals
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>conductors %d@,nets       %d@,cuts       %d@,mosfets    %d@,devices    %d@]"
+    (Array.length t.conductors) (net_count t) (Array.length t.cuts)
+    (List.length t.channels)
+    (Netlist.Circuit.device_count t.circuit)

@@ -1,0 +1,63 @@
+(** Result of transistor-level extraction: the electrical interpretation
+    of a mask database.
+
+    The geometry is broken into {e conductors} - the unit of fault
+    analysis: a diffusion region between channels, a poly shape, a metal
+    shape.  Conductors carrying the same net share a net id.  Cuts
+    (contacts/vias) record which conductors they join, and every device
+    terminal is anchored to the conductor it electrically enters through,
+    so LIFT can decide what a missing shape disconnects. *)
+
+type conductor = { layer : Layout.Layer.t; rect : Geom.Rect.t }
+
+type cut = {
+  cut_layer : Layout.Layer.t;
+  cut_rect : Geom.Rect.t;
+  joins : int list;  (** conductor indices this cut connects *)
+}
+
+(** A recognised MOS channel (poly over diffusion). *)
+type channel = {
+  device : string;
+  kind : [ `N | `P ];
+  channel_rect : Geom.Rect.t;
+  w_nm : int;  (** electrical width *)
+  l_nm : int;  (** drawn gate length *)
+  gate : int;  (** conductor index of the poly gate *)
+  source : int;  (** conductor index of the source diffusion piece *)
+  drain : int;  (** conductor index of the drain diffusion piece *)
+}
+
+(** Anchor of a device terminal: [port] indexes {!Netlist.Device.nodes}
+    order. *)
+type terminal = { device : string; port : int; conductor : int }
+
+type t = {
+  mask : Layout.Mask.t;
+  conductors : conductor array;
+  net_of : int array;  (** conductor index -> net id *)
+  net_names : string array;  (** net id -> name *)
+  cuts : cut array;
+  channels : channel list;
+  circuit : Netlist.Circuit.t;
+  terminals : terminal list;
+}
+
+val net_count : t -> int
+
+(** [net_name t id] is the (label-derived or synthesised) name of net
+    [id]. *)
+val net_name : t -> int -> string
+
+(** [conductors_of_net t id] lists the conductor indices on net [id]. *)
+val conductors_of_net : t -> int -> int list
+
+(** [terminals_on_conductor t k] lists terminals anchored on conductor
+    [k]. *)
+val terminals_on_conductor : t -> int -> terminal list
+
+(** [terminals_of_net t id] lists all terminals anchored anywhere on net
+    [id]. *)
+val terminals_of_net : t -> int -> terminal list
+
+val pp_summary : Format.formatter -> t -> unit

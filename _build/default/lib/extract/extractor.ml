@@ -1,0 +1,299 @@
+exception Extract_error of string
+
+type options = {
+  nmos_model : Netlist.Device.mos_model;
+  pmos_model : Netlist.Device.mos_model;
+  nmos_bulk : string;
+  pmos_bulk : string;
+  cap_per_nm2 : float;
+}
+
+let default_options =
+  {
+    nmos_model = Netlist.Device.default_nmos;
+    pmos_model = Netlist.Device.default_pmos;
+    nmos_bulk = "0";
+    pmos_bulk = "1";
+    cap_per_nm2 = 1e-21;
+  }
+
+let err fmt = Format.kasprintf (fun m -> raise (Extract_error m)) fmt
+
+(* Channels: every poly-over-diffusion overlap region.  Two poly shapes
+   running along the same track (a gate strip plus the wire feeding it)
+   produce coincident intersection rectangles describing one physical
+   channel; keep only maximal regions. *)
+let dedupe_channels chans =
+  let maximal (kind, r) =
+    not
+      (List.exists
+         (fun (k2, r2) ->
+           k2 = kind && not (Geom.Rect.equal r r2) && Geom.Rect.contains r2 r)
+         chans)
+  in
+  List.filter maximal chans |> List.sort_uniq compare
+
+let find_channels mask =
+  let poly = Layout.Mask.on mask Layout.Layer.Poly in
+  let overlaps kind diff_layer =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun p ->
+            match Geom.Rect.inter p d with
+            | Some i when not (Geom.Rect.is_degenerate i) -> Some (kind, i)
+            | Some _ | None -> None)
+          poly)
+      (Layout.Mask.on mask diff_layer)
+  in
+  dedupe_channels (overlaps `N Layout.Layer.Ndiff @ overlaps `P Layout.Layer.Pdiff)
+
+(* The conductor array: diffusion split at channels, then poly and metals
+   verbatim. *)
+let build_conductors mask channel_rects =
+  let pieces layer =
+    Geom.Rect_set.subtract_all (Layout.Mask.on mask layer) channel_rects
+    |> List.map (fun rect -> { Extraction.layer; rect })
+  in
+  let whole layer =
+    List.map (fun rect -> { Extraction.layer; rect }) (Layout.Mask.on mask layer)
+  in
+  Array.of_list
+    (pieces Layout.Layer.Ndiff @ pieces Layout.Layer.Pdiff @ whole Layout.Layer.Poly
+    @ whole Layout.Layer.Metal1 @ whole Layout.Layer.Metal2)
+
+let cut_shapes mask =
+  Array.of_list
+    (List.map (fun r -> (Layout.Layer.Contact, r)) (Layout.Mask.on mask Layout.Layer.Contact)
+    @ List.map (fun r -> (Layout.Layer.Via, r)) (Layout.Mask.on mask Layout.Layer.Via))
+
+(* Net ids from union-find roots, numbered in order of smallest conductor
+   index for determinism. *)
+let number_nets uf n =
+  let net_of = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let r = Geom.Union_find.find uf i in
+    if net_of.(r) = -1 then begin
+      net_of.(r) <- !next;
+      incr next
+    end;
+    net_of.(i) <- net_of.(r)
+  done;
+  (net_of, !next)
+
+let name_nets mask (conductors : Extraction.conductor array) net_of net_total =
+  let names = Array.make net_total "" in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Layout.Mask.label) ->
+      let found = ref false in
+      Array.iteri
+        (fun i (c : Extraction.conductor) ->
+          if (not !found)
+             && Layout.Layer.equal c.layer l.layer
+             && Geom.Rect.contains_point c.rect l.at
+          then begin
+            found := true;
+            let id = net_of.(i) in
+            if names.(id) = "" then begin
+              let name =
+                if Hashtbl.mem used l.net then begin
+                  (* Same label on two distinct nets: a designer error we
+                     surface by suffixing rather than silently merging. *)
+                  let k = Hashtbl.find used l.net + 1 in
+                  Hashtbl.replace used l.net k;
+                  Printf.sprintf "%s#%d" l.net k
+                end
+                else begin
+                  Hashtbl.add used l.net 1;
+                  l.net
+                end
+              in
+              names.(id) <- name
+            end
+          end)
+        conductors;
+      if not !found then
+        err "label %S at %s on %s hits no conductor" l.net
+          (Geom.Point.to_string l.at) (Layout.Layer.to_string l.layer))
+    mask.Layout.Mask.labels;
+  Array.iteri (fun id n -> if n = "" then names.(id) <- Printf.sprintf "n%d" id) names;
+  names
+
+(* MOSFET recognition: the diffusion pieces flanking a channel on opposite
+   sides are its source and drain; the poly shape above is its gate. *)
+let recognise_mos mask conductors (channels : ([ `N | `P ] * Geom.Rect.t) list) =
+  let find_gate ch =
+    let rec go i =
+      if i >= Array.length conductors then err "channel %s has no poly gate" (Geom.Rect.to_string ch)
+      else begin
+        let (c : Extraction.conductor) = conductors.(i) in
+        if Layout.Layer.equal c.layer Layout.Layer.Poly && Geom.Rect.overlaps c.rect ch then i
+        else go (i + 1)
+      end
+    in
+    go 0
+  in
+  let diff_layer = function
+    | `N -> Layout.Layer.Ndiff
+    | `P -> Layout.Layer.Pdiff
+  in
+  List.mapi
+    (fun k (kind, ch) ->
+      let layer = diff_layer kind in
+      let neighbours side =
+        let ok i (c : Extraction.conductor) =
+          Layout.Layer.equal c.layer layer
+          && Geom.Rect.touches c.rect ch
+          &&
+          match side with
+          | `Left -> c.rect.Geom.Rect.x1 <= ch.Geom.Rect.x0
+          | `Right -> c.rect.Geom.Rect.x0 >= ch.Geom.Rect.x1
+          | `Below -> c.rect.Geom.Rect.y1 <= ch.Geom.Rect.y0
+          | `Above -> c.rect.Geom.Rect.y0 >= ch.Geom.Rect.y1
+          |> fun cond -> cond && i >= 0
+        in
+        let found = ref None in
+        Array.iteri (fun i c -> if !found = None && ok i c then found := Some i) conductors;
+        !found
+      in
+      let source, drain, w_nm, l_nm =
+        match (neighbours `Left, neighbours `Right, neighbours `Below, neighbours `Above) with
+        | Some l, Some r, _, _ ->
+          (l, r, Geom.Rect.height ch, Geom.Rect.width ch)
+        | _, _, Some b, Some a ->
+          (b, a, Geom.Rect.width ch, Geom.Rect.height ch)
+        | _ -> err "channel %s lacks source/drain on opposite sides" (Geom.Rect.to_string ch)
+      in
+      let device =
+        match Layout.Mask.hint_for mask ch with
+        | Some name -> name
+        | None -> Printf.sprintf "MX%d" (k + 1)
+      in
+      {
+        Extraction.device;
+        kind;
+        channel_rect = ch;
+        w_nm;
+        l_nm;
+        gate = find_gate ch;
+        source;
+        drain;
+      })
+    channels
+
+(* Plate capacitors: a hint named [C*] marks a poly-metal2 overlap. *)
+let recognise_caps ~options mask (conductors : Extraction.conductor array) =
+  List.filter_map
+    (fun (h : Layout.Mask.device_hint) ->
+      if String.length h.name > 0 && (h.name.[0] = 'C' || h.name.[0] = 'c') then begin
+        (* The hint region may clip wire stubs feeding the plate; the
+           plate proper is the conductor with the largest overlap. *)
+        let plate layer =
+          let best = ref None in
+          Array.iteri
+            (fun i (c : Extraction.conductor) ->
+              if Layout.Layer.equal c.layer layer then begin
+                match Geom.Rect.inter c.rect h.channel with
+                | Some ov when not (Geom.Rect.is_degenerate ov) ->
+                  let a = Geom.Rect.area ov in
+                  (match !best with
+                  | Some (_, a0) when a0 >= a -> ()
+                  | Some _ | None -> best := Some (i, a))
+                | Some _ | None -> ()
+              end)
+            conductors;
+          match !best with
+          | Some (i, _) -> i
+          | None ->
+            err "capacitor %s has no %s plate" h.name (Layout.Layer.to_string layer)
+        in
+        let p_poly = plate Layout.Layer.Poly and p_m2 = plate Layout.Layer.Metal2 in
+        let area =
+          match Geom.Rect.inter conductors.(p_poly).rect conductors.(p_m2).rect with
+          | Some i -> Geom.Rect.area i
+          | None -> err "capacitor %s plates do not overlap" h.name
+        in
+        Some (h.name, p_poly, p_m2, float_of_int area *. options.cap_per_nm2)
+      end
+      else None)
+    mask.Layout.Mask.hints
+
+let extract ?(options = default_options) mask =
+  let channel_list = find_channels mask in
+  let channel_rects = List.map snd channel_list in
+  let conductors = build_conductors mask channel_rects in
+  let cut_shapes = cut_shapes mask in
+  let uf, joins =
+    Connectivity.unify ~conductors ~cut_shapes
+      ~skip_conductor:(fun _ -> false)
+      ~skip_cut:(fun _ -> false)
+  in
+  let net_of, net_total = number_nets uf (Array.length conductors) in
+  let net_names = name_nets mask conductors net_of net_total in
+  let channels = recognise_mos mask conductors channel_list in
+  let caps = recognise_caps ~options mask conductors in
+  let net i = net_names.(net_of.(i)) in
+  let mos_devices =
+    List.map
+      (fun (c : Extraction.channel) ->
+        let model, bulk =
+          match c.kind with
+          | `N -> (options.nmos_model, options.nmos_bulk)
+          | `P -> (options.pmos_model, options.pmos_bulk)
+        in
+        Netlist.Device.M
+          {
+            name = c.device;
+            d = net c.drain;
+            g = net c.gate;
+            s = net c.source;
+            b = bulk;
+            model;
+            w = float_of_int c.w_nm *. 1e-9;
+            l = float_of_int c.l_nm *. 1e-9;
+          })
+      channels
+  in
+  let cap_devices =
+    List.map
+      (fun (name, p_poly, p_m2, value) ->
+        Netlist.Device.C { name; n1 = net p_poly; n2 = net p_m2; value; ic = None })
+      caps
+  in
+  let circuit =
+    Netlist.Circuit.of_devices
+      ("extracted: " ^ mask.Layout.Mask.tech.Layout.Tech.name)
+      (mos_devices @ cap_devices)
+  in
+  let terminals =
+    List.concat_map
+      (fun (c : Extraction.channel) ->
+        [
+          { Extraction.device = c.device; port = 0; conductor = c.drain };
+          { Extraction.device = c.device; port = 1; conductor = c.gate };
+          { Extraction.device = c.device; port = 2; conductor = c.source };
+        ])
+      channels
+    @ List.concat_map
+        (fun (name, p_poly, p_m2, _) ->
+          [
+            { Extraction.device = name; port = 0; conductor = p_poly };
+            { Extraction.device = name; port = 1; conductor = p_m2 };
+          ])
+        caps
+  in
+  {
+    Extraction.mask;
+    conductors;
+    net_of;
+    net_names;
+    cuts =
+      Array.mapi
+        (fun i (cut_layer, cut_rect) -> { Extraction.cut_layer; cut_rect; joins = joins.(i) })
+        cut_shapes;
+    channels;
+    circuit;
+    terminals;
+  }

@@ -1,0 +1,25 @@
+(** Transistor-level circuit extraction from a mask database.
+
+    Steps: channel recognition (poly over diffusion), diffusion splitting
+    at channels, connectivity (same-layer contact + cuts), net naming from
+    labels, MOSFET recognition (gate/source/drain from the channel's
+    neighbouring pieces), plate-capacitor recognition (poly-metal2 overlap
+    under a [C*] device hint), and netlist generation. *)
+
+exception Extract_error of string
+
+type options = {
+  nmos_model : Netlist.Device.mos_model;
+  pmos_model : Netlist.Device.mos_model;
+  nmos_bulk : string;  (** net tied to every NMOS bulk (default "0") *)
+  pmos_bulk : string;  (** net tied to every PMOS bulk (default "1") *)
+  cap_per_nm2 : float;  (** poly-metal2 plate capacitance, F/nm^2 *)
+}
+
+val default_options : options
+
+(** [extract ?options mask] produces the extraction or raises
+    {!Extract_error} on malformed layouts (a channel with no source/drain
+    on opposite sides, a label over empty space, a capacitor hint without
+    both plates). *)
+val extract : ?options:options -> Layout.Mask.t -> Extraction.t

@@ -1,0 +1,1 @@
+lib/faults/fault_list.ml: Fault Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/faults/inject.ml: Fault List Netlist String

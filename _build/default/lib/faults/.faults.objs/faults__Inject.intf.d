@@ -1,0 +1,1 @@
+lib/faults/inject.mli: Fault Netlist

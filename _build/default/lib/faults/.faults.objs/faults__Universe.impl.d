@@ -1,0 +1,1 @@
+lib/faults/universe.ml: Fault List Netlist Printf String

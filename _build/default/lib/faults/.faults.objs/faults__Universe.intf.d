@@ -1,0 +1,1 @@
+lib/faults/universe.mli: Fault Netlist

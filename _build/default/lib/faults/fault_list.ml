@@ -1,0 +1,71 @@
+exception Parse_error of int * string
+
+let terminal_to_string (t : Fault.terminal) = Printf.sprintf "%s.%d" t.device t.port
+
+let line_of_fault (f : Fault.t) =
+  let body =
+    match f.kind with
+    | Fault.Bridge { net_a; net_b } -> Printf.sprintf "BRI %s %s" net_a net_b
+    | Fault.Break { net; moved } ->
+      Printf.sprintf "OPEN %s / %s" net
+        (String.concat " " (List.map terminal_to_string moved))
+    | Fault.Stuck_open { device } -> Printf.sprintf "SOPEN %s" device
+  in
+  Printf.sprintf "%s %s %s p=%.6g" f.id f.mechanism body f.prob
+
+let to_string faults = String.concat "\n" (List.map line_of_fault faults) ^ "\n"
+
+let err ln fmt = Format.kasprintf (fun m -> raise (Parse_error (ln, m))) fmt
+
+let parse_terminal ln w =
+  match String.rindex_opt w '.' with
+  | None -> err ln "terminal %S lacks a .port suffix" w
+  | Some i -> begin
+    let device = String.sub w 0 i in
+    match int_of_string_opt (String.sub w (i + 1) (String.length w - i - 1)) with
+    | Some port when device <> "" -> { Fault.device; port }
+    | Some _ | None -> err ln "bad terminal %S" w
+  end
+
+let parse_line ln line =
+  let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  let prob, words =
+    match List.rev words with
+    | last :: rest when String.length last > 2 && String.sub last 0 2 = "p=" -> begin
+      match float_of_string_opt (String.sub last 2 (String.length last - 2)) with
+      | Some p -> (p, List.rev rest)
+      | None -> err ln "bad probability %S" last
+    end
+    | _ -> (0.0, words)
+  in
+  match words with
+  | id :: mechanism :: "BRI" :: net_a :: net_b :: [] ->
+    Fault.make ~id ~kind:(Fault.Bridge { net_a; net_b }) ~mechanism ~prob ()
+  | id :: mechanism :: "OPEN" :: net :: "/" :: terminals when terminals <> [] ->
+    let moved = List.map (parse_terminal ln) terminals in
+    Fault.make ~id ~kind:(Fault.Break { net; moved }) ~mechanism ~prob ()
+  | [ id; mechanism; "SOPEN"; device ] ->
+    Fault.make ~id ~kind:(Fault.Stuck_open { device }) ~mechanism ~prob ()
+  | _ -> err ln "cannot parse fault line %S" line
+
+(* "# " (hash-space) and ";" open comments; a bare "#<n>" is a fault id. *)
+let is_comment line =
+  line = ""
+  || line.[0] = ';'
+  || (String.length line > 1 && line.[0] = '#' && line.[1] = ' ')
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter_map (fun (ln, line) ->
+         if is_comment line then None else Some (parse_line ln line))
+
+let save faults path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string faults))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      of_string (really_input_string ic (in_channel_length ic)))

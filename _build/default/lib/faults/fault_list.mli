@@ -1,0 +1,22 @@
+(** The fault-list file format: the interface between LIFT and AnaFAULT
+    (the paper merges LIFT's list into AnaFAULT's configuration during
+    setup).
+
+    One fault per line:
+    {v
+    # comment
+    #1 metal1_short BRI netA netB p=3.2e-07
+    #2 poly_open OPEN net / M1.0 M2.2 p=4e-08
+    #3 channel_open SOPEN M11 p=5.7e-07
+    v}
+    Terminals are written [device.port]. *)
+
+exception Parse_error of int * string
+
+val to_string : Fault.t list -> string
+
+val of_string : string -> Fault.t list
+
+val save : Fault.t list -> string -> unit
+
+val load : string -> Fault.t list

@@ -1,0 +1,74 @@
+type model =
+  | Resistor of { r_short : float; r_open : float }
+  | Source
+
+let default_resistor = Resistor { r_short = 0.01; r_open = 100e6 }
+
+let break_node_name (f : Fault.t) =
+  let clean =
+    String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_')
+      f.Fault.id
+  in
+  "brk" ^ clean
+
+let apply_bridge ~model circuit ~net_a ~net_b =
+  if String.equal net_a net_b then circuit
+  else begin
+    match model with
+    | Resistor { r_short; _ } ->
+      Netlist.Circuit.add circuit
+        (Netlist.Device.R
+           { name = Netlist.Circuit.fresh_name circuit "F_BRI";
+             n1 = net_a; n2 = net_b; value = r_short })
+    | Source ->
+      Netlist.Circuit.add circuit
+        (Netlist.Device.V
+           { name = Netlist.Circuit.fresh_name circuit "VF_BRI";
+             np = net_a; nn = net_b; wave = Netlist.Wave.Dc 0.0 })
+  end
+
+let apply_break ~model circuit fault ~net ~moved =
+  let fresh = Netlist.Circuit.fresh_node circuit (break_node_name fault) in
+  let circuit =
+    List.fold_left
+      (fun c ({ Fault.device; port } : Fault.terminal) ->
+        match Netlist.Circuit.find c device with
+        | None -> raise Not_found
+        | Some dev ->
+          let nodes = Netlist.Device.nodes dev in
+          (match List.nth_opt nodes port with
+          | Some n when String.equal n net -> ()
+          | Some _ | None -> raise Not_found);
+          Netlist.Circuit.replace c (Netlist.Device.rename_port port fresh dev))
+      circuit moved
+  in
+  match model with
+  | Resistor { r_open; _ } ->
+    Netlist.Circuit.add circuit
+      (Netlist.Device.R
+         { name = Netlist.Circuit.fresh_name circuit "F_OPEN";
+           n1 = net; n2 = fresh; value = r_open })
+  | Source ->
+    Netlist.Circuit.add circuit
+      (Netlist.Device.I
+         { name = Netlist.Circuit.fresh_name circuit "IF_OPEN";
+           np = net; nn = fresh; wave = Netlist.Wave.Dc 0.0 })
+
+let apply_stuck_open circuit ~device =
+  match Netlist.Circuit.find circuit device with
+  | Some (Netlist.Device.M m) ->
+    let dead =
+      { m.model with Netlist.Device.mname = m.model.Netlist.Device.mname ^ "_SOPEN";
+        kp = 0.0 }
+    in
+    Netlist.Circuit.replace circuit (Netlist.Device.M { m with model = dead })
+  | Some (Netlist.Device.R _ | Netlist.Device.C _ | Netlist.Device.L _
+         | Netlist.Device.V _ | Netlist.Device.I _ | Netlist.Device.D _)
+  | None ->
+    raise Not_found
+
+let apply ~model circuit (fault : Fault.t) =
+  match fault.kind with
+  | Fault.Bridge { net_a; net_b } -> apply_bridge ~model circuit ~net_a ~net_b
+  | Fault.Break { net; moved } -> apply_break ~model circuit fault ~net ~moved
+  | Fault.Stuck_open { device } -> apply_stuck_open circuit ~device

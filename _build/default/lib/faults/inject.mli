@@ -1,0 +1,31 @@
+(** Fault injection: rewriting a netlist so the kernel simulator simulates
+    the faulty circuit.
+
+    Two simulation models, following the paper (and [30][31]):
+    - the {e resistor model} adds a small resistor for a short and a large
+      resistor for an open (defaults 0.01 ohm / 100 Mohm);
+    - the {e source model} adds a 0 V source for a short (an ideal short
+      whose branch current is observable) and a 0 A source for an open
+      (an ideal disconnection).
+
+    A transistor stuck-open is modelled identically under both: the
+    device's transconductance is zeroed (channel never conducts) while its
+    gate capacitances remain. *)
+
+type model =
+  | Resistor of { r_short : float; r_open : float }
+  | Source
+
+(** The paper's resistor-model values: 0.01 ohm short, 100 Mohm open. *)
+val default_resistor : model
+
+(** [apply ~model circuit fault] returns the faulty circuit.  Injected
+    devices are named [F_<kind><n>].  A bridge between two nets that are
+    already the same net returns the circuit unchanged (the fault has no
+    electrical effect).  Raises [Not_found] if the fault references
+    devices or ports absent from [circuit]. *)
+val apply : model:model -> Netlist.Circuit.t -> Fault.t -> Netlist.Circuit.t
+
+(** The name of the node created for the detached side of a [Break]
+    fault, for probing. *)
+val break_node_name : Fault.t -> string

@@ -1,0 +1,28 @@
+(** The schematic fault universe: the complete set of possible single
+    hard faults assumed on each component, irrespective of whether they
+    are realistic (the paper's default initial fault list, [20]).
+
+    Per MOS transistor: opens on drain, gate and source; shorts
+    gate-drain, gate-source and drain-source.  Per passive two-terminal
+    element: one open and one terminal-to-terminal short.  Shorts between
+    terminals that already share a net (e.g. designed gate-drain diodes)
+    are skipped, and independent sources contribute no faults - exactly
+    the accounting that gives the paper's VCO 79 opens and 73 shorts. *)
+
+(** [build circuit] enumerates the universe; ids are ["U1"], ["U2"], ...
+    in device order, opens before shorts per device. *)
+val build : Netlist.Circuit.t -> Fault.t list
+
+(** Partition helper: (opens, shorts) counts of a fault list. *)
+val count : Fault.t list -> int * int
+
+(** [device_faults mk dev] enumerates one device's universe faults using
+    [mk kind mechanism] to build each fault (exposed for L2RFM's
+    fallback on template-less elements). *)
+val device_faults : (Fault.kind -> string -> Fault.t) -> Netlist.Device.t -> Fault.t list
+
+(** [collapse faults] merges electrically equivalent faults (classic
+    fault collapsing): parallel devices share their terminal shorts, so
+    simulating one representative covers the class.  Probabilities sum;
+    each representative carries the size of its class. *)
+val collapse : Fault.t list -> (Fault.t * int) list

@@ -1,0 +1,1 @@
+lib/geom/critical_area.ml: Float

@@ -1,0 +1,1 @@
+lib/geom/rect_set.ml: Array Hashtbl Int List Rect Union_find

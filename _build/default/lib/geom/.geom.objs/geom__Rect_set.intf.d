@@ -1,0 +1,1 @@
+lib/geom/rect_set.mli: Rect

@@ -1,0 +1,1 @@
+lib/geom/union_find.mli:

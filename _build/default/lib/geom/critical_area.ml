@@ -1,0 +1,88 @@
+type size_pdf =
+  | Cubic of { x_min : float }
+  | Uniform of { x_min : float; x_max : float }
+
+let pdf d x =
+  match d with
+  | Cubic { x_min } -> if x < x_min then 0.0 else 2.0 *. x_min *. x_min /. (x *. x *. x)
+  | Uniform { x_min; x_max } ->
+    if x < x_min || x > x_max then 0.0 else 1.0 /. (x_max -. x_min)
+
+let short_area ~spacing ~length x =
+  let s = float_of_int spacing in
+  if x <= s then 0.0 else float_of_int length *. (x -. s)
+
+let open_area ~width ~length x =
+  let w = float_of_int width in
+  if x <= w then 0.0 else float_of_int length *. (x -. w)
+
+let contact_open_area ~side x =
+  let s = float_of_int side in
+  if x <= s then 0.0 else (x -. s) *. (x -. s)
+
+(* Simpson's rule on a log-spaced grid; the integrands are smooth and decay
+   like 1/x^2 or slower, so a generous fixed cutoff loses only a negligible
+   tail (bounded by ~1/cutoff relative mass). *)
+let integrate f lo hi =
+  if hi <= lo then 0.0
+  else begin
+    let n = 4096 in
+    let ratio = (hi /. lo) ** (1.0 /. float_of_int n) in
+    let acc = ref 0.0 in
+    let x = ref lo in
+    for _ = 1 to n do
+      let a = !x and b = !x *. ratio in
+      let m = 0.5 *. (a +. b) in
+      acc := !acc +. ((b -. a) /. 6.0 *. (f a +. (4.0 *. f m) +. f b));
+      x := b
+    done;
+    !acc
+  end
+
+let weighted ?x_max d a_c =
+  let lo, hi =
+    match d with
+    | Cubic { x_min } ->
+      (x_min, match x_max with Some m -> m | None -> 1000.0 *. x_min)
+    | Uniform { x_min; x_max = hi } -> (x_min, hi)
+  in
+  let body = integrate (fun x -> a_c x *. pdf d x) lo hi in
+  match d with
+  | Uniform _ -> body
+  | Cubic _ when x_max <> None -> body
+  | Cubic { x_min } ->
+    (* Analytic tail beyond the cutoff: every profile here becomes affine
+       a + b*x for large x, and
+       int_X^inf (a + b x) 2 x_min^2 / x^3 dx = x_min^2 (a / X^2 + 2 b / X). *)
+    let dx = 0.01 *. hi in
+    let slope = (a_c hi -. a_c (hi -. dx)) /. dx in
+    let intercept = a_c hi -. (slope *. hi) in
+    body +. (x_min *. x_min *. ((intercept /. (hi *. hi)) +. (2.0 *. slope /. hi)))
+
+(* Exact integrals for the 1/x^3 density and linear area profiles.
+   Untruncated, a profile L*(x - s)+ weighs L*x_min^2/s for s >= x_min and
+   L*(2*x_min - s) for s < x_min; truncating at X removes the tail
+   int_X^inf L*(x-s) 2 x_min^2/x^3 dx = L*x_min^2*(2/X - s/X^2), i.e. a
+   factor (1 - s/X)^2 on the s >= x_min form. *)
+let weighted_linear_cubic ?x_max ~x_min ~onset ~slope () =
+  let s = float_of_int onset in
+  let untruncated =
+    if s >= x_min then slope *. x_min *. x_min /. s
+    else slope *. ((2.0 *. x_min) -. s)
+  in
+  match x_max with
+  | None -> untruncated
+  | Some hi ->
+    if s >= hi then 0.0
+    else begin
+      let tail = slope *. x_min *. x_min *. ((2.0 /. hi) -. (s /. (hi *. hi))) in
+      Float.max 0.0 (untruncated -. tail)
+    end
+
+let weighted_short_cubic ?x_max ~x_min ~spacing ~length () =
+  weighted_linear_cubic ?x_max ~x_min ~onset:spacing ~slope:(float_of_int length) ()
+
+let weighted_open_cubic ?x_max ~x_min ~width ~length () =
+  weighted_linear_cubic ?x_max ~x_min ~onset:width ~slope:(float_of_int length) ()
+
+let nm2_to_cm2 a = a *. 1e-14

@@ -1,0 +1,55 @@
+(** Critical-area evaluation for spot defects (Stapper / Ferris-Prabhu).
+
+    A spot defect of diameter [x] landing on the layout causes a failure
+    when its centre falls inside the {e critical area} [a_c x] of a fault
+    site.  The expected number of faults is the defect density times the
+    size-weighted critical area [integral a_c(x) p(x) dx], with [p] the
+    defect-size probability density.
+
+    All geometric inputs are integers in nanometres; results are floats in
+    nm^2 (or cm^2 via {!nm2_to_cm2}). *)
+
+(** Defect-size probability density on [x >= x_min]:
+    - [Cubic] is the Ferris-Prabhu 1/x^3 tail, [p x = 2 x_min^2 / x^3],
+      the standard model for lithography-dominated spot defects;
+    - [Uniform] spreads the mass evenly over [x_min, x_max] (ablation). *)
+type size_pdf = Cubic of { x_min : float } | Uniform of { x_min : float; x_max : float }
+
+(** [pdf d x] is the density of [d] at diameter [x] (0 outside support). *)
+val pdf : size_pdf -> float -> float
+
+(** [short_area ~spacing ~length x] is the critical area of a bridge
+    between two parallel edges facing over [length] at [spacing], for a
+    (square) defect of diameter [x]: [length * (x - spacing)] clamped
+    at 0. *)
+val short_area : spacing:int -> length:int -> float -> float
+
+(** [open_area ~width ~length x] is the critical area of an open cut of a
+    wire of [width] along its [length]: [length * (x - width)] clamped
+    at 0. *)
+val open_area : width:int -> length:int -> float -> float
+
+(** [contact_open_area ~side x] is the critical area for a defect covering
+    a [side] x [side] contact/via: a defect must blanket the cut, giving
+    [(x - side)^2] clamped at 0. *)
+val contact_open_area : side:int -> float -> float
+
+(** [weighted ?x_max pdf a_c] integrates [a_c x * pdf x dx] over the
+    support of [pdf], truncated at [x_max] when given (defects larger than
+    the process's maximum observed spot size do not occur; the lost
+    probability mass is (x_min/x_max)^2 for the cubic density).  General
+    profiles are integrated numerically (Simpson on a log grid) with an
+    analytic tail correction when untruncated. *)
+val weighted : ?x_max:float -> size_pdf -> (float -> float) -> float
+
+(** Closed forms for the cubic pdf (exact, used as oracles in tests):
+    [weighted_short_cubic ~x_min ~spacing ~length = length * x_min^2 / spacing]
+    when [spacing >= x_min]; truncation at [x_max] multiplies this by
+    [(1 - spacing/x_max)^2]. *)
+val weighted_short_cubic :
+  ?x_max:float -> x_min:float -> spacing:int -> length:int -> unit -> float
+
+val weighted_open_cubic :
+  ?x_max:float -> x_min:float -> width:int -> length:int -> unit -> float
+
+val nm2_to_cm2 : float -> float

@@ -1,0 +1,21 @@
+type t = { lo : int; hi : int }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+
+let length t = t.hi - t.lo
+
+let contains t x = t.lo <= x && x <= t.hi
+
+let overlap a b = max 0 (min a.hi b.hi - max a.lo b.lo)
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let gap a b = max 0 (max a.lo b.lo - min a.hi b.hi)
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp ppf t = Format.fprintf ppf "[%d,%d]" t.lo t.hi

@@ -1,0 +1,32 @@
+(** Closed integer intervals [lo, hi] with [lo <= hi].
+
+    Used for the 1-D projections of rectangles when computing overlaps,
+    facing lengths and spacings. *)
+
+type t = private { lo : int; hi : int }
+
+(** [make a b] is the interval spanning [a] and [b] (order-insensitive). *)
+val make : int -> int -> t
+
+val length : t -> int
+
+val contains : t -> int -> bool
+
+(** [overlap a b] is the length of the intersection of [a] and [b], or 0
+    when they are disjoint.  Touching intervals overlap by 0. *)
+val overlap : t -> t -> int
+
+(** [inter a b] is the common sub-interval, if any.  Touching intervals
+    ([a.hi = b.lo]) yield a zero-length interval. *)
+val inter : t -> t -> t option
+
+(** [gap a b] is the distance separating [a] and [b]; 0 when they overlap
+    or touch. *)
+val gap : t -> t -> int
+
+(** [hull a b] is the smallest interval containing both. *)
+val hull : t -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

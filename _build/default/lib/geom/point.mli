@@ -1,0 +1,28 @@
+(** Integer 2-D points.
+
+    All layout coordinates in this code base are integers, interpreted as
+    nanometres. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val origin : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+(** [manhattan a b] is the L1 distance between [a] and [b]. *)
+val manhattan : t -> t -> int
+
+(** [chebyshev a b] is the L-infinity distance between [a] and [b]. *)
+val chebyshev : t -> t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

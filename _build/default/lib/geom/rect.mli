@@ -1,0 +1,80 @@
+(** Axis-aligned integer rectangles.
+
+    The invariant [x0 <= x1 && y0 <= y1] always holds; [make] normalises its
+    arguments.  Rectangles are half-open in no direction: [x0 = x1] or
+    [y0 = y1] denotes a degenerate (zero-area) rectangle, which is still a
+    valid value (used e.g. for cut lines). *)
+
+type t = private { x0 : int; y0 : int; x1 : int; y1 : int }
+
+(** [make x0 y0 x1 y1] normalises corners so the invariant holds. *)
+val make : int -> int -> int -> int -> t
+
+(** [of_corners p q] is the bounding box of the two points. *)
+val of_corners : Point.t -> Point.t -> t
+
+(** [of_center ~cx ~cy ~w ~h] is the [w] x [h] rectangle centred at
+    ([cx], [cy]).  [w] and [h] must be non-negative and even for an exact
+    centre. *)
+val of_center : cx:int -> cy:int -> w:int -> h:int -> t
+
+val width : t -> int
+
+val height : t -> int
+
+val area : t -> int
+
+val is_degenerate : t -> bool
+
+val x_span : t -> Interval.t
+
+val y_span : t -> Interval.t
+
+val center : t -> Point.t
+
+(** [inter a b] is the common rectangle, if the interiors or boundaries
+    meet.  The result may be degenerate when [a] and [b] only touch. *)
+val inter : t -> t -> t option
+
+(** [overlaps a b] holds when the interiors intersect (positive area). *)
+val overlaps : t -> t -> bool
+
+(** [touches a b] holds when interiors intersect or boundaries meet; this
+    is the connectivity predicate used for same-layer electrical contact. *)
+val touches : t -> t -> bool
+
+val contains_point : t -> Point.t -> bool
+
+(** [contains a b] holds when [b] lies entirely inside [a]. *)
+val contains : t -> t -> bool
+
+(** [expand r d] grows [r] by [d] on every side ([d] may be negative to
+    shrink; the result is clamped to a degenerate rectangle at the centre
+    if over-shrunk). *)
+val expand : t -> int -> t
+
+val translate : t -> Point.t -> t
+
+val hull : t -> t -> t
+
+(** [gap a b] is the pair of separations [(dx, dy)] along each axis, both 0
+    when the rectangles overlap or touch. *)
+val gap : t -> t -> int * int
+
+(** [facing a b] describes how [a] and [b] face each other across empty
+    space: [Some (spacing, length)] when they are disjoint but their
+    projections on one axis overlap by [length] > 0 with [spacing] > 0
+    along the other axis; [None] when they touch/overlap or are purely
+    diagonal neighbours. *)
+val facing : t -> t -> (int * int) option
+
+(** [subtract a b] is [a] minus [b], as at most four disjoint rectangles. *)
+val subtract : t -> t -> t list
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,147 @@
+(* Union area by scanline over compressed x-coordinates: for each vertical
+   slab between consecutive distinct x-edges, merge the y-intervals of the
+   rectangles spanning the slab and accumulate slab-width * covered-height. *)
+let union_area rs =
+  let rs = List.filter (fun r -> not (Rect.is_degenerate r)) rs in
+  match rs with
+  | [] -> 0
+  | _ ->
+    let xs =
+      List.concat_map (fun (r : Rect.t) -> [ r.x0; r.x1 ]) rs
+      |> List.sort_uniq Int.compare
+      |> Array.of_list
+    in
+    let total = ref 0 in
+    for i = 0 to Array.length xs - 2 do
+      let xl = xs.(i) and xr = xs.(i + 1) in
+      let spans =
+        List.filter_map
+          (fun (r : Rect.t) ->
+            if r.x0 <= xl && xr <= r.x1 then Some (r.y0, r.y1) else None)
+          rs
+        |> List.sort compare
+      in
+      let covered = ref 0 and cur = ref None in
+      let flush () =
+        match !cur with
+        | None -> ()
+        | Some (lo, hi) ->
+          covered := !covered + (hi - lo);
+          cur := None
+      in
+      List.iter
+        (fun (lo, hi) ->
+          match !cur with
+          | None -> cur := Some (lo, hi)
+          | Some (clo, chi) ->
+            if lo <= chi then cur := Some (clo, max chi hi)
+            else begin
+              flush ();
+              cur := Some (lo, hi)
+            end)
+        spans;
+      flush ();
+      total := !total + ((xr - xl) * !covered)
+    done;
+    !total
+
+let subtract rs cut = List.concat_map (fun r -> Rect.subtract r cut) rs
+
+let subtract_all rs cuts = List.fold_left subtract rs cuts
+
+let inter_with rs clip =
+  List.filter_map
+    (fun r ->
+      match Rect.inter r clip with
+      | Some i when not (Rect.is_degenerate i) -> Some i
+      | Some _ | None -> None)
+    rs
+
+(* Coarse uniform grid bucketing: each rectangle (expanded by [margin]) is
+   dropped into the grid cells it covers; only rectangles sharing a cell are
+   tested pairwise. *)
+let candidate_pairs ~margin rs =
+  let n = Array.length rs in
+  if n = 0 then []
+  else begin
+    let bbox = ref rs.(0) in
+    for i = 1 to n - 1 do
+      bbox := Rect.hull !bbox rs.(i)
+    done;
+    let b = !bbox in
+    let cell =
+      let avg =
+        Array.fold_left (fun acc r -> acc + max (Rect.width r) (Rect.height r)) 0 rs
+        / n
+      in
+      max 1 (max avg (2 * margin))
+    in
+    let buckets : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    Array.iteri
+      (fun i r ->
+        let r = Rect.expand r margin in
+        let cx0 = (r.Rect.x0 - b.Rect.x0) / cell
+        and cx1 = (r.Rect.x1 - b.Rect.x0) / cell
+        and cy0 = (r.Rect.y0 - b.Rect.y0) / cell
+        and cy1 = (r.Rect.y1 - b.Rect.y0) / cell in
+        for cx = cx0 to cx1 do
+          for cy = cy0 to cy1 do
+            match Hashtbl.find_opt buckets (cx, cy) with
+            | Some l -> l := i :: !l
+            | None -> Hashtbl.add buckets (cx, cy) (ref [ i ])
+          done
+        done)
+      rs;
+    let seen = Hashtbl.create 64 in
+    Hashtbl.fold
+      (fun _ members acc ->
+        let ms = !members in
+        List.fold_left
+          (fun acc i ->
+            List.fold_left
+              (fun acc j ->
+                if i < j && not (Hashtbl.mem seen (i, j)) then begin
+                  Hashtbl.add seen (i, j) ();
+                  (i, j) :: acc
+                end
+                else acc)
+              acc ms)
+          acc ms)
+      buckets []
+  end
+
+let touching_pairs rs =
+  candidate_pairs ~margin:0 rs
+  |> List.filter (fun (i, j) -> Rect.touches rs.(i) rs.(j))
+  |> List.sort compare
+
+let components rs =
+  let n = Array.length rs in
+  let uf = Union_find.create n in
+  List.iter
+    (fun (i, j) -> ignore (Union_find.union uf i j))
+    (touching_pairs rs);
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let r = Union_find.find uf i in
+    if comp.(r) = -1 then begin
+      comp.(r) <- !next;
+      incr next
+    end;
+    comp.(i) <- comp.(r)
+  done;
+  (comp, !next)
+
+let close_pairs ~within rs =
+  candidate_pairs ~margin:within rs
+  |> List.filter_map (fun (i, j) ->
+         match Rect.facing rs.(i) rs.(j) with
+         | Some (spacing, length) when spacing <= within ->
+           Some (i, j, spacing, length)
+         | Some _ | None -> None)
+  |> List.sort compare
+
+let bounding_box = function
+  | [] -> invalid_arg "Rect_set.bounding_box: empty"
+  | r :: rs -> List.fold_left Rect.hull r rs

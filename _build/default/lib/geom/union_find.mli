@@ -1,0 +1,27 @@
+(** Imperative union-find over the integers [0 .. n-1], with path
+    compression and union by rank.
+
+    Used for layer connectivity (shapes that touch belong to one net) and
+    for regrouping nets after open-fault injection. *)
+
+type t
+
+val create : int -> t
+
+val size : t -> int
+
+val find : t -> int -> int
+
+(** [union t a b] merges the classes of [a] and [b]; returns the resulting
+    representative. *)
+val union : t -> int -> int -> int
+
+val same : t -> int -> int -> bool
+
+(** [groups t] lists the equivalence classes, each as the list of its
+    members in increasing order.  Classes appear in order of their smallest
+    member. *)
+val groups : t -> int list list
+
+(** [count t] is the number of distinct classes. *)
+val count : t -> int

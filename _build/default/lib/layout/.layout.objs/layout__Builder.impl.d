@@ -1,0 +1,1 @@
+lib/layout/builder.ml: Format Geom Layer List Mask Tech

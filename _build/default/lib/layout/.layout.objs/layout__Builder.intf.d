@@ -1,0 +1,1 @@
+lib/layout/builder.mli: Geom Layer Mask Tech

@@ -1,0 +1,1 @@
+lib/layout/cif.ml: Buffer Fun Geom Layer List Mask Printf String Tech

@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Format Geom Layer List Mask Printf Tech

@@ -1,0 +1,1 @@
+lib/layout/drc.mli: Format Geom Layer Mask

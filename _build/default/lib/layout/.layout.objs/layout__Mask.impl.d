@@ -1,0 +1,1 @@
+lib/layout/mask.ml: Format Geom Layer List Tech

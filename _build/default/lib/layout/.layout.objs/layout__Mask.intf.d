@@ -1,0 +1,1 @@
+lib/layout/mask.mli: Format Geom Layer Tech

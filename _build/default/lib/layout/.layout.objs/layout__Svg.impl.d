@@ -1,0 +1,1 @@
+lib/layout/svg.ml: Buffer Float Fun Geom Layer List Mask Printf

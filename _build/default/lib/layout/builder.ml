@@ -1,0 +1,121 @@
+type t = { tech : Tech.t; mutable mask : Mask.t }
+
+type mos_ports = {
+  source : Geom.Point.t;
+  drain : Geom.Point.t;
+  gate : Geom.Point.t;
+  channel : Geom.Rect.t;
+}
+
+let create tech = { tech; mask = Mask.empty tech }
+
+let tech b = b.tech
+
+let rect b layer r = b.mask <- Mask.add_shape b.mask layer r
+
+let label b layer p net = b.mask <- Mask.add_label b.mask layer p net
+
+let wire b layer ~width pts =
+  let half = width / 2 in
+  let segment (p : Geom.Point.t) (q : Geom.Point.t) =
+    if p.y = q.y then
+      rect b layer
+        (Geom.Rect.make (min p.x q.x - half) (p.y - half) (max p.x q.x + half)
+           (p.y + half))
+    else if p.x = q.x then
+      rect b layer
+        (Geom.Rect.make (p.x - half) (min p.y q.y - half) (p.x + half)
+           (max p.y q.y + half))
+    else
+      invalid_arg
+        (Format.asprintf "Builder.wire: diagonal segment %a -> %a" Geom.Point.pp p
+           Geom.Point.pp q)
+  in
+  match pts with
+  | [] | [ _ ] -> invalid_arg "Builder.wire: need at least 2 points"
+  | first :: rest -> ignore (List.fold_left (fun p q -> segment p q; q) first rest)
+
+let pad_side tech = tech.Tech.cut_side + (2 * tech.Tech.cut_enclosure)
+
+(* Redundant cuts sit side by side along x, spaced by their own minimum
+   pitch; the shared pad covers them all. *)
+let cut_pitch tech = tech.Tech.cut_side + (tech.Tech.rules Layer.Contact).Tech.min_space
+
+let cut_rects tech ~cuts (p : Geom.Point.t) =
+  let pitch = cut_pitch tech in
+  List.init cuts (fun i ->
+      let cx = p.x + ((2 * i) - (cuts - 1)) * pitch / 2 in
+      Geom.Rect.of_center ~cx ~cy:p.y ~w:tech.Tech.cut_side ~h:tech.Tech.cut_side)
+
+let pad_rect tech ~cuts (p : Geom.Point.t) =
+  let side = pad_side tech in
+  let w = side + ((cuts - 1) * cut_pitch tech) in
+  Geom.Rect.of_center ~cx:p.x ~cy:p.y ~w ~h:side
+
+let contact b ?(cuts = 1) ~to_ p =
+  (match to_ with
+  | Layer.Poly | Layer.Ndiff | Layer.Pdiff -> ()
+  | Layer.Metal1 | Layer.Metal2 | Layer.Contact | Layer.Via | Layer.Nwell ->
+    invalid_arg "Builder.contact: target must be poly or diffusion");
+  assert (cuts >= 1);
+  List.iter (rect b Layer.Contact) (cut_rects b.tech ~cuts p);
+  rect b Layer.Metal1 (pad_rect b.tech ~cuts p);
+  rect b to_ (pad_rect b.tech ~cuts p)
+
+let via b ?(cuts = 1) p =
+  assert (cuts >= 1);
+  List.iter (rect b Layer.Via) (cut_rects b.tech ~cuts p);
+  rect b Layer.Metal1 (pad_rect b.tech ~cuts p);
+  rect b Layer.Metal2 (pad_rect b.tech ~cuts p)
+
+(* Transistor geometry (gate strip vertical, current flow horizontal):
+
+        poly extension
+        +---+
+   +----|   |----+   ^
+   | S  |   |  D |   | w
+   +----|   |----+   v
+        +---+
+    sd_w  l  sd_w
+
+   Source/drain regions are wide enough for one contact each. *)
+let hint b name rect = b.mask <- Mask.add_hint b.mask name rect
+
+let mos b ~name ~kind ~at:(at : Geom.Point.t) ~w ~l ?sd_w ?(contact_cuts = 1) () =
+  let tech = b.tech in
+  let diff_layer =
+    match kind with
+    | `N -> Layer.Ndiff
+    | `P -> Layer.Pdiff
+  in
+  let pad_w = pad_side tech + ((contact_cuts - 1) * cut_pitch tech) in
+  let sd_w =
+    match sd_w with
+    | Some v ->
+      assert (v >= pad_w + (2 * tech.Tech.cut_enclosure));
+      v
+    | None -> pad_w + (2 * tech.Tech.cut_enclosure)
+  in
+  let poly_ext = 2 * tech.Tech.lambda in
+  let x_src = at.x
+  and x_gate = at.x + sd_w
+  and x_drn = at.x + sd_w + l in
+  let diff = Geom.Rect.make at.x at.y (x_drn + sd_w) (at.y + w) in
+  rect b diff_layer diff;
+  let gate_top = at.y + w + poly_ext in
+  rect b Layer.Poly (Geom.Rect.make x_gate (at.y - poly_ext) x_drn gate_top);
+  let mid_y = at.y + (w / 2) in
+  let source = Geom.Point.make (x_src + (sd_w / 2)) mid_y in
+  let drain = Geom.Point.make (x_drn + (sd_w / 2)) mid_y in
+  contact b ~cuts:contact_cuts ~to_:diff_layer source;
+  contact b ~cuts:contact_cuts ~to_:diff_layer drain;
+  (match kind with
+  | `P ->
+    let well = Geom.Rect.expand diff (4 * tech.Tech.lambda) in
+    rect b Layer.Nwell well
+  | `N -> ());
+  let channel = Geom.Rect.make x_gate at.y x_drn (at.y + w) in
+  b.mask <- Mask.add_hint b.mask name channel;
+  { source; drain; gate = Geom.Point.make ((x_gate + x_drn) / 2) gate_top; channel }
+
+let finish b = b.mask

@@ -1,0 +1,70 @@
+(** Imperative layout construction DSL.
+
+    The builder places technology-correct primitives — transistors, wires,
+    contacts, vias — so that hand-written cell generators (like the VCO
+    demonstrator) stay short and pass DRC by construction. *)
+
+type t
+
+(** Contact points of a placed MOS transistor: where metal1 (source/drain)
+    or poly (gate) routing may attach. *)
+type mos_ports = {
+  source : Geom.Point.t;
+  drain : Geom.Point.t;
+  gate : Geom.Point.t;  (** top end of the poly gate strip *)
+  channel : Geom.Rect.t;
+}
+
+val create : Tech.t -> t
+
+val tech : t -> Tech.t
+
+(** [rect b layer r] draws a raw rectangle. *)
+val rect : t -> Layer.t -> Geom.Rect.t -> unit
+
+(** [label b layer p net] names the net of the shape under [p]. *)
+val label : t -> Layer.t -> Geom.Point.t -> string -> unit
+
+(** [wire b layer ~width pts] draws a Manhattan path through [pts]; each
+    consecutive pair must be axis-aligned.  Segment ends are extended by
+    [width/2] so corners merge.  Raises [Invalid_argument] on diagonal
+    segments or fewer than 2 points. *)
+val wire : t -> Layer.t -> width:int -> Geom.Point.t list -> unit
+
+(** [contact b ~to_ p] places a metal1-to-[to_] contact centred at [p]
+    ([to_] must be [Poly], [Ndiff] or [Pdiff]); emits the cut(s) plus
+    enclosing pads on both layers.  [cuts] > 1 places that many redundant
+    cuts side by side (standard yield practice: one missing cut no longer
+    opens the connection). *)
+val contact : t -> ?cuts:int -> to_:Layer.t -> Geom.Point.t -> unit
+
+(** [via b p] places a metal1-to-metal2 via centred at [p]; [cuts] as for
+    {!contact}. *)
+val via : t -> ?cuts:int -> Geom.Point.t -> unit
+
+(** [hint b name rect] registers a device-name hint (used for capacitor
+    recognition and for naming devices drawn with raw rectangles). *)
+val hint : t -> string -> Geom.Rect.t -> unit
+
+(** [mos b ~name ~kind ~at ~w ~l] places a transistor with its diffusion
+    lower-left corner at [at], channel width [w] (vertical extent) and
+    drawn gate length [l].  The gate strip is vertical; source is the left
+    diffusion region, drain the right one.  Source/drain contacts are
+    placed automatically.  PMOS devices get an n-well.  [sd_w] overrides
+    the width of each source/drain region (default: just enough for one
+    contact); wider regions spread the terminals for riser-based routing.
+    Returns the attachment ports and registers a device hint under
+    [name]. *)
+val mos :
+  t ->
+  name:string ->
+  kind:[ `N | `P ] ->
+  at:Geom.Point.t ->
+  w:int ->
+  l:int ->
+  ?sd_w:int ->
+  ?contact_cuts:int ->
+  unit ->
+  mos_ports
+
+val finish : t -> Mask.t

@@ -1,0 +1,79 @@
+exception Parse_error of int * string
+
+let to_string (m : Mask.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("tech " ^ m.tech.Tech.name ^ "\n");
+  List.iter
+    (fun (s : Mask.shape) ->
+      let r = s.rect in
+      Buffer.add_string buf
+        (Printf.sprintf "shape %s %d %d %d %d\n" (Layer.to_string s.layer)
+           r.Geom.Rect.x0 r.Geom.Rect.y0 r.Geom.Rect.x1 r.Geom.Rect.y1))
+    (List.rev m.shapes);
+  List.iter
+    (fun (l : Mask.label) ->
+      Buffer.add_string buf
+        (Printf.sprintf "label %s %d %d %s\n" (Layer.to_string l.layer) l.at.Geom.Point.x
+           l.at.Geom.Point.y l.net))
+    (List.rev m.labels);
+  List.iter
+    (fun (h : Mask.device_hint) ->
+      let r = h.channel in
+      Buffer.add_string buf
+        (Printf.sprintf "device %s %d %d %d %d\n" h.name r.Geom.Rect.x0 r.Geom.Rect.y0
+           r.Geom.Rect.x1 r.Geom.Rect.y1))
+    (List.rev m.hints);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let of_string ~tech s =
+  let mask = ref (Mask.empty tech) in
+  let err ln msg = raise (Parse_error (ln, msg)) in
+  let int ln w = try int_of_string w with Failure _ -> err ln ("not an integer: " ^ w) in
+  let parse_line ln line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+    with
+    | [] -> ()
+    | [ "end" ] -> ()
+    | [ "tech"; name ] ->
+      mask := { !mask with Mask.tech = { tech with Tech.name } }
+    | [ "shape"; layer; x0; y0; x1; y1 ] ->
+      let layer = try Layer.of_string layer with Invalid_argument m -> err ln m in
+      mask :=
+        Mask.add_shape !mask layer
+          (Geom.Rect.make (int ln x0) (int ln y0) (int ln x1) (int ln y1))
+    | [ "label"; layer; x; y; net ] ->
+      let layer = try Layer.of_string layer with Invalid_argument m -> err ln m in
+      mask := Mask.add_label !mask layer (Geom.Point.make (int ln x) (int ln y)) net
+    | [ "device"; name; x0; y0; x1; y1 ] ->
+      mask :=
+        Mask.add_hint !mask name
+          (Geom.Rect.make (int ln x0) (int ln y0) (int ln x1) (int ln y1))
+    | w :: _ -> err ln ("unknown record: " ^ w)
+  in
+  List.iteri (fun i l -> parse_line (i + 1) l) (String.split_on_char '\n' s);
+  (* Rebuild in file order: the accumulators above reversed each list. *)
+  let m = !mask in
+  {
+    m with
+    Mask.shapes = List.rev m.Mask.shapes;
+    labels = List.rev m.Mask.labels;
+    hints = List.rev m.Mask.hints;
+  }
+
+let save m path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string m))
+
+let load ~tech path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let n = in_channel_length ic in
+      of_string ~tech (really_input_string ic n))

@@ -1,0 +1,24 @@
+(** A minimal CIF-like textual interchange format for mask databases.
+
+    Grammar (one record per line, [#] starts a comment):
+    {v
+    tech <name>
+    shape <layer> <x0> <y0> <x1> <y1>
+    label <layer> <x> <y> <net>
+    device <name> <x0> <y0> <x1> <y1>
+    end
+    v} *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val to_string : Mask.t -> string
+
+(** [of_string ~tech s] parses a mask; shapes/labels/hints come from [s],
+    process data from [tech] (the [tech] record of the file only carries
+    the name). *)
+val of_string : tech:Tech.t -> string -> Mask.t
+
+val save : Mask.t -> string -> unit
+
+val load : tech:Tech.t -> string -> Mask.t

@@ -1,0 +1,86 @@
+type kind = Width | Spacing | Enclosure
+
+type violation = {
+  kind : kind;
+  layer : Layer.t;
+  where : Geom.Rect.t;
+  detail : string;
+}
+
+let kind_to_string = function
+  | Width -> "width"
+  | Spacing -> "spacing"
+  | Enclosure -> "enclosure"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s/%s at %a: %s" (Layer.to_string v.layer)
+    (kind_to_string v.kind) Geom.Rect.pp v.where v.detail
+
+let width_violations tech layer shapes =
+  let { Tech.min_width; _ } = tech.Tech.rules layer in
+  List.filter_map
+    (fun r ->
+      let w = min (Geom.Rect.width r) (Geom.Rect.height r) in
+      if w < min_width then
+        Some
+          {
+            kind = Width;
+            layer;
+            where = r;
+            detail = Printf.sprintf "width %d < %d" w min_width;
+          }
+      else None)
+    shapes
+
+let spacing_violations tech layer shapes =
+  let { Tech.min_space; _ } = tech.Tech.rules layer in
+  let arr = Array.of_list shapes in
+  let comp, _ = Geom.Rect_set.components arr in
+  Geom.Rect_set.close_pairs ~within:(min_space - 1) arr
+  |> List.filter_map (fun (i, j, spacing, _len) ->
+         if comp.(i) <> comp.(j) then
+           Some
+             {
+               kind = Spacing;
+               layer;
+               where = Geom.Rect.hull arr.(i) arr.(j);
+               detail = Printf.sprintf "spacing %d < %d" spacing min_space;
+             }
+         else None)
+
+let enclosure_violations tech mask cut_layer targets =
+  let cuts = Mask.on mask cut_layer in
+  let metal1 = Mask.on mask Layer.Metal1 in
+  let target_shapes = List.concat_map (Mask.on mask) targets in
+  let enclosed shapes need =
+    List.exists (fun s -> Geom.Rect.contains s need) shapes
+  in
+  List.filter_map
+    (fun cut ->
+      let need = Geom.Rect.expand cut tech.Tech.cut_enclosure in
+      if not (enclosed metal1 need) then
+        Some
+          { kind = Enclosure; layer = cut_layer; where = cut; detail = "metal1 enclosure" }
+      else if not (enclosed target_shapes need) then
+        Some
+          {
+            kind = Enclosure;
+            layer = cut_layer;
+            where = cut;
+            detail = "lower-layer enclosure";
+          }
+      else None)
+    cuts
+
+let check (mask : Mask.t) =
+  let tech = mask.Mask.tech in
+  let per_layer layer =
+    if Layer.conducting layer then begin
+      let shapes = Mask.on mask layer in
+      width_violations tech layer shapes @ spacing_violations tech layer shapes
+    end
+    else []
+  in
+  List.concat_map per_layer Layer.all
+  @ enclosure_violations tech mask Layer.Contact [ Layer.Poly; Layer.Ndiff; Layer.Pdiff ]
+  @ enclosure_violations tech mask Layer.Via [ Layer.Metal2 ]

@@ -1,0 +1,28 @@
+(** Geometric design-rule checking.
+
+    The paper notes that design rules are set so the target process yields
+    acceptably; LIFT's defect statistics are calibrated against those
+    rules, so a layout fed to LIFT should be DRC-clean.  This checker
+    covers the rules the demo process needs: minimum width, minimum
+    same-layer spacing between unconnected shapes, and cut enclosure. *)
+
+type kind =
+  | Width  (** shape narrower than the layer's minimum width *)
+  | Spacing  (** two disconnected shapes closer than minimum spacing *)
+  | Enclosure  (** cut not enclosed by both connected layers *)
+
+type violation = {
+  kind : kind;
+  layer : Layer.t;
+  where : Geom.Rect.t;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check mask] lists all violations (empty means DRC-clean).
+
+    Spacing is only flagged between shapes in different connected
+    components of the layer (abutting or overlapping shapes of one wire
+    are fine at any spacing). *)
+val check : Mask.t -> violation list

@@ -1,0 +1,39 @@
+type t = Ndiff | Pdiff | Poly | Metal1 | Metal2 | Contact | Via | Nwell
+
+let all = [ Ndiff; Pdiff; Poly; Metal1; Metal2; Contact; Via; Nwell ]
+
+let conducting = function
+  | Ndiff | Pdiff | Poly | Metal1 | Metal2 -> true
+  | Contact | Via | Nwell -> false
+
+let is_cut = function
+  | Contact | Via -> true
+  | Ndiff | Pdiff | Poly | Metal1 | Metal2 | Nwell -> false
+
+let to_string = function
+  | Ndiff -> "ndiff"
+  | Pdiff -> "pdiff"
+  | Poly -> "poly"
+  | Metal1 -> "metal1"
+  | Metal2 -> "metal2"
+  | Contact -> "contact"
+  | Via -> "via"
+  | Nwell -> "nwell"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "ndiff" -> Ndiff
+  | "pdiff" -> Pdiff
+  | "poly" -> Poly
+  | "metal1" | "m1" -> Metal1
+  | "metal2" | "m2" -> Metal2
+  | "contact" -> Contact
+  | "via" -> Via
+  | "nwell" -> Nwell
+  | other -> invalid_arg ("Layer.of_string: " ^ other)
+
+let equal = ( = )
+
+let compare = Stdlib.compare
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Mask layers of the single-poly, double-metal CMOS process used by the
+    paper's VCO demonstrator. *)
+
+type t =
+  | Ndiff  (** n+ diffusion (NMOS source/drain) *)
+  | Pdiff  (** p+ diffusion (PMOS source/drain) *)
+  | Poly  (** polysilicon (gates and local interconnect) *)
+  | Metal1
+  | Metal2
+  | Contact  (** cut connecting metal1 to poly or diffusion *)
+  | Via  (** cut connecting metal1 to metal2 *)
+  | Nwell  (** PMOS body well; not conducting for signal routing *)
+
+val all : t list
+
+(** Layers that carry signal nets. *)
+val conducting : t -> bool
+
+(** Cut layers that join two conducting layers vertically. *)
+val is_cut : t -> bool
+
+val to_string : t -> string
+
+(** Inverse of {!to_string}; raises [Invalid_argument] on unknown names. *)
+val of_string : string -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

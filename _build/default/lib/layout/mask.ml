@@ -1,0 +1,47 @@
+type shape = { layer : Layer.t; rect : Geom.Rect.t }
+
+type label = { layer : Layer.t; at : Geom.Point.t; net : string }
+
+type device_hint = { name : string; channel : Geom.Rect.t }
+
+type t = {
+  tech : Tech.t;
+  shapes : shape list;
+  labels : label list;
+  hints : device_hint list;
+}
+
+let empty tech = { tech; shapes = []; labels = []; hints = [] }
+
+let add_shape t layer rect = { t with shapes = { layer; rect } :: t.shapes }
+
+let add_label t layer at net = { t with labels = { layer; at; net } :: t.labels }
+
+let add_hint t name channel = { t with hints = { name; channel } :: t.hints }
+
+let on t layer =
+  List.filter_map
+    (fun (s : shape) -> if Layer.equal s.layer layer then Some s.rect else None)
+    t.shapes
+
+let labels_on t layer = List.filter (fun l -> Layer.equal l.layer layer) t.labels
+
+let shape_count t = List.length t.shapes
+
+let bbox t =
+  Geom.Rect_set.bounding_box (List.map (fun s -> s.rect) t.shapes)
+
+let hint_for t rect =
+  List.find_map
+    (fun h -> if Geom.Rect.touches h.channel rect then Some h.name else None)
+    t.hints
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun layer ->
+      let n = List.length (on t layer) in
+      if n > 0 then Format.fprintf ppf "%-8s %4d shapes@," (Layer.to_string layer) n)
+    Layer.all;
+  Format.fprintf ppf "labels   %4d@,hints    %4d@]" (List.length t.labels)
+    (List.length t.hints)

@@ -1,0 +1,44 @@
+(** The mask database: every rectangle of every layer of a flattened
+    layout, plus net-name labels and device-name hints.
+
+    Labels attach a net name to the conducting shape(s) under a point;
+    device hints attach a schematic device name to a MOS channel region so
+    extraction and fault reports can use the designer's names. *)
+
+type shape = { layer : Layer.t; rect : Geom.Rect.t }
+
+type label = { layer : Layer.t; at : Geom.Point.t; net : string }
+
+type device_hint = { name : string; channel : Geom.Rect.t }
+
+type t = {
+  tech : Tech.t;
+  shapes : shape list;
+  labels : label list;
+  hints : device_hint list;
+}
+
+val empty : Tech.t -> t
+
+val add_shape : t -> Layer.t -> Geom.Rect.t -> t
+
+val add_label : t -> Layer.t -> Geom.Point.t -> string -> t
+
+val add_hint : t -> string -> Geom.Rect.t -> t
+
+(** [on t layer] lists the rectangles drawn on [layer]. *)
+val on : t -> Layer.t -> Geom.Rect.t list
+
+(** [labels_on t layer] lists the labels attached to [layer]. *)
+val labels_on : t -> Layer.t -> label list
+
+val shape_count : t -> int
+
+(** Bounding box of all shapes; raises [Invalid_argument] when empty. *)
+val bbox : t -> Geom.Rect.t
+
+(** [hint_for t rect] is the device name whose hint channel intersects
+    [rect], if any. *)
+val hint_for : t -> Geom.Rect.t -> string option
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(* Paint order and palette: background layers first, cuts and labels on
+   top. *)
+let styles =
+  [ (Layer.Nwell, ("#f2e6c9", 0.5));
+    (Layer.Ndiff, ("#4caf50", 0.7));
+    (Layer.Pdiff, ("#ff9800", 0.7));
+    (Layer.Poly, ("#d32f2f", 0.7));
+    (Layer.Metal1, ("#1976d2", 0.55));
+    (Layer.Metal2, ("#7b1fa2", 0.45));
+    (Layer.Contact, ("#212121", 0.9));
+    (Layer.Via, ("#616161", 0.9)) ]
+
+let render ?(width = 800) (mask : Mask.t) =
+  let bbox = Mask.bbox mask in
+  let w_nm = max 1 (Geom.Rect.width bbox) and h_nm = max 1 (Geom.Rect.height bbox) in
+  let scale = float_of_int width /. float_of_int w_nm in
+  let height = int_of_float (Float.ceil (scale *. float_of_int h_nm)) in
+  let x nm = scale *. float_of_int (nm - bbox.Geom.Rect.x0) in
+  (* SVG's y axis points down; layouts' points up. *)
+  let y nm = scale *. float_of_int (bbox.Geom.Rect.y1 - nm) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n"
+       width height width height);
+  List.iter
+    (fun (layer, (color, opacity)) ->
+      let shapes = Mask.on mask layer in
+      if shapes <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "<g fill=\"%s\" fill-opacity=\"%.2f\">\n" color opacity);
+        List.iter
+          (fun (r : Geom.Rect.t) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\"/>\n"
+                 (x r.Geom.Rect.x0) (y r.Geom.Rect.y1)
+                 (scale *. float_of_int (Geom.Rect.width r))
+                 (scale *. float_of_int (Geom.Rect.height r))))
+          shapes;
+        Buffer.add_string buf "</g>\n"
+      end)
+    styles;
+  List.iter
+    (fun (l : Mask.label) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" font-family=\"monospace\" \
+            fill=\"black\">%s</text>\n"
+           (x l.at.Geom.Point.x) (y l.at.Geom.Point.y) l.net))
+    mask.Mask.labels;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?width mask path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (render ?width mask))

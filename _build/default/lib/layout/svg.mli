@@ -1,0 +1,11 @@
+(** SVG rendering of mask databases, for documentation and debugging.
+
+    Layers draw bottom-up (wells, diffusion, poly, cuts, metals) with
+    translucent fills so overlaps stay readable; labels render as text at
+    their anchor points. *)
+
+(** [render ?width mask] is a standalone SVG document scaled so the
+    layout's bounding box spans [width] pixels (default 800). *)
+val render : ?width:int -> Mask.t -> string
+
+val save : ?width:int -> Mask.t -> string -> unit

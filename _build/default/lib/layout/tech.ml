@@ -1,0 +1,84 @@
+type mechanism =
+  | Short_on of Layer.t
+  | Open_on of Layer.t
+  | Contact_open_to of Layer.t
+  | Via_open
+
+let mechanism_to_string = function
+  | Short_on l -> Layer.to_string l ^ "_short"
+  | Open_on l -> Layer.to_string l ^ "_open"
+  | Contact_open_to l -> "contact_" ^ Layer.to_string l ^ "_open"
+  | Via_open -> "via_open"
+
+let pp_mechanism ppf m = Format.pp_print_string ppf (mechanism_to_string m)
+
+type rules = { min_width : int; min_space : int }
+
+type t = {
+  name : string;
+  lambda : int;
+  rules : Layer.t -> rules;
+  cut_side : int;
+  cut_enclosure : int;
+  defect_x_min : int;
+  defect_x_max : int;
+  d0_per_cm2 : float;
+  rel_density : mechanism -> float;
+}
+
+(* Tab. 1 of the paper: relative defect densities, normalised to the
+   metal-1 short density.  Diffusion rows apply to both ndiff and pdiff. *)
+let default_rel_density = function
+  | Open_on (Layer.Ndiff | Layer.Pdiff) -> 0.01
+  | Short_on (Layer.Ndiff | Layer.Pdiff) -> 1.00
+  | Open_on Layer.Poly -> 0.25
+  | Short_on Layer.Poly -> 1.25
+  | Open_on Layer.Metal1 -> 0.01
+  | Short_on Layer.Metal1 -> 1.00
+  | Open_on Layer.Metal2 -> 0.02
+  | Short_on Layer.Metal2 -> 1.50
+  | Contact_open_to (Layer.Ndiff | Layer.Pdiff) -> 0.66
+  | Contact_open_to Layer.Poly -> 0.67
+  | Via_open -> 0.80
+  | Open_on (Layer.Contact | Layer.Via | Layer.Nwell)
+  | Short_on (Layer.Contact | Layer.Via | Layer.Nwell)
+  | Contact_open_to (Layer.Metal1 | Layer.Metal2 | Layer.Contact | Layer.Via | Layer.Nwell)
+    -> 0.0
+
+let default_rules = function
+  | Layer.Ndiff | Layer.Pdiff -> { min_width = 2000; min_space = 3000 }
+  | Layer.Poly -> { min_width = 1000; min_space = 2000 }
+  | Layer.Metal1 -> { min_width = 2000; min_space = 2000 }
+  | Layer.Metal2 -> { min_width = 2500; min_space = 2500 }
+  | Layer.Contact | Layer.Via -> { min_width = 1500; min_space = 2000 }
+  | Layer.Nwell -> { min_width = 6000; min_space = 6000 }
+
+let default =
+  {
+    name = "demo-cmos-1u";
+    lambda = 500;
+    rules = default_rules;
+    cut_side = 1500;
+    cut_enclosure = 500;
+    defect_x_min = 1000;
+    defect_x_max = 8000;
+    d0_per_cm2 = 1.0;
+    rel_density = default_rel_density;
+  }
+
+let table1 t =
+  [
+    ("Diffusion", "open", "ad", t.rel_density (Open_on Layer.Ndiff));
+    ("Diffusion", "short", "bd", t.rel_density (Short_on Layer.Ndiff));
+    ("Polysilicon", "open", "ap", t.rel_density (Open_on Layer.Poly));
+    ("Polysilicon", "short", "bp", t.rel_density (Short_on Layer.Poly));
+    ("Metal_1", "open", "am1", t.rel_density (Open_on Layer.Metal1));
+    ("Metal_1", "short", "bm1", t.rel_density (Short_on Layer.Metal1));
+    ("Metal_2", "open", "am2", t.rel_density (Open_on Layer.Metal2));
+    ("Metal_2", "short", "bm2", t.rel_density (Short_on Layer.Metal2));
+    ("Al/diff.contacts", "open", "acd", t.rel_density (Contact_open_to Layer.Ndiff));
+    ("m1/poly contacts", "open", "acp", t.rel_density (Contact_open_to Layer.Poly));
+    ("vias", "open", "acv", t.rel_density Via_open);
+  ]
+
+let size_pdf t = Geom.Critical_area.Cubic { x_min = float_of_int t.defect_x_min }

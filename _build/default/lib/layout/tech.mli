@@ -1,0 +1,48 @@
+(** Technology description: geometric design rules plus the defect
+    statistics of Tab. 1 of the paper.
+
+    The defect statistics drive LIFT's probability evaluation: each failure
+    mechanism has a relative defect density (normalised to the metal-1
+    short density), and the absolute metal-1 short density [d0_per_cm2]
+    anchors the absolute fault probabilities (typically 1 defect/cm^2,
+    after Feltham & Maly). *)
+
+(** A likely physical failure mechanism of the process (Tab. 1 rows). *)
+type mechanism =
+  | Short_on of Layer.t  (** bridge between neighbouring lines of a layer *)
+  | Open_on of Layer.t  (** line open on a conducting layer *)
+  | Contact_open_to of Layer.t  (** missing metal1 contact to poly or diffusion *)
+  | Via_open
+
+val mechanism_to_string : mechanism -> string
+
+val pp_mechanism : Format.formatter -> mechanism -> unit
+
+(** Width/spacing design rules of one layer, in nanometres. *)
+type rules = { min_width : int; min_space : int }
+
+type t = {
+  name : string;
+  lambda : int;  (** layout grid unit, nm *)
+  rules : Layer.t -> rules;
+  cut_side : int;  (** contact/via cut dimension, nm *)
+  cut_enclosure : int;  (** surround of cuts by connected layers, nm *)
+  defect_x_min : int;  (** smallest defect diameter of the size pdf, nm *)
+  defect_x_max : int;  (** search radius for bridge candidates, nm *)
+  d0_per_cm2 : float;  (** absolute metal-1 short defect density *)
+  rel_density : mechanism -> float;
+      (** relative density per Tab. 1; 0.0 for mechanisms the process does
+          not exhibit *)
+}
+
+(** The single-poly double-metal 1 um-class CMOS demo process, with the
+    exact relative densities of Tab. 1. *)
+val default : t
+
+(** The Tab. 1 rows of [t], in paper order:
+    (layer(s) description, failure kind, symbol, relative density). *)
+val table1 : t -> (string * string * string * float) list
+
+(** [size_pdf t] is the Ferris-Prabhu defect-size density anchored at
+    [t.defect_x_min]. *)
+val size_pdf : t -> Geom.Critical_area.size_pdf

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Device Format List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/device.ml: Eng Format Option Printf Wave

@@ -1,0 +1,1 @@
+lib/netlist/eng.ml: Float List Printf String

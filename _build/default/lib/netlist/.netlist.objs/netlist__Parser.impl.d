@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Array Char Circuit Device Eng Float Format Fun Hashtbl List String Wave

@@ -1,0 +1,1 @@
+lib/netlist/printer.ml: Buffer Circuit Device Eng Format Fun List Option Parser Printf

@@ -1,0 +1,1 @@
+lib/netlist/printer.mli: Circuit Parser

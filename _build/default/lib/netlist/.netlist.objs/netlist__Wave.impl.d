@@ -1,0 +1,1 @@
+lib/netlist/wave.ml: Eng Float Format List

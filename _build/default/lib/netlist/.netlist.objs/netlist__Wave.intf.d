@@ -1,0 +1,1 @@
+lib/netlist/wave.mli: Format

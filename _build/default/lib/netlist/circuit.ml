@@ -1,0 +1,70 @@
+type t = { title : string; devices : Device.t list }
+
+let empty title = { title; devices = [] }
+
+let find t name = List.find_opt (fun d -> Device.name d = name) t.devices
+
+let add t dev =
+  let n = Device.name dev in
+  if find t n <> None then invalid_arg ("Circuit.add: duplicate device " ^ n)
+  else { t with devices = t.devices @ [ dev ] }
+
+let of_devices title devices = List.fold_left add (empty title) devices
+
+let devices t = t.devices
+
+let device_count t = List.length t.devices
+
+let nodes t =
+  List.concat_map Device.nodes t.devices |> List.sort_uniq String.compare
+
+let remove t name =
+  { t with devices = List.filter (fun d -> Device.name d <> name) t.devices }
+
+let replace t dev =
+  let n = Device.name dev in
+  if find t n = None then raise Not_found
+  else
+    { t with
+      devices = List.map (fun d -> if Device.name d = n then dev else d) t.devices }
+
+let rename_node t ~from_ ~to_ =
+  let f n = if String.equal n from_ then to_ else n in
+  { t with devices = List.map (Device.rename f) t.devices }
+
+let devices_on t node =
+  List.filter (fun d -> List.exists (String.equal node) (Device.nodes d)) t.devices
+
+let fresh_in used base =
+  let rec go i =
+    let cand = Printf.sprintf "%s%d" base i in
+    if List.exists (String.equal cand) used then go (i + 1) else cand
+  in
+  if List.exists (String.equal base) used then go 1 else base
+
+let fresh_node t base = fresh_in (nodes t) base
+
+let fresh_name t base = fresh_in (List.map Device.name t.devices) base
+
+let mos_models t =
+  List.filter_map
+    (function
+      | Device.M { model; _ } -> Some model
+      | Device.R _ | Device.C _ | Device.L _ | Device.V _ | Device.I _ | Device.D _ ->
+        None)
+    t.devices
+  |> List.sort_uniq (fun (a : Device.mos_model) b -> String.compare a.mname b.mname)
+
+let diode_models t =
+  List.filter_map
+    (function
+      | Device.D { model; _ } -> Some model
+      | Device.R _ | Device.C _ | Device.L _ | Device.V _ | Device.I _ | Device.M _ ->
+        None)
+    t.devices
+  |> List.sort_uniq (fun (a : Device.diode_model) b -> String.compare a.dname b.dname)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>* %s@," t.title;
+  List.iter (fun d -> Format.fprintf ppf "%a@," Device.pp d) t.devices;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** A flat transistor-level circuit (the unit AnaFAULT simulates).
+
+    The device list order is preserved; device names must be unique
+    ([add] enforces this). *)
+
+type t = { title : string; devices : Device.t list }
+
+val empty : string -> t
+
+(** [add t dev] appends [dev].  Raises [Invalid_argument] when a device of
+    the same name is already present. *)
+val add : t -> Device.t -> t
+
+val of_devices : string -> Device.t list -> t
+
+val devices : t -> Device.t list
+
+val device_count : t -> int
+
+(** All node names, ground included, sorted. *)
+val nodes : t -> Device.node list
+
+(** [find t name] is the device called [name]. *)
+val find : t -> string -> Device.t option
+
+(** [remove t name] drops the device called [name] (no-op when absent). *)
+val remove : t -> string -> t
+
+(** [replace t dev] substitutes the existing device of the same name.
+    Raises [Not_found] when absent. *)
+val replace : t -> Device.t -> t
+
+(** [rename_node t ~from_ ~to_] rewires every terminal equal to [from_]
+    to [to_] (the electrical effect of an ideal short). *)
+val rename_node : t -> from_:Device.node -> to_:Device.node -> t
+
+(** [devices_on t node] lists devices with a terminal on [node]. *)
+val devices_on : t -> Device.node -> Device.t list
+
+(** [fresh_node t base] is a node name starting with [base] not yet used. *)
+val fresh_node : t -> string -> Device.node
+
+(** [fresh_name t base] is a device name starting with [base] not yet used. *)
+val fresh_name : t -> string -> string
+
+(** Distinct MOS models (by model name) used in the circuit, for .model
+    cards. *)
+val mos_models : t -> Device.mos_model list
+
+val diode_models : t -> Device.diode_model list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+type node = string
+
+let ground = "0"
+
+type mos_kind = Nmos | Pmos
+
+type mos_model = {
+  mname : string;
+  kind : mos_kind;
+  vto : float;
+  kp : float;
+  lambda : float;
+  cox : float;
+}
+
+type diode_model = { dname : string; is_sat : float; n_emission : float }
+
+type t =
+  | R of { name : string; n1 : node; n2 : node; value : float }
+  | C of { name : string; n1 : node; n2 : node; value : float; ic : float option }
+  | L of { name : string; n1 : node; n2 : node; value : float; ic : float option }
+  | V of { name : string; np : node; nn : node; wave : Wave.t }
+  | I of { name : string; np : node; nn : node; wave : Wave.t }
+  | D of { name : string; na : node; nc : node; model : diode_model }
+  | M of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      b : node;
+      model : mos_model;
+      w : float;
+      l : float;
+    }
+
+let name = function
+  | R { name; _ } | C { name; _ } | L { name; _ } | V { name; _ } | I { name; _ }
+  | D { name; _ } | M { name; _ } ->
+    name
+
+let nodes = function
+  | R { n1; n2; _ } | C { n1; n2; _ } | L { n1; n2; _ } -> [ n1; n2 ]
+  | V { np; nn; _ } | I { np; nn; _ } -> [ np; nn ]
+  | D { na; nc; _ } -> [ na; nc ]
+  | M { d; g; s; b; _ } -> [ d; g; s; b ]
+
+let rename f = function
+  | R r -> R { r with n1 = f r.n1; n2 = f r.n2 }
+  | C c -> C { c with n1 = f c.n1; n2 = f c.n2 }
+  | L l -> L { l with n1 = f l.n1; n2 = f l.n2 }
+  | V v -> V { v with np = f v.np; nn = f v.nn }
+  | I i -> I { i with np = f i.np; nn = f i.nn }
+  | D d -> D { d with na = f d.na; nc = f d.nc }
+  | M m -> M { m with d = f m.d; g = f m.g; s = f m.s; b = f m.b }
+
+let rename_port i n dev =
+  let out_of_range () =
+    invalid_arg
+      (Printf.sprintf "Device.rename_port: %s has no port %d" (name dev) i)
+  in
+  match (dev, i) with
+  | R r, 0 -> R { r with n1 = n }
+  | R r, 1 -> R { r with n2 = n }
+  | C c, 0 -> C { c with n1 = n }
+  | C c, 1 -> C { c with n2 = n }
+  | L l, 0 -> L { l with n1 = n }
+  | L l, 1 -> L { l with n2 = n }
+  | V v, 0 -> V { v with np = n }
+  | V v, 1 -> V { v with nn = n }
+  | I s, 0 -> I { s with np = n }
+  | I s, 1 -> I { s with nn = n }
+  | D d, 0 -> D { d with na = n }
+  | D d, 1 -> D { d with nc = n }
+  | M m, 0 -> M { m with d = n }
+  | M m, 1 -> M { m with g = n }
+  | M m, 2 -> M { m with s = n }
+  | M m, 3 -> M { m with b = n }
+  | (R _ | C _ | L _ | V _ | I _ | D _ | M _), _ -> out_of_range ()
+
+let with_name n = function
+  | R r -> R { r with name = n }
+  | C c -> C { c with name = n }
+  | L l -> L { l with name = n }
+  | V v -> V { v with name = n }
+  | I i -> I { i with name = n }
+  | D d -> D { d with name = n }
+  | M m -> M { m with name = n }
+
+let default_cox = 1.7e-3
+
+let default_nmos =
+  { mname = "NMOS_DEFAULT"; kind = Nmos; vto = 0.8; kp = 60e-6; lambda = 0.02;
+    cox = default_cox }
+
+let default_pmos =
+  { mname = "PMOS_DEFAULT"; kind = Pmos; vto = -0.8; kp = 25e-6; lambda = 0.02;
+    cox = default_cox }
+
+let default_diode = { dname = "D_DEFAULT"; is_sat = 1e-14; n_emission = 1.0 }
+
+let pp ppf = function
+  | R { name; n1; n2; value } ->
+    Format.fprintf ppf "%s %s %s %s" name n1 n2 (Eng.to_string value)
+  | C { name; n1; n2; value; ic } ->
+    Format.fprintf ppf "%s %s %s %s" name n1 n2 (Eng.to_string value);
+    Option.iter (fun v -> Format.fprintf ppf " IC=%s" (Eng.to_string v)) ic
+  | L { name; n1; n2; value; ic } ->
+    Format.fprintf ppf "%s %s %s %s" name n1 n2 (Eng.to_string value);
+    Option.iter (fun v -> Format.fprintf ppf " IC=%s" (Eng.to_string v)) ic
+  | V { name; np; nn; wave } -> Format.fprintf ppf "%s %s %s %a" name np nn Wave.pp wave
+  | I { name; np; nn; wave } -> Format.fprintf ppf "%s %s %s %a" name np nn Wave.pp wave
+  | D { name; na; nc; model } -> Format.fprintf ppf "%s %s %s %s" name na nc model.dname
+  | M { name; d; g; s; b; model; w; l } ->
+    Format.fprintf ppf "%s %s %s %s %s %s W=%s L=%s" name d g s b model.mname
+      (Eng.to_string w) (Eng.to_string l)

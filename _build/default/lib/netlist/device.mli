@@ -1,0 +1,74 @@
+(** Circuit elements.
+
+    Nodes are strings; ["0"] is ground.  MOSFETs use the level-1
+    (Shichman-Hodges) model, which is what the qualitative analogue fault
+    behaviour of the paper requires. *)
+
+type node = string
+
+val ground : node
+
+type mos_kind = Nmos | Pmos
+
+type mos_model = {
+  mname : string;
+  kind : mos_kind;
+  vto : float;  (** threshold voltage, V (negative for PMOS) *)
+  kp : float;  (** transconductance parameter, A/V^2 *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  cox : float;  (** gate-oxide capacitance, F/m^2; the gate loads its
+                    source and drain with Cgs = Cgd = cox*W*L/2 *)
+}
+
+type diode_model = {
+  dname : string;
+  is_sat : float;  (** saturation current, A *)
+  n_emission : float;  (** emission coefficient *)
+}
+
+type t =
+  | R of { name : string; n1 : node; n2 : node; value : float }
+  | C of { name : string; n1 : node; n2 : node; value : float; ic : float option }
+  | L of { name : string; n1 : node; n2 : node; value : float; ic : float option }
+  | V of { name : string; np : node; nn : node; wave : Wave.t }
+  | I of { name : string; np : node; nn : node; wave : Wave.t }
+      (** current flows from [np] through the source to [nn] *)
+  | D of { name : string; na : node; nc : node; model : diode_model }
+  | M of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      b : node;
+      model : mos_model;
+      w : float;  (** channel width, m *)
+      l : float;  (** channel length, m *)
+    }
+
+val name : t -> string
+
+(** Terminals in fixed order (R/C/L/V/I: 2; D: anode, cathode; M: d g s b). *)
+val nodes : t -> node list
+
+(** [rename f dev] rewrites every terminal through [f]. *)
+val rename : (node -> node) -> t -> t
+
+(** [rename_port i n dev] rewires terminal [i] (in {!nodes} order) to
+    node [n].  Raises [Invalid_argument] when [i] is out of range. *)
+val rename_port : int -> node -> t -> t
+
+(** [with_name n dev] is [dev] renamed to [n] (used when flattening
+    subcircuit instances). *)
+val with_name : string -> t -> t
+
+(** Gate-oxide capacitance of the default models (20 nm oxide). *)
+val default_cox : float
+
+(** Default models used when a netlist omits parameters. *)
+val default_nmos : mos_model
+
+val default_pmos : mos_model
+
+val default_diode : diode_model
+
+val pp : Format.formatter -> t -> unit

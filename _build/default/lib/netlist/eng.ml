@@ -1,0 +1,86 @@
+let suffixes =
+  [ ("meg", 1e6); ("t", 1e12); ("g", 1e9); ("k", 1e3); ("m", 1e-3);
+    ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15) ]
+
+let is_digit_part c =
+  (c >= '0' && c <= '9') || c = '.' || c = '+' || c = '-' || c = 'e' || c = 'E'
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then None
+  else begin
+    (* Split the leading numeric part from the suffix.  'e' only belongs to
+       the number when followed by a digit or sign (exponent), so "1e3"
+       stays numeric while the "e" of a unit like "1kHertz" does not
+       arise (suffix letters are consumed separately). *)
+    let n = String.length s in
+    let rec numeric_end i =
+      if i >= n then i
+      else if is_digit_part s.[i] then
+        if (s.[i] = 'e' || s.[i] = 'E')
+           && not (i + 1 < n && (s.[i + 1] = '+' || s.[i + 1] = '-'
+                                 || (s.[i + 1] >= '0' && s.[i + 1] <= '9')))
+        then i
+        else if (s.[i] = '+' || s.[i] = '-') && i > 0
+                && not (s.[i - 1] = 'e' || s.[i - 1] = 'E')
+        then i
+        else numeric_end (i + 1)
+      else i
+    in
+    let split = numeric_end 0 in
+    if split = 0 then None
+    else begin
+      match float_of_string_opt (String.sub s 0 split) with
+      | None -> None
+      | Some base ->
+        let rest = String.lowercase_ascii (String.sub s split (n - split)) in
+        if rest = "" then Some base
+        else begin
+          let mult =
+            List.find_map
+              (fun (suf, m) ->
+                if String.length rest >= String.length suf
+                   && String.sub rest 0 (String.length suf) = suf
+                then Some m
+                else None)
+              suffixes
+          in
+          match mult with
+          | Some m -> Some (base *. m)
+          | None ->
+            (* Unknown letters: treat as a bare unit ("5V"). *)
+            if String.for_all (fun c -> c >= 'a' && c <= 'z') rest then Some base
+            else None
+        end
+    end
+  end
+
+let parse_exn s =
+  match parse s with
+  | Some v -> v
+  | None -> failwith ("Eng.parse: not a number: " ^ s)
+
+let to_string x =
+  if x = 0.0 then "0"
+  else begin
+    let a = Float.abs x in
+    let pick =
+      if a >= 1e12 then Some ("t", 1e12)
+      else if a >= 1e9 then Some ("g", 1e9)
+      else if a >= 1e6 then Some ("meg", 1e6)
+      else if a >= 1e3 then Some ("k", 1e3)
+      else if a >= 1.0 then None
+      else if a >= 1e-3 then Some ("m", 1e-3)
+      else if a >= 1e-6 then Some ("u", 1e-6)
+      else if a >= 1e-9 then Some ("n", 1e-9)
+      else if a >= 1e-12 then Some ("p", 1e-12)
+      else Some ("f", 1e-15)
+    in
+    let mant, suf =
+      match pick with
+      | None -> (x, "")
+      | Some (s, m) -> (x /. m, s)
+    in
+    let str = Printf.sprintf "%.6g" mant in
+    str ^ suf
+  end

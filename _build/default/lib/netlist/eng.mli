@@ -1,0 +1,16 @@
+(** SPICE engineering-notation numbers.
+
+    [parse "10k"] is 1e4, [parse "0.1u"] is 1e-7, [parse "2meg"] is 2e6.
+    Suffixes (case-insensitive): t g meg k m u n p f; any trailing unit
+    letters after a recognised suffix are ignored ("10pF" parses as
+    1e-11). *)
+
+(** [parse s] returns [None] when [s] is not a number. *)
+val parse : string -> float option
+
+(** Like {!parse} but raises [Failure]. *)
+val parse_exn : string -> float
+
+(** [to_string x] renders with the largest suffix that keeps the mantissa
+    in [1, 1000), e.g. [to_string 1e4 = "10k"]. *)
+val to_string : float -> string

@@ -1,0 +1,35 @@
+let model_card (m : Device.mos_model) =
+  Printf.sprintf ".model %s %s VTO=%s KP=%s LAMBDA=%s COX=%s" m.mname
+    (match m.kind with Device.Nmos -> "NMOS" | Device.Pmos -> "PMOS")
+    (Eng.to_string m.vto) (Eng.to_string m.kp) (Eng.to_string m.lambda)
+    (Eng.to_string m.cox)
+
+let diode_card (m : Device.diode_model) =
+  Printf.sprintf ".model %s D IS=%s N=%s" m.dname (Eng.to_string m.is_sat)
+    (Eng.to_string m.n_emission)
+
+let deck_to_string ?tran circuit =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (circuit.Circuit.title ^ "\n");
+  List.iter
+    (fun d -> Buffer.add_string buf (Format.asprintf "%a\n" Device.pp d))
+    (Circuit.devices circuit);
+  List.iter
+    (fun m -> Buffer.add_string buf (model_card m ^ "\n"))
+    (Circuit.mos_models circuit);
+  List.iter
+    (fun m -> Buffer.add_string buf (diode_card m ^ "\n"))
+    (Circuit.diode_models circuit);
+  Option.iter
+    (fun (t : Parser.tran) ->
+      Buffer.add_string buf
+        (Printf.sprintf ".tran %s %s%s\n" (Eng.to_string t.tstep) (Eng.to_string t.tstop)
+           (if t.uic then " UIC" else "")))
+    tran;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let save ?tran circuit path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (deck_to_string ?tran circuit))

@@ -1,0 +1,6 @@
+(** SPICE netlist writer; [Parser.parse (to_string d)] round-trips every
+    deck the tool produces. *)
+
+val deck_to_string : ?tran:Parser.tran -> Circuit.t -> string
+
+val save : ?tran:Parser.tran -> Circuit.t -> string -> unit

@@ -1,0 +1,97 @@
+type t =
+  | Dc of float
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Pwl of (float * float) list
+  | Sin of { offset : float; ampl : float; freq : float; delay : float }
+
+let pulse_value p t =
+  match p with
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+    if t < delay then v1
+    else begin
+      let t' =
+        if period > 0.0 then Float.rem (t -. delay) period else t -. delay
+      in
+      if t' < rise then
+        if rise <= 0.0 then v2 else v1 +. ((v2 -. v1) *. t' /. rise)
+      else if t' < rise +. width then v2
+      else if t' < rise +. width +. fall then
+        if fall <= 0.0 then v1 else v2 +. ((v1 -. v2) *. (t' -. rise -. width) /. fall)
+      else v1
+    end
+  | Dc _ | Pwl _ | Sin _ -> assert false
+
+let pwl_value knots t =
+  let rec go = function
+    | [] -> 0.0
+    | [ (_, v) ] -> v
+    | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+      if t <= t1 then v1
+      else if t < t2 then v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
+      else go rest
+  in
+  go knots
+
+let value w t =
+  match w with
+  | Dc v -> v
+  | Pulse _ -> pulse_value w t
+  | Pwl knots -> pwl_value knots t
+  | Sin { offset; ampl; freq; delay } ->
+    if t < delay then offset
+    else offset +. (ampl *. sin (2.0 *. Float.pi *. freq *. (t -. delay)))
+
+let dc_value = function
+  | Dc v -> v
+  | Pulse { v1; _ } -> v1
+  | Pwl knots -> pwl_value knots 0.0
+  | Sin { offset; _ } -> offset
+
+let breakpoints w ~tstop =
+  match w with
+  | Dc _ | Sin _ -> []
+  | Pwl knots -> List.filter_map (fun (t, _) -> if t <= tstop then Some t else None) knots
+  | Pulse { delay; rise; fall; width; period; _ } ->
+    let cycle = [ 0.0; rise; rise +. width; rise +. width +. fall ] in
+    let rec per_period t0 acc =
+      if t0 > tstop then acc
+      else begin
+        let acc =
+          List.fold_left
+            (fun acc dt ->
+              let t = t0 +. dt in
+              if t <= tstop then t :: acc else acc)
+            acc cycle
+        in
+        if period > 0.0 then per_period (t0 +. period) acc else acc
+      end
+    in
+    List.sort_uniq compare (per_period delay [])
+
+let pp ppf = function
+  | Dc v -> Format.fprintf ppf "DC %s" (Eng.to_string v)
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+    Format.fprintf ppf "PULSE(%s %s %s %s %s %s %s)" (Eng.to_string v1)
+      (Eng.to_string v2) (Eng.to_string delay) (Eng.to_string rise)
+      (Eng.to_string fall) (Eng.to_string width) (Eng.to_string period)
+  | Pwl knots ->
+    Format.fprintf ppf "PWL(";
+    List.iteri
+      (fun i (t, v) ->
+        if i > 0 then Format.pp_print_char ppf ' ';
+        Format.fprintf ppf "%s %s" (Eng.to_string t) (Eng.to_string v))
+      knots;
+    Format.fprintf ppf ")"
+  | Sin { offset; ampl; freq; delay } ->
+    Format.fprintf ppf "SIN(%s %s %s %s)" (Eng.to_string offset) (Eng.to_string ampl)
+      (Eng.to_string freq) (Eng.to_string delay)
+
+let equal = ( = )

@@ -1,0 +1,31 @@
+(** Independent-source waveforms (the SPICE stimulus language subset the
+    fault simulator needs). *)
+
+type t =
+  | Dc of float
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Pwl of (float * float) list  (** (time, value) knots, time-sorted *)
+  | Sin of { offset : float; ampl : float; freq : float; delay : float }
+
+(** [value w t] evaluates the waveform at time [t] (>= 0).  DC analyses use
+    [value w 0.] except for [Pulse], whose DC value is [v1]. *)
+val value : t -> float -> float
+
+(** The value used during DC operating-point analysis. *)
+val dc_value : t -> float
+
+(** [breakpoints w ~tstop] lists the times in [0, tstop] where the waveform
+    has a slope discontinuity; the transient engine aligns steps on them. *)
+val breakpoints : t -> tstop:float -> float list
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/sim/clu.ml: Array Complex

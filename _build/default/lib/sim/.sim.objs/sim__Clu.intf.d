@@ -1,0 +1,1 @@
+lib/sim/clu.mli: Complex

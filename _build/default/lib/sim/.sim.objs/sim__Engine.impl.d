@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Clu Complex Float List Lu Mna Mosfet Netlist Printf Spectrum String Waveform

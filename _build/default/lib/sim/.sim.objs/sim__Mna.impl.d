@@ -1,0 +1,1 @@
+lib/sim/mna.ml: Array Hashtbl List Netlist String

@@ -1,0 +1,1 @@
+lib/sim/spectrum.ml: Array Complex Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/waveform.ml: Array Buffer Hashtbl List Printf

@@ -1,0 +1,49 @@
+exception Singular of int
+
+let solve a b =
+  let n = Array.length b in
+  assert (Array.length a = n);
+  let piv = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Complex.norm a.(piv.(i)).(k) > Complex.norm a.(piv.(!best)).(k) then best := i
+    done;
+    if !best <> k then begin
+      let t = piv.(k) in
+      piv.(k) <- piv.(!best);
+      piv.(!best) <- t
+    end;
+    let akk = a.(piv.(k)).(k) in
+    if Complex.norm akk < 1e-30 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = Complex.div a.(piv.(i)).(k) akk in
+      if f <> Complex.zero then begin
+        a.(piv.(i)).(k) <- f;
+        for j = k + 1 to n - 1 do
+          a.(piv.(i)).(j) <- Complex.sub a.(piv.(i)).(j) (Complex.mul f a.(piv.(k)).(j))
+        done
+      end
+      else a.(piv.(i)).(k) <- Complex.zero
+    done
+  done;
+  let y = Array.make n Complex.zero in
+  for i = 0 to n - 1 do
+    let s = ref b.(piv.(i)) in
+    for j = 0 to i - 1 do
+      s := Complex.sub !s (Complex.mul a.(piv.(i)).(j) y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := Complex.sub !s (Complex.mul a.(piv.(i)).(j) b.(j))
+    done;
+    b.(i) <- Complex.div !s a.(piv.(i)).(i)
+  done
+
+let solve_copy a b =
+  let a = Array.map Array.copy a and b = Array.copy b in
+  solve a b;
+  b

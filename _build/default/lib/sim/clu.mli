@@ -1,0 +1,11 @@
+(** Dense complex LU factorisation with partial pivoting, for AC
+    (small-signal) analysis. *)
+
+exception Singular of int
+
+(** [solve a b] overwrites [a] with its LU factors and [b] with the
+    solution of [a x = b]. *)
+val solve : Complex.t array array -> Complex.t array -> unit
+
+(** [solve_copy a b] is {!solve} on copies, leaving inputs intact. *)
+val solve_copy : Complex.t array array -> Complex.t array -> Complex.t array

@@ -1,0 +1,591 @@
+type integration = Backward_euler | Trapezoidal
+
+type options = {
+  gmin : float;
+  reltol : float;
+  abstol : float;
+  max_iter : int;
+  dv_limit : float;
+  cmin : float;
+  integration : integration;
+}
+
+let default_options =
+  {
+    gmin = 1e-12;
+    reltol = 1e-3;
+    abstol = 1e-6;
+    max_iter = 150;
+    dv_limit = 1.0;
+    cmin = 1e-16;
+    integration = Backward_euler;
+  }
+
+exception No_convergence of string
+
+type solution = { mna : Mna.t; v : float array }
+
+let voltage sol name =
+  let i = Mna.node_id sol.mna name in
+  if i < 0 then 0.0 else sol.v.(i)
+
+let branch_current sol name = sol.v.(Mna.branch_id sol.mna name)
+
+type stats = {
+  newton_iterations : int;
+  accepted_steps : int;
+  rejected_steps : int;
+}
+
+(* Reactive-element history: [q] is the previous across-variable
+   (capacitor voltage / inductor current), [f] the previous
+   through-variable (capacitor current / inductor voltage). *)
+type state = { mutable q : float; mutable f : float }
+
+type cdev =
+  | CR of { i : int; j : int; g : float }
+  | CC of { i : int; j : int; c : float; ic : float option; st : state }
+  | CL of { i : int; j : int; br : int; ind : float; ic : float option; st : state }
+  | CV of { i : int; j : int; br : int; wave : Netlist.Wave.t }
+  | CI of { i : int; j : int; wave : Netlist.Wave.t }
+  | CD of { i : int; j : int; is_sat : float; nvt : float }
+  | CM of {
+      d : int;
+      g : int;
+      s : int;
+      model : Netlist.Device.mos_model;
+      w : float;
+      l : float;
+      cg : float; (* gate-to-source and gate-to-drain capacitance, each *)
+      st_gs : state;
+      st_gd : state;
+    }
+
+let compile mna circuit =
+  let nid = Mna.node_id mna and bid = Mna.branch_id mna in
+  let compile_one = function
+    | Netlist.Device.R { n1; n2; value; _ } ->
+      if value = 0.0 then invalid_arg "Engine: zero-valued resistor";
+      CR { i = nid n1; j = nid n2; g = 1.0 /. value }
+    | Netlist.Device.C { n1; n2; value; ic; _ } ->
+      CC { i = nid n1; j = nid n2; c = value; ic; st = { q = 0.0; f = 0.0 } }
+    | Netlist.Device.L { name; n1; n2; value; ic } ->
+      CL { i = nid n1; j = nid n2; br = bid name; ind = value; ic; st = { q = 0.0; f = 0.0 } }
+    | Netlist.Device.V { name; np; nn; wave } ->
+      CV { i = nid np; j = nid nn; br = bid name; wave }
+    | Netlist.Device.I { np; nn; wave; _ } -> CI { i = nid np; j = nid nn; wave }
+    | Netlist.Device.D { na; nc; model; _ } ->
+      CD { i = nid na; j = nid nc; is_sat = model.is_sat; nvt = model.n_emission *. 0.025852 }
+    | Netlist.Device.M { d; g; s; model; w; l; _ } ->
+      (* The level-1 model ignores the bulk terminal (no body effect); the
+         gate loads its neighbours with half the oxide capacitance each. *)
+      CM
+        {
+          d = nid d;
+          g = nid g;
+          s = nid s;
+          model;
+          w;
+          l;
+          cg = 0.5 *. model.cox *. w *. l;
+          st_gs = { q = 0.0; f = 0.0 };
+          st_gd = { q = 0.0; f = 0.0 };
+        }
+  in
+  Array.of_list (List.map compile_one (Netlist.Circuit.devices circuit))
+
+type mode =
+  | Dc of { scale : float }
+  | Tran of { h : float; time : float; vnode_prev : float array }
+
+let gv v i = if i < 0 then 0.0 else v.(i)
+
+(* Exponential with linear extension beyond x = 40 to avoid overflow while
+   keeping the Jacobian consistent with the residual. *)
+let exp_lim x =
+  if x > 40.0 then begin
+    let e40 = exp 40.0 in
+    (e40 *. (1.0 +. x -. 40.0), e40)
+  end
+  else begin
+    let e = exp x in
+    (e, e)
+  end
+
+(* Companion model of a linear capacitor between unknowns [i] and [j]. *)
+let stamp_cap ~opts ~mode sys i j c st =
+  match mode with
+  | Dc _ -> ()
+  | Tran { h; _ } ->
+    let geq =
+      match opts.integration with
+      | Backward_euler -> c /. h
+      | Trapezoidal -> 2.0 *. c /. h
+    in
+    let const =
+      match opts.integration with
+      | Backward_euler -> geq *. st.q
+      | Trapezoidal -> (geq *. st.q) +. st.f
+    in
+    Mna.add_conductance sys i j geq;
+    Mna.add_rhs sys i const;
+    Mna.add_rhs sys j (-.const)
+
+let stamp ~opts ~gmin ~mode sys devices v =
+  Mna.clear sys;
+  (* Node-to-ground gmin keeps the matrix nonsingular on floating nodes. *)
+  let n = Array.length sys.Mna.b in
+  ignore n;
+  Array.iter
+    (fun dev ->
+      match dev with
+      | CR { i; j; g } -> Mna.add_conductance sys i j g
+      | CC { i; j; c; st; _ } -> stamp_cap ~opts ~mode sys i j c st
+      | CL { i; j; br; ind; st; _ } -> begin
+        Mna.add_jacobian sys i br 1.0;
+        Mna.add_jacobian sys j br (-1.0);
+        Mna.add_jacobian sys br i 1.0;
+        Mna.add_jacobian sys br j (-1.0);
+        match mode with
+        | Dc _ -> () (* ideal short: v_i - v_j = 0 *)
+        | Tran { h; _ } -> begin
+          match opts.integration with
+          | Backward_euler ->
+            let r = ind /. h in
+            Mna.add_jacobian sys br br (-.r);
+            Mna.add_rhs sys br (-.r *. st.q)
+          | Trapezoidal ->
+            let r = 2.0 *. ind /. h in
+            Mna.add_jacobian sys br br (-.r);
+            Mna.add_rhs sys br ((-.r *. st.q) -. st.f)
+        end
+      end
+      | CV { i; j; br; wave } ->
+        let e =
+          match mode with
+          | Dc { scale } -> scale *. Netlist.Wave.dc_value wave
+          | Tran { time; _ } -> Netlist.Wave.value wave time
+        in
+        Mna.add_jacobian sys i br 1.0;
+        Mna.add_jacobian sys j br (-1.0);
+        Mna.add_jacobian sys br i 1.0;
+        Mna.add_jacobian sys br j (-1.0);
+        Mna.add_rhs sys br e
+      | CI { i; j; wave } ->
+        let cur =
+          match mode with
+          | Dc { scale } -> scale *. Netlist.Wave.dc_value wave
+          | Tran { time; _ } -> Netlist.Wave.value wave time
+        in
+        Mna.add_current sys i (-.cur);
+        Mna.add_current sys j cur
+      | CD { i; j; is_sat; nvt } ->
+        let vd = gv v i -. gv v j in
+        let e, de = exp_lim (vd /. nvt) in
+        let id = is_sat *. (e -. 1.0) in
+        let gd = (is_sat *. de /. nvt) +. gmin in
+        let ieq = id -. (gd *. vd) in
+        Mna.add_conductance sys i j gd;
+        Mna.add_current sys i (-.ieq);
+        Mna.add_current sys j ieq
+      | CM { d; g; s; model; w; l; cg; st_gs; st_gd } ->
+        stamp_cap ~opts ~mode sys g s cg st_gs;
+        stamp_cap ~opts ~mode sys g d cg st_gd;
+        let vgs = gv v g -. gv v s and vds = gv v d -. gv v s in
+        let e = Mosfet.eval model ~w ~l ~vgs ~vds in
+        let gds = e.Mosfet.gds +. gmin in
+        let ieq = e.Mosfet.ids -. (e.Mosfet.gm *. vgs) -. (gds *. vds) in
+        (* Current leaving the drain node: gm*vgs + gds*vds + ieq. *)
+        Mna.add_jacobian sys d d gds;
+        Mna.add_jacobian sys d g e.Mosfet.gm;
+        Mna.add_jacobian sys d s (-.(e.Mosfet.gm +. gds));
+        Mna.add_jacobian sys s d (-.gds);
+        Mna.add_jacobian sys s g (-.e.Mosfet.gm);
+        Mna.add_jacobian sys s s (e.Mosfet.gm +. gds);
+        Mna.add_current sys d (-.ieq);
+        Mna.add_current sys s ieq)
+    devices;
+  (* gmin to ground on every node (not on branch rows). *)
+  (match mode with
+  | Dc _ | Tran _ -> ());
+  ()
+
+let add_gmin_and_cmin ~opts ~gmin ~mode sys ~node_count =
+  for i = 0 to node_count - 1 do
+    sys.Mna.a.(i).(i) <- sys.Mna.a.(i).(i) +. gmin;
+    match mode with
+    | Tran { h; vnode_prev; _ } when opts.cmin > 0.0 ->
+      let geq = opts.cmin /. h in
+      sys.Mna.a.(i).(i) <- sys.Mna.a.(i).(i) +. geq;
+      sys.Mna.b.(i) <- sys.Mna.b.(i) +. (geq *. vnode_prev.(i))
+    | Tran _ | Dc _ -> ()
+  done
+
+(* Damped Newton-Raphson.  Returns the converged iterate and the number of
+   iterations, or [None]. *)
+let newton ~opts ~gmin ~mode ~devices ~sys ~node_count v0 =
+  let size = Array.length sys.Mna.b in
+  let v = Array.copy v0 in
+  let rec iterate k total =
+    if k >= opts.max_iter then None
+    else begin
+      stamp ~opts ~gmin ~mode sys devices v;
+      add_gmin_and_cmin ~opts ~gmin ~mode sys ~node_count;
+      match Lu.solve sys.Mna.a sys.Mna.b with
+      | exception Lu.Singular _ -> None
+      | () ->
+        let x = sys.Mna.b in
+        let max_delta = ref 0.0 in
+        for i = 0 to size - 1 do
+          max_delta := Float.max !max_delta (Float.abs (x.(i) -. v.(i)))
+        done;
+        (* Step-length damping applies to node voltages only: branch
+           currents (e.g. through an injected 10 mohm short) legitimately
+           move by hundreds of amperes in one Newton step. *)
+        let max_dv = ref 0.0 in
+        for i = 0 to node_count - 1 do
+          max_dv := Float.max !max_dv (Float.abs (x.(i) -. v.(i)))
+        done;
+        if Float.is_nan !max_delta then None
+        else if !max_dv > opts.dv_limit then begin
+          let f = opts.dv_limit /. !max_dv in
+          for i = 0 to size - 1 do
+            v.(i) <- v.(i) +. (f *. (x.(i) -. v.(i)))
+          done;
+          iterate (k + 1) (total + 1)
+        end
+        else begin
+          let converged = ref true in
+          for i = 0 to size - 1 do
+            let tol = opts.abstol +. (opts.reltol *. Float.max (Float.abs x.(i)) (Float.abs v.(i))) in
+            if Float.abs (x.(i) -. v.(i)) > tol then converged := false
+          done;
+          Array.blit x 0 v 0 size;
+          if !converged then Some (v, total + 1) else iterate (k + 1) (total + 1)
+        end
+    end
+  in
+  iterate 0 0
+
+let dc_solve ~opts mna devices =
+  let sys = Mna.fresh_system mna in
+  let node_count = Mna.node_count mna in
+  let size = Mna.size mna in
+  let try_newton ~gmin ~scale v0 =
+    newton ~opts ~gmin ~mode:(Dc { scale }) ~devices ~sys ~node_count v0
+  in
+  let zero = Array.make size 0.0 in
+  match try_newton ~gmin:opts.gmin ~scale:1.0 zero with
+  | Some (v, _) -> v
+  | None -> begin
+    (* gmin stepping: solve with a heavy shunt first, then relax it. *)
+    let rec gmin_steps v = function
+      | [] -> Some v
+      | g :: rest -> begin
+        match try_newton ~gmin:g ~scale:1.0 v with
+        | Some (v', _) -> gmin_steps v' rest
+        | None -> None
+      end
+    in
+    let ladder = [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; opts.gmin ] in
+    match gmin_steps zero ladder with
+    | Some v -> v
+    | None -> begin
+      (* Source stepping: ramp all independent sources from 10 % to 100 %. *)
+      let rec source_steps v = function
+        | [] -> Some v
+        | s :: rest -> begin
+          match try_newton ~gmin:opts.gmin ~scale:s v with
+          | Some (v', _) -> source_steps v' rest
+          | None -> None
+        end
+      in
+      let ramp = List.init 10 (fun i -> 0.1 *. float_of_int (i + 1)) in
+      match source_steps zero ramp with
+      | Some v -> v
+      | None -> raise (No_convergence "DC operating point did not converge")
+    end
+  end
+
+let dc_operating_point ?(options = default_options) circuit =
+  let mna = Mna.make circuit in
+  let devices = compile mna circuit in
+  { mna; v = dc_solve ~opts:options mna devices }
+
+(* Initial transient state: DC operating point, or zeros plus capacitor
+   ICs when [uic]. *)
+let initial_state ~opts ~uic mna devices =
+  let size = Mna.size mna in
+  if uic then begin
+    let v = Array.make size 0.0 in
+    Array.iter
+      (fun dev ->
+        match dev with
+        | CC { i; j; ic = Some vic; _ } ->
+          if j < 0 then (if i >= 0 then v.(i) <- vic)
+          else if i < 0 then v.(j) <- -.vic
+          else v.(i) <- v.(j) +. vic
+        | CL { br; ic = Some iic; _ } -> v.(br) <- iic
+        | CC _ | CL _ | CR _ | CV _ | CI _ | CD _ | CM _ -> ())
+      devices;
+    v
+  end
+  else dc_solve ~opts mna devices
+
+let init_device_states devices v =
+  Array.iter
+    (fun dev ->
+      match dev with
+      | CC { i; j; st; _ } ->
+        st.q <- gv v i -. gv v j;
+        st.f <- 0.0
+      | CL { i; j; br; st; _ } ->
+        st.q <- v.(br);
+        st.f <- gv v i -. gv v j
+      | CM { d; g; s; st_gs; st_gd; _ } ->
+        st_gs.q <- gv v g -. gv v s;
+        st_gs.f <- 0.0;
+        st_gd.q <- gv v g -. gv v d;
+        st_gd.f <- 0.0
+      | CR _ | CV _ | CI _ | CD _ -> ())
+    devices
+
+let update_cap ~opts ~h c st vd =
+  let i_new =
+    match opts.integration with
+    | Backward_euler -> c /. h *. (vd -. st.q)
+    | Trapezoidal -> (2.0 *. c /. h *. (vd -. st.q)) -. st.f
+  in
+  st.q <- vd;
+  st.f <- i_new
+
+let update_device_states ~opts ~h devices v =
+  Array.iter
+    (fun dev ->
+      match dev with
+      | CC { i; j; c; st; _ } -> update_cap ~opts ~h c st (gv v i -. gv v j)
+      | CL { i; j; br; st; _ } ->
+        st.q <- v.(br);
+        st.f <- gv v i -. gv v j
+      | CM { d; g; s; cg; st_gs; st_gd; _ } ->
+        update_cap ~opts ~h cg st_gs (gv v g -. gv v s);
+        update_cap ~opts ~h cg st_gd (gv v g -. gv v d)
+      | CR _ | CV _ | CI _ | CD _ -> ())
+    devices
+
+let breakpoints circuit ~tstop =
+  Netlist.Circuit.devices circuit
+  |> List.concat_map (fun d ->
+         match d with
+         | Netlist.Device.V { wave; _ } | Netlist.Device.I { wave; _ } ->
+           Netlist.Wave.breakpoints wave ~tstop
+         | Netlist.Device.R _ | Netlist.Device.C _ | Netlist.Device.L _
+         | Netlist.Device.D _ | Netlist.Device.M _ ->
+           [])
+  |> List.filter (fun t -> t > 0.0 && t < tstop)
+  |> List.sort_uniq compare
+
+let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic =
+  if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
+    invalid_arg "Engine.transient: need 0 < tstep <= tstop";
+  let opts = options in
+  let mna = Mna.make circuit in
+  let devices = compile mna circuit in
+  let sys = Mna.fresh_system mna in
+  let node_count = Mna.node_count mna in
+  let v = ref (initial_state ~opts ~uic mna devices) in
+  init_device_states devices !v;
+  let vnode_prev = Array.sub !v 0 node_count in
+  let samples = ref [ (0.0, Array.copy !v) ] in
+  let bps = ref (breakpoints circuit ~tstop) in
+  let hmax = tstep and hmin = tstop *. 1e-12 in
+  let h = ref (tstep /. 10.0) in
+  let t = ref 0.0 in
+  let total_iters = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  let eps = tstop *. 1e-12 in
+  while !t < tstop -. eps do
+    (* Propose a step, clipped to the next source breakpoint and tstop. *)
+    let h_try =
+      let clip = ref (Float.min !h (tstop -. !t)) in
+      (match !bps with
+      | bp :: _ when bp > !t +. eps && bp -. !t < !clip -. eps -> clip := bp -. !t
+      | bp :: rest when bp <= !t +. eps ->
+        bps := rest
+      | _ -> ());
+      !clip
+    in
+    let mode = Tran { h = h_try; time = !t +. h_try; vnode_prev } in
+    match newton ~opts ~gmin:opts.gmin ~mode ~devices ~sys ~node_count !v with
+    | Some (v', iters) ->
+      total_iters := !total_iters + iters;
+      incr accepted;
+      update_device_states ~opts ~h:h_try devices v';
+      Array.blit v' 0 vnode_prev 0 node_count;
+      v := v';
+      t := !t +. h_try;
+      (match !bps with
+      | bp :: rest when bp <= !t +. eps -> bps := rest
+      | _ -> ());
+      samples := (!t, Array.copy v') :: !samples;
+      if iters <= 8 then h := Float.min (!h *. 1.5) hmax
+      else if iters > 30 then h := Float.max (!h /. 2.0) hmin
+    | None ->
+      incr rejected;
+      h := h_try /. 2.0;
+      if !h < hmin then
+        raise
+          (No_convergence
+             (Printf.sprintf "transient stalled at t=%.4g (step %.3g)" !t !h))
+  done;
+  let names =
+    Array.append (Mna.node_names mna)
+      (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
+  in
+  let wf = Waveform.make ~names ~samples:(List.rev !samples) in
+  ( wf,
+    {
+      newton_iterations = !total_iters;
+      accepted_steps = !accepted;
+      rejected_steps = !rejected;
+    } )
+
+let transient ?options circuit ~tstep ~tstop ~uic =
+  fst (transient_with_stats ?options circuit ~tstep ~tstop ~uic)
+
+(* --- DC transfer sweep ------------------------------------------------ *)
+
+(* Each point re-solves the operating point with the swept source pinned
+   to the next value, warm-starting Newton from the previous solution -
+   the standard continuation that keeps multi-stable circuits on one
+   branch. *)
+let dc_sweep ?(options = default_options) circuit ~source ~values =
+  let opts = options in
+  (match Netlist.Circuit.find circuit source with
+  | Some (Netlist.Device.V _) | Some (Netlist.Device.I _) -> ()
+  | Some _ | None ->
+    invalid_arg ("Engine.dc_sweep: no independent source named " ^ source));
+  let at value =
+    match Netlist.Circuit.find circuit source with
+    | Some (Netlist.Device.V v) ->
+      Netlist.Circuit.replace circuit
+        (Netlist.Device.V { v with wave = Netlist.Wave.Dc value })
+    | Some (Netlist.Device.I i) ->
+      Netlist.Circuit.replace circuit
+        (Netlist.Device.I { i with wave = Netlist.Wave.Dc value })
+    | Some _ | None -> assert false
+  in
+  let prev = ref None in
+  List.map
+    (fun value ->
+      let c = at value in
+      let mna = Mna.make c in
+      let devices = compile mna c in
+      let sys = Mna.fresh_system mna in
+      let node_count = Mna.node_count mna in
+      let v0 =
+        match !prev with
+        | Some v when Array.length v = Mna.size mna -> v
+        | Some _ | None -> Array.make (Mna.size mna) 0.0
+      in
+      let v =
+        match
+          newton ~opts ~gmin:opts.gmin ~mode:(Dc { scale = 1.0 }) ~devices ~sys
+            ~node_count v0
+        with
+        | Some (v, _) -> v
+        | None -> dc_solve ~opts mna devices
+      in
+      prev := Some v;
+      (value, { mna; v }))
+    values
+
+(* --- AC (small-signal) analysis -------------------------------------- *)
+
+(* Linearise every device at the DC operating point and solve the complex
+   MNA system once per frequency.  The designated source drives with unit
+   magnitude and zero phase; every other independent source is quenched
+   (V -> short, I -> open), as in SPICE. *)
+let ac ?(options = default_options) circuit ~source ~freqs =
+  let opts = options in
+  let mna = Mna.make circuit in
+  let devices = compile mna circuit in
+  let v_op = dc_solve ~opts mna devices in
+  let n = Mna.size mna in
+  let node_count = Mna.node_count mna in
+  let cx re = { Complex.re; im = 0.0 } in
+  let jw w c = { Complex.re = 0.0; im = w *. c } in
+  let dev_names =
+    Array.of_list (List.map Netlist.Device.name (Netlist.Circuit.devices circuit))
+  in
+  let found_source = ref false in
+  let solve_at freq =
+    let w = 2.0 *. Float.pi *. freq in
+    let a = Array.make_matrix n n Complex.zero in
+    let b = Array.make n Complex.zero in
+    let add i j z = if i >= 0 && j >= 0 then a.(i).(j) <- Complex.add a.(i).(j) z in
+    let add_rhs i z = if i >= 0 then b.(i) <- Complex.add b.(i) z in
+    let add_g i j z =
+      add i i z;
+      add j j z;
+      add i j (Complex.neg z);
+      add j i (Complex.neg z)
+    in
+    Array.iteri
+      (fun di dev ->
+        let name = dev_names.(di) in
+        match dev with
+        | CR { i; j; g } -> add_g i j (cx g)
+        | CC { i; j; c; _ } -> add_g i j (jw w c)
+        | CL { i; j; br; ind; _ } ->
+          add i br Complex.one;
+          add j br (Complex.neg Complex.one);
+          add br i Complex.one;
+          add br j (Complex.neg Complex.one);
+          add br br (Complex.neg (jw w ind))
+        | CV { i; j; br; _ } ->
+          add i br Complex.one;
+          add j br (Complex.neg Complex.one);
+          add br i Complex.one;
+          add br j (Complex.neg Complex.one);
+          if String.equal name source then begin
+            found_source := true;
+            add_rhs br Complex.one
+          end
+        | CI { i; j; _ } ->
+          if String.equal name source then begin
+            found_source := true;
+            add_rhs i (Complex.neg Complex.one);
+            add_rhs j Complex.one
+          end
+        | CD { i; j; is_sat; nvt } ->
+          let vd = gv v_op i -. gv v_op j in
+          let _, de = exp_lim (vd /. nvt) in
+          let gd = (is_sat *. de /. nvt) +. opts.gmin in
+          add_g i j (cx gd)
+        | CM { d; g; s; model; w = mw; l = ml; cg; _ } ->
+          let vgs = gv v_op g -. gv v_op s and vds = gv v_op d -. gv v_op s in
+          let e = Mosfet.eval model ~w:mw ~l:ml ~vgs ~vds in
+          let gds = e.Mosfet.gds +. opts.gmin in
+          add d d (cx gds);
+          add d g (cx e.Mosfet.gm);
+          add d s (cx (-.(e.Mosfet.gm +. gds)));
+          add s d (cx (-.gds));
+          add s g (cx (-.e.Mosfet.gm));
+          add s s (cx (e.Mosfet.gm +. gds));
+          add_g g s (jw w cg);
+          add_g g d (jw w cg))
+      devices;
+    for i = 0 to node_count - 1 do
+      a.(i).(i) <- Complex.add a.(i).(i) (cx opts.gmin)
+    done;
+    Clu.solve a b;
+    b
+  in
+  let points = List.map (fun f -> (f, solve_at f)) freqs in
+  if not !found_source then
+    invalid_arg ("Engine.ac: no independent source named " ^ source);
+  let names =
+    Array.append (Mna.node_names mna)
+      (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
+  in
+  Spectrum.make ~names ~points

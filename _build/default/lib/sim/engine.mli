@@ -1,0 +1,96 @@
+(** The kernel simulator: DC operating point and transient analysis.
+
+    This plays the role ELDO played for the paper's AnaFAULT: it accepts a
+    netlist (possibly rewritten by fault injection) and produces transient
+    waveforms.  Nonlinear solves use damped Newton-Raphson; DC falls back
+    to gmin stepping then source stepping; transient steps adaptively
+    (iteration-count control) between source breakpoints. *)
+
+type integration = Backward_euler | Trapezoidal
+
+type options = {
+  gmin : float;  (** conductance to ground on every node (default 1e-12) *)
+  reltol : float;  (** relative convergence tolerance (1e-3) *)
+  abstol : float;  (** absolute voltage tolerance, V (1e-6) *)
+  max_iter : int;  (** Newton iteration limit per solve (150) *)
+  dv_limit : float;  (** per-iteration Newton step clamp, V (1.0) *)
+  cmin : float;  (** parasitic node-to-ground capacitance in transient, F
+                     (1e-16); damps idealised regenerative loops *)
+  integration : integration;
+      (** default [Backward_euler]: its numerical damping settles the
+          high-gain metastable equilibria fault injection creates, which
+          trapezoidal integration rings on; use [Trapezoidal] for
+          accuracy-sensitive lightly-damped circuits *)
+}
+
+val default_options : options
+
+exception No_convergence of string
+
+type solution
+
+(** Node voltage in a DC solution ([0.0] for ground). *)
+val voltage : solution -> string -> float
+
+(** Branch current through a voltage source or inductor. *)
+val branch_current : solution -> string -> float
+
+(** Work counters of an analysis (for the paper's runtime comparison of
+    fault models). *)
+type stats = {
+  newton_iterations : int;
+  accepted_steps : int;
+  rejected_steps : int;
+}
+
+val dc_operating_point : ?options:options -> Netlist.Circuit.t -> solution
+
+(** [transient circuit ~tstep ~tstop ~uic] integrates from 0 to [tstop].
+    [tstep] is the suggested output resolution and the maximum internal
+    step.  With [uic] the initial state is zero node voltages overridden
+    by capacitor [IC=] values (SPICE "use initial conditions"); otherwise
+    the DC operating point is computed first.  The waveform carries every
+    node voltage plus ["I(name)"] for each branch device. *)
+val transient :
+  ?options:options ->
+  Netlist.Circuit.t ->
+  tstep:float ->
+  tstop:float ->
+  uic:bool ->
+  Waveform.t
+
+(** Like {!transient}, also returning work counters. *)
+val transient_with_stats :
+  ?options:options ->
+  Netlist.Circuit.t ->
+  tstep:float ->
+  tstop:float ->
+  uic:bool ->
+  Waveform.t * stats
+
+(** [dc_sweep circuit ~source ~values] computes the DC transfer
+    characteristic: the operating point is re-solved for each value of
+    the named V or I source, warm-starting from the previous point
+    (continuation).  Raises [Invalid_argument] when [source] names no
+    independent source. *)
+val dc_sweep :
+  ?options:options ->
+  Netlist.Circuit.t ->
+  source:string ->
+  values:float list ->
+  (float * solution) list
+
+(** [ac circuit ~source ~freqs] performs small-signal AC analysis: the DC
+    operating point is computed, every device is linearised around it,
+    and the complex MNA system is solved at each frequency of [freqs]
+    (Hz, increasing).  The V or I source called [source] drives with unit
+    magnitude; all other independent sources are quenched, so each node's
+    phasor IS the transfer function to that node.  Raises
+    [Invalid_argument] when [source] names no independent source and
+    {!No_convergence} if the operating point fails. *)
+val ac :
+  ?options:options ->
+  Netlist.Circuit.t ->
+  source:string ->
+  freqs:float list ->
+  Spectrum.t

@@ -1,0 +1,52 @@
+exception Singular of int
+
+let solve a b =
+  let n = Array.length b in
+  assert (Array.length a = n);
+  let piv = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Partial pivot: largest magnitude in column k at or below row k. *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(piv.(i)).(k) > Float.abs a.(piv.(!best)).(k) then best := i
+    done;
+    if !best <> k then begin
+      let t = piv.(k) in
+      piv.(k) <- piv.(!best);
+      piv.(!best) <- t
+    end;
+    let akk = a.(piv.(k)).(k) in
+    if Float.abs akk < 1e-30 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = a.(piv.(i)).(k) /. akk in
+      if f <> 0.0 then begin
+        a.(piv.(i)).(k) <- f;
+        for j = k + 1 to n - 1 do
+          a.(piv.(i)).(j) <- a.(piv.(i)).(j) -. (f *. a.(piv.(k)).(j))
+        done
+      end
+      else a.(piv.(i)).(k) <- 0.0
+    done
+  done;
+  (* Forward substitution on the permuted rows. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(piv.(i)) in
+    for j = 0 to i - 1 do
+      s := !s -. (a.(piv.(i)).(j) *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (a.(piv.(i)).(j) *. b.(j))
+    done;
+    b.(i) <- !s /. a.(piv.(i)).(i)
+  done
+
+let solve_copy a b =
+  let a = Array.map Array.copy a and b = Array.copy b in
+  solve a b;
+  b

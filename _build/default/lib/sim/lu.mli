@@ -1,0 +1,16 @@
+(** Dense LU factorisation with partial pivoting.
+
+    Circuit matrices here are tens of rows (the VCO has ~30 unknowns), so
+    a dense solver is the right tool; sparsity machinery would cost more
+    than it saves. *)
+
+exception Singular of int
+(** Column index at which no usable pivot was found. *)
+
+(** [solve a b] overwrites [a] with its LU factors and [b] with the
+    solution of [a x = b].  Raises {!Singular} on a numerically singular
+    matrix (pivot magnitude below 1e-30). *)
+val solve : float array array -> float array -> unit
+
+(** [solve_copy a b] is {!solve} on copies, leaving inputs intact. *)
+val solve_copy : float array array -> float array -> float array

@@ -1,0 +1,72 @@
+type t = {
+  node_index : (string, int) Hashtbl.t;
+  branch_index : (string, int) Hashtbl.t;
+  nodes : string array;
+  branches : string array;
+}
+
+let make circuit =
+  let node_index = Hashtbl.create 32 in
+  let nodes =
+    Netlist.Circuit.nodes circuit
+    |> List.filter (fun n -> n <> Netlist.Device.ground)
+  in
+  List.iteri (fun i n -> Hashtbl.replace node_index n i) nodes;
+  let n = List.length nodes in
+  let branch_owners =
+    List.filter_map
+      (fun d ->
+        match d with
+        | Netlist.Device.V { name; _ } | Netlist.Device.L { name; _ } -> Some name
+        | Netlist.Device.R _ | Netlist.Device.C _ | Netlist.Device.I _
+        | Netlist.Device.D _ | Netlist.Device.M _ ->
+          None)
+      (Netlist.Circuit.devices circuit)
+  in
+  let branch_index = Hashtbl.create 8 in
+  List.iteri (fun i nm -> Hashtbl.replace branch_index nm (n + i)) branch_owners;
+  {
+    node_index;
+    branch_index;
+    nodes = Array.of_list nodes;
+    branches = Array.of_list branch_owners;
+  }
+
+let node_count t = Array.length t.nodes
+
+let size t = Array.length t.nodes + Array.length t.branches
+
+let node_id t name =
+  if String.equal name Netlist.Device.ground then -1
+  else Hashtbl.find t.node_index name
+
+let branch_id t name = Hashtbl.find t.branch_index name
+
+let node_names t = t.nodes
+
+let branch_names t = t.branches
+
+type system = { a : float array array; b : float array }
+
+let fresh_system t =
+  let n = size t in
+  { a = Array.make_matrix n n 0.0; b = Array.make n 0.0 }
+
+let clear sys =
+  let n = Array.length sys.b in
+  for i = 0 to n - 1 do
+    sys.b.(i) <- 0.0;
+    Array.fill sys.a.(i) 0 n 0.0
+  done
+
+let add_jacobian sys i j v = if i >= 0 && j >= 0 then sys.a.(i).(j) <- sys.a.(i).(j) +. v
+
+let add_rhs sys i v = if i >= 0 then sys.b.(i) <- sys.b.(i) +. v
+
+let add_conductance sys i j g =
+  add_jacobian sys i i g;
+  add_jacobian sys j j g;
+  add_jacobian sys i j (-.g);
+  add_jacobian sys j i (-.g)
+
+let add_current sys i x = add_rhs sys i x

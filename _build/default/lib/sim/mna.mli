@@ -1,0 +1,50 @@
+(** Modified nodal analysis bookkeeping.
+
+    Unknowns are the non-ground node voltages followed by one branch
+    current per voltage source and per inductor.  A {!system} is the dense
+    Jacobian/right-hand-side pair that device stamps accumulate into. *)
+
+type t
+
+(** [make circuit] indexes the circuit's nodes and branches. *)
+val make : Netlist.Circuit.t -> t
+
+(** Number of unknowns (nodes + branches). *)
+val size : t -> int
+
+val node_count : t -> int
+
+(** [node_id t name] is the unknown index of node [name], or [-1] for
+    ground.  Raises [Not_found] for unknown names. *)
+val node_id : t -> string -> int
+
+(** [branch_id t device_name] is the unknown index of the branch current
+    owned by voltage source or inductor [device_name]. *)
+val branch_id : t -> string -> int
+
+(** Node names in index order (excluding ground). *)
+val node_names : t -> string array
+
+(** Branch owner names in index order. *)
+val branch_names : t -> string array
+
+type system = { a : float array array; b : float array }
+
+val fresh_system : t -> system
+
+val clear : system -> unit
+
+(** [add_conductance sys i j g] stamps conductance [g] between unknowns
+    [i] and [j] (either may be [-1] = ground). *)
+val add_conductance : system -> int -> int -> float -> unit
+
+(** [add_current sys i x] adds current [x] flowing {e into} node [i]
+    (ignored for ground). *)
+val add_current : system -> int -> float -> unit
+
+(** [add_jacobian sys i j v] adds [v] at matrix position [(i, j)];
+    no-op when either index is ground. *)
+val add_jacobian : system -> int -> int -> float -> unit
+
+(** [add_rhs sys i v] adds [v] to the right-hand side at row [i]. *)
+val add_rhs : system -> int -> float -> unit

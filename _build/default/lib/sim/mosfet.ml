@@ -1,0 +1,55 @@
+type eval = { ids : float; gm : float; gds : float }
+
+(* Shichman-Hodges for an NMOS with vds >= 0. *)
+let core ~beta ~vto ~lambda ~vgs ~vds =
+  let vov = vgs -. vto in
+  if vov <= 0.0 then { ids = 0.0; gm = 0.0; gds = 0.0 }
+  else if vds < vov then begin
+    let cm = 1.0 +. (lambda *. vds) in
+    let shape = (vov *. vds) -. (0.5 *. vds *. vds) in
+    {
+      ids = beta *. shape *. cm;
+      gm = beta *. vds *. cm;
+      gds = (beta *. (vov -. vds) *. cm) +. (beta *. shape *. lambda);
+    }
+  end
+  else begin
+    let cm = 1.0 +. (lambda *. vds) in
+    let half = 0.5 *. beta *. vov *. vov in
+    { ids = half *. cm; gm = beta *. vov *. cm; gds = half *. lambda }
+  end
+
+(* NMOS at arbitrary vds: for vds < 0 the physical source is the drawn
+   drain; evaluate the mirrored device and map the partial derivatives
+   back through ids(vgs,vds) = -f(vgs - vds, -vds). *)
+let eval_nmos ~beta ~vto ~lambda ~vgs ~vds =
+  if vds >= 0.0 then core ~beta ~vto ~lambda ~vgs ~vds
+  else begin
+    let e = core ~beta ~vto ~lambda ~vgs:(vgs -. vds) ~vds:(-.vds) in
+    { ids = -.e.ids; gm = -.e.gm; gds = e.gm +. e.gds }
+  end
+
+let eval (model : Netlist.Device.mos_model) ~w ~l ~vgs ~vds =
+  let beta = model.kp *. w /. l in
+  match model.kind with
+  | Netlist.Device.Nmos -> eval_nmos ~beta ~vto:model.vto ~lambda:model.lambda ~vgs ~vds
+  | Netlist.Device.Pmos ->
+    (* ids_p(vgs,vds) = -f_n(-vgs,-vds) with the NMOS-equivalent
+       threshold |vto|; gm/gds keep their sign through the double
+       negation. *)
+    let e =
+      eval_nmos ~beta ~vto:(-.model.vto) ~lambda:model.lambda ~vgs:(-.vgs) ~vds:(-.vds)
+    in
+    { ids = -.e.ids; gm = e.gm; gds = e.gds }
+
+let region (model : Netlist.Device.mos_model) ~vgs ~vds =
+  let vgs, vds =
+    match model.kind with
+    | Netlist.Device.Nmos -> (vgs, vds)
+    | Netlist.Device.Pmos -> (-.vgs, -.vds)
+  in
+  let vto = match model.kind with Netlist.Device.Nmos -> model.vto | Netlist.Device.Pmos -> -.model.vto in
+  let vgs, vds = if vds >= 0.0 then (vgs, vds) else (vgs -. vds, -.vds) in
+  if vgs -. vto <= 0.0 then "off"
+  else if vds < vgs -. vto then "linear"
+  else "saturation"

@@ -1,0 +1,20 @@
+(** Level-1 (Shichman-Hodges) MOSFET evaluation.
+
+    Conventions follow SPICE: for an NMOS, [ids] flows drain -> source and
+    is >= 0 in normal operation; the evaluator handles source/drain
+    interchange internally when [vds < 0], and PMOS by sign symmetry. *)
+
+type eval = {
+  ids : float;  (** drain current (drain->source through the channel), A *)
+  gm : float;  (** d ids / d vgs *)
+  gds : float;  (** d ids / d vds *)
+}
+
+(** [eval model ~w ~l ~vgs ~vds] evaluates the DC channel current and its
+    derivatives at the given terminal voltages (both measured with the
+    SPICE sign convention relative to the {e nominal} source terminal). *)
+val eval : Netlist.Device.mos_model -> w:float -> l:float -> vgs:float -> vds:float -> eval
+
+(** Operating region at the given bias (after internal D/S swap):
+    ["off"], ["linear"] or ["saturation"] — for reports and tests. *)
+val region : Netlist.Device.mos_model -> vgs:float -> vds:float -> string

@@ -1,0 +1,78 @@
+type t = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+  freqs : float array;
+  data : Complex.t array array; (* data.(signal).(point) *)
+}
+
+let make ~names ~points =
+  let ns = Array.length names in
+  let k = List.length points in
+  let freqs = Array.make k 0.0 in
+  let data = Array.init ns (fun _ -> Array.make k Complex.zero) in
+  List.iteri
+    (fun i (f, row) ->
+      if Array.length row <> ns then invalid_arg "Spectrum.make: ragged point";
+      if i > 0 && f <= freqs.(i - 1) then
+        invalid_arg "Spectrum.make: non-increasing frequencies";
+      freqs.(i) <- f;
+      for s = 0 to ns - 1 do
+        data.(s).(i) <- row.(s)
+      done)
+    points;
+  let index = Hashtbl.create ns in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) names;
+  { names; index; freqs; data }
+
+let names t = t.names
+
+let length t = Array.length t.freqs
+
+let frequencies t = t.freqs
+
+let row t name = t.data.(Hashtbl.find t.index name)
+
+let phasor t name k = (row t name).(k)
+
+let magnitude_db t name =
+  Array.map
+    (fun z ->
+      let m = Complex.norm z in
+      if m <= 0.0 then -400.0 else 20.0 *. log10 m)
+    (row t name)
+
+let phase_deg t name =
+  Array.map (fun z -> Complex.arg z *. 180.0 /. Float.pi) (row t name)
+
+let corner_frequency t name =
+  let mag = magnitude_db t name in
+  let n = Array.length mag in
+  if n = 0 then None
+  else begin
+    let target = mag.(0) -. 3.0 in
+    let rec find i =
+      if i >= n then None
+      else if mag.(i) <= target then begin
+        if i = 0 then Some t.freqs.(0)
+        else begin
+          (* log-linear interpolation between points i-1 and i *)
+          let f0 = log10 t.freqs.(i - 1) and f1 = log10 t.freqs.(i) in
+          let m0 = mag.(i - 1) and m1 = mag.(i) in
+          let frac = if m1 = m0 then 0.0 else (target -. m0) /. (m1 -. m0) in
+          Some (10.0 ** (f0 +. (frac *. (f1 -. f0))))
+        end
+      end
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let log_grid ~f_start ~f_stop ~per_decade =
+  if f_start <= 0.0 || f_stop <= f_start || per_decade < 1 then
+    invalid_arg "Spectrum.log_grid";
+  let ratio = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let rec go f acc =
+    if f >= f_stop *. (1.0 -. 1e-12) then List.rev (f_stop :: acc)
+    else go (f *. ratio) (f :: acc)
+  in
+  go f_start []

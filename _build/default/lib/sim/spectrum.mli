@@ -1,0 +1,33 @@
+(** AC (small-signal) analysis results: complex node phasors over a
+    frequency grid. *)
+
+type t
+
+(** [make ~names ~points] builds a spectrum from frequency-ordered
+    samples; each carries one phasor per name. *)
+val make : names:string array -> points:(float * Complex.t array) list -> t
+
+val names : t -> string array
+
+val length : t -> int
+
+val frequencies : t -> float array
+
+(** [phasor t name k] is the complex response of signal [name] at the
+    [k]-th frequency point. *)
+val phasor : t -> string -> int -> Complex.t
+
+(** Magnitude in dB (20 log10 |H|); -400 dB floor for zero responses. *)
+val magnitude_db : t -> string -> float array
+
+(** Phase in degrees. *)
+val phase_deg : t -> string -> float array
+
+(** [corner_frequency t name] estimates the -3 dB frequency relative to
+    the first point's magnitude, by log-linear interpolation; [None] if
+    the response never drops 3 dB. *)
+val corner_frequency : t -> string -> float option
+
+(** Logarithmically spaced frequency grid, [per_decade] points from
+    [f_start] to [f_stop] inclusive. *)
+val log_grid : f_start:float -> f_stop:float -> per_decade:int -> float list

@@ -1,0 +1,114 @@
+type t = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+  times : float array;
+  data : float array array; (* data.(signal).(sample) *)
+}
+
+let make ~names ~samples =
+  let ns = Array.length names in
+  let k = List.length samples in
+  let times = Array.make k 0.0 in
+  let data = Array.init ns (fun _ -> Array.make k 0.0) in
+  List.iteri
+    (fun i (t, row) ->
+      if Array.length row <> ns then invalid_arg "Waveform.make: ragged sample";
+      if i > 0 && t < times.(i - 1) then
+        invalid_arg "Waveform.make: non-increasing time axis";
+      times.(i) <- t;
+      for s = 0 to ns - 1 do
+        data.(s).(i) <- row.(s)
+      done)
+    samples;
+  let index = Hashtbl.create ns in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) names;
+  { names; index; times; data }
+
+let names t = t.names
+
+let mem t name = Hashtbl.mem t.index name
+
+let length t = Array.length t.times
+
+let times t = t.times
+
+let samples t name = t.data.(Hashtbl.find t.index name)
+
+let t_start t = if length t = 0 then 0.0 else t.times.(0)
+
+let t_stop t = if length t = 0 then 0.0 else t.times.(length t - 1)
+
+(* Binary search for the last index with times.(i) <= time. *)
+let locate t time =
+  let n = Array.length t.times in
+  let rec go lo hi =
+    if hi - lo <= 1 then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.times.(mid) <= time then go mid hi else go lo mid
+    end
+  in
+  if n = 0 then invalid_arg "Waveform.locate: empty waveform"
+  else if time <= t.times.(0) then 0
+  else if time >= t.times.(n - 1) then n - 1
+  else go 0 (n - 1)
+
+let value_at t name time =
+  let row = samples t name in
+  let n = Array.length t.times in
+  if n = 1 then row.(0)
+  else begin
+    let i = locate t time in
+    if i >= n - 1 then row.(n - 1)
+    else begin
+      let t0 = t.times.(i) and t1 = t.times.(i + 1) in
+      if time <= t0 then row.(i)
+      else if t1 <= t0 then row.(i + 1)
+      else row.(i) +. ((row.(i + 1) -. row.(i)) *. (time -. t0) /. (t1 -. t0))
+    end
+  end
+
+let resample t ~n =
+  if n < 2 then invalid_arg "Waveform.resample: need n >= 2";
+  let a = t_start t and b = t_stop t in
+  let step = (b -. a) /. float_of_int (n - 1) in
+  let rows =
+    List.init n (fun i ->
+        let time = a +. (step *. float_of_int i) in
+        (time, Array.map (fun name -> value_at t name time) t.names))
+  in
+  make ~names:t.names ~samples:rows
+
+let signal_min t name = Array.fold_left min infinity (samples t name)
+
+let signal_max t name = Array.fold_left max neg_infinity (samples t name)
+
+let to_rows t =
+  List.init (length t) (fun i ->
+      (t.times.(i), Array.map (fun row -> row.(i)) t.data))
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time";
+  Array.iter (fun n -> Buffer.add_string buf ("," ^ n)) t.names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (time, row) ->
+      Buffer.add_string buf (Printf.sprintf "%.9g" time);
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%.9g" v)) row;
+      Buffer.add_char buf '\n')
+    (to_rows t);
+  Buffer.contents buf
+
+let rising_edges t name ~threshold =
+  let row = samples t name in
+  let c = ref 0 in
+  for i = 1 to Array.length row - 1 do
+    if row.(i - 1) < threshold && row.(i) >= threshold then incr c
+  done;
+  !c
+
+let estimate_frequency t name ~threshold =
+  let span = t_stop t -. t_start t in
+  if span <= 0.0 then 0.0
+  else float_of_int (rising_edges t name ~threshold) /. span

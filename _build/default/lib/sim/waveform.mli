@@ -1,0 +1,54 @@
+(** Simulation results: a shared time axis and one sample row per signal.
+
+    Node voltages are stored under the node name; branch currents under
+    ["I(devname)"]. *)
+
+type t
+
+(** [make ~names ~samples] builds a waveform from time-ordered samples;
+    each sample carries one value per name.  Raises [Invalid_argument] on
+    ragged data or a non-increasing time axis. *)
+val make : names:string array -> samples:(float * float array) list -> t
+
+val names : t -> string array
+
+val mem : t -> string -> bool
+
+(** Number of samples. *)
+val length : t -> int
+
+val times : t -> float array
+
+(** [samples t name] is the raw sample row of [name].  Raises [Not_found]
+    for unknown signals. *)
+val samples : t -> string -> float array
+
+(** [value_at t name time] linearly interpolates signal [name] at [time];
+    clamps outside the simulated span. *)
+val value_at : t -> string -> float -> float
+
+(** [resample t ~n] re-samples every signal onto a uniform [n]-point grid
+    spanning the same time interval. *)
+val resample : t -> n:int -> t
+
+val t_start : t -> float
+
+val t_stop : t -> float
+
+val signal_min : t -> string -> float
+
+val signal_max : t -> string -> float
+
+(** [to_rows t] lists (time, values-in-name-order) for printing. *)
+val to_rows : t -> (float * float array) list
+
+(** [to_csv t] renders a "time,<name>,..." table for external plotting. *)
+val to_csv : t -> string
+
+(** [rising_edges t name ~threshold] counts upward crossings of
+    [threshold] by signal [name]. *)
+val rising_edges : t -> string -> threshold:float -> int
+
+(** [estimate_frequency t name ~threshold] is rising edges divided by the
+    simulated span, Hz (0 for spans of zero length). *)
+val estimate_frequency : t -> string -> threshold:float -> float

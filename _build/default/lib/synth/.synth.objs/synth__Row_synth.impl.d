@@ -1,0 +1,1 @@
+lib/synth/row_synth.ml: Float Geom Hashtbl Layout List Netlist

@@ -1,0 +1,1 @@
+lib/synth/row_synth.mli: Layout Netlist

@@ -1,0 +1,157 @@
+(* Floorplan constants (nm).  Terminal columns inside a device are spaced
+   by SD_W, so the 4 um metal2 risers clear each other; devices are
+   separated by DEVICE_GAP; net tracks sit TRACK_PITCH apart in a channel
+   above the tallest device. *)
+let sd_w = 16000
+
+let device_gap = 15000
+
+let track_pitch = 6500
+
+let track_w = 4000
+
+let m2_w = 4000
+
+let poly_w = 1000
+
+let default_cap_per_nm2 = 2e-20
+
+let cap_side ?(cap_per_nm2 = default_cap_per_nm2) value =
+  max 2000 (int_of_float (Float.round (Float.sqrt (value /. cap_per_nm2))))
+
+let pt = Geom.Point.make
+
+type placed_mos = {
+  d : string;
+  g : string;
+  s : string;
+  ports : Layout.Builder.mos_ports;
+}
+
+type placed_cap = { n1 : string; n2 : string; x : int; side : int }
+
+let classify circuit =
+  List.fold_left
+    (fun (mos, caps) dev ->
+      match dev with
+      | Netlist.Device.M { name; d; g; s; model; w; l; _ } ->
+        let kind =
+          match model.Netlist.Device.kind with
+          | Netlist.Device.Nmos -> `N
+          | Netlist.Device.Pmos -> `P
+        in
+        ( (name, d, g, s, kind, int_of_float (w *. 1e9), int_of_float (l *. 1e9)) :: mos,
+          caps )
+      | Netlist.Device.C { name; n1; n2; value; _ } -> (mos, (name, n1, n2, value) :: caps)
+      | Netlist.Device.V _ | Netlist.Device.I _ -> (mos, caps)
+      | Netlist.Device.R { name; _ } | Netlist.Device.L { name; _ }
+      | Netlist.Device.D { name; _ } ->
+        invalid_arg ("Row_synth: no layout primitive for device " ^ name))
+    ([], []) (Netlist.Circuit.devices circuit)
+  |> fun (mos, caps) -> (List.rev mos, List.rev caps)
+
+let mask ?(tech = Layout.Tech.default) ?(cap_per_nm2 = default_cap_per_nm2) circuit =
+  let b = Layout.Builder.create tech in
+  let mos, caps = classify circuit in
+  (* Place the transistor row. *)
+  let x = ref 0 in
+  let max_top = ref 0 in
+  let placed =
+    List.map
+      (fun (name, d, g, s, kind, w_nm, l_nm) ->
+        let ports =
+          Layout.Builder.mos b ~name ~kind ~at:(pt !x 0) ~w:w_nm ~l:l_nm ~sd_w
+            ~contact_cuts:2 ()
+        in
+        x := !x + (2 * sd_w) + l_nm + device_gap;
+        max_top := max !max_top (w_nm + (2 * tech.Layout.Tech.lambda));
+        { d; g; s; ports })
+      mos
+  in
+  (* Capacitor plates: poly below, metal2 above, plus the recognition
+     hint. *)
+  let placed_caps =
+    List.map
+      (fun (name, n1, n2, value) ->
+        let side = cap_side ~cap_per_nm2 value in
+        let cap_x = !x in
+        let plate = Geom.Rect.make cap_x 0 (cap_x + side) side in
+        Layout.Builder.rect b Layout.Layer.Poly plate;
+        Layout.Builder.rect b Layout.Layer.Metal2 plate;
+        Layout.Builder.hint b name plate;
+        x := !x + side + device_gap + 8000;
+        max_top := max !max_top side;
+        { n1; n2; x = cap_x; side })
+      caps
+  in
+  (* Net -> track y (ground last, so supply-heavy tracks sit low). *)
+  let nets =
+    List.filter (fun n -> n <> Netlist.Device.ground) (Netlist.Circuit.nodes circuit)
+    @ [ Netlist.Device.ground ]
+  in
+  let track_base = !max_top + 13000 in
+  let track_y =
+    let tbl = Hashtbl.create 20 in
+    List.iteri (fun i n -> Hashtbl.replace tbl n (track_base + (i * track_pitch))) nets;
+    fun net ->
+      match Hashtbl.find_opt tbl net with
+      | Some y -> y
+      | None -> invalid_arg ("Row_synth: unknown net " ^ net)
+  in
+  (* Terminal risers: metal2 column from the terminal to its net track,
+     with a via at each end.  Track extents accumulate per net. *)
+  let extents : (string, (int * int) ref) Hashtbl.t = Hashtbl.create 20 in
+  let note net x =
+    match Hashtbl.find_opt extents net with
+    | Some r ->
+      let lo, hi = !r in
+      r := (min lo x, max hi x)
+    | None -> Hashtbl.add extents net (ref (x, x))
+  in
+  let riser net (p : Geom.Point.t) =
+    let ty = track_y net in
+    Layout.Builder.via b ~cuts:2 p;
+    Layout.Builder.wire b Layout.Layer.Metal2 ~width:m2_w [ p; pt p.x ty ];
+    Layout.Builder.via b ~cuts:2 (pt p.x ty);
+    note net p.x
+  in
+  List.iter
+    (fun dev ->
+      riser dev.s dev.ports.Layout.Builder.source;
+      riser dev.d dev.ports.Layout.Builder.drain;
+      (* The contact pad spreads around its centre; lift it clear of the
+         diffusion on a short poly stub. *)
+      let gate_pt = dev.ports.Layout.Builder.gate in
+      let contact_pt = pt gate_pt.Geom.Point.x (gate_pt.Geom.Point.y + 2500) in
+      Layout.Builder.wire b Layout.Layer.Poly ~width:poly_w [ gate_pt; contact_pt ];
+      Layout.Builder.contact b ~cuts:2 ~to_:Layout.Layer.Poly contact_pt;
+      riser dev.g contact_pt)
+    placed;
+  (* Capacitor connections: poly plate -> contact -> riser to [n1];
+     metal2 plate -> native metal2 column to [n2]. *)
+  List.iter
+    (fun c ->
+      let cap_contact = pt (c.x - 8000) (c.side / 2) in
+      Layout.Builder.wire b Layout.Layer.Poly ~width:poly_w
+        [ pt c.x (c.side / 2); cap_contact ];
+      Layout.Builder.contact b ~cuts:2 ~to_:Layout.Layer.Poly cap_contact;
+      riser c.n1 cap_contact;
+      let col_x = c.x + (c.side / 2) in
+      Layout.Builder.wire b Layout.Layer.Metal2 ~width:m2_w
+        [ pt col_x (c.side / 2); pt col_x (track_y c.n2) ];
+      Layout.Builder.via b ~cuts:2 (pt col_x (track_y c.n2));
+      note c.n2 col_x)
+    placed_caps;
+  (* Tracks with their labels. *)
+  List.iter
+    (fun net ->
+      match Hashtbl.find_opt extents net with
+      | Some r ->
+        let lo, hi = !r in
+        let y = track_y net in
+        let hi = if hi = lo then lo + 6000 else hi in
+        Layout.Builder.wire b Layout.Layer.Metal1 ~width:track_w [ pt lo y; pt hi y ];
+        Layout.Builder.label b Layout.Layer.Metal1 (pt lo y) net
+      | None -> ())
+    nets;
+  Layout.Builder.finish b

@@ -1,0 +1,30 @@
+(** Schematic-to-layout synthesis with a row floorplan.
+
+    Every MOS transistor is placed in one row (wide source/drain regions
+    with redundant contacts); each device terminal escapes on its own
+    metal2 column to the horizontal metal1 track of its net in a routing
+    channel north of the row; plate capacitors (poly under metal2) go to
+    the right of the row.  Labels on each track carry the schematic node
+    names, so extraction recovers the netlist with identical net names -
+    the generated masks are DRC-clean and LVS-identical to their
+    schematics by construction (a property the test suite checks on
+    random circuits).
+
+    This is the generator behind the paper demonstrator's layout
+    ({!Vco.Layout_gen}); it handles any circuit made of MOSFETs and
+    capacitors plus ignored stimulus sources. *)
+
+(** Default plate capacitance used to size capacitors, F/nm^2 (20 fF/um^2,
+    a thin-oxide plate). *)
+val default_cap_per_nm2 : float
+
+(** [mask ?tech ?cap_per_nm2 circuit] synthesises the layout.  V and I
+    sources are skipped (they are stimulus, not silicon).  Raises
+    [Invalid_argument] on R, L or D devices - the demo process has no
+    resistor or diode primitives. *)
+val mask :
+  ?tech:Layout.Tech.t -> ?cap_per_nm2:float -> Netlist.Circuit.t -> Layout.Mask.t
+
+(** [cap_side ?cap_per_nm2 value] is the drawn plate side (nm) for a
+    capacitor of [value] farads. *)
+val cap_side : ?cap_per_nm2:float -> float -> int

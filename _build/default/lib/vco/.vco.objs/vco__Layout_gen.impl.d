@@ -1,0 +1,1 @@
+lib/vco/layout_gen.ml: Schematic Synth

@@ -1,0 +1,1 @@
+lib/vco/schematic.ml: Netlist

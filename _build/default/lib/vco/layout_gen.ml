@@ -1,0 +1,5 @@
+let cap_per_nm2 = Synth.Row_synth.default_cap_per_nm2
+
+let cap_side = Synth.Row_synth.cap_side ~cap_per_nm2 20e-12
+
+let mask () = Synth.Row_synth.mask ~cap_per_nm2 (Schematic.schematic ())

@@ -1,0 +1,20 @@
+(** Mask layout of the VCO demonstrator, generated from the schematic of
+    {!Schematic.schematic} by the row-floorplan synthesizer
+    {!Synth.Row_synth}, so that extraction provably recovers the same
+    netlist (DRC-clean, LVS-identical).
+
+    Bulk terminals are not drawn (the demo process implies substrate/well
+    ties); extraction assigns bulks from its options, matching the
+    schematic. *)
+
+(** [mask ()] builds the full VCO layout (DRC-clean under
+    {!Layout.Drc.check}). *)
+val mask : unit -> Layout.Mask.t
+
+(** Plate capacitance density that makes the drawn capacitor 20 pF; pass
+    it (with {!Schematic.nmos_model}/{!Schematic.pmos_model} and bulks "0"/"1") to the
+    extractor so LVS compares like against like. *)
+val cap_per_nm2 : float
+
+(** Side of the square capacitor plate, nm. *)
+val cap_side : int

@@ -1,0 +1,90 @@
+(* Node map (paper-visible numbers kept):
+   1 vdd   2 vctl  3 p-mirror gate  4 ref cascode drain
+   5 discharge node (switch side)   6 discharge mirror drain
+   7 charge mirror drain  8 charge node (switch side)
+   9 n-mirror feed  10 n-mirror gate  11 output  12 capacitor
+   13 schmitt N source  14 schmitt P source  15 schmitt out
+   16 q (discharge phase)  17 qb (charge phase) *)
+
+let vdd_node = "1"
+let vctl_node = "2"
+let dis_node = "5"
+let dis0_node = "6"
+let chg_node = "8"
+let out_node = "11"
+let cap_node = "12"
+
+let nmos = { Netlist.Device.mname = "NVCO"; kind = Netlist.Device.Nmos;
+             vto = 0.8; kp = 60e-6; lambda = 0.02; cox = Netlist.Device.default_cox }
+
+let pmos = { Netlist.Device.mname = "PVCO"; kind = Netlist.Device.Pmos;
+             vto = -0.8; kp = 25e-6; lambda = 0.02; cox = Netlist.Device.default_cox }
+
+let m name d g s kind w l =
+  let model = match kind with `N -> nmos | `P -> pmos in
+  let b = match kind with `N -> "0" | `P -> vdd_node in
+  Netlist.Device.M { name; d; g; s; b; model; w = w *. 1e-6; l = l *. 1e-6 }
+
+let diode_connected = [ "M2"; "M3"; "M5"; "M7"; "M8"; "M10" ]
+
+let transistor_count = 26
+
+let schematic ?(vctl = 3.0) () =
+  let devices =
+    [
+      (* Supply activation: 0 -> 5 V in 50 ns at t = 0 (paper: simulation
+         starts when the supply is switched on; no other stimulus). *)
+      Netlist.Device.V
+        {
+          name = "VDD";
+          np = vdd_node;
+          nn = "0";
+          wave =
+            Netlist.Wave.Pulse
+              { v1 = 0.0; v2 = 5.0; delay = 0.0; rise = 50e-9; fall = 50e-9;
+                width = 1.0; period = 0.0 };
+        };
+      Netlist.Device.V { name = "VCTL"; np = vctl_node; nn = "0"; wave = Netlist.Wave.Dc vctl };
+      (* V-to-I conversion: reference leg and cascoded mirrors. *)
+      m "M1" "4" vctl_node "0" `N 2.0 4.0;      (* input V-to-I device *)
+      m "M2" "3" "3" vdd_node `P 8.0 1.0;       (* P mirror diode *)
+      m "M3" "4" "4" "3" `P 8.0 1.0;            (* P reference cascode diode *)
+      m "M4" "7" "3" vdd_node `P 8.0 1.0;       (* charge mirror output *)
+      m "M5" chg_node chg_node "7" `P 8.0 1.0;  (* charge cascode diode *)
+      m "M6" "9" "3" vdd_node `P 8.0 1.0;       (* feeds the N mirror *)
+      m "M7" "9" "9" "10" `N 4.0 1.0;           (* N cascode diode *)
+      m "M8" "10" "10" "0" `N 4.0 1.0;          (* N mirror diode *)
+      m "M9" dis0_node "10" "0" `N 4.0 1.0;     (* discharge mirror output *)
+      m "M10" dis_node dis_node dis0_node `N 4.0 1.0; (* discharge cascode diode *)
+      (* Schmitt trigger observing the capacitor voltage. *)
+      m "M11" "13" cap_node "0" `N 300.0 1.0;
+      m "M12" "15" cap_node "13" `N 20.0 1.0;
+      m "M13" vdd_node "15" "13" `N 200.0 1.0;  (* N feedback (dominant) *)
+      m "M14" "14" cap_node vdd_node `P 12.0 1.0;
+      m "M15" "15" cap_node "14" `P 12.0 1.0;
+      m "M16" "0" "15" "14" `P 2.0 20.0;        (* P feedback (vestigial) *)
+      (* Analogue switch: charge gate (on when qb high) and discharge gate
+         (on when q high). *)
+      m "M17" chg_node "17" cap_node `N 6.0 1.0;
+      m "M18" chg_node "16" cap_node `P 12.0 1.0;
+      m "M19" cap_node "16" dis_node `N 6.0 1.0;
+      m "M20" cap_node "17" dis_node `P 12.0 1.0;
+      (* Phase inverters: q = not(st), qb = not(q). *)
+      m "M21" "16" "15" "0" `N 4.0 1.0;
+      m "M22" "16" "15" vdd_node `P 8.0 1.0;
+      m "M23" "17" "16" "0" `N 4.0 1.0;
+      m "M24" "17" "16" vdd_node `P 8.0 1.0;
+      (* Output buffer: out toggles with the charge phase. *)
+      m "M25" out_node "17" "0" `N 6.0 1.0;
+      m "M26" out_node "17" vdd_node `P 12.0 1.0;
+      Netlist.Device.C { name = "C1"; n1 = cap_node; n2 = "0"; value = 20e-12; ic = Some 0.0 };
+    ]
+  in
+  Netlist.Circuit.of_devices "CMOS relaxation VCO (Sebeke et al., DATE 1995 demonstrator)"
+    devices
+
+let tran = { Netlist.Parser.tstep = 10e-9; tstop = 4e-6; uic = true }
+
+let nmos_model = nmos
+
+let pmos_model = pmos

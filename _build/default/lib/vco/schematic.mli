@@ -1,0 +1,49 @@
+(** The paper's demonstrator: a 26-transistor CMOS relaxation VCO
+    (Fig. 3) - V-to-I conversion, analogue switch, Schmitt trigger - as a
+    schematic netlist and, in {!Vco_layout}, as a full mask layout.
+
+    Architecture: the control voltage sets a reference current through M1;
+    cascoded P and N mirrors (six gate-drain-connected devices, matching
+    the paper's six designed gate-drain shorts) derive a charge and a
+    discharge current.  A transmission-gate analogue switch steers the
+    capacitor between them under control of a CMOS Schmitt trigger
+    observing the capacitor voltage; inverters derive the switch phases
+    and buffer the output.
+
+    Node names follow the paper's numbering where it is visible in the
+    text: node 1 = VDD, node 5/6 = the discharge-mirror nodes whose bridge
+    raises the oscillation frequency (fault #6), node 11 = the buffered
+    output whose waveform Figs. 4-6 plot. *)
+
+(** Output node of the VCO ("11"). *)
+val out_node : string
+
+(** Capacitor node name. *)
+val cap_node : string
+
+(** Supply node ("1") and control node ("2"). *)
+val vdd_node : string
+
+val vctl_node : string
+
+(** [schematic ~vctl ()] is the full VCO netlist with a stepped 5 V supply
+    (50 ns activation ramp at t = 0, per the paper's procedure) and the
+    control voltage held at [vctl] (default 3.0 V). *)
+val schematic : ?vctl:float -> unit -> Netlist.Circuit.t
+
+(** The transient run of the paper's experiments: 400 output points over
+    4 us, from a cold (UIC) start. *)
+val tran : Netlist.Parser.tran
+
+(** Number of MOS devices (26) - used by tests and the fault-count
+    experiment. *)
+val transistor_count : int
+
+(** Names of the six gate-drain-connected (diode) devices. *)
+val diode_connected : string list
+
+(** The MOS models of the demo process (used when extracting the layout,
+    so LVS compares like against like). *)
+val nmos_model : Netlist.Device.mos_model
+
+val pmos_model : Netlist.Device.mos_model

@@ -1,0 +1,1 @@
+test/test_anafault.ml: Alcotest Anafault Array Faults Float Format List Netlist Printf Sim String

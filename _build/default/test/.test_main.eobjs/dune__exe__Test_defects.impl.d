@@ -1,0 +1,1 @@
+test/test_defects.ml: Alcotest Cat Defects Extract Faults Format Geom Layout Lazy List Printf String

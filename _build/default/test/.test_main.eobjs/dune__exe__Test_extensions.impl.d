@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Anafault Array Cat Complex Defects Extract Faults Float Format Fun Gen Geom Layout List Netlist Printf QCheck QCheck_alcotest Sim String Synth Test

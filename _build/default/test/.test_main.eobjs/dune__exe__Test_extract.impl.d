@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Extract Format Gen Geom Layout List Netlist Printf QCheck QCheck_alcotest String Test

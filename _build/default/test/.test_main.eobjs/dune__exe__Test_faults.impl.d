@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Faults List Netlist Sim String Vco

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Gen Geom List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Drc Format Geom Layer Layout List Mask String

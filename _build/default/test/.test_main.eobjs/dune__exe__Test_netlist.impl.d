@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Circuit Device Float Gen List Netlist Option Parser Printer QCheck QCheck_alcotest Sim Test Wave

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Complex Float Gen List Netlist Printf QCheck QCheck_alcotest Sim String Test

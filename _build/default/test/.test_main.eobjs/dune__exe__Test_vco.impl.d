@@ -1,0 +1,1 @@
+test/test_vco.ml: Alcotest Anafault Array Cat Defects Extract Format Layout List Netlist Sim String Vco

@@ -1,0 +1,231 @@
+(* Tests for the AnaFAULT driver: detection semantics on synthetic
+   waveforms, the simulation loop on a small circuit, coverage math and
+   reporting. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tol = Anafault.Detect.paper_tolerance
+
+(* Synthetic waveforms on a 400-point, 4 us grid (the paper's run). *)
+let grid = Array.init 400 (fun i -> 4e-6 *. float_of_int i /. 399.0)
+
+let wave f =
+  Sim.Waveform.make ~names:[| "out" |]
+    ~samples:(Array.to_list (Array.map (fun t -> (t, [| f t |])) grid))
+
+let square ~period ~delay t =
+  if t < delay then 0.0
+  else if Float.rem (t -. delay) period < period /. 2.0 then 5.0
+  else 0.0
+
+let nominal = wave (square ~period:0.8e-6 ~delay:0.0)
+
+let detect f =
+  Anafault.Detect.first_detection ~tolerance:tol ~signal:"out" ~nominal
+    ~faulty:(wave f)
+
+let detect_tests =
+  [
+    Alcotest.test_case "identical waveform is undetected" `Quick (fun () ->
+        check_bool "none" true (detect (square ~period:0.8e-6 ~delay:0.0) = None));
+    Alcotest.test_case "stuck low detected quickly" `Quick (fun () ->
+        match detect (fun _ -> 0.0) with
+        | Some t -> check_bool "early" true (t < 1.0e-6)
+        | None -> Alcotest.fail "expected detection");
+    Alcotest.test_case "stuck high detected" `Quick (fun () ->
+        check_bool "detected" true (detect (fun _ -> 5.0) <> None));
+    Alcotest.test_case "stuck mid-rail detected" `Quick (fun () ->
+        (* 2.5 V differs from both rails by exactly 2.5 > 2. *)
+        check_bool "detected" true (detect (fun _ -> 2.5) <> None));
+    Alcotest.test_case "nothing detected before the time tolerance" `Quick (fun () ->
+        match detect (fun _ -> 2.5) with
+        | Some t -> check_bool "after tol_t" true (t >= tol.Anafault.Detect.tol_t)
+        | None -> Alcotest.fail "expected detection");
+    Alcotest.test_case "small phase shift tolerated" `Quick (fun () ->
+        check_bool "none" true (detect (square ~period:0.8e-6 ~delay:0.04e-6) = None));
+    Alcotest.test_case "halved frequency detected" `Quick (fun () ->
+        check_bool "detected" true (detect (square ~period:1.6e-6 ~delay:0.0) <> None));
+    Alcotest.test_case "doubled frequency detected" `Quick (fun () ->
+        check_bool "detected" true (detect (square ~period:0.4e-6 ~delay:0.0) <> None));
+    Alcotest.test_case "very fast oscillation detected via local mean" `Quick (fun () ->
+        check_bool "detected" true (detect (square ~period:0.04e-6 ~delay:0.0) <> None));
+    Alcotest.test_case "small level shift tolerated" `Quick (fun () ->
+        let f t = square ~period:0.8e-6 ~delay:0.0 t +. 1.0 in
+        check_bool "none" true (detect f = None));
+    Alcotest.test_case "large level shift detected" `Quick (fun () ->
+        let f t = square ~period:0.8e-6 ~delay:0.0 t +. 2.6 in
+        check_bool "detected" true (detect f <> None));
+    Alcotest.test_case "unknown signal raises" `Quick (fun () ->
+        match
+          Anafault.Detect.first_detection ~tolerance:tol ~signal:"ghost" ~nominal
+            ~faulty:nominal
+        with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found");
+  ]
+
+(* A testable circuit: NMOS inverter driven by a pulse; bridging the
+   output to ground or opening the driver changes the response hard. *)
+let inverter =
+  (Netlist.Parser.parse
+     ("inv\nVDD vdd 0 5\nVIN in 0 PULSE(0 5 0 10n 10n 1u 2u)\nRD vdd out 10k\n"
+    ^ "M1 out in 0 0 NM W=20u L=1u\n.model NM NMOS VTO=1 KP=60u\n.end\n"))
+    .Netlist.Parser.circuit
+
+let tran = { Netlist.Parser.tstep = 10e-9; tstop = 4e-6; uic = true }
+
+let config = Anafault.Simulate.default_config ~tran ~observed:"out"
+
+let bridge_out_vdd =
+  Faults.Fault.make ~id:"#1"
+    ~kind:(Faults.Fault.Bridge { net_a = "out"; net_b = "vdd" })
+    ~mechanism:"metal1_short" ~prob:1e-7 ()
+
+let open_gate =
+  Faults.Fault.make ~id:"#2"
+    ~kind:(Faults.Fault.Break
+             { net = "in"; moved = [ { Faults.Fault.device = "M1"; port = 1 } ] })
+    ~mechanism:"poly_open" ~prob:1e-8 ()
+
+let benign_bridge =
+  (* Shorting out to itself - no electrical change, never detected. *)
+  Faults.Fault.make ~id:"#3"
+    ~kind:(Faults.Fault.Bridge { net_a = "out"; net_b = "out" })
+    ~mechanism:"metal1_short" ~prob:1e-9 ()
+
+let faults = [ bridge_out_vdd; open_gate; benign_bridge ]
+
+let simulate_tests =
+  [
+    Alcotest.test_case "run detects the hard faults" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        let detected, undetected, failed = Anafault.Simulate.tally run in
+        check_int "detected" 2 detected;
+        check_int "undetected" 1 undetected;
+        check_int "failed" 0 failed);
+    Alcotest.test_case "resistor model agrees with source model" `Quick (fun () ->
+        let run_src = Anafault.Simulate.run config inverter faults in
+        let run_res =
+          Anafault.Simulate.run
+            { config with model = Faults.Inject.default_resistor }
+            inverter faults
+        in
+        let outcomes run =
+          List.map
+            (fun (r : Anafault.Simulate.fault_result) ->
+              match r.outcome with
+              | Anafault.Simulate.Detected _ -> "d"
+              | Anafault.Simulate.Undetected -> "u"
+              | Anafault.Simulate.Sim_failed _ -> "f")
+            run.Anafault.Simulate.results
+        in
+        Alcotest.(check (list string)) "same outcomes" (outcomes run_src) (outcomes run_res));
+    Alcotest.test_case "progress callback fires per fault" `Quick (fun () ->
+        let calls = ref [] in
+        let _ =
+          Anafault.Simulate.run
+            ~progress:(fun d t -> calls := (d, t) :: !calls)
+            config inverter faults
+        in
+        check_int "three calls" 3 (List.length !calls);
+        check_bool "totals right" true (List.for_all (fun (_, t) -> t = 3) !calls));
+    Alcotest.test_case "parallel run equals serial run" `Quick (fun () ->
+        let serial = Anafault.Simulate.run config inverter faults in
+        let parallel = Anafault.Parsim.run ~domains:4 config inverter faults in
+        let key run =
+          List.map
+            (fun (r : Anafault.Simulate.fault_result) ->
+              ( r.fault.Faults.Fault.id,
+                match r.outcome with
+                | Anafault.Simulate.Detected t -> Printf.sprintf "d%.9f" t
+                | Anafault.Simulate.Undetected -> "u"
+                | Anafault.Simulate.Sim_failed _ -> "f" ))
+            run.Anafault.Simulate.results
+        in
+        check_bool "same" true (key serial = key parallel));
+  ]
+
+let coverage_tests =
+  [
+    Alcotest.test_case "coverage curve is monotone to the final value" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        let curve = Anafault.Coverage.curve run ~points:50 in
+        let values = List.map snd curve in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> a <= b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        check_bool "monotone" true (monotone values);
+        Alcotest.(check (float 1e-9))
+          "final matches" (Anafault.Coverage.final_percent run)
+          (List.nth values (List.length values - 1)));
+    Alcotest.test_case "final percent counts detections only" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        Alcotest.(check (float 0.1)) "2/3" (200.0 /. 3.0)
+          (Anafault.Coverage.final_percent run));
+    Alcotest.test_case "weighted percent favours likely faults" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        (* The undetected fault has the smallest probability, so weighted
+           coverage exceeds the raw percentage. *)
+        check_bool "weighted higher" true
+          (Anafault.Coverage.weighted_percent run
+          > Anafault.Coverage.final_percent run));
+    Alcotest.test_case "time_to_percent" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        match Anafault.Coverage.time_to_percent run 50.0 with
+        | Some t -> check_bool "within test" true (t > 0.0 && t <= 4e-6)
+        | None -> Alcotest.fail "expected a time");
+  ]
+
+let report_tests =
+  [
+    Alcotest.test_case "csv has a line per fault plus header" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        let lines =
+          String.split_on_char '\n' (Anafault.Report.csv run)
+          |> List.filter (fun l -> l <> "")
+        in
+        check_int "lines" 4 (List.length lines));
+    Alcotest.test_case "summary and table render" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        check_bool "summary" true
+          (String.length (Format.asprintf "%a" Anafault.Report.pp_summary run) > 0);
+        check_bool "table" true
+          (String.length (Format.asprintf "%a" Anafault.Report.pp_table run) > 0);
+        check_bool "plot" true (String.length (Anafault.Report.coverage_plot run) > 0));
+    Alcotest.test_case "overview groups by mechanism" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        let s = Format.asprintf "%a" Anafault.Report.pp_overview run in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "mech listed" true (contains s "metal1_short");
+        check_bool "header" true (contains s "mean t_detect"));
+    Alcotest.test_case "waveform csv export" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        let csv = Sim.Waveform.to_csv run.Anafault.Simulate.nominal in
+        let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+        Alcotest.(check int) "rows" (1 + Sim.Waveform.length run.Anafault.Simulate.nominal)
+          (List.length lines));
+    Alcotest.test_case "ascii plot renders axes and legend" `Quick (fun () ->
+        let s =
+          Anafault.Ascii_plot.render
+            ~series:[ ("a", [ (0.0, 0.0); (1.0, 1.0) ]); ("b", [ (0.0, 1.0); (1.0, 0.0) ]) ]
+            ()
+        in
+        check_bool "nonempty" true (String.length s > 100));
+    Alcotest.test_case "ascii plot tolerates empty data" `Quick (fun () ->
+        Alcotest.(check string) "msg" "(no data)\n"
+          (Anafault.Ascii_plot.render ~series:[ ("x", []) ] ()));
+  ]
+
+let suites =
+  [
+    ("anafault.detect", detect_tests);
+    ("anafault.simulate", simulate_tests);
+    ("anafault.coverage", coverage_tests);
+    ("anafault.report", report_tests);
+  ]

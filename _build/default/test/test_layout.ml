@@ -1,0 +1,180 @@
+(* Tests for the layout database, builder, CIF I/O and DRC. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tech = Layout.Tech.default
+
+let tech_tests =
+  [
+    Alcotest.test_case "table1 matches the paper" `Quick (fun () ->
+        let t1 = Layout.Tech.table1 tech in
+        check_int "rows" 11 (List.length t1);
+        let density sym =
+          let _, _, _, d = List.find (fun (_, _, s, _) -> s = sym) t1 in
+          d
+        in
+        Alcotest.(check (float 0.0)) "ad" 0.01 (density "ad");
+        Alcotest.(check (float 0.0)) "bd" 1.00 (density "bd");
+        Alcotest.(check (float 0.0)) "ap" 0.25 (density "ap");
+        Alcotest.(check (float 0.0)) "bp" 1.25 (density "bp");
+        Alcotest.(check (float 0.0)) "am1" 0.01 (density "am1");
+        Alcotest.(check (float 0.0)) "bm1" 1.00 (density "bm1");
+        Alcotest.(check (float 0.0)) "am2" 0.02 (density "am2");
+        Alcotest.(check (float 0.0)) "bm2" 1.50 (density "bm2");
+        Alcotest.(check (float 0.0)) "acd" 0.66 (density "acd");
+        Alcotest.(check (float 0.0)) "acp" 0.67 (density "acp");
+        Alcotest.(check (float 0.0)) "acv" 0.80 (density "acv"));
+    Alcotest.test_case "metal2 shorts dominate" `Quick (fun () ->
+        let d m = tech.Layout.Tech.rel_density m in
+        check_bool "bm2 largest" true
+          (d (Layout.Tech.Short_on Layout.Layer.Metal2)
+          >= d (Layout.Tech.Short_on Layout.Layer.Metal1)));
+    Alcotest.test_case "layer string round trip" `Quick (fun () ->
+        List.iter
+          (fun l ->
+            check_bool "rt" true
+              (Layout.Layer.equal l (Layout.Layer.of_string (Layout.Layer.to_string l))))
+          Layout.Layer.all);
+  ]
+
+let builder_tests =
+  [
+    Alcotest.test_case "wire emits one rect per segment" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+          [ Geom.Point.make 0 0; Geom.Point.make 10000 0; Geom.Point.make 10000 8000 ];
+        let m = Layout.Builder.finish b in
+        check_int "rects" 2 (List.length (Layout.Mask.on m Layout.Layer.Metal1)));
+    Alcotest.test_case "diagonal wire rejected" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        match
+          Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+            [ Geom.Point.make 0 0; Geom.Point.make 5 7 ]
+        with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "contact emits cut and two pads" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        Layout.Builder.contact b ~to_:Layout.Layer.Poly (Geom.Point.make 0 0);
+        let m = Layout.Builder.finish b in
+        check_int "cut" 1 (List.length (Layout.Mask.on m Layout.Layer.Contact));
+        check_int "m1 pad" 1 (List.length (Layout.Mask.on m Layout.Layer.Metal1));
+        check_int "poly pad" 1 (List.length (Layout.Mask.on m Layout.Layer.Poly)));
+    Alcotest.test_case "contact to metal rejected" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        match Layout.Builder.contact b ~to_:Layout.Layer.Metal2 (Geom.Point.make 0 0) with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "nmos registers hint and ports" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        let p =
+          Layout.Builder.mos b ~name:"M1" ~kind:`N ~at:(Geom.Point.make 0 0) ~w:4000
+            ~l:1000 ()
+        in
+        let m = Layout.Builder.finish b in
+        check_int "hints" 1 (List.length m.Layout.Mask.hints);
+        check_bool "ports ordered" true (p.Layout.Builder.source.Geom.Point.x < p.Layout.Builder.drain.Geom.Point.x);
+        check_bool "hinted" true
+          (Layout.Mask.hint_for m p.Layout.Builder.channel = Some "M1"));
+    Alcotest.test_case "pmos adds nwell" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        ignore
+          (Layout.Builder.mos b ~name:"M2" ~kind:`P ~at:(Geom.Point.make 0 0) ~w:4000
+             ~l:1000 ());
+        let m = Layout.Builder.finish b in
+        check_int "nwell" 1 (List.length (Layout.Mask.on m Layout.Layer.Nwell)));
+    Alcotest.test_case "transistor layout is DRC clean" `Quick (fun () ->
+        let b = Layout.Builder.create tech in
+        ignore
+          (Layout.Builder.mos b ~name:"M1" ~kind:`N ~at:(Geom.Point.make 0 0) ~w:4000
+             ~l:1000 ());
+        let violations = Layout.Drc.check (Layout.Builder.finish b) in
+        Alcotest.(check (list string))
+          "clean" []
+          (List.map (Format.asprintf "%a" Layout.Drc.pp_violation) violations));
+  ]
+
+let drc_tests =
+  let open Layout in
+  [
+    Alcotest.test_case "narrow wire flagged" `Quick (fun () ->
+        let m =
+          Mask.add_shape (Mask.empty tech) Layer.Metal1 (Geom.Rect.make 0 0 500 10000)
+        in
+        check_bool "flagged" true
+          (List.exists (fun v -> v.Drc.kind = Drc.Width) (Drc.check m)));
+    Alcotest.test_case "close unconnected wires flagged" `Quick (fun () ->
+        let m =
+          Mask.add_shape
+            (Mask.add_shape (Mask.empty tech) Layer.Metal1 (Geom.Rect.make 0 0 2000 10000))
+            Layer.Metal1
+            (Geom.Rect.make 2500 0 4500 10000)
+        in
+        check_bool "flagged" true
+          (List.exists (fun v -> v.Drc.kind = Drc.Spacing) (Drc.check m)));
+    Alcotest.test_case "touching shapes not a spacing violation" `Quick (fun () ->
+        let m =
+          Mask.add_shape
+            (Mask.add_shape (Mask.empty tech) Layer.Metal1 (Geom.Rect.make 0 0 2000 10000))
+            Layer.Metal1
+            (Geom.Rect.make 2000 0 4000 10000)
+        in
+        check_bool "clean" true
+          (not (List.exists (fun v -> v.Drc.kind = Drc.Spacing) (Drc.check m))));
+    Alcotest.test_case "bare cut flagged for enclosure" `Quick (fun () ->
+        let m =
+          Mask.add_shape (Mask.empty tech) Layer.Contact (Geom.Rect.make 0 0 1500 1500)
+        in
+        check_bool "flagged" true
+          (List.exists (fun v -> v.Drc.kind = Drc.Enclosure) (Drc.check m)));
+  ]
+
+let cif_tests =
+  let build () =
+    let b = Layout.Builder.create tech in
+    ignore
+      (Layout.Builder.mos b ~name:"M1" ~kind:`N ~at:(Geom.Point.make 0 0) ~w:4000 ~l:1000 ());
+    Layout.Builder.wire b Layout.Layer.Metal1 ~width:2000
+      [ Geom.Point.make 0 0; Geom.Point.make 9000 0 ];
+    Layout.Builder.label b Layout.Layer.Metal1 (Geom.Point.make 0 0) "GND";
+    Layout.Builder.finish b
+  in
+  [
+    Alcotest.test_case "round trip preserves everything" `Quick (fun () ->
+        let m = build () in
+        let m2 = Layout.Cif.of_string ~tech (Layout.Cif.to_string m) in
+        check_int "shapes" (Layout.Mask.shape_count m) (Layout.Mask.shape_count m2);
+        check_int "labels" (List.length m.Layout.Mask.labels)
+          (List.length m2.Layout.Mask.labels);
+        check_int "hints" (List.length m.Layout.Mask.hints)
+          (List.length m2.Layout.Mask.hints);
+        check_bool "same shapes" true
+          (List.sort compare m.Layout.Mask.shapes = List.sort compare m2.Layout.Mask.shapes));
+    Alcotest.test_case "comments and blank lines tolerated" `Quick (fun () ->
+        let m =
+          Layout.Cif.of_string ~tech "# header\n\nshape metal1 0 0 10 10\n\nend\n"
+        in
+        check_int "shapes" 1 (Layout.Mask.shape_count m));
+    Alcotest.test_case "bad layer reports line" `Quick (fun () ->
+        match Layout.Cif.of_string ~tech "shape bogus 0 0 1 1\n" with
+        | exception Layout.Cif.Parse_error (1, _) -> ()
+        | exception Layout.Cif.Parse_error (n, _) -> Alcotest.failf "wrong line %d" n
+        | _ -> Alcotest.fail "expected Parse_error");
+    Alcotest.test_case "mask stats printable" `Quick (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        let s = Format.asprintf "%a" Layout.Mask.pp_stats (build ()) in
+        check_bool "mentions metal1" true (contains s "metal1"));
+  ]
+
+let suites =
+  [
+    ("layout.tech", tech_tests);
+    ("layout.builder", builder_tests);
+    ("layout.drc", drc_tests);
+    ("layout.cif", cif_tests);
+  ]

@@ -1,0 +1,391 @@
+(* Tests for the kernel simulator: linear algebra, device models, DC and
+   transient analyses against analytic solutions. *)
+
+let check_bool = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let lu_tests =
+  [
+    Alcotest.test_case "solves 2x2" `Quick (fun () ->
+        let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let x = Sim.Lu.solve_copy a [| 5.0; 10.0 |] in
+        checkf 1e-12 "x0" 1.0 x.(0);
+        checkf 1e-12 "x1" 3.0 x.(1));
+    Alcotest.test_case "pivots when diagonal is zero" `Quick (fun () ->
+        let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let x = Sim.Lu.solve_copy a [| 2.0; 3.0 |] in
+        checkf 1e-12 "x0" 3.0 x.(0);
+        checkf 1e-12 "x1" 2.0 x.(1));
+    Alcotest.test_case "raises on singular" `Quick (fun () ->
+        let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        match Sim.Lu.solve_copy a [| 1.0; 2.0 |] with
+        | exception Sim.Lu.Singular _ -> ()
+        | _ -> Alcotest.fail "expected Singular");
+  ]
+
+let lu_qcheck =
+  let open QCheck in
+  let gen_system n =
+    Gen.(
+      pair
+        (array_size (return (n * n)) (float_range (-10.0) 10.0))
+        (array_size (return n) (float_range (-10.0) 10.0)))
+  in
+  [
+    Test.make ~name:"lu residual small on random 6x6" ~count:200
+      (make (gen_system 6)) (fun (flat, b) ->
+        let n = 6 in
+        let a = Array.init n (fun i -> Array.sub flat (i * n) n) in
+        (* Diagonal boost keeps the matrices comfortably nonsingular. *)
+        for i = 0 to n - 1 do
+          a.(i).(i) <- a.(i).(i) +. 50.0
+        done;
+        let x = Sim.Lu.solve_copy a b in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          let s = ref 0.0 in
+          for j = 0 to n - 1 do
+            s := !s +. (a.(i).(j) *. x.(j))
+          done;
+          if Float.abs (!s -. b.(i)) > 1e-6 then ok := false
+        done;
+        !ok);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let mosfet_tests =
+  let nmos = Netlist.Device.default_nmos in
+  let pmos = Netlist.Device.default_pmos in
+  let eval_n = Sim.Mosfet.eval nmos ~w:10e-6 ~l:1e-6 in
+  let eval_p = Sim.Mosfet.eval pmos ~w:10e-6 ~l:1e-6 in
+  [
+    Alcotest.test_case "cutoff" `Quick (fun () ->
+        let e = eval_n ~vgs:0.2 ~vds:3.0 in
+        checkf 1e-15 "ids" 0.0 e.Sim.Mosfet.ids);
+    Alcotest.test_case "saturation current" `Quick (fun () ->
+        (* beta = 60u*10 = 600u; vov = 1.2; ids = 0.5*600u*1.44*(1+0.02*3). *)
+        let e = eval_n ~vgs:2.0 ~vds:3.0 in
+        checkf 1e-9 "ids" (0.5 *. 600e-6 *. 1.44 *. 1.06) e.Sim.Mosfet.ids;
+        check_bool "gm > 0" true (e.Sim.Mosfet.gm > 0.0);
+        check_bool "gds > 0" true (e.Sim.Mosfet.gds > 0.0));
+    Alcotest.test_case "linear region" `Quick (fun () ->
+        let e = eval_n ~vgs:2.0 ~vds:0.1 in
+        let expect = 600e-6 *. ((1.2 *. 0.1) -. 0.005) *. (1.0 +. (0.02 *. 0.1)) in
+        checkf 1e-9 "ids" expect e.Sim.Mosfet.ids);
+    Alcotest.test_case "reverse conduction antisymmetry" `Quick (fun () ->
+        (* With lambda = 0 the channel is symmetric: swapping D and S
+           negates the current. *)
+        let m = { nmos with Netlist.Device.lambda = 0.0 } in
+        let ev = Sim.Mosfet.eval m ~w:10e-6 ~l:1e-6 in
+        let fwd = ev ~vgs:2.0 ~vds:1.0 in
+        let rev = ev ~vgs:1.0 ~vds:(-1.0) in
+        checkf 1e-12 "antisym" fwd.Sim.Mosfet.ids (-.rev.Sim.Mosfet.ids));
+    Alcotest.test_case "pmos mirrors nmos" `Quick (fun () ->
+        let ep = eval_p ~vgs:(-2.0) ~vds:(-3.0) in
+        check_bool "negative current" true (ep.Sim.Mosfet.ids < 0.0);
+        check_bool "gm positive" true (ep.Sim.Mosfet.gm > 0.0));
+    Alcotest.test_case "regions" `Quick (fun () ->
+        Alcotest.(check string) "off" "off" (Sim.Mosfet.region nmos ~vgs:0.1 ~vds:1.0);
+        Alcotest.(check string) "lin" "linear" (Sim.Mosfet.region nmos ~vgs:3.0 ~vds:0.5);
+        Alcotest.(check string)
+          "sat" "saturation"
+          (Sim.Mosfet.region nmos ~vgs:2.0 ~vds:4.0));
+  ]
+
+(* Finite-difference validation of the analytic derivatives: Newton's
+   global convergence depends on these being right. *)
+let mosfet_qcheck =
+  let open QCheck in
+  let bias = Gen.(pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0)) in
+  let models = [ Netlist.Device.default_nmos; Netlist.Device.default_pmos ] in
+  List.map
+    (fun model ->
+      let name =
+        Printf.sprintf "mosfet %s derivatives match finite differences"
+          model.Netlist.Device.mname
+      in
+      Test.make ~name ~count:500 (make bias) (fun (vgs, vds) ->
+          let ev = Sim.Mosfet.eval model ~w:10e-6 ~l:1e-6 in
+          let e = ev ~vgs ~vds in
+          let dh = 1e-7 in
+          let e_g = ev ~vgs:(vgs +. dh) ~vds in
+          let e_d = ev ~vgs ~vds:(vds +. dh) in
+          let fd_gm = (e_g.Sim.Mosfet.ids -. e.Sim.Mosfet.ids) /. dh in
+          let fd_gds = (e_d.Sim.Mosfet.ids -. e.Sim.Mosfet.ids) /. dh in
+          let close a b = Float.abs (a -. b) <= 1e-4 +. (1e-3 *. Float.abs b) in
+          close fd_gm e.Sim.Mosfet.gm && close fd_gds e.Sim.Mosfet.gds))
+    models
+  |> List.map QCheck_alcotest.to_alcotest
+
+let waveform_tests =
+  let wf =
+    Sim.Waveform.make ~names:[| "a"; "b" |]
+      ~samples:[ (0.0, [| 0.0; 1.0 |]); (1.0, [| 2.0; 1.0 |]); (2.0, [| 4.0; 0.0 |]) ]
+  in
+  [
+    Alcotest.test_case "interpolates" `Quick (fun () ->
+        checkf 1e-12 "mid" 1.0 (Sim.Waveform.value_at wf "a" 0.5);
+        checkf 1e-12 "knot" 2.0 (Sim.Waveform.value_at wf "a" 1.0);
+        checkf 1e-12 "clamp lo" 0.0 (Sim.Waveform.value_at wf "a" (-1.0));
+        checkf 1e-12 "clamp hi" 4.0 (Sim.Waveform.value_at wf "a" 99.0));
+    Alcotest.test_case "resample keeps endpoints" `Quick (fun () ->
+        let r = Sim.Waveform.resample wf ~n:5 in
+        checkf 1e-12 "start" 0.0 (Sim.Waveform.value_at r "a" 0.0);
+        checkf 1e-12 "stop" 4.0 (Sim.Waveform.value_at r "a" 2.0);
+        Alcotest.(check int) "len" 5 (Sim.Waveform.length r));
+    Alcotest.test_case "min max" `Quick (fun () ->
+        checkf 1e-12 "min" 0.0 (Sim.Waveform.signal_min wf "b");
+        checkf 1e-12 "max" 1.0 (Sim.Waveform.signal_max wf "b"));
+    Alcotest.test_case "rejects ragged rows" `Quick (fun () ->
+        match Sim.Waveform.make ~names:[| "a" |] ~samples:[ (0.0, [| 1.0; 2.0 |]) ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let parse s = (Netlist.Parser.parse s).Netlist.Parser.circuit
+
+let dc_tests =
+  [
+    Alcotest.test_case "voltage divider" `Quick (fun () ->
+        let c = parse "div\nV1 in 0 10\nR1 in out 1k\nR2 out 0 1k\n.end\n" in
+        let sol = Sim.Engine.dc_operating_point c in
+        checkf 1e-6 "out" 5.0 (Sim.Engine.voltage sol "out");
+        checkf 1e-9 "source current" (-0.005) (Sim.Engine.branch_current sol "V1"));
+    Alcotest.test_case "current source into resistor" `Quick (fun () ->
+        let c = parse "isrc\nI1 0 out 1m\nR1 out 0 2k\n.end\n" in
+        let sol = Sim.Engine.dc_operating_point c in
+        checkf 1e-6 "out" 2.0 (Sim.Engine.voltage sol "out"));
+    Alcotest.test_case "inductor is a DC short" `Quick (fun () ->
+        let c = parse "ldc\nV1 in 0 1\nL1 in out 1m\nR1 out 0 1k\n.end\n" in
+        let sol = Sim.Engine.dc_operating_point c in
+        checkf 1e-6 "out" 1.0 (Sim.Engine.voltage sol "out");
+        checkf 1e-9 "iL" 1e-3 (Sim.Engine.branch_current sol "L1"));
+    Alcotest.test_case "capacitor is a DC open" `Quick (fun () ->
+        let c = parse "cdc\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1n\nR2 out 0 1k\n.end\n" in
+        let sol = Sim.Engine.dc_operating_point c in
+        checkf 1e-6 "out" 0.5 (Sim.Engine.voltage sol "out"));
+    Alcotest.test_case "diode clamp near 0.6V" `Quick (fun () ->
+        let c = parse "dclamp\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D IS=1e-14\n.end\n" in
+        let sol = Sim.Engine.dc_operating_point c in
+        let v = Sim.Engine.voltage sol "out" in
+        check_bool "plausible diode drop" true (v > 0.4 && v < 0.8));
+    Alcotest.test_case "nmos inverter low output for high input" `Quick (fun () ->
+        let c =
+          parse
+            "inv\nVDD vdd 0 5\nVIN in 0 5\nRD vdd out 10k\nM1 out in 0 0 NM W=10u L=1u\n.model NM NMOS VTO=1 KP=60u\n.end\n"
+        in
+        let sol = Sim.Engine.dc_operating_point c in
+        check_bool "low" true (Sim.Engine.voltage sol "out" < 0.5));
+    Alcotest.test_case "nmos inverter high output for low input" `Quick (fun () ->
+        let c =
+          parse
+            "inv\nVDD vdd 0 5\nVIN in 0 0\nRD vdd out 10k\nM1 out in 0 0 NM W=10u L=1u\n.model NM NMOS VTO=1 KP=60u\n.end\n"
+        in
+        let sol = Sim.Engine.dc_operating_point c in
+        checkf 1e-3 "high" 5.0 (Sim.Engine.voltage sol "out"));
+    Alcotest.test_case "cmos inverter mid threshold" `Quick (fun () ->
+        let c =
+          parse
+            ("cmosinv\nVDD vdd 0 5\nVIN in 0 2.5\n"
+           ^ "M1 out in 0 0 NM W=10u L=1u\nM2 out in vdd vdd PM W=24u L=1u\n"
+           ^ ".model NM NMOS VTO=0.8 KP=60u LAMBDA=0.02\n"
+           ^ ".model PM PMOS VTO=-0.8 KP=25u LAMBDA=0.02\n.end\n")
+        in
+        let sol = Sim.Engine.dc_operating_point c in
+        let v = Sim.Engine.voltage sol "out" in
+        check_bool "in transition region" true (v > 1.0 && v < 4.0));
+  ]
+
+let tran_tests =
+  [
+    Alcotest.test_case "rc charging matches analytic" `Quick (fun () ->
+        (* tau = 1k * 1u = 1 ms; v(t) = 5(1 - exp(-t/tau)). *)
+        let c = parse "rc\nV1 in 0 5\nR1 in out 1k\nC1 out 0 1u IC=0\n.end\n" in
+        let wf = Sim.Engine.transient c ~tstep:1e-5 ~tstop:5e-3 ~uic:true in
+        List.iter
+          (fun t ->
+            let expect = 5.0 *. (1.0 -. exp (-.t /. 1e-3)) in
+            let got = Sim.Waveform.value_at wf "out" t in
+            checkf 0.02 (Printf.sprintf "v(%.0e)" t) expect got)
+          [ 5e-4; 1e-3; 2e-3; 4e-3 ]);
+    Alcotest.test_case "rc discharging from IC" `Quick (fun () ->
+        let c = parse "rc2\nR1 out 0 1k\nC1 out 0 1u IC=5\n.end\n" in
+        let wf = Sim.Engine.transient c ~tstep:1e-5 ~tstop:3e-3 ~uic:true in
+        checkf 0.02 "v(1ms)" (5.0 *. exp (-1.0)) (Sim.Waveform.value_at wf "out" 1e-3));
+    Alcotest.test_case "rl current rise" `Quick (fun () ->
+        (* tau = L/R = 1 ms; i(t) = (V/R)(1-exp(-t/tau)). *)
+        let c = parse "rl\nV1 in 0 1\nR1 in x 1\nL1 x 0 1m\n.end\n" in
+        let wf = Sim.Engine.transient c ~tstep:1e-5 ~tstop:5e-3 ~uic:true in
+        checkf 0.01 "i(1ms)"
+          (1.0 -. exp (-1.0))
+          (Sim.Waveform.value_at wf "I(L1)" 1e-3));
+    Alcotest.test_case "pulse drives rc" `Quick (fun () ->
+        let c =
+          parse
+            "pl\nVIN in 0 PULSE(0 5 1u 10n 10n 10u 0)\nR1 in out 1k\nC1 out 0 100p IC=0\n.end\n"
+        in
+        let wf = Sim.Engine.transient c ~tstep:5e-8 ~tstop:4e-6 ~uic:true in
+        checkf 0.05 "still 0 before pulse" 0.0 (Sim.Waveform.value_at wf "out" 0.9e-6);
+        (* 3 us after edge = 29 tau: fully settled. *)
+        checkf 0.05 "settled" 5.0 (Sim.Waveform.value_at wf "out" 4e-6));
+    Alcotest.test_case "lc oscillation period" `Quick (fun () ->
+        (* L = 1 mH, C = 1 uF: f = 5.03 kHz; check the sign flips around a
+           half period. *)
+        let c = parse "lc\nL1 out 0 1m IC=0\nC1 out 0 1u IC=1\n.end\n" in
+        let options =
+          { Sim.Engine.default_options with integration = Sim.Engine.Trapezoidal }
+        in
+        let wf = Sim.Engine.transient ~options c ~tstep:2e-6 ~tstop:3e-4 ~uic:true in
+        let half = Float.pi *. sqrt (1e-3 *. 1e-6) in
+        let v_half = Sim.Waveform.value_at wf "out" half in
+        check_bool "inverted after half period" true (v_half < -0.8));
+    Alcotest.test_case "uic starts from capacitor ICs" `Quick (fun () ->
+        let c = parse "ic\nR1 out 0 1k\nC1 out 0 1u IC=3\n.end\n" in
+        let wf = Sim.Engine.transient c ~tstep:1e-6 ~tstop:1e-5 ~uic:true in
+        checkf 0.01 "v(0)" 3.0 (Sim.Waveform.value_at wf "out" 0.0));
+    Alcotest.test_case "backward euler also converges" `Quick (fun () ->
+        let options =
+          { Sim.Engine.default_options with integration = Sim.Engine.Backward_euler }
+        in
+        let c = parse "rc\nV1 in 0 5\nR1 in out 1k\nC1 out 0 1u IC=0\n.end\n" in
+        let wf = Sim.Engine.transient ~options c ~tstep:1e-5 ~tstop:2e-3 ~uic:true in
+        checkf 0.05 "v(1ms)" (5.0 *. (1.0 -. exp (-1.0)))
+          (Sim.Waveform.value_at wf "out" 1e-3));
+    Alcotest.test_case "stats are populated" `Quick (fun () ->
+        let c = parse "rc\nV1 in 0 5\nR1 in out 1k\nC1 out 0 1u IC=0\n.end\n" in
+        let _, stats = Sim.Engine.transient_with_stats c ~tstep:1e-5 ~tstop:1e-3 ~uic:true in
+        check_bool "steps" true (stats.Sim.Engine.accepted_steps > 10);
+        check_bool "iters" true (stats.Sim.Engine.newton_iterations >= stats.Sim.Engine.accepted_steps));
+    Alcotest.test_case "invalid tstep rejected" `Quick (fun () ->
+        let c = parse "rc\nR1 a 0 1k\n.end\n" in
+        match Sim.Engine.transient c ~tstep:0.0 ~tstop:1.0 ~uic:true with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+(* Property tests on whole analyses. *)
+let engine_qcheck =
+  let open QCheck in
+  (* Random resistor ladders driven by one source: the solver must be
+     linear (superposition) and must match the analytic series divider. *)
+  let ladder_gen =
+    Gen.(list_size (int_range 2 8) (float_range 100.0 100_000.0))
+  in
+  let ladder_circuit rs vin =
+    let n = List.length rs in
+    let devices =
+      Netlist.Device.V { name = "V1"; np = "n0"; nn = "0"; wave = Netlist.Wave.Dc vin }
+      :: List.mapi
+           (fun i r ->
+             let n1 = Printf.sprintf "n%d" i in
+             let n2 = if i = n - 1 then "0" else Printf.sprintf "n%d" (i + 1) in
+             Netlist.Device.R { name = Printf.sprintf "R%d" i; n1; n2; value = r })
+           rs
+    in
+    Netlist.Circuit.of_devices "ladder" devices
+  in
+  [
+    Test.make ~name:"series ladder matches analytic divider" ~count:100
+      (make ~print:(fun l -> String.concat ";" (List.map string_of_float l)) ladder_gen)
+      (fun rs ->
+        let vin = 10.0 in
+        let sol = Sim.Engine.dc_operating_point (ladder_circuit rs vin) in
+        let total = List.fold_left ( +. ) 0.0 rs in
+        let rec below i = function
+          | [] -> []
+          | r :: rest -> (i, r) :: below (i + 1) rest
+        in
+        List.for_all
+          (fun (i, _) ->
+            let drop =
+              List.fold_left ( +. ) 0.0 (List.filteri (fun j _ -> j < i) rs)
+            in
+            let expect = vin *. (1.0 -. (drop /. total)) in
+            Float.abs (Sim.Engine.voltage sol (Printf.sprintf "n%d" i) -. expect)
+            < 1e-6 +. (1e-6 *. Float.abs expect))
+          (below 0 rs));
+    Test.make ~name:"linear solve obeys superposition" ~count:100
+      (make ~print:(fun l -> String.concat ";" (List.map string_of_float l)) ladder_gen)
+      (fun rs ->
+        let v_at vin node =
+          Sim.Engine.voltage (Sim.Engine.dc_operating_point (ladder_circuit rs vin)) node
+        in
+        let node = "n1" in
+        let a = v_at 3.0 node and b = v_at 7.0 node and ab = v_at 10.0 node in
+        Float.abs (a +. b -. ab) < 1e-6);
+    Test.make ~name:"capacitor ramps linearly under constant current" ~count:50
+      (make ~print:string_of_float Gen.(float_range 1e-12 1e-9))
+      (fun c ->
+        let circuit =
+          Netlist.Circuit.of_devices "ramp"
+            [ Netlist.Device.I
+                { name = "I1"; np = "0"; nn = "out"; wave = Netlist.Wave.Dc 1e-6 };
+              Netlist.Device.C { name = "C1"; n1 = "out"; n2 = "0"; value = c; ic = Some 0.0 } ]
+        in
+        let tstop = c *. 2.0 /. 1e-6 in
+        (* time for 2 V at 1 uA *)
+        let wf =
+          Sim.Engine.transient circuit ~tstep:(tstop /. 100.0) ~tstop ~uic:true
+        in
+        let v = Sim.Waveform.value_at wf "out" (tstop /. 2.0) in
+        Float.abs (v -. 1.0) < 0.02);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let robustness_tests =
+  [
+    Alcotest.test_case "conflicting ideal sources do not converge" `Quick (fun () ->
+        let c = parse "bad\nV1 a 0 1\nV2 a 0 2\n.end\n" in
+        match Sim.Engine.dc_operating_point c with
+        | exception Sim.Engine.No_convergence _ -> ()
+        | exception Sim.Lu.Singular _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "zero-valued resistor rejected" `Quick (fun () ->
+        let c =
+          Netlist.Circuit.of_devices "z"
+            [ Netlist.Device.R { name = "R1"; n1 = "a"; n2 = "0"; value = 0.0 } ]
+        in
+        match Sim.Engine.dc_operating_point c with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "floating node pinned by gmin" `Quick (fun () ->
+        let c = parse "float\nV1 a 0 5\nR1 a b 1k\nC1 c 0 1p\n.end\n" in
+        let sol = Sim.Engine.dc_operating_point c in
+        (* b carries no current -> sits at a; c floats -> gmin pins it. *)
+        checkf 1e-3 "b" 5.0 (Sim.Engine.voltage sol "b");
+        checkf 1e-3 "c" 0.0 (Sim.Engine.voltage sol "c"));
+    Alcotest.test_case "spectrum rejects unsorted frequencies" `Quick (fun () ->
+        match
+          Sim.Spectrum.make ~names:[| "x" |]
+            ~points:[ (10.0, [| Complex.one |]); (5.0, [| Complex.one |]) ]
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "integration error shrinks with the step" `Quick (fun () ->
+        (* Backward Euler is first order: both steps must bracket the
+           analytic value, the finer one much closer. *)
+        let c = parse "rc\nV1 in 0 5\nR1 in out 1k\nC1 out 0 1u IC=0\n.end\n" in
+        let v tstep =
+          let wf = Sim.Engine.transient c ~tstep ~tstop:2e-3 ~uic:true in
+          Sim.Waveform.value_at wf "out" 1e-3
+        in
+        let exact = 5.0 *. (1.0 -. exp (-1.0)) in
+        let e_fine = Float.abs (v 1e-5 -. exact)
+        and e_coarse = Float.abs (v 1e-4 -. exact) in
+        check_bool "fine accurate" true (e_fine < 0.02);
+        check_bool "coarse sane" true (e_coarse < 0.15);
+        check_bool "order holds" true (e_fine < e_coarse));
+  ]
+
+let suites =
+  [
+    ("sim.lu", lu_tests);
+    ("sim.lu.properties", lu_qcheck);
+    ("sim.mosfet", mosfet_tests);
+    ("sim.mosfet.properties", mosfet_qcheck);
+    ("sim.waveform", waveform_tests);
+    ("sim.dc", dc_tests);
+    ("sim.tran", tran_tests);
+    ("sim.engine.properties", engine_qcheck);
+    ("sim.robustness", robustness_tests);
+  ]
