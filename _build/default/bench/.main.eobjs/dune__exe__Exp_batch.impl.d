@@ -1,0 +1,1 @@
+bench/exp_batch.ml: Anafault Array Domain Faults Float Fun Gc Helpers List Netlist Printf Sim Unix

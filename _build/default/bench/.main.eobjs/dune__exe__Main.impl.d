@@ -1,1 +1,1 @@
-bench/main.ml: Array Exp_ablation Exp_counts Exp_fig4 Exp_fig5 Exp_fig6 Exp_l2rfm Exp_models Exp_montecarlo Exp_tab1 Exp_testprep Helpers Micro Printf String Sys
+bench/main.ml: Array Exp_ablation Exp_batch Exp_counts Exp_fig4 Exp_fig5 Exp_fig6 Exp_l2rfm Exp_models Exp_montecarlo Exp_tab1 Exp_testprep Helpers Micro Printf String Sys

@@ -4,14 +4,21 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- quick   # skip ablations and micro-benchmarks
+     dune exec bench/main.exe -- batch   # only the session/scheduler experiment
 *)
 
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
+  let batch_only = Array.exists (String.equal "batch") Sys.argv in
   Printf.printf
     "Reproduction harness: Sebeke/Teixeira/Ohletz, DATE 1995\n\
      'Automatic Fault Extraction and Simulation of Layout Realistic Faults\n\
      for Integrated Analogue Circuits'\n";
+  if batch_only then begin
+    Exp_batch.run ();
+    Helpers.banner "Done";
+    exit 0
+  end;
   Exp_tab1.run ();
   Exp_counts.run ();
   Exp_l2rfm.run ();
@@ -22,6 +29,7 @@ let () =
   if not quick then begin
     Exp_montecarlo.run ();
     Exp_testprep.run ();
+    Exp_batch.run ();
     Exp_ablation.run fig5_run;
     Micro.run ()
   end;

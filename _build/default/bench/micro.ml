@@ -35,6 +35,8 @@ let small_faulty =
     (Anafault.Simulate.run_one small_config small_circuit
        ~nominal:(Lazy.force small_nominal) small_fault)
 
+let small_session = lazy (Anafault.Simulate.session small_config small_circuit)
+
 let extraction = lazy (Lazy.force Helpers.glrfm).Cat.extraction
 
 let lu_fixture =
@@ -46,6 +48,10 @@ let lu_fixture =
   in
   let b = Array.init n (fun i -> float_of_int (i mod 7)) in
   (a, b)
+
+let lu_scratch_fixture =
+  let n = 30 in
+  (Array.make_matrix n n 0.0, Array.make n 0.0, Sim.Lu.make_scratch n)
 
 (* --- the suite --- *)
 
@@ -82,7 +88,8 @@ let tests =
             nominal_stats =
               { Sim.Engine.newton_iterations = 0; accepted_steps = 0; rejected_steps = 0 };
             results = [ Lazy.force small_faulty ];
-            total_cpu_seconds = 0.0 }
+            wall_seconds = 0.0;
+            cpu_seconds = 0.0 }
         in
         ignore (Anafault.Coverage.curve run ~points:100)));
     (* Fig. 6: resistor-model injection. *)
@@ -101,10 +108,28 @@ let tests =
           (Anafault.Simulate.run_one
              { small_config with model = Faults.Inject.default_resistor }
              small_circuit ~nominal:(Lazy.force small_nominal) small_fault)));
+    (* Batch mode: the same fault through a shared engine session (patch,
+       simulate, restore) versus the rebuild-per-fault path above. *)
+    Test.make ~name:"batch/session_run_one" (Staged.stage (fun () ->
+        ignore
+          (Anafault.Simulate.run_one_in small_config (Lazy.force small_session)
+             ~nominal:(Lazy.force small_nominal) small_fault)));
+    Test.make ~name:"batch/session_create" (Staged.stage (fun () ->
+        ignore (Anafault.Simulate.session small_config small_circuit)));
     (* Primitives. *)
     Test.make ~name:"kernel/lu_solve_30" (Staged.stage (fun () ->
         let a, b = lu_fixture in
         ignore (Sim.Lu.solve_copy a b)));
+    Test.make ~name:"kernel/lu_scratch_30" (Staged.stage (fun () ->
+        (* Factor into preallocated buffers: the copy is the only
+           allocation-free-path cost left per solve. *)
+        let a, b = lu_fixture in
+        let abuf, bbuf, scratch = lu_scratch_fixture in
+        for i = 0 to Array.length b - 1 do
+          Array.blit a.(i) 0 abuf.(i) 0 (Array.length b)
+        done;
+        Array.blit b 0 bbuf 0 (Array.length b);
+        Sim.Lu.factor_solve scratch abuf bbuf));
     Test.make ~name:"kernel/mosfet_eval" (Staged.stage (fun () ->
         ignore
           (Sim.Mosfet.eval Netlist.Device.default_nmos ~w:10e-6 ~l:1e-6 ~vgs:2.0

@@ -1,1 +1,1 @@
-bin/anafault_main.ml: Anafault Arg Cat Cmd Cmdliner Faults Format Fun List Netlist Option Term
+bin/anafault_main.ml: Anafault Arg Cmd Cmdliner Faults Format Fun List Netlist Option Term

@@ -26,7 +26,12 @@ let run input fault_file universe observe model_name tol_v tol_t domains csv_fil
     in
     let observed =
       match observe with
-      | Some node -> node
+      | Some node ->
+        if not (List.mem node (Netlist.Circuit.nodes circuit)) then begin
+          Format.eprintf "error: observed node %S is not in the circuit@." node;
+          exit 1
+        end;
+        node
       | None -> begin
         (* Default: the last non-ground node, which by SPICE habit is the
            output. *)
@@ -51,9 +56,14 @@ let run input fault_file universe observe model_name tol_v tol_t domains csv_fil
     in
     Format.printf "observing %s, %d faults, %s model@." observed (List.length faults)
       model_name;
-    let run_result = Cat.run_fault_simulation ~domains config circuit faults in
+    let run_result, domain_stats =
+      if domains <= 1 then (Anafault.Simulate.run config circuit faults, [])
+      else Anafault.Parsim.run_with_stats ~domains config circuit faults
+    in
     Format.printf "%a@.@.%a@." Anafault.Report.pp_table run_result
       Anafault.Report.pp_summary run_result;
+    if domain_stats <> [] then
+      Format.printf "@.%a@." Anafault.Report.pp_domains domain_stats;
     if plot then print_string (Anafault.Report.coverage_plot run_result);
     Option.iter
       (fun path ->

@@ -1,1 +1,1 @@
-lib/anafault/parsim.ml: Domain Int List Simulate Unix
+lib/anafault/parsim.ml: Array Atomic Domain Int List Sim Simulate Sys Unix

@@ -1,1 +1,1 @@
-lib/anafault/report.ml: Ascii_plot Buffer Coverage Faults Format Hashtbl List Netlist Option Printf Sim Simulate
+lib/anafault/report.ml: Ascii_plot Buffer Coverage Faults Format Hashtbl List Netlist Option Parsim Printf Sim Simulate

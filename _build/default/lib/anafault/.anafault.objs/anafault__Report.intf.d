@@ -1,1 +1,1 @@
-lib/anafault/report.mli: Format Simulate
+lib/anafault/report.mli: Format Parsim Simulate

@@ -1,1 +1,1 @@
-lib/anafault/simulate.ml: Detect Faults List Netlist Sim Sys
+lib/anafault/simulate.ml: Detect Faults List Netlist Printexc Sim Sys Unix

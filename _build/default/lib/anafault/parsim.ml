@@ -1,27 +1,96 @@
-(* Static chunking: fault k goes to domain k mod n.  Per-fault runtimes
-   are similar (same circuit, same analysis), so round-robin balances
-   well without a work queue. *)
-let run ~domains config circuit faults =
-  let domains = max 1 (min domains (Domain.recommended_domain_count ())) in
+(* Work-stealing parallel fault simulation on OCaml 5 domains.
+
+   Per-fault Newton costs vary wildly (a stuck-open fault converges far
+   slower than a low-ohmic bridge), so instead of static chunking every
+   domain pulls the next fault index from a shared atomic counter.  Each
+   domain owns one engine session (sessions are single-threaded), writes
+   results into its own slots of a shared buffer, and keeps its own load
+   counters.  A fault whose simulation raises is recorded as Sim_failed
+   through Simulate.guard, so one bad fault never aborts the run. *)
+
+type domain_stats = {
+  domain : int;
+  faults_done : int;
+  fault_indices : int list;
+  newton_iterations : int;
+  busy_seconds : float;
+}
+
+let worker ~config ~circuit ~nominal ~faults ~next ~results d () =
   let t0 = Unix.gettimeofday () in
+  let ndone = ref 0 and iters = ref 0 and indices = ref [] in
+  (try
+     let sess = Simulate.session config circuit in
+     let n = Array.length faults in
+     let rec steal () =
+       let i = Atomic.fetch_and_add next 1 in
+       if i < n then begin
+         let fault = faults.(i) in
+         let r =
+           Simulate.guard fault (fun () ->
+               Simulate.run_one_in config sess ~nominal fault)
+         in
+         results.(i) <- Some r;
+         incr ndone;
+         indices := i :: !indices;
+         iters := !iters + r.Simulate.stats.Sim.Engine.newton_iterations;
+         steal ()
+       end
+     in
+     steal ()
+   with _ ->
+     (* A domain that cannot even set up its session just stops stealing;
+        the remaining faults drain through the other domains. *)
+     ());
+  {
+    domain = d;
+    faults_done = !ndone;
+    fault_indices = List.rev !indices;
+    newton_iterations = !iters;
+    busy_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let run_with_stats ?(clamp = true) ~domains config circuit faults =
+  let domains =
+    if clamp then max 1 (min domains (Domain.recommended_domain_count ()))
+    else max 1 domains
+  in
+  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   let nominal, nominal_stats = Simulate.nominal config circuit in
-  let indexed = List.mapi (fun i f -> (i, f)) faults in
-  let chunk d =
-    List.filter (fun (i, _) -> i mod domains = d) indexed
-  in
-  let work d () =
-    List.map (fun (i, f) -> (i, Simulate.run_one config circuit ~nominal f)) (chunk d)
-  in
+  let faults_arr = Array.of_list faults in
+  let n = Array.length faults_arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let work = worker ~config ~circuit ~nominal ~faults:faults_arr ~next ~results in
   let spawned = List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1))) in
   let mine = work 0 () in
-  let all = mine @ List.concat_map Domain.join spawned in
+  let stats = mine :: List.map Domain.join spawned in
   let results =
-    List.sort (fun (i, _) (j, _) -> Int.compare i j) all |> List.map snd
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some r -> r
+           | None ->
+             (* Only reachable if every domain died before stealing
+                index i. *)
+             {
+               Simulate.fault = faults_arr.(i);
+               outcome = Simulate.Sim_failed "no domain simulated this fault";
+               stats = Simulate.zero_stats;
+               cpu_seconds = 0.0;
+             })
+         results)
   in
-  {
-    Simulate.config;
-    nominal;
-    nominal_stats;
-    results;
-    total_cpu_seconds = Unix.gettimeofday () -. t0;
-  }
+  ( {
+      Simulate.config;
+      nominal;
+      nominal_stats;
+      results;
+      wall_seconds = Unix.gettimeofday () -. wall0;
+      cpu_seconds = Sys.time () -. cpu0;
+    },
+    List.sort (fun a b -> Int.compare a.domain b.domain) stats )
+
+let run ?clamp ~domains config circuit faults =
+  fst (run_with_stats ?clamp ~domains config circuit faults)

@@ -1,18 +1,49 @@
-(** Parallel fault simulation on OCaml 5 domains.
+(** Work-stealing parallel fault simulation on OCaml 5 domains.
 
     The paper notes AnaFAULT was "improved for parallel execution in a
     workstation cluster environment"; per-fault simulations are
-    independent, so the same structure maps onto shared-memory domains:
-    the fault list is split into as many chunks as domains, each domain
-    runs its chunk against the shared nominal waveform, and results are
-    re-assembled in fault order. *)
+    independent, so the same structure maps onto shared-memory domains.
+    Per-fault Newton costs vary wildly (stuck-open faults converge far
+    slower than low-ohmic bridges), so the fault list is not chunked
+    statically: every domain pulls the next fault index from a shared
+    atomic counter until the list is drained.  Each domain owns one
+    {!Sim.Engine.Session}, so the per-topology setup is paid once per
+    domain rather than once per fault.
 
-(** [run ~domains config circuit faults] behaves like {!Simulate.run} but
-    distributes the per-fault simulations over [domains] domains
-    (clamped to [1 .. recommended_domain_count]).  Results keep the input
-    fault order; [total_cpu_seconds] is wall-clock here, making speed-up
-    directly visible. *)
+    A fault whose simulation raises is reported as
+    {!Simulate.Sim_failed}; the exception never escapes the domain, and
+    all other results are returned in input order. *)
+
+(** Per-domain load counters, for judging schedule balance. *)
+type domain_stats = {
+  domain : int;  (** 0 is the caller's domain *)
+  faults_done : int;
+  fault_indices : int list;
+      (** indices into the input fault list, in completion order *)
+  newton_iterations : int;
+  busy_seconds : float;  (** wall-clock time the domain spent stealing *)
+}
+
+(** [run_with_stats ~domains config circuit faults] behaves like
+    {!Simulate.run} but distributes the per-fault simulations over
+    [domains] domains and also returns the per-domain load, sorted by
+    domain index.  With [clamp] (the default) the domain count is
+    limited to [Domain.recommended_domain_count]; [~clamp:false] takes
+    the request literally, which oversubscribes small machines but keeps
+    scheduling behaviour reproducible.  Results keep the input fault
+    order. *)
+val run_with_stats :
+  ?clamp:bool ->
+  domains:int ->
+  Simulate.config ->
+  Netlist.Circuit.t ->
+  Faults.Fault.t list ->
+  Simulate.run * domain_stats list
+
+(** [run ~domains config circuit faults] is {!run_with_stats} without the
+    load report. *)
 val run :
+  ?clamp:bool ->
   domains:int ->
   Simulate.config ->
   Netlist.Circuit.t ->

@@ -33,11 +33,11 @@ let pp_summary ppf (run : Simulate.run) =
   Format.fprintf ppf
     "@[<v>faults simulated   %d@,detected           %d@,undetected         %d@,\
      sim failures       %d@,final coverage     %.1f %%@,weighted coverage  %.1f %%@,\
-     kernel steps       %d@,cpu time           %.2f s@]"
+     kernel steps       %d@,wall time          %.2f s@,cpu time           %.2f s@]"
     total detected undetected failed
     (Coverage.final_percent run)
     (Coverage.weighted_percent run)
-    kernel_steps run.total_cpu_seconds
+    kernel_steps run.wall_seconds run.cpu_seconds
 
 let pp_overview ppf (run : Simulate.run) =
   let tbl : (string, int * int * float) Hashtbl.t = Hashtbl.create 8 in
@@ -63,6 +63,16 @@ let pp_overview ppf (run : Simulate.run) =
            if det = 0 then "-" else Netlist.Eng.to_string (tsum /. float_of_int det) ^ "s"
          in
          Format.fprintf ppf "%-22s %7d %9d %14s@," m total det mean);
+  Format.fprintf ppf "@]"
+
+let pp_domains ppf (stats : Parsim.domain_stats list) =
+  Format.fprintf ppf "@[<v>%-8s %8s %14s %10s@," "domain" "faults" "newton iters"
+    "busy [s]";
+  List.iter
+    (fun (d : Parsim.domain_stats) ->
+      Format.fprintf ppf "%-8d %8d %14d %10.2f@," d.Parsim.domain d.Parsim.faults_done
+        d.Parsim.newton_iterations d.Parsim.busy_seconds)
+    stats;
   Format.fprintf ppf "@]"
 
 let coverage_plot ?(points = 100) run =

@@ -12,6 +12,10 @@ val pp_summary : Format.formatter -> Simulate.run -> unit
     time - the paper's "clearly arranged overview tables". *)
 val pp_overview : Format.formatter -> Simulate.run -> unit
 
+(** Per-domain load table of a {!Parsim} run: faults simulated, Newton
+    iterations and busy wall-clock seconds per domain. *)
+val pp_domains : Format.formatter -> Parsim.domain_stats list -> unit
+
 (** The coverage-versus-time plot (Fig. 5 style), as ASCII art. *)
 val coverage_plot : ?points:int -> Simulate.run -> string
 

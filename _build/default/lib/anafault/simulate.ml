@@ -31,7 +31,8 @@ type run = {
   nominal : Sim.Waveform.t;
   nominal_stats : Sim.Engine.stats;
   results : fault_result list;
-  total_cpu_seconds : float;
+  wall_seconds : float;
+  cpu_seconds : float;
 }
 
 let simulate config circuit =
@@ -42,33 +43,32 @@ let simulate config circuit =
   in
   (Sim.Waveform.resample wf ~n:config.samples, stats)
 
+let simulate_session config session =
+  let { Netlist.Parser.tstep; tstop; uic } = config.tran in
+  let wf, stats = Sim.Engine.Session.transient session ~tstep ~tstop ~uic in
+  (Sim.Waveform.resample wf ~n:config.samples, stats)
+
 let nominal config circuit = simulate config circuit
+
+let session config circuit =
+  Sim.Engine.Session.create ~options:config.sim_options circuit
 
 let zero_stats =
   { Sim.Engine.newton_iterations = 0; accepted_steps = 0; rejected_steps = 0 }
+
+let detect_outcome config ~nominal ~faulty =
+  match
+    Detect.first_detection ~tolerance:config.tolerance ~signal:config.observed
+      ~nominal ~faulty
+  with
+  | Some t -> Detected t
+  | None -> Undetected
 
 (* A 0 V source bridging two nodes that other voltage sources already
    constrain creates a singular source loop; the paper notes both models
    yield near-identical coverage, so such faults silently fall back to
    the resistor model. *)
-let run_one config circuit ~nominal fault =
-  let t0 = Sys.time () in
-  let finish outcome stats =
-    { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
-  in
-  let attempt model =
-    let faulty_circuit = Faults.Inject.apply ~model circuit fault in
-    let faulty, stats = simulate config faulty_circuit in
-    let outcome =
-      match
-        Detect.first_detection ~tolerance:config.tolerance ~signal:config.observed
-          ~nominal ~faulty
-      with
-      | Some t -> Detected t
-      | None -> Undetected
-    in
-    finish outcome stats
-  in
+let with_model_fallback config ~finish attempt =
   match attempt config.model with
   | result -> result
   | exception Not_found ->
@@ -83,14 +83,65 @@ let run_one config circuit ~nominal fault =
     | Faults.Inject.Resistor _ -> finish (Sim_failed msg) zero_stats
   end
 
-let run ?progress config circuit faults =
+(* The rebuild-per-fault cycle: every fault pays Mna.make + compile +
+   fresh buffers.  Kept as the reference path (and for callers holding
+   only a circuit); the batch loop below goes through a session. *)
+let run_one config circuit ~nominal fault =
   let t0 = Sys.time () in
-  let nominal_wf, nominal_stats = nominal config circuit in
+  let finish outcome stats =
+    { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
+  in
+  let attempt model =
+    let faulty_circuit = Faults.Inject.apply ~model circuit fault in
+    let faulty, stats = simulate config faulty_circuit in
+    finish (detect_outcome config ~nominal ~faulty) stats
+  in
+  with_model_fallback config ~finish attempt
+
+(* The batch cycle: patch the session with the injected devices, simulate
+   in the shared buffers, compare.  Node maps and solver storage are
+   shared across the whole fault list. *)
+let run_one_in config sess ~nominal fault =
+  let t0 = Sys.time () in
+  let finish outcome stats =
+    { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
+  in
+  let base = Sim.Engine.Session.circuit sess in
+  let attempt model =
+    let faulty_circuit = Faults.Inject.apply ~model base fault in
+    let faulty, stats =
+      Sim.Engine.Session.with_patch sess faulty_circuit (fun s ->
+          simulate_session config s)
+    in
+    finish (detect_outcome config ~nominal ~faulty) stats
+  in
+  match with_model_fallback config ~finish attempt with
+  | result -> result
+  | exception Sim.Engine.Patch_overflow _ ->
+    (* The injection rewrote more than the overlay holds; pay the full
+       rebuild for this one fault. *)
+    run_one config base ~nominal fault
+
+let guard fault thunk =
+  match thunk () with
+  | result -> result
+  | exception exn ->
+    {
+      fault;
+      outcome = Sim_failed (Printexc.to_string exn);
+      stats = zero_stats;
+      cpu_seconds = 0.0;
+    }
+
+let run ?progress config circuit faults =
+  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+  let sess = session config circuit in
+  let nominal_wf, nominal_stats = simulate_session config sess in
   let total = List.length faults in
   let results =
     List.mapi
       (fun i fault ->
-        let r = run_one config circuit ~nominal:nominal_wf fault in
+        let r = guard fault (fun () -> run_one_in config sess ~nominal:nominal_wf fault) in
         (match progress with Some f -> f (i + 1) total | None -> ());
         r)
       faults
@@ -100,7 +151,8 @@ let run ?progress config circuit faults =
     nominal = nominal_wf;
     nominal_stats;
     results;
-    total_cpu_seconds = Sys.time () -. t0;
+    wall_seconds = Unix.gettimeofday () -. wall0;
+    cpu_seconds = Sys.time () -. cpu0;
   }
 
 let tally run =

@@ -1,6 +1,10 @@
 (** The automatic fault-simulation loop: nominal run, then one kernel
     simulation per fault with result comparison (the paper's repetitive
-    preprocessing / kernel / post-processing cycle). *)
+    preprocessing / kernel / post-processing cycle).
+
+    The loop is batch-shaped: one {!Sim.Engine.Session} carries the node
+    map and solver buffers across the whole fault list, and each fault is
+    a patch-simulate-compare cycle against it. *)
 
 type config = {
   model : Faults.Inject.model;  (** fault simulation model *)
@@ -18,7 +22,8 @@ val default_config : tran:Netlist.Parser.tran -> observed:string -> config
 type outcome =
   | Detected of float  (** first detection time *)
   | Undetected
-  | Sim_failed of string  (** kernel did not converge *)
+  | Sim_failed of string  (** kernel did not converge, or the injected
+                              circuit was unsimulatable *)
 
 type fault_result = {
   fault : Faults.Fault.t;
@@ -32,20 +37,52 @@ type run = {
   nominal : Sim.Waveform.t;
   nominal_stats : Sim.Engine.stats;
   results : fault_result list;
-  total_cpu_seconds : float;
+  wall_seconds : float;  (** elapsed wall-clock time of the whole loop *)
+  cpu_seconds : float;
+      (** process CPU time of the whole loop; under {!Parsim} this sums
+          the work of every domain, so wall and CPU diverge exactly by
+          the parallel speedup *)
 }
+
+(** All-zero work counters (placeholder for failed simulations). *)
+val zero_stats : Sim.Engine.stats
 
 (** [nominal config circuit] runs the fault-free simulation, resampled
     onto the uniform output grid. *)
 val nominal : config -> Netlist.Circuit.t -> Sim.Waveform.t * Sim.Engine.stats
 
+(** [session config circuit] opens an engine session on the nominal
+    circuit with the config's simulator options - the shared state for a
+    batch of {!run_one_in} calls. *)
+val session : config -> Netlist.Circuit.t -> Sim.Engine.Session.t
+
 (** [run_one config circuit ~nominal fault] injects, simulates and
-    compares one fault. *)
+    compares one fault, rebuilding all engine state from scratch (the
+    pre-session reference path). *)
 val run_one :
   config -> Netlist.Circuit.t -> nominal:Sim.Waveform.t -> Faults.Fault.t -> fault_result
 
-(** [run config circuit faults] performs the whole loop serially.
-    [progress] (if given) is called after each fault with (done, total). *)
+(** [run_one_in config session ~nominal fault] is {!run_one} through the
+    shared session: the fault is applied as a device patch, simulated in
+    the session's buffers, and the nominal view is restored afterwards.
+    Falls back to {!run_one} if the injection exceeds the session's patch
+    capacity. *)
+val run_one_in :
+  config ->
+  Sim.Engine.Session.t ->
+  nominal:Sim.Waveform.t ->
+  Faults.Fault.t ->
+  fault_result
+
+(** [guard fault thunk] isolates a per-fault failure: any exception the
+    simulation paths do not already map (e.g. an invalid injected
+    device) becomes a {!Sim_failed} result instead of aborting the
+    batch. *)
+val guard : Faults.Fault.t -> (unit -> fault_result) -> fault_result
+
+(** [run config circuit faults] performs the whole loop serially through
+    one shared session.  [progress] (if given) is called after each
+    fault with (done, total). *)
 val run :
   ?progress:(int -> int -> unit) ->
   config ->

@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Array Clu Complex Float List Lu Mna Mosfet Netlist Printf Spectrum String Waveform
+lib/sim/engine.ml: Array Clu Complex Float Fun List Lu Mna Mosfet Netlist Option Printf Spectrum String Waveform

@@ -1,1 +1,1 @@
-lib/sim/mna.ml: Array Hashtbl List Netlist String
+lib/sim/mna.ml: Array Hashtbl List Netlist Option String

@@ -23,6 +23,8 @@ let default_options =
 
 exception No_convergence of string
 
+exception Patch_overflow of string
+
 type solution = { mna : Mna.t; v : float array }
 
 let voltage sol name =
@@ -61,38 +63,41 @@ type cdev =
       st_gd : state;
     }
 
+(* [nid]/[bid] resolve node and branch names to unknown indices; a
+   session patch supplies lookups that also know the overlay rows. *)
+let compile_device ~nid ~bid = function
+  | Netlist.Device.R { n1; n2; value; _ } ->
+    if value = 0.0 then invalid_arg "Engine: zero-valued resistor";
+    CR { i = nid n1; j = nid n2; g = 1.0 /. value }
+  | Netlist.Device.C { n1; n2; value; ic; _ } ->
+    CC { i = nid n1; j = nid n2; c = value; ic; st = { q = 0.0; f = 0.0 } }
+  | Netlist.Device.L { name; n1; n2; value; ic } ->
+    CL { i = nid n1; j = nid n2; br = bid name; ind = value; ic; st = { q = 0.0; f = 0.0 } }
+  | Netlist.Device.V { name; np; nn; wave } ->
+    CV { i = nid np; j = nid nn; br = bid name; wave }
+  | Netlist.Device.I { np; nn; wave; _ } -> CI { i = nid np; j = nid nn; wave }
+  | Netlist.Device.D { na; nc; model; _ } ->
+    CD { i = nid na; j = nid nc; is_sat = model.is_sat; nvt = model.n_emission *. 0.025852 }
+  | Netlist.Device.M { d; g; s; model; w; l; _ } ->
+    (* The level-1 model ignores the bulk terminal (no body effect); the
+       gate loads its neighbours with half the oxide capacitance each. *)
+    CM
+      {
+        d = nid d;
+        g = nid g;
+        s = nid s;
+        model;
+        w;
+        l;
+        cg = 0.5 *. model.cox *. w *. l;
+        st_gs = { q = 0.0; f = 0.0 };
+        st_gd = { q = 0.0; f = 0.0 };
+      }
+
 let compile mna circuit =
   let nid = Mna.node_id mna and bid = Mna.branch_id mna in
-  let compile_one = function
-    | Netlist.Device.R { n1; n2; value; _ } ->
-      if value = 0.0 then invalid_arg "Engine: zero-valued resistor";
-      CR { i = nid n1; j = nid n2; g = 1.0 /. value }
-    | Netlist.Device.C { n1; n2; value; ic; _ } ->
-      CC { i = nid n1; j = nid n2; c = value; ic; st = { q = 0.0; f = 0.0 } }
-    | Netlist.Device.L { name; n1; n2; value; ic } ->
-      CL { i = nid n1; j = nid n2; br = bid name; ind = value; ic; st = { q = 0.0; f = 0.0 } }
-    | Netlist.Device.V { name; np; nn; wave } ->
-      CV { i = nid np; j = nid nn; br = bid name; wave }
-    | Netlist.Device.I { np; nn; wave; _ } -> CI { i = nid np; j = nid nn; wave }
-    | Netlist.Device.D { na; nc; model; _ } ->
-      CD { i = nid na; j = nid nc; is_sat = model.is_sat; nvt = model.n_emission *. 0.025852 }
-    | Netlist.Device.M { d; g; s; model; w; l; _ } ->
-      (* The level-1 model ignores the bulk terminal (no body effect); the
-         gate loads its neighbours with half the oxide capacitance each. *)
-      CM
-        {
-          d = nid d;
-          g = nid g;
-          s = nid s;
-          model;
-          w;
-          l;
-          cg = 0.5 *. model.cox *. w *. l;
-          st_gs = { q = 0.0; f = 0.0 };
-          st_gd = { q = 0.0; f = 0.0 };
-        }
-  in
-  Array.of_list (List.map compile_one (Netlist.Circuit.devices circuit))
+  Array.of_list
+    (List.map (compile_device ~nid ~bid) (Netlist.Circuit.devices circuit))
 
 type mode =
   | Dc of { scale : float }
@@ -131,11 +136,8 @@ let stamp_cap ~opts ~mode sys i j c st =
     Mna.add_rhs sys i const;
     Mna.add_rhs sys j (-.const)
 
-let stamp ~opts ~gmin ~mode sys devices v =
-  Mna.clear sys;
-  (* Node-to-ground gmin keeps the matrix nonsingular on floating nodes. *)
-  let n = Array.length sys.Mna.b in
-  ignore n;
+let stamp ~opts ~gmin ~mode ~n sys devices v =
+  Mna.clear ~n sys;
   Array.iter
     (fun dev ->
       match dev with
@@ -204,34 +206,65 @@ let stamp ~opts ~gmin ~mode sys devices v =
         Mna.add_jacobian sys s s (e.Mosfet.gm +. gds);
         Mna.add_current sys d (-.ieq);
         Mna.add_current sys s ieq)
-    devices;
-  (* gmin to ground on every node (not on branch rows). *)
-  (match mode with
-  | Dc _ | Tran _ -> ());
-  ()
+    devices
 
-let add_gmin_and_cmin ~opts ~gmin ~mode sys ~node_count =
-  for i = 0 to node_count - 1 do
+(* The solver context: one circuit topology's compiled devices plus the
+   buffers every solve reuses.  [size] is the number of active unknowns
+   (may be below the buffer capacity when a session reserves overlay
+   rows); node rows are [0 .. node_count-1] plus, for a patched session,
+   the single overlay node row [extra_node]. *)
+type ctx = {
+  opts : options;
+  sys : Mna.system;
+  scratch : Lu.scratch;
+  size : int;
+  node_count : int;
+  extra_node : int option;
+  devices : cdev array;
+}
+
+let add_gmin_and_cmin ~gmin ~mode ctx =
+  let sys = ctx.sys in
+  let pin i =
     sys.Mna.a.(i).(i) <- sys.Mna.a.(i).(i) +. gmin;
     match mode with
-    | Tran { h; vnode_prev; _ } when opts.cmin > 0.0 ->
-      let geq = opts.cmin /. h in
+    | Tran { h; vnode_prev; _ } when ctx.opts.cmin > 0.0 ->
+      let geq = ctx.opts.cmin /. h in
       sys.Mna.a.(i).(i) <- sys.Mna.a.(i).(i) +. geq;
       sys.Mna.b.(i) <- sys.Mna.b.(i) +. (geq *. vnode_prev.(i))
     | Tran _ | Dc _ -> ()
-  done
+  in
+  for i = 0 to ctx.node_count - 1 do
+    pin i
+  done;
+  Option.iter pin ctx.extra_node
 
 (* Damped Newton-Raphson.  Returns the converged iterate and the number of
    iterations, or [None]. *)
-let newton ~opts ~gmin ~mode ~devices ~sys ~node_count v0 =
-  let size = Array.length sys.Mna.b in
+let newton ~gmin ~mode ctx v0 =
+  let opts = ctx.opts in
+  let size = ctx.size in
+  let sys = ctx.sys in
   let v = Array.copy v0 in
+  let node_dv x =
+    (* Step-length damping applies to node voltages only: branch
+       currents (e.g. through an injected 10 mohm short) legitimately
+       move by hundreds of amperes in one Newton step. *)
+    let max_dv = ref 0.0 in
+    for i = 0 to ctx.node_count - 1 do
+      max_dv := Float.max !max_dv (Float.abs (x.(i) -. v.(i)))
+    done;
+    Option.iter
+      (fun i -> max_dv := Float.max !max_dv (Float.abs (x.(i) -. v.(i))))
+      ctx.extra_node;
+    !max_dv
+  in
   let rec iterate k total =
     if k >= opts.max_iter then None
     else begin
-      stamp ~opts ~gmin ~mode sys devices v;
-      add_gmin_and_cmin ~opts ~gmin ~mode sys ~node_count;
-      match Lu.solve sys.Mna.a sys.Mna.b with
+      stamp ~opts ~gmin ~mode ~n:size sys ctx.devices v;
+      add_gmin_and_cmin ~gmin ~mode ctx;
+      match Lu.factor_solve ~n:size ctx.scratch sys.Mna.a sys.Mna.b with
       | exception Lu.Singular _ -> None
       | () ->
         let x = sys.Mna.b in
@@ -239,16 +272,10 @@ let newton ~opts ~gmin ~mode ~devices ~sys ~node_count v0 =
         for i = 0 to size - 1 do
           max_delta := Float.max !max_delta (Float.abs (x.(i) -. v.(i)))
         done;
-        (* Step-length damping applies to node voltages only: branch
-           currents (e.g. through an injected 10 mohm short) legitimately
-           move by hundreds of amperes in one Newton step. *)
-        let max_dv = ref 0.0 in
-        for i = 0 to node_count - 1 do
-          max_dv := Float.max !max_dv (Float.abs (x.(i) -. v.(i)))
-        done;
+        let max_dv = node_dv x in
         if Float.is_nan !max_delta then None
-        else if !max_dv > opts.dv_limit then begin
-          let f = opts.dv_limit /. !max_dv in
+        else if max_dv > opts.dv_limit then begin
+          let f = opts.dv_limit /. max_dv in
           for i = 0 to size - 1 do
             v.(i) <- v.(i) +. (f *. (x.(i) -. v.(i)))
           done;
@@ -267,14 +294,10 @@ let newton ~opts ~gmin ~mode ~devices ~sys ~node_count v0 =
   in
   iterate 0 0
 
-let dc_solve ~opts mna devices =
-  let sys = Mna.fresh_system mna in
-  let node_count = Mna.node_count mna in
-  let size = Mna.size mna in
-  let try_newton ~gmin ~scale v0 =
-    newton ~opts ~gmin ~mode:(Dc { scale }) ~devices ~sys ~node_count v0
-  in
-  let zero = Array.make size 0.0 in
+let dc_solve ctx =
+  let opts = ctx.opts in
+  let try_newton ~gmin ~scale v0 = newton ~gmin ~mode:(Dc { scale }) ctx v0 in
+  let zero = Array.make ctx.size 0.0 in
   match try_newton ~gmin:opts.gmin ~scale:1.0 zero with
   | Some (v, _) -> v
   | None -> begin
@@ -307,17 +330,32 @@ let dc_solve ~opts mna devices =
     end
   end
 
-let dc_operating_point ?(options = default_options) circuit =
+(* A throwaway context with exactly-sized buffers, for the one-shot
+   analyses below. *)
+let ctx_of_circuit ~opts circuit =
   let mna = Mna.make circuit in
   let devices = compile mna circuit in
-  { mna; v = dc_solve ~opts:options mna devices }
+  let size = Mna.size mna in
+  ( {
+      opts;
+      sys = Mna.fresh_system mna;
+      scratch = Lu.make_scratch size;
+      size;
+      node_count = Mna.node_count mna;
+      extra_node = None;
+      devices;
+    },
+    mna )
+
+let dc_operating_point ?(options = default_options) circuit =
+  let ctx, mna = ctx_of_circuit ~opts:options circuit in
+  { mna; v = dc_solve ctx }
 
 (* Initial transient state: DC operating point, or zeros plus capacitor
    ICs when [uic]. *)
-let initial_state ~opts ~uic mna devices =
-  let size = Mna.size mna in
+let initial_state ~uic ctx =
   if uic then begin
-    let v = Array.make size 0.0 in
+    let v = Array.make ctx.size 0.0 in
     Array.iter
       (fun dev ->
         match dev with
@@ -327,10 +365,10 @@ let initial_state ~opts ~uic mna devices =
           else v.(i) <- v.(j) +. vic
         | CL { br; ic = Some iic; _ } -> v.(br) <- iic
         | CC _ | CL _ | CR _ | CV _ | CI _ | CD _ | CM _ -> ())
-      devices;
+      ctx.devices;
     v
   end
-  else dc_solve ~opts mna devices
+  else dc_solve ctx
 
 let init_device_states devices v =
   Array.iter
@@ -385,17 +423,14 @@ let breakpoints circuit ~tstop =
   |> List.filter (fun t -> t > 0.0 && t < tstop)
   |> List.sort_uniq compare
 
-let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic =
+let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
   if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
     invalid_arg "Engine.transient: need 0 < tstep <= tstop";
-  let opts = options in
-  let mna = Mna.make circuit in
-  let devices = compile mna circuit in
-  let sys = Mna.fresh_system mna in
-  let node_count = Mna.node_count mna in
-  let v = ref (initial_state ~opts ~uic mna devices) in
+  let opts = ctx.opts in
+  let devices = ctx.devices in
+  let v = ref (initial_state ~uic ctx) in
   init_device_states devices !v;
-  let vnode_prev = Array.sub !v 0 node_count in
+  let vnode_prev = Array.copy !v in
   let samples = ref [ (0.0, Array.copy !v) ] in
   let bps = ref (breakpoints circuit ~tstop) in
   let hmax = tstep and hmin = tstop *. 1e-12 in
@@ -404,28 +439,27 @@ let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic
   let total_iters = ref 0 and accepted = ref 0 and rejected = ref 0 in
   let eps = tstop *. 1e-12 in
   while !t < tstop -. eps do
-    (* Propose a step, clipped to the next source breakpoint and tstop. *)
+    (* Propose a step: drain every breakpoint at or behind [t] (several
+       source edges can pile up inside one accepted step), then clip to
+       the first future breakpoint and to tstop. *)
     let h_try =
-      let clip = ref (Float.min !h (tstop -. !t)) in
-      (match !bps with
-      | bp :: _ when bp > !t +. eps && bp -. !t < !clip -. eps -> clip := bp -. !t
-      | bp :: rest when bp <= !t +. eps ->
-        bps := rest
-      | _ -> ());
-      !clip
+      while (match !bps with bp :: _ -> bp <= !t +. eps | [] -> false) do
+        bps := List.tl !bps
+      done;
+      let clip = Float.min !h (tstop -. !t) in
+      match !bps with
+      | bp :: _ when bp -. !t < clip -. eps -> bp -. !t
+      | _ -> clip
     in
     let mode = Tran { h = h_try; time = !t +. h_try; vnode_prev } in
-    match newton ~opts ~gmin:opts.gmin ~mode ~devices ~sys ~node_count !v with
+    match newton ~gmin:opts.gmin ~mode ctx !v with
     | Some (v', iters) ->
       total_iters := !total_iters + iters;
       incr accepted;
       update_device_states ~opts ~h:h_try devices v';
-      Array.blit v' 0 vnode_prev 0 node_count;
+      Array.blit v' 0 vnode_prev 0 ctx.size;
       v := v';
       t := !t +. h_try;
-      (match !bps with
-      | bp :: rest when bp <= !t +. eps -> bps := rest
-      | _ -> ());
       samples := (!t, Array.copy v') :: !samples;
       if iters <= 8 then h := Float.min (!h *. 1.5) hmax
       else if iters > 30 then h := Float.max (!h /. 2.0) hmin
@@ -437,10 +471,6 @@ let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic
           (No_convergence
              (Printf.sprintf "transient stalled at t=%.4g (step %.3g)" !t !h))
   done;
-  let names =
-    Array.append (Mna.node_names mna)
-      (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
-  in
   let wf = Waveform.make ~names ~samples:(List.rev !samples) in
   ( wf,
     {
@@ -449,17 +479,196 @@ let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic
       rejected_steps = !rejected;
     } )
 
+let output_names mna =
+  Array.append (Mna.node_names mna)
+    (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
+
+let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic =
+  let ctx, mna = ctx_of_circuit ~opts:options circuit in
+  transient_core ctx ~circuit ~names:(output_names mna) ~tstep ~tstop ~uic
+
 let transient ?options circuit ~tstep ~tstop ~uic =
   fst (transient_with_stats ?options circuit ~tstep ~tstop ~uic)
+
+(* --- Sessions: batch solving of one circuit topology ------------------ *)
+
+(* One fault differs from the nominal circuit by a device or two, so the
+   batch loop keeps the node map, the compiled device array and the
+   solver buffers alive across the whole fault list and re-derives only
+   what a patch touches.  The buffers reserve two overlay rows - fault
+   injection adds at most one node (a split-net open) and one branch (a
+   bridge modelled as a 0 V source) - so a patched system solves in the
+   same storage.  Sessions are single-threaded; parallel callers create
+   one session per domain. *)
+module Session = struct
+  (* Reserve: one overlay node row at [base_size], one overlay branch row
+     at [base_size + 1]. *)
+  let reserve = 2
+
+  type t = {
+    opts : options;
+    circuit : Netlist.Circuit.t;
+    mna : Mna.t;
+    base_devices : cdev array;
+    base_size : int;
+    base_node_count : int;
+    base_names : string array;
+    sys : Mna.system;
+    scratch : Lu.scratch;
+    (* Active view, swapped by [with_patch]. *)
+    mutable act_circuit : Netlist.Circuit.t;
+    mutable act_devices : cdev array;
+    mutable act_size : int;
+    mutable act_extra_node : int option;
+    mutable act_names : string array;
+  }
+
+  let create ?(options = default_options) circuit =
+    let mna = Mna.make circuit in
+    let base_size = Mna.size mna in
+    let base_devices = compile mna circuit in
+    let base_names = output_names mna in
+    {
+      opts = options;
+      circuit;
+      mna;
+      base_devices;
+      base_size;
+      base_node_count = Mna.node_count mna;
+      base_names;
+      sys = Mna.fresh_system ~extra:reserve mna;
+      scratch = Lu.make_scratch (base_size + reserve);
+      act_circuit = circuit;
+      act_devices = base_devices;
+      act_size = base_size;
+      act_extra_node = None;
+      act_names = base_names;
+    }
+
+  let circuit s = s.circuit
+
+  let options s = s.opts
+
+  let ctx s =
+    {
+      opts = s.opts;
+      sys = s.sys;
+      scratch = s.scratch;
+      size = s.act_size;
+      node_count = s.base_node_count;
+      extra_node = s.act_extra_node;
+      devices = s.act_devices;
+    }
+
+  let solve_dc s = { mna = s.mna; v = dc_solve (ctx s) }
+
+  let transient s ~tstep ~tstop ~uic =
+    transient_core (ctx s) ~circuit:s.act_circuit ~names:s.act_names ~tstep ~tstop
+      ~uic
+
+  (* Recompile only what [patched] changed relative to the base circuit.
+     Fault injection rewrites circuits with Circuit.replace (same name,
+     same position) and Circuit.add (appended), so a positional walk
+     recognises untouched devices by physical equality and reuses their
+     compiled form.  Anything structurally different raises
+     Patch_overflow and the caller falls back to a full rebuild. *)
+  let with_patch s patched f =
+    (* Overlay rows are allocated in order of first use, so a patch that
+       adds only a node (break/split) or only a branch (bridging V
+       source) costs exactly one extra row - the same system size a full
+       rebuild would produce. *)
+    let extra_node = ref None and extra_branch = ref None in
+    let next_row = ref s.base_size in
+    let alloc_row () =
+      let row = !next_row in
+      incr next_row;
+      row
+    in
+    let nid name =
+      match Mna.node_id s.mna name with
+      | i -> i
+      | exception Not_found -> begin
+        match !extra_node with
+        | Some (n, row) when String.equal n name -> row
+        | Some _ -> raise (Patch_overflow ("second new node " ^ name))
+        | None ->
+          let row = alloc_row () in
+          if row >= s.base_size + reserve then
+            raise (Patch_overflow ("new node " ^ name ^ " exceeds overlay"));
+          extra_node := Some (name, row);
+          row
+      end
+    in
+    let bid name =
+      match Mna.branch_id s.mna name with
+      | i -> i
+      | exception Not_found -> begin
+        match !extra_branch with
+        | Some (n, row) when String.equal n name -> row
+        | Some _ -> raise (Patch_overflow ("second new branch " ^ name))
+        | None ->
+          let row = alloc_row () in
+          if row >= s.base_size + reserve then
+            raise (Patch_overflow ("new branch " ^ name ^ " exceeds overlay"));
+          extra_branch := Some (name, row);
+          row
+      end
+    in
+    let rec zip i base patch acc =
+      match (base, patch) with
+      | [], rest ->
+        List.rev_append acc (List.map (compile_device ~nid ~bid) rest)
+      | _ :: _, [] -> raise (Patch_overflow "patch removed a device")
+      | b :: bs, p :: ps ->
+        let cd =
+          if b == p then s.base_devices.(i)
+          else if String.equal (Netlist.Device.name b) (Netlist.Device.name p)
+          then compile_device ~nid ~bid p
+          else raise (Patch_overflow "patch reordered devices")
+        in
+        zip (i + 1) bs ps (cd :: acc)
+    in
+    let compiled =
+      zip 0
+        (Netlist.Circuit.devices s.circuit)
+        (Netlist.Circuit.devices patched)
+        []
+    in
+    let row_name = function
+      | None -> []
+      | Some (n, row) -> [ (row, n) ]
+    in
+    let extra_names =
+      row_name !extra_node
+      @ (match !extra_branch with
+        | None -> []
+        | Some (b, row) -> [ (row, "I(" ^ b ^ ")") ])
+      |> List.sort compare |> List.map snd
+    in
+    s.act_circuit <- patched;
+    s.act_devices <- Array.of_list compiled;
+    s.act_size <- !next_row;
+    s.act_extra_node <- Option.map snd !extra_node;
+    s.act_names <- Array.append s.base_names (Array.of_list extra_names);
+    Fun.protect
+      ~finally:(fun () ->
+        s.act_circuit <- s.circuit;
+        s.act_devices <- s.base_devices;
+        s.act_size <- s.base_size;
+        s.act_extra_node <- None;
+        s.act_names <- s.base_names)
+      (fun () -> f s)
+end
 
 (* --- DC transfer sweep ------------------------------------------------ *)
 
 (* Each point re-solves the operating point with the swept source pinned
    to the next value, warm-starting Newton from the previous solution -
    the standard continuation that keeps multi-stable circuits on one
-   branch. *)
+   branch.  The sweep is a natural session batch: only the swept source's
+   wave changes between points, so the node map and solver buffers are
+   shared across the whole sweep. *)
 let dc_sweep ?(options = default_options) circuit ~source ~values =
-  let opts = options in
   (match Netlist.Circuit.find circuit source with
   | Some (Netlist.Device.V _) | Some (Netlist.Device.I _) -> ()
   | Some _ | None ->
@@ -474,29 +683,23 @@ let dc_sweep ?(options = default_options) circuit ~source ~values =
         (Netlist.Device.I { i with wave = Netlist.Wave.Dc value })
     | Some _ | None -> assert false
   in
+  let session = Session.create ~options circuit in
   let prev = ref None in
   List.map
     (fun value ->
-      let c = at value in
-      let mna = Mna.make c in
-      let devices = compile mna c in
-      let sys = Mna.fresh_system mna in
-      let node_count = Mna.node_count mna in
-      let v0 =
-        match !prev with
-        | Some v when Array.length v = Mna.size mna -> v
-        | Some _ | None -> Array.make (Mna.size mna) 0.0
-      in
-      let v =
-        match
-          newton ~opts ~gmin:opts.gmin ~mode:(Dc { scale = 1.0 }) ~devices ~sys
-            ~node_count v0
-        with
-        | Some (v, _) -> v
-        | None -> dc_solve ~opts mna devices
-      in
-      prev := Some v;
-      (value, { mna; v }))
+      Session.with_patch session (at value) (fun s ->
+          let ctx = Session.ctx s in
+          let v =
+            let warm =
+              match !prev with
+              | Some v0 when Array.length v0 = ctx.size ->
+                newton ~gmin:options.gmin ~mode:(Dc { scale = 1.0 }) ctx v0
+              | Some _ | None -> None
+            in
+            match warm with Some (v, _) -> v | None -> dc_solve ctx
+          in
+          prev := Some v;
+          (value, { mna = s.Session.mna; v })))
     values
 
 (* --- AC (small-signal) analysis -------------------------------------- *)
@@ -506,10 +709,16 @@ let dc_sweep ?(options = default_options) circuit ~source ~values =
    magnitude and zero phase; every other independent source is quenched
    (V -> short, I -> open), as in SPICE. *)
 let ac ?(options = default_options) circuit ~source ~freqs =
+  (* Validate the source name against the circuit before any solving so
+     a typo fails fast - even with an empty frequency list. *)
+  (match Netlist.Circuit.find circuit source with
+  | Some (Netlist.Device.V _) | Some (Netlist.Device.I _) -> ()
+  | Some _ | None ->
+    invalid_arg ("Engine.ac: no independent source named " ^ source));
   let opts = options in
-  let mna = Mna.make circuit in
-  let devices = compile mna circuit in
-  let v_op = dc_solve ~opts mna devices in
+  let ctx, mna = ctx_of_circuit ~opts circuit in
+  let devices = ctx.devices in
+  let v_op = dc_solve ctx in
   let n = Mna.size mna in
   let node_count = Mna.node_count mna in
   let cx re = { Complex.re; im = 0.0 } in
@@ -517,7 +726,6 @@ let ac ?(options = default_options) circuit ~source ~freqs =
   let dev_names =
     Array.of_list (List.map Netlist.Device.name (Netlist.Circuit.devices circuit))
   in
-  let found_source = ref false in
   let solve_at freq =
     let w = 2.0 *. Float.pi *. freq in
     let a = Array.make_matrix n n Complex.zero in
@@ -547,13 +755,9 @@ let ac ?(options = default_options) circuit ~source ~freqs =
           add j br (Complex.neg Complex.one);
           add br i Complex.one;
           add br j (Complex.neg Complex.one);
-          if String.equal name source then begin
-            found_source := true;
-            add_rhs br Complex.one
-          end
+          if String.equal name source then add_rhs br Complex.one
         | CI { i; j; _ } ->
           if String.equal name source then begin
-            found_source := true;
             add_rhs i (Complex.neg Complex.one);
             add_rhs j Complex.one
           end
@@ -582,10 +786,4 @@ let ac ?(options = default_options) circuit ~source ~freqs =
     b
   in
   let points = List.map (fun f -> (f, solve_at f)) freqs in
-  if not !found_source then
-    invalid_arg ("Engine.ac: no independent source named " ^ source);
-  let names =
-    Array.append (Mna.node_names mna)
-      (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
-  in
-  Spectrum.make ~names ~points
+  Spectrum.make ~names:(output_names mna) ~points

@@ -27,6 +27,11 @@ val default_options : options
 
 exception No_convergence of string
 
+exception Patch_overflow of string
+(** A session patch needed more than the reserved overlay capacity (one
+    new node, one new branch) or changed the circuit structurally; the
+    caller should fall back to a full rebuild. *)
+
 type solution
 
 (** Node voltage in a DC solution ([0.0] for ground). *)
@@ -67,6 +72,53 @@ val transient_with_stats :
   tstop:float ->
   uic:bool ->
   Waveform.t * stats
+
+(** Batch solving of one circuit topology.
+
+    A session builds the MNA node map, the compiled device array and the
+    solver scratch buffers (system matrix, RHS, LU pivot and
+    substitution arrays) once, then reuses them across any number of
+    solves.  This is the paper's cost model made cheap: a fault
+    simulation campaign is one nominal run plus one run per fault, where
+    each faulty circuit differs from the nominal one by a device or two.
+    [with_patch] swaps in those few devices without re-deriving the node
+    map; the buffers reserve one overlay node row (a split-net open adds
+    at most one node) and one overlay branch row (a bridge modelled as a
+    0 V source adds one branch current).
+
+    Sessions are single-threaded: parallel fault simulation creates one
+    session per domain. *)
+module Session : sig
+  type t
+
+  (** [create ?options circuit] compiles [circuit] and allocates the
+      shared solver state. *)
+  val create : ?options:options -> Netlist.Circuit.t -> t
+
+  (** The base (nominal) circuit the session was built from. *)
+  val circuit : t -> Netlist.Circuit.t
+
+  val options : t -> options
+
+  (** DC operating point of the session's active circuit, reusing the
+      session buffers.  Raises {!No_convergence} like
+      {!dc_operating_point}. *)
+  val solve_dc : t -> solution
+
+  (** Transient analysis of the session's active circuit, reusing the
+      session buffers; same semantics as {!transient_with_stats}. *)
+  val transient : t -> tstep:float -> tstop:float -> uic:bool -> Waveform.t * stats
+
+  (** [with_patch t patched f] runs [f] with the session's active circuit
+      swapped for [patched], then restores the nominal view (also on
+      exception).  [patched] must be the base circuit rewritten through
+      [Circuit.replace] / [Circuit.add] - the shapes fault injection
+      produces - introducing at most one new node and one new branch;
+      anything else raises {!Patch_overflow}.  Devices untouched by the
+      patch keep their compiled form; only replaced and appended devices
+      are recompiled. *)
+  val with_patch : t -> Netlist.Circuit.t -> (t -> 'a) -> 'a
+end
 
 (** [dc_sweep circuit ~source ~values] computes the DC transfer
     characteristic: the operating point is re-solved for each value of

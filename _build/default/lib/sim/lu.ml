@@ -1,9 +1,22 @@
 exception Singular of int
 
-let solve a b =
-  let n = Array.length b in
-  assert (Array.length a = n);
-  let piv = Array.init n (fun i -> i) in
+(* Pivot permutation and forward-substitution buffers.  A batch caller
+   (Engine.Session) allocates one scratch per circuit topology and
+   factors thousands of Newton systems into it without allocating. *)
+type scratch = { piv : int array; y : float array }
+
+let make_scratch n = { piv = Array.make n 0; y = Array.make n 0.0 }
+
+let scratch_capacity s = Array.length s.piv
+
+let factor_solve ?n scratch a b =
+  let n = match n with Some n -> n | None -> Array.length b in
+  if Array.length scratch.piv < n || Array.length scratch.y < n then
+    invalid_arg "Lu.factor_solve: scratch smaller than the system";
+  let piv = scratch.piv and y = scratch.y in
+  for i = 0 to n - 1 do
+    piv.(i) <- i
+  done;
   for k = 0 to n - 1 do
     (* Partial pivot: largest magnitude in column k at or below row k. *)
     let best = ref k in
@@ -29,7 +42,6 @@ let solve a b =
     done
   done;
   (* Forward substitution on the permuted rows. *)
-  let y = Array.make n 0.0 in
   for i = 0 to n - 1 do
     let s = ref b.(piv.(i)) in
     for j = 0 to i - 1 do
@@ -45,6 +57,8 @@ let solve a b =
     done;
     b.(i) <- !s /. a.(piv.(i)).(i)
   done
+
+let solve a b = factor_solve (make_scratch (Array.length b)) a b
 
 let solve_copy a b =
   let a = Array.map Array.copy a and b = Array.copy b in

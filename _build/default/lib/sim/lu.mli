@@ -2,14 +2,33 @@
 
     Circuit matrices here are tens of rows (the VCO has ~30 unknowns), so
     a dense solver is the right tool; sparsity machinery would cost more
-    than it saves. *)
+    than it saves.  The factorisation works in place on caller-provided
+    buffers so batch fault simulation can run thousands of Newton solves
+    without allocating. *)
 
 exception Singular of int
 (** Column index at which no usable pivot was found. *)
 
+type scratch
+(** Reusable pivot/permutation and substitution buffers. *)
+
+(** [make_scratch n] allocates scratch for systems of up to [n] unknowns. *)
+val make_scratch : int -> scratch
+
+(** Capacity the scratch was allocated for. *)
+val scratch_capacity : scratch -> int
+
+(** [factor_solve ?n scratch a b] overwrites the leading [n]x[n] block of
+    [a] with its LU factors and the first [n] entries of [b] with the
+    solution of [a x = b] ([n] defaults to the length of [b]).  No
+    allocation happens; all intermediates live in [scratch].  Raises
+    {!Singular} on a numerically singular matrix (pivot magnitude below
+    1e-30) and [Invalid_argument] if [scratch] is smaller than [n]. *)
+val factor_solve : ?n:int -> scratch -> float array array -> float array -> unit
+
 (** [solve a b] overwrites [a] with its LU factors and [b] with the
-    solution of [a x = b].  Raises {!Singular} on a numerically singular
-    matrix (pivot magnitude below 1e-30). *)
+    solution of [a x = b], allocating fresh scratch.  Raises {!Singular}
+    on a numerically singular matrix. *)
 val solve : float array array -> float array -> unit
 
 (** [solve_copy a b] is {!solve} on copies, leaving inputs intact. *)

@@ -48,12 +48,12 @@ let branch_names t = t.branches
 
 type system = { a : float array array; b : float array }
 
-let fresh_system t =
-  let n = size t in
+let fresh_system ?(extra = 0) t =
+  let n = size t + extra in
   { a = Array.make_matrix n n 0.0; b = Array.make n 0.0 }
 
-let clear sys =
-  let n = Array.length sys.b in
+let clear ?n sys =
+  let n = Option.value n ~default:(Array.length sys.b) in
   for i = 0 to n - 1 do
     sys.b.(i) <- 0.0;
     Array.fill sys.a.(i) 0 n 0.0

@@ -30,9 +30,16 @@ val branch_names : t -> string array
 
 type system = { a : float array array; b : float array }
 
-val fresh_system : t -> system
+(** [fresh_system ?extra t] allocates a zeroed system sized for the
+    circuit's unknowns plus [extra] reserve rows (default 0).  The
+    reserve lets a batch session keep one set of solver buffers while
+    fault patches add an overlay node or branch. *)
+val fresh_system : ?extra:int -> t -> system
 
-val clear : system -> unit
+(** [clear ?n sys] zeroes the leading [n]x[n] window (default: the whole
+    buffer) - sessions solve below capacity and need not touch the
+    reserved overlay rows. *)
+val clear : ?n:int -> system -> unit
 
 (** [add_conductance sys i j g] stamps conductance [g] between unknowns
     [i] and [j] (either may be [-1] = ground). *)

@@ -1,1 +1,1 @@
-test/test_anafault.ml: Alcotest Anafault Array Faults Float Format List Netlist Printf Sim String
+test/test_anafault.ml: Alcotest Anafault Array Faults Float Format Int List Netlist Printf Sim String

@@ -146,6 +146,80 @@ let simulate_tests =
         check_bool "same" true (key serial = key parallel));
   ]
 
+let parsim_tests =
+  [
+    Alcotest.test_case "a raising fault is isolated, others complete" `Quick
+      (fun () ->
+        (* r_short = 0 makes every bridge inject a zero-valued resistor,
+           which the engine rejects with Invalid_argument.  The failure
+           must surface as Sim_failed on that fault only, in input
+           order, without killing either domain. *)
+        let poison =
+          { config with
+            model = Faults.Inject.Resistor { r_short = 0.0; r_open = 100e6 } }
+        in
+        let run, stats =
+          Anafault.Parsim.run_with_stats ~clamp:false ~domains:2 poison inverter
+            faults
+        in
+        let outcomes =
+          List.map
+            (fun (r : Anafault.Simulate.fault_result) ->
+              ( r.fault.Faults.Fault.id,
+                match r.outcome with
+                | Anafault.Simulate.Sim_failed _ -> "f"
+                | Anafault.Simulate.Detected _ -> "d"
+                | Anafault.Simulate.Undetected -> "u" ))
+            run.Anafault.Simulate.results
+        in
+        (* #1 is a real bridge (poisoned); #2 is an open; #3 bridges a
+           net to itself, so nothing is injected and it survives too. *)
+        Alcotest.(check (list (pair string string)))
+          "order kept, failures isolated"
+          [ ("#1", "f"); ("#2", "d"); ("#3", "u") ]
+          outcomes;
+        check_int "both domains reported" 2 (List.length stats);
+        check_int "all faults accounted for" 3
+          (List.fold_left
+             (fun acc (d : Anafault.Parsim.domain_stats) -> acc + d.faults_done)
+             0 stats));
+    Alcotest.test_case "domain stats cover the whole fault list" `Quick (fun () ->
+        let _, stats =
+          Anafault.Parsim.run_with_stats ~clamp:false ~domains:2 config inverter
+            faults
+        in
+        check_int "domains" 2 (List.length stats);
+        check_int "faults" 3
+          (List.fold_left
+             (fun acc (d : Anafault.Parsim.domain_stats) -> acc + d.faults_done)
+             0 stats);
+        check_bool "domain ids sorted" true
+          (List.map (fun (d : Anafault.Parsim.domain_stats) -> d.domain) stats
+          = [ 0; 1 ]);
+        List.iter
+          (fun (d : Anafault.Parsim.domain_stats) ->
+            check_int "indices match count" d.faults_done
+              (List.length d.fault_indices))
+          stats;
+        check_bool "indices partition the list" true
+          (List.concat_map
+             (fun (d : Anafault.Parsim.domain_stats) -> d.fault_indices)
+             stats
+          |> List.sort Int.compare = [ 0; 1; 2 ]));
+    Alcotest.test_case "run reports both wall and cpu time" `Quick (fun () ->
+        let run = Anafault.Simulate.run config inverter faults in
+        check_bool "wall positive" true (run.Anafault.Simulate.wall_seconds > 0.0);
+        check_bool "cpu non-negative" true (run.Anafault.Simulate.cpu_seconds >= 0.0);
+        let s = Format.asprintf "%a" Anafault.Report.pp_summary run in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "wall labelled" true (contains s "wall time");
+        check_bool "cpu labelled" true (contains s "cpu time"));
+  ]
+
 let coverage_tests =
   [
     Alcotest.test_case "coverage curve is monotone to the final value" `Quick (fun () ->
@@ -226,6 +300,7 @@ let suites =
   [
     ("anafault.detect", detect_tests);
     ("anafault.simulate", simulate_tests);
+    ("anafault.parsim", parsim_tests);
     ("anafault.coverage", coverage_tests);
     ("anafault.report", report_tests);
   ]

@@ -261,6 +261,146 @@ let tran_tests =
         match Sim.Engine.transient c ~tstep:0.0 ~tstop:1.0 ~uic:true with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "breakpoints closer than eps are not stridden over" `Quick
+      (fun () ->
+        (* Two PWL knots 1e-19 s apart (well inside eps = tstop*1e-12)
+           make a sharp rising edge at 1 us, followed by a fall at
+           1.05 us - within one 1 us output step.  Popping only one stale
+           breakpoint and keeping the unclipped step used to jump from
+           1 us straight to 2 us, missing the 5 V plateau entirely. *)
+        let edge = 1e-19 in
+        let wave =
+          Netlist.Wave.Pwl
+            [ (0.0, 0.0); (1e-6, 0.0); (1e-6 +. edge, 5.0); (1.05e-6, 5.0);
+              (1.05e-6 +. edge, 0.0); (4e-6, 0.0) ]
+        in
+        let c =
+          Netlist.Circuit.of_devices "bp"
+            [ Netlist.Device.V { name = "VIN"; np = "in"; nn = "0"; wave };
+              Netlist.Device.R { name = "R1"; n1 = "in"; n2 = "0"; value = 1e3 } ]
+        in
+        let wf = Sim.Engine.transient c ~tstep:1e-6 ~tstop:4e-6 ~uic:true in
+        checkf 0.05 "plateau captured" 5.0 (Sim.Waveform.value_at wf "in" 1.05e-6);
+        checkf 0.05 "back down after the pulse" 0.0
+          (Sim.Waveform.value_at wf "in" 3e-6));
+  ]
+
+let ac_tests =
+  let c = parse "acf\nV1 in 0 DC 0\nR1 in out 1k\nC1 out 0 1u\n.end\n" in
+  [
+    Alcotest.test_case "unknown source rejected with empty freqs" `Quick (fun () ->
+        (* The name check must run before the frequency loop: with no
+           frequencies there is nothing to solve, yet the bad request
+           must still be diagnosed. *)
+        match Sim.Engine.ac c ~source:"VBOGUS" ~freqs:[] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "unknown source rejected before solving" `Quick (fun () ->
+        match Sim.Engine.ac c ~source:"VBOGUS" ~freqs:[ 10.0; 100.0 ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "valid source with empty freqs yields empty spectrum" `Quick
+      (fun () ->
+        let sp = Sim.Engine.ac c ~source:"V1" ~freqs:[] in
+        Alcotest.(check int) "points" 0 (Sim.Spectrum.length sp));
+    Alcotest.test_case "rc pole where expected" `Quick (fun () ->
+        let fc = 1.0 /. (2.0 *. Float.pi *. 1e3 *. 1e-6) in
+        let sp =
+          Sim.Engine.ac c ~source:"V1"
+            ~freqs:(Sim.Spectrum.log_grid ~f_start:1.0 ~f_stop:10e3 ~per_decade:20)
+        in
+        match Sim.Spectrum.corner_frequency sp "out" with
+        | Some f -> checkf (fc *. 0.2) "corner" fc f
+        | None -> Alcotest.fail "no corner found");
+  ]
+
+let session_tests =
+  let divider = parse "div\nV1 in 0 10\nR1 in out 1k\nR2 out 0 1k\n.end\n" in
+  let v_out sol = Sim.Engine.voltage sol "out" in
+  [
+    Alcotest.test_case "solve_dc matches dc_operating_point" `Quick (fun () ->
+        let s = Sim.Engine.Session.create divider in
+        checkf 1e-9 "out"
+          (v_out (Sim.Engine.dc_operating_point divider))
+          (v_out (Sim.Engine.Session.solve_dc s)));
+    Alcotest.test_case "transient matches the standalone analysis" `Quick (fun () ->
+        let c = parse "rc\nV1 in 0 5\nR1 in out 1k\nC1 out 0 1u IC=0\n.end\n" in
+        let s = Sim.Engine.Session.create c in
+        let wf_session, _ = Sim.Engine.Session.transient s ~tstep:1e-5 ~tstop:2e-3 ~uic:true in
+        let wf_standalone = Sim.Engine.transient c ~tstep:1e-5 ~tstop:2e-3 ~uic:true in
+        List.iter
+          (fun t ->
+            checkf 1e-9
+              (Printf.sprintf "v(%.0e)" t)
+              (Sim.Waveform.value_at wf_standalone "out" t)
+              (Sim.Waveform.value_at wf_session "out" t))
+          [ 2e-4; 1e-3; 2e-3 ]);
+    Alcotest.test_case "with_patch applies an added resistor and restores" `Quick
+      (fun () ->
+        let s = Sim.Engine.Session.create divider in
+        let patched =
+          Netlist.Circuit.add divider
+            (Netlist.Device.R { name = "RF"; n1 = "out"; n2 = "0"; value = 1e3 })
+        in
+        (* out: 1k || 1k against 1k -> 10 * (500/1500). *)
+        let v =
+          Sim.Engine.Session.with_patch s patched (fun s ->
+              v_out (Sim.Engine.Session.solve_dc s))
+        in
+        checkf 1e-6 "patched" (10.0 /. 3.0) v;
+        checkf 1e-6 "restored" 5.0 (v_out (Sim.Engine.Session.solve_dc s)));
+    Alcotest.test_case "with_patch supports one new node" `Quick (fun () ->
+        let s = Sim.Engine.Session.create divider in
+        (* Break R2's ground leg through an extra 1k: out = 10 * 2/3. *)
+        let patched =
+          Netlist.Circuit.replace divider
+            (Netlist.Device.R { name = "R2"; n1 = "out"; n2 = "nx"; value = 1e3 })
+        in
+        let patched =
+          Netlist.Circuit.add patched
+            (Netlist.Device.R { name = "RB"; n1 = "nx"; n2 = "0"; value = 1e3 })
+        in
+        let v =
+          Sim.Engine.Session.with_patch s patched (fun s ->
+              v_out (Sim.Engine.Session.solve_dc s))
+        in
+        checkf 1e-6 "patched" (20.0 /. 3.0) v);
+    Alcotest.test_case "with_patch supports one new branch" `Quick (fun () ->
+        let s = Sim.Engine.Session.create divider in
+        let patched =
+          Netlist.Circuit.add divider
+            (Netlist.Device.V
+               { name = "VB"; np = "out"; nn = "0"; wave = Netlist.Wave.Dc 0.0 })
+        in
+        let v =
+          Sim.Engine.Session.with_patch s patched (fun s ->
+              v_out (Sim.Engine.Session.solve_dc s))
+        in
+        checkf 1e-9 "shorted" 0.0 v);
+    Alcotest.test_case "two new nodes overflow the patch" `Quick (fun () ->
+        let s = Sim.Engine.Session.create divider in
+        let patched =
+          Netlist.Circuit.replace divider
+            (Netlist.Device.R { name = "R1"; n1 = "in"; n2 = "na"; value = 1e3 })
+        in
+        let patched =
+          Netlist.Circuit.replace patched
+            (Netlist.Device.R { name = "R2"; n1 = "nb"; n2 = "0"; value = 1e3 })
+        in
+        (match
+           Sim.Engine.Session.with_patch s patched (fun s ->
+               v_out (Sim.Engine.Session.solve_dc s))
+         with
+        | exception Sim.Engine.Patch_overflow _ -> ()
+        | _ -> Alcotest.fail "expected Patch_overflow");
+        (* The failed patch must not poison the session. *)
+        checkf 1e-6 "still nominal" 5.0 (v_out (Sim.Engine.Session.solve_dc s)));
+    Alcotest.test_case "removing a device overflows the patch" `Quick (fun () ->
+        let s = Sim.Engine.Session.create divider in
+        let patched = Netlist.Circuit.remove divider "R2" in
+        match Sim.Engine.Session.with_patch s patched (fun _ -> ()) with
+        | exception Sim.Engine.Patch_overflow _ -> ()
+        | _ -> Alcotest.fail "expected Patch_overflow");
   ]
 
 (* Property tests on whole analyses. *)
@@ -386,6 +526,8 @@ let suites =
     ("sim.waveform", waveform_tests);
     ("sim.dc", dc_tests);
     ("sim.tran", tran_tests);
+    ("sim.ac.validation", ac_tests);
+    ("sim.session", session_tests);
     ("sim.engine.properties", engine_qcheck);
     ("sim.robustness", robustness_tests);
   ]
