@@ -11,11 +11,17 @@ let integration () =
   List.iter
     (fun (label, integration) ->
       let options = { Sim.Engine.default_options with integration } in
-      let wf, stats =
-        Sim.Engine.transient_with_stats ~options (Cat.Demo.schematic ())
-          ~tstep:Helpers.tran.Netlist.Parser.tstep
-          ~tstop:Helpers.tran.Netlist.Parser.tstop ~uic:true
+      let result =
+        Sim.Engine.run ~options (Cat.Demo.schematic ())
+          (Sim.Engine.Analysis.Tran
+             {
+               tstep = Helpers.tran.Netlist.Parser.tstep;
+               tstop = Helpers.tran.Netlist.Parser.tstop;
+               uic = true;
+             })
       in
+      let wf = Sim.Engine.Analysis.waveform result
+      and stats = Sim.Engine.Analysis.stats result in
       Printf.printf "%-18s %8d %8.2f %10d %8d\n" label (Helpers.count_edges wf)
         (Helpers.frequency_mhz wf) stats.Sim.Engine.accepted_steps
         stats.Sim.Engine.rejected_steps)

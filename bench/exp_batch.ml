@@ -72,7 +72,7 @@ let static_round_robin ~domains config circuit ~nominal faults =
 let run () =
   Helpers.banner "Batch mode - session reuse and work-stealing schedule";
   let circuit = (Netlist.Parser.parse deck).Netlist.Parser.circuit in
-  let config = Anafault.Simulate.default_config ~tran ~observed:"out" in
+  let config = Anafault.Simulate.default_config ~tran ~observed:"out" () in
   let faults = Faults.Universe.build circuit in
   let n_faults = List.length faults in
   Printf.printf "fault universe: %d faults (two-stage amplifier fixture)\n" n_faults;
@@ -136,7 +136,7 @@ let run () =
   let dc_rebuild () =
     List.iter
       (fun f ->
-        try ignore (Sim.Engine.dc_operating_point (inject f)) with _ -> ())
+        try ignore (Sim.Engine.run (inject f) Sim.Engine.Analysis.Op) with _ -> ())
       faults
   in
   let dc_session () =

@@ -5,8 +5,9 @@
 let run () =
   Helpers.banner "Fig. 5 - fault coverage vs time (source model, 2 V / 0.2 us)";
   let run_result =
-    Cat.run_fault_simulation ~domains:8 Cat.Demo.config (Cat.Demo.schematic ())
-      (Helpers.lift_faults ())
+    Cat.run_fault_simulation
+      { Cat.Demo.config with Anafault.Simulate.domains = 8 }
+      (Cat.Demo.schematic ()) (Helpers.lift_faults ())
   in
   Printf.printf "%8s %10s\n" "time [%]" "coverage";
   List.iter

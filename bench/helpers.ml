@@ -8,9 +8,16 @@ let banner title =
 
 let tran = Vco.Schematic.tran
 
-let simulate ?(options = Sim.Engine.default_options) circuit =
-  Sim.Engine.transient ~options circuit ~tstep:tran.Netlist.Parser.tstep
-    ~tstop:tran.Netlist.Parser.tstop ~uic:true
+let simulate ?(options = Sim.Engine.default_options) ?(obs = Obs.null) circuit =
+  Sim.Engine.(
+    Analysis.waveform
+      (run ~options ~obs circuit
+         (Analysis.Tran
+            {
+              tstep = tran.Netlist.Parser.tstep;
+              tstop = tran.Netlist.Parser.tstop;
+              uic = true;
+            })))
 
 (* Rising-edge count of the VCO output through mid-rail. *)
 let count_edges ?(signal = Vco.Schematic.out_node) wf =

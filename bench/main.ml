@@ -5,17 +5,24 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- quick   # skip ablations and micro-benchmarks
      dune exec bench/main.exe -- batch   # only the session/scheduler experiment
+     dune exec bench/main.exe -- obs     # only the telemetry-overhead experiment
 *)
 
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
   let batch_only = Array.exists (String.equal "batch") Sys.argv in
+  let obs_only = Array.exists (String.equal "obs") Sys.argv in
   Printf.printf
     "Reproduction harness: Sebeke/Teixeira/Ohletz, DATE 1995\n\
      'Automatic Fault Extraction and Simulation of Layout Realistic Faults\n\
      for Integrated Analogue Circuits'\n";
   if batch_only then begin
     Exp_batch.run ();
+    Helpers.banner "Done";
+    exit 0
+  end;
+  if obs_only then begin
+    Exp_obs.run ();
     Helpers.banner "Done";
     exit 0
   end;
@@ -31,6 +38,7 @@ let () =
     Exp_testprep.run ();
     Exp_batch.run ();
     Exp_ablation.run fig5_run;
+    Exp_obs.run ();
     Micro.run ()
   end;
   Helpers.banner "Done"

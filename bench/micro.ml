@@ -21,7 +21,7 @@ let small_circuit = (Netlist.Parser.parse small_deck).Netlist.Parser.circuit
 
 let small_tran = { Netlist.Parser.tstep = 20e-9; tstop = 4e-6; uic = true }
 
-let small_config = Anafault.Simulate.default_config ~tran:small_tran ~observed:"out"
+let small_config = Anafault.Simulate.default_config ~tran:small_tran ~observed:"out" ()
 
 let small_nominal = lazy (fst (Anafault.Simulate.nominal small_config small_circuit))
 
@@ -73,8 +73,13 @@ let tests =
             small_fault
         in
         ignore
-          (Sim.Engine.transient faulty ~tstep:small_tran.Netlist.Parser.tstep
-             ~tstop:small_tran.Netlist.Parser.tstop ~uic:true)));
+          (Sim.Engine.run faulty
+             (Sim.Engine.Analysis.Tran
+                {
+                  tstep = small_tran.Netlist.Parser.tstep;
+                  tstop = small_tran.Netlist.Parser.tstop;
+                  uic = true;
+                }))));
     (* Fig. 5: tolerance comparison and coverage evaluation. *)
     Test.make ~name:"fig5/first_detection" (Staged.stage (fun () ->
         let nominal = Lazy.force small_nominal in

@@ -3,12 +3,17 @@
      dune exec bin/anafault_main.exe -- CIRCUIT.cir
          [--faults faults.flt | --universe] [--observe NODE]
          [--model source|resistor] [--tol-v V] [--tol-t S]
-         [--domains N] [--csv FILE] [--plot]
+         [--domains N] [--limit N] [--csv FILE] [--plot]
+         [--trace FILE.jsonl] [--metrics]
 
    The circuit must contain a .tran card; the fault list comes from lift
-   (or --universe builds the complete schematic fault set). *)
+   (or --universe builds the complete schematic fault set).  --trace
+   streams the run's telemetry (per-fault spans, per-domain scheduler
+   stats, Newton/fallback counters) as JSON lines; --metrics prints the
+   aggregated summary table. *)
 
-let run input fault_file universe observe model_name tol_v tol_t domains csv_file plot =
+let run input fault_file universe observe model_name tol_v tol_t domains limit
+    csv_file plot trace metrics =
   let deck = Netlist.Parser.parse_file input in
   let circuit = deck.Netlist.Parser.circuit in
   match deck.Netlist.Parser.tran with
@@ -24,6 +29,11 @@ let run input fault_file universe observe model_name tol_v tol_t domains csv_fil
         Format.eprintf "error: need --faults FILE or --universe@.";
         exit 1
     in
+    let faults =
+      match limit with
+      | Some n -> List.filteri (fun i _ -> i < n) faults
+      | None -> faults
+    in
     let observed =
       match observe with
       | Some node ->
@@ -32,13 +42,7 @@ let run input fault_file universe observe model_name tol_v tol_t domains csv_fil
           exit 1
         end;
         node
-      | None -> begin
-        (* Default: the last non-ground node, which by SPICE habit is the
-           output. *)
-        match List.rev (Netlist.Circuit.nodes circuit) with
-        | n :: _ when n <> "0" -> n
-        | _ -> "0"
-      end
+      | None -> Anafault.Simulate.default_observed circuit
     in
     let model =
       match model_name with
@@ -48,18 +52,19 @@ let run input fault_file universe observe model_name tol_v tol_t domains csv_fil
         Format.eprintf "error: unknown model %S (source|resistor)@." other;
         exit 1
     in
+    (* One memory sink feeds both outputs; the run stays untraced when
+       neither was asked for. *)
+    let obs =
+      if trace <> None || metrics then Obs.memory () else Obs.null
+    in
     let config =
-      { (Anafault.Simulate.default_config ~tran ~observed) with
-        model;
-        tolerance = { Anafault.Detect.tol_v; tol_t };
-      }
+      Anafault.Simulate.default_config ~model
+        ~tolerance:{ Anafault.Detect.tol_v; tol_t }
+        ~domains ~obs ~tran ~observed ()
     in
-    Format.printf "observing %s, %d faults, %s model@." observed (List.length faults)
-      model_name;
-    let run_result, domain_stats =
-      if domains <= 1 then (Anafault.Simulate.run config circuit faults, [])
-      else Anafault.Parsim.run_with_stats ~domains config circuit faults
-    in
+    Format.printf "observing %s, %d faults, %s model@." observed
+      (List.length faults) model_name;
+    let run_result, domain_stats = Anafault.Parsim.execute config circuit faults in
     Format.printf "%a@.@.%a@." Anafault.Report.pp_table run_result
       Anafault.Report.pp_summary run_result;
     if domain_stats <> [] then
@@ -72,6 +77,18 @@ let run input fault_file universe observe model_name tol_v tol_t domains csv_fil
             output_string oc (Anafault.Report.csv run_result));
         Format.eprintf "csv written to %s@." path)
       csv_file;
+    let events = Obs.drain obs in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            Obs.Jsonl.write oc events);
+        Format.eprintf "trace written to %s (%d events)@." path
+          (List.length events))
+      trace;
+    if metrics then
+      Format.printf "@.telemetry summary@.%a@." Obs.Summary.pp
+        (Obs.Summary.of_events events);
     0
   end
 
@@ -103,10 +120,19 @@ let tol_t =
 let domains =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Run fault simulations on $(docv) domains.")
 
+let limit =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Simulate only the first $(docv) faults of the list.")
+
 let csv_file =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-fault results as CSV.")
 
 let plot = Arg.(value & flag & info [ "plot" ] ~doc:"Print the coverage-versus-time plot.")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the telemetry stream as JSON lines to $(docv).")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the aggregated telemetry summary table.")
 
 let cmd =
   let doc = "automatic analogue fault simulation (AnaFAULT)" in
@@ -114,6 +140,6 @@ let cmd =
     (Cmd.info "anafault" ~doc)
     Term.(
       const run $ input $ fault_file $ universe $ observe $ model_name $ tol_v $ tol_t
-      $ domains $ csv_file $ plot)
+      $ domains $ limit $ csv_file $ plot $ trace $ metrics)
 
 let () = exit (Cmd.eval' cmd)

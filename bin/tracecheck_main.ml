@@ -1,0 +1,41 @@
+(* tracecheck: validate an anafault --trace JSONL stream.
+
+     dune exec bin/tracecheck_main.exe -- out.jsonl
+
+   Re-parses every line through Obs.Jsonl (the same reader the tooling
+   uses), prints the event tally, and exits non-zero on the first
+   malformed line - the check behind the @obs-smoke alias. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> begin
+    match Obs.Jsonl.read_file path with
+    | Ok events ->
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let kind =
+            match e with
+            | Obs.Span _ -> "span"
+            | Obs.Count _ -> "count"
+            | Obs.Sample _ -> "sample"
+          in
+          Hashtbl.replace tally kind (1 + Option.value ~default:0 (Hashtbl.find_opt tally kind)))
+        events;
+      Printf.printf "%s: %d events ok" path (List.length events);
+      Hashtbl.iter (fun k n -> Printf.printf ", %d %ss" n k) tally;
+      print_newline ();
+      if events = [] then begin
+        prerr_endline "error: trace is empty";
+        exit 1
+      end
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 1
+    | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  end
+  | _ ->
+    prerr_endline "usage: tracecheck TRACE.jsonl";
+    exit 2

@@ -33,9 +33,13 @@ let () =
   (* --- Part 1: AC --- *)
   print_endline "=== AC fault signatures of a common-source amplifier ===";
   let config = Anafault.Ac_sim.default_config ~source:"VIN" ~observed:"out" in
-  let nominal =
-    Sim.Engine.ac amplifier ~source:"VIN" ~freqs:config.Anafault.Ac_sim.freqs
+  let ac circuit =
+    Sim.Engine.(
+      Analysis.spectrum
+        (run circuit
+           (Analysis.Ac { source = "VIN"; freqs = config.Anafault.Ac_sim.freqs })))
   in
+  let nominal = ac amplifier in
   let mag = Sim.Spectrum.magnitude_db nominal "out" in
   let freqs = Sim.Spectrum.frequencies nominal in
   let peak = Array.fold_left Float.max neg_infinity mag in
@@ -67,9 +71,7 @@ let () =
   let faulty_c =
     Faults.Inject.apply ~model:Faults.Inject.default_resistor amplifier gate_open
   in
-  let faulty =
-    Sim.Engine.ac faulty_c ~source:"VIN" ~freqs:config.Anafault.Ac_sim.freqs
-  in
+  let faulty = ac faulty_c in
   let series spec =
     Array.to_list
       (Array.map2
@@ -103,12 +105,16 @@ let () =
   in
   let values = List.init 9 (fun i -> 1.0 +. (0.375 *. float_of_int i)) in
   let charge_current sol = Sim.Engine.voltage sol "8" /. 50e3 *. 1e6 in
-  let nominal_sweep = Sim.Engine.dc_sweep block ~source:"VCTL" ~values in
+  let sweep circuit =
+    Sim.Engine.(
+      Analysis.sweep (run circuit (Analysis.Dc_sweep { source = "VCTL"; values })))
+  in
+  let nominal_sweep = sweep block in
   let faulty_block =
     Netlist.Circuit.add block
       (Netlist.Device.R { name = "FB"; n1 = "6"; n2 = "0"; value = 0.01 })
   in
-  let faulty_sweep = Sim.Engine.dc_sweep faulty_block ~source:"VCTL" ~values in
+  let faulty_sweep = sweep faulty_block in
   Printf.printf "%8s %18s %24s\n" "Vctl [V]" "I(charge) [uA]" "I(charge) BRI 6<->0 [uA]";
   List.iter2
     (fun (v, sn) (_, sf) ->

@@ -27,9 +27,14 @@ let () =
         | _ -> false)
       faults
   in
+  let tran circuit =
+    Sim.Engine.(
+      Analysis.waveform
+        (run circuit (Analysis.Tran { tstep = 10e-9; tstop = 4e-6; uic = true })))
+  in
   let measured =
     let faulty = Faults.Inject.apply ~model:Faults.Inject.default_resistor circuit culprit in
-    Sim.Engine.transient faulty ~tstep:10e-9 ~tstop:4e-6 ~uic:true
+    tran faulty
   in
   Printf.printf "device under test deviates from nominal by %.2f V RMS\n"
     (Anafault.Diagnose.nominal_distance dict measured);
@@ -43,7 +48,7 @@ let () =
     (Anafault.Diagnose.rank dict measured);
 
   (* And a good die diagnoses as... nothing close. *)
-  let good = Sim.Engine.transient circuit ~tstep:10e-9 ~tstop:4e-6 ~uic:true in
+  let good = tran circuit in
   Printf.printf "\na good die deviates by %.3f V RMS from nominal"
     (Anafault.Diagnose.nominal_distance dict good);
   (match Anafault.Diagnose.diagnose dict good with

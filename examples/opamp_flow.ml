@@ -39,7 +39,7 @@ let () =
   let tran = Option.get parsed.Netlist.Parser.tran in
 
   banner "DC operating point (unity-gain buffer)";
-  let sol = Sim.Engine.dc_operating_point circuit in
+  let sol = Sim.Engine.(Analysis.solution (run circuit Analysis.Op)) in
   Printf.printf "bias=%.2f V  tail=%.2f V  out1=%.2f V  out=%.2f V (input 2.0 V)\n"
     (Sim.Engine.voltage sol "bias") (Sim.Engine.voltage sol "tail")
     (Sim.Engine.voltage sol "out1") (Sim.Engine.voltage sol "out");
@@ -75,7 +75,7 @@ let () =
 
   banner "Transient fault simulation (step response, paper tolerances)";
   let config =
-    { (Anafault.Simulate.default_config ~tran ~observed:"out") with
+    { (Anafault.Simulate.default_config ~tran ~observed:"out" ()) with
       tolerance = { Anafault.Detect.tol_v = 0.5; tol_t = 0.2e-6 } }
   in
   let run =

@@ -16,8 +16,15 @@ let simulate r =
       (Netlist.Device.R { name = "FBRIDGE"; n1 = m11_drain; n2 = "0"; value = r })
   in
   let tran = Vco.Schematic.tran in
-  Sim.Engine.transient faulty ~tstep:tran.Netlist.Parser.tstep
-    ~tstop:tran.Netlist.Parser.tstop ~uic:true
+  Sim.Engine.(
+    Analysis.waveform
+      (run faulty
+         (Analysis.Tran
+            {
+              tstep = tran.Netlist.Parser.tstep;
+              tstop = tran.Netlist.Parser.tstop;
+              uic = true;
+            })))
 
 let count_edges wf =
   let s = Sim.Waveform.samples wf Vco.Schematic.out_node in
@@ -36,9 +43,15 @@ let series_of wf =
 
 let () =
   let nominal =
-    Sim.Engine.transient (Cat.Demo.schematic ())
-      ~tstep:Vco.Schematic.tran.Netlist.Parser.tstep
-      ~tstop:Vco.Schematic.tran.Netlist.Parser.tstop ~uic:true
+    Sim.Engine.(
+      Analysis.waveform
+        (run (Cat.Demo.schematic ())
+           (Analysis.Tran
+              {
+                tstep = Vco.Schematic.tran.Netlist.Parser.tstep;
+                tstop = Vco.Schematic.tran.Netlist.Parser.tstop;
+                uic = true;
+              })))
   in
   Printf.printf "fault-free: %d rising edges in 4 us\n\n" (count_edges nominal);
   let sweep = [ 1000.0; 41.0; 21.0; 1.0 ] in

@@ -42,8 +42,9 @@ let () =
 
   banner "AnaFAULT fault simulation (source model)";
   let run =
-    Cat.run_fault_simulation ~domains:4 Cat.Demo.config schematic
-      lift.Defects.Lift.faults
+    Cat.run_fault_simulation
+      { Cat.Demo.config with Anafault.Simulate.domains = 4 }
+      schematic lift.Defects.Lift.faults
   in
   Format.printf "%a@." Anafault.Report.pp_summary run;
   Format.printf "@.%a@." Anafault.Report.pp_overview run;

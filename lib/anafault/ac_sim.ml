@@ -39,11 +39,15 @@ let first_escape config ~nominal ~faulty =
   in
   go 0
 
+let ac config circuit =
+  Sim.Engine.Analysis.spectrum
+    (Sim.Engine.run ~options:config.sim_options circuit
+       (Sim.Engine.Analysis.Ac { source = config.source; freqs = config.freqs }))
+
 let run_one config circuit ~nominal fault =
   match
     let faulty_circuit = Faults.Inject.apply ~model:config.model circuit fault in
-    Sim.Engine.ac ~options:config.sim_options faulty_circuit ~source:config.source
-      ~freqs:config.freqs
+    ac config faulty_circuit
   with
   | exception Not_found ->
     { fault; outcome = Sim_failed "fault references unknown device/terminal" }
@@ -55,10 +59,7 @@ let run_one config circuit ~nominal fault =
   end
 
 let run config circuit faults =
-  let nominal =
-    Sim.Engine.ac ~options:config.sim_options circuit ~source:config.source
-      ~freqs:config.freqs
-  in
+  let nominal = ac config circuit in
   { config; nominal; results = List.map (run_one config circuit ~nominal) faults }
 
 let tally run =

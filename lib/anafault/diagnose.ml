@@ -18,13 +18,18 @@ let build config circuit faults =
     | exception Not_found -> { fault; samples = None }
     | faulty -> begin
       match
-        Sim.Engine.transient ~options:config.Simulate.sim_options faulty
-          ~tstep:config.Simulate.tran.Netlist.Parser.tstep
-          ~tstop:config.Simulate.tran.Netlist.Parser.tstop
-          ~uic:config.Simulate.tran.Netlist.Parser.uic
+        Sim.Engine.run ~options:config.Simulate.sim_options
+          ~obs:config.Simulate.obs faulty
+          (Sim.Engine.Analysis.Tran
+             {
+               tstep = config.Simulate.tran.Netlist.Parser.tstep;
+               tstop = config.Simulate.tran.Netlist.Parser.tstop;
+               uic = config.Simulate.tran.Netlist.Parser.uic;
+             })
       with
       | exception Sim.Engine.No_convergence _ -> { fault; samples = None }
-      | wf -> { fault; samples = Some (sample_on grid config wf) }
+      | r ->
+        { fault; samples = Some (sample_on grid config (Sim.Engine.Analysis.waveform r)) }
     end
   in
   {

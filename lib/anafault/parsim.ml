@@ -14,18 +14,25 @@ type domain_stats = {
   fault_indices : int list;
   newton_iterations : int;
   busy_seconds : float;
+  steal_seconds : float;
 }
 
 let worker ~config ~circuit ~nominal ~faults ~next ~results d () =
+  let obs = config.Simulate.obs in
   let t0 = Unix.gettimeofday () in
   let ndone = ref 0 and iters = ref 0 and indices = ref [] in
+  let steal_acc = ref 0.0 in
   (try
      let sess = Simulate.session config circuit in
      let n = Array.length faults in
      let rec steal () =
+       let t_steal = Unix.gettimeofday () in
        let i = Atomic.fetch_and_add next 1 in
        if i < n then begin
          let fault = faults.(i) in
+         let dt = Unix.gettimeofday () -. t_steal in
+         steal_acc := !steal_acc +. dt;
+         Obs.sample obs "parsim.steal_seconds" dt;
          let r =
            Simulate.guard fault (fun () ->
                Simulate.run_one_in config sess ~nominal fault)
@@ -42,12 +49,23 @@ let worker ~config ~circuit ~nominal ~faults ~next ~results d () =
      (* A domain that cannot even set up its session just stops stealing;
         the remaining faults drain through the other domains. *)
      ());
+  let busy = Unix.gettimeofday () -. t0 in
+  if Obs.enabled obs then
+    Obs.sample obs "parsim.domain_busy_seconds" busy
+      ~attrs:
+        [
+          ("worker", Obs.Int d);
+          ("faults_done", Obs.Int !ndone);
+          ("newton_iterations", Obs.Int !iters);
+          ("steal_seconds", Obs.Float !steal_acc);
+        ];
   {
     domain = d;
     faults_done = !ndone;
     fault_indices = List.rev !indices;
     newton_iterations = !iters;
-    busy_seconds = Unix.gettimeofday () -. t0;
+    busy_seconds = busy;
+    steal_seconds = !steal_acc;
   }
 
 let run_with_stats ?(clamp = true) ~domains config circuit faults =
@@ -55,42 +73,53 @@ let run_with_stats ?(clamp = true) ~domains config circuit faults =
     if clamp then max 1 (min domains (Domain.recommended_domain_count ()))
     else max 1 domains
   in
-  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
-  let nominal, nominal_stats = Simulate.nominal config circuit in
-  let faults_arr = Array.of_list faults in
-  let n = Array.length faults_arr in
-  let results = Array.make n None in
-  let next = Atomic.make 0 in
-  let work = worker ~config ~circuit ~nominal ~faults:faults_arr ~next ~results in
-  let spawned = List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1))) in
-  let mine = work 0 () in
-  let stats = mine :: List.map Domain.join spawned in
-  let results =
-    Array.to_list
-      (Array.mapi
-         (fun i r ->
-           match r with
-           | Some r -> r
-           | None ->
-             (* Only reachable if every domain died before stealing
-                index i. *)
-             {
-               Simulate.fault = faults_arr.(i);
-               outcome = Simulate.Sim_failed "no domain simulated this fault";
-               stats = Simulate.zero_stats;
-               cpu_seconds = 0.0;
-             })
-         results)
-  in
-  ( {
-      Simulate.config;
-      nominal;
-      nominal_stats;
-      results;
-      wall_seconds = Unix.gettimeofday () -. wall0;
-      cpu_seconds = Sys.time () -. cpu0;
-    },
-    List.sort (fun a b -> Int.compare a.domain b.domain) stats )
+  Obs.span config.Simulate.obs "anafault.batch"
+    ~attrs:
+      [ ("faults", Obs.Int (List.length faults)); ("domains", Obs.Int domains) ]
+    (fun _ ->
+      let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+      let nominal, nominal_stats = Simulate.nominal config circuit in
+      let faults_arr = Array.of_list faults in
+      let n = Array.length faults_arr in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let work =
+        worker ~config ~circuit ~nominal ~faults:faults_arr ~next ~results
+      in
+      let spawned = List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1))) in
+      let mine = work 0 () in
+      let stats = mine :: List.map Domain.join spawned in
+      let results =
+        Array.to_list
+          (Array.mapi
+             (fun i r ->
+               match r with
+               | Some r -> r
+               | None ->
+                 (* Only reachable if every domain died before stealing
+                    index i. *)
+                 {
+                   Simulate.fault = faults_arr.(i);
+                   outcome = Simulate.Sim_failed "no domain simulated this fault";
+                   stats = Simulate.zero_stats;
+                   cpu_seconds = 0.0;
+                 })
+             results)
+      in
+      ( {
+          Simulate.config;
+          nominal;
+          nominal_stats;
+          results;
+          wall_seconds = Unix.gettimeofday () -. wall0;
+          cpu_seconds = Sys.time () -. cpu0;
+        },
+        List.sort (fun a b -> Int.compare a.domain b.domain) stats ))
 
 let run ?clamp ~domains config circuit faults =
   fst (run_with_stats ?clamp ~domains config circuit faults)
+
+let execute ?progress ?clamp ?domains config circuit faults =
+  let domains = Option.value ~default:config.Simulate.domains domains in
+  if domains <= 1 then (Simulate.run ?progress config circuit faults, [])
+  else run_with_stats ?clamp ~domains config circuit faults

@@ -22,6 +22,9 @@ type domain_stats = {
       (** indices into the input fault list, in completion order *)
   newton_iterations : int;
   busy_seconds : float;  (** wall-clock time the domain spent stealing *)
+  steal_seconds : float;
+      (** wall-clock time spent pulling fault indices off the shared
+          counter - the scheduler's overhead, normally microseconds *)
 }
 
 (** [run_with_stats ~domains config circuit faults] behaves like
@@ -49,3 +52,17 @@ val run :
   Netlist.Circuit.t ->
   Faults.Fault.t list ->
   Simulate.run
+
+(** [execute config circuit faults] is the single dispatch point every
+    front end uses: serial {!Simulate.run} (with an empty load report)
+    when the effective domain count is 1, {!run_with_stats} otherwise.
+    The domain count comes from [config.domains] unless overridden by
+    [?domains]; [?progress] only applies to the serial path. *)
+val execute :
+  ?progress:(int -> int -> unit) ->
+  ?clamp:bool ->
+  ?domains:int ->
+  Simulate.config ->
+  Netlist.Circuit.t ->
+  Faults.Fault.t list ->
+  Simulate.run * domain_stats list

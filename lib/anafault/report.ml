@@ -66,12 +66,13 @@ let pp_overview ppf (run : Simulate.run) =
   Format.fprintf ppf "@]"
 
 let pp_domains ppf (stats : Parsim.domain_stats list) =
-  Format.fprintf ppf "@[<v>%-8s %8s %14s %10s@," "domain" "faults" "newton iters"
-    "busy [s]";
+  Format.fprintf ppf "@[<v>%-8s %8s %14s %10s %12s@," "domain" "faults"
+    "newton iters" "busy [s]" "steal [ms]";
   List.iter
     (fun (d : Parsim.domain_stats) ->
-      Format.fprintf ppf "%-8d %8d %14d %10.2f@," d.Parsim.domain d.Parsim.faults_done
-        d.Parsim.newton_iterations d.Parsim.busy_seconds)
+      Format.fprintf ppf "%-8d %8d %14d %10.2f %12.3f@," d.Parsim.domain
+        d.Parsim.faults_done d.Parsim.newton_iterations d.Parsim.busy_seconds
+        (1e3 *. d.Parsim.steal_seconds))
     stats;
   Format.fprintf ppf "@]"
 

@@ -5,17 +5,21 @@ type config = {
   tolerance : Detect.tolerance;
   sim_options : Sim.Engine.options;
   samples : int;
+  domains : int;
+  obs : Obs.sink;
 }
 
-let default_config ~tran ~observed =
-  {
-    model = Faults.Inject.Source;
-    tran;
-    observed;
-    tolerance = Detect.paper_tolerance;
-    sim_options = Sim.Engine.default_options;
-    samples = 400;
-  }
+let default_config ?(model = Faults.Inject.Source)
+    ?(tolerance = Detect.paper_tolerance)
+    ?(sim_options = Sim.Engine.default_options) ?(samples = 400) ?(domains = 1)
+    ?(obs = Obs.null) ~tran ~observed () =
+  { model; tran; observed; tolerance; sim_options; samples; domains; obs }
+
+(* SPICE habit: the last non-ground node of the deck is the output. *)
+let default_observed circuit =
+  match List.rev (Netlist.Circuit.nodes circuit) with
+  | n :: _ when n <> "0" -> n
+  | _ -> "0"
 
 type outcome = Detected of float | Undetected | Sim_failed of string
 
@@ -37,21 +41,23 @@ type run = {
 
 let simulate config circuit =
   let { Netlist.Parser.tstep; tstop; uic } = config.tran in
-  let wf, stats =
-    Sim.Engine.transient_with_stats ~options:config.sim_options circuit ~tstep ~tstop
-      ~uic
+  let result =
+    Sim.Engine.run ~options:config.sim_options ~obs:config.obs circuit
+      (Sim.Engine.Analysis.Tran { tstep; tstop; uic })
   in
-  (Sim.Waveform.resample wf ~n:config.samples, stats)
+  ( Sim.Waveform.resample (Sim.Engine.Analysis.waveform result) ~n:config.samples,
+    Sim.Engine.Analysis.stats result )
 
 let simulate_session config session =
   let { Netlist.Parser.tstep; tstop; uic } = config.tran in
   let wf, stats = Sim.Engine.Session.transient session ~tstep ~tstop ~uic in
   (Sim.Waveform.resample wf ~n:config.samples, stats)
 
-let nominal config circuit = simulate config circuit
+let nominal config circuit =
+  Obs.span config.obs "anafault.nominal" (fun _ -> simulate config circuit)
 
 let session config circuit =
-  Sim.Engine.Session.create ~options:config.sim_options circuit
+  Sim.Engine.Session.create ~options:config.sim_options ~obs:config.obs circuit
 
 let zero_stats =
   { Sim.Engine.newton_iterations = 0; accepted_steps = 0; rejected_steps = 0 }
@@ -68,7 +74,7 @@ let detect_outcome config ~nominal ~faulty =
    constrain creates a singular source loop; the paper notes both models
    yield near-identical coverage, so such faults silently fall back to
    the resistor model. *)
-let with_model_fallback config ~finish attempt =
+let with_model_fallback config ~sp ~finish attempt =
   match attempt config.model with
   | result -> result
   | exception Not_found ->
@@ -76,6 +82,8 @@ let with_model_fallback config ~finish attempt =
   | exception Sim.Engine.No_convergence msg -> begin
     match config.model with
     | Faults.Inject.Source -> begin
+      Obs.set sp "model_fallback" (Obs.Bool true);
+      Obs.count config.obs "anafault.model_fallback" 1;
       match attempt Faults.Inject.default_resistor with
       | result -> result
       | exception Sim.Engine.No_convergence msg -> finish (Sim_failed msg) zero_stats
@@ -83,10 +91,30 @@ let with_model_fallback config ~finish attempt =
     | Faults.Inject.Resistor _ -> finish (Sim_failed msg) zero_stats
   end
 
+(* One span per fault, tagged with its outcome and first-detection
+   time; the attribute strings are only built when the sink is live. *)
+let fault_span config fault f =
+  Obs.span config.obs "anafault.fault" (fun sp ->
+      if Obs.enabled config.obs then
+        Obs.set sp "fault" (Obs.Str (Faults.Fault.to_string fault));
+      let result = f sp in
+      if Obs.enabled config.obs then begin
+        (match result.outcome with
+        | Detected t ->
+          Obs.set sp "outcome" (Obs.Str "detected");
+          Obs.set sp "t_detect" (Obs.Float t)
+        | Undetected -> Obs.set sp "outcome" (Obs.Str "undetected")
+        | Sim_failed msg ->
+          Obs.set sp "outcome" (Obs.Str "failed");
+          Obs.set sp "reason" (Obs.Str msg));
+        Obs.set sp "newton_iterations" (Obs.Int result.stats.Sim.Engine.newton_iterations)
+      end;
+      result)
+
 (* The rebuild-per-fault cycle: every fault pays Mna.make + compile +
    fresh buffers.  Kept as the reference path (and for callers holding
    only a circuit); the batch loop below goes through a session. *)
-let run_one config circuit ~nominal fault =
+let run_one_core config circuit ~nominal ~sp fault =
   let t0 = Sys.time () in
   let finish outcome stats =
     { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
@@ -96,31 +124,42 @@ let run_one config circuit ~nominal fault =
     let faulty, stats = simulate config faulty_circuit in
     finish (detect_outcome config ~nominal ~faulty) stats
   in
-  with_model_fallback config ~finish attempt
+  with_model_fallback config ~sp ~finish attempt
+
+let run_one config circuit ~nominal fault =
+  fault_span config fault (fun sp ->
+      Obs.set sp "path" (Obs.Str "rebuild");
+      run_one_core config circuit ~nominal ~sp fault)
 
 (* The batch cycle: patch the session with the injected devices, simulate
    in the shared buffers, compare.  Node maps and solver storage are
    shared across the whole fault list. *)
 let run_one_in config sess ~nominal fault =
-  let t0 = Sys.time () in
-  let finish outcome stats =
-    { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
-  in
-  let base = Sim.Engine.Session.circuit sess in
-  let attempt model =
-    let faulty_circuit = Faults.Inject.apply ~model base fault in
-    let faulty, stats =
-      Sim.Engine.Session.with_patch sess faulty_circuit (fun s ->
-          simulate_session config s)
-    in
-    finish (detect_outcome config ~nominal ~faulty) stats
-  in
-  match with_model_fallback config ~finish attempt with
-  | result -> result
-  | exception Sim.Engine.Patch_overflow _ ->
-    (* The injection rewrote more than the overlay holds; pay the full
-       rebuild for this one fault. *)
-    run_one config base ~nominal fault
+  fault_span config fault (fun sp ->
+      let t0 = Sys.time () in
+      let finish outcome stats =
+        { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
+      in
+      let base = Sim.Engine.Session.circuit sess in
+      let attempt model =
+        let faulty_circuit = Faults.Inject.apply ~model base fault in
+        let faulty, stats =
+          Sim.Engine.Session.with_patch sess faulty_circuit (fun s ->
+              simulate_session config s)
+        in
+        finish (detect_outcome config ~nominal ~faulty) stats
+      in
+      match
+        Obs.set sp "path" (Obs.Str "session");
+        with_model_fallback config ~sp ~finish attempt
+      with
+      | result -> result
+      | exception Sim.Engine.Patch_overflow _ ->
+        (* The injection rewrote more than the overlay holds; pay the full
+           rebuild for this one fault. *)
+        Obs.set sp "path" (Obs.Str "rebuild");
+        Obs.count config.obs "session.rebuild" 1;
+        run_one_core config base ~nominal ~sp fault)
 
 let guard fault thunk =
   match thunk () with
@@ -134,26 +173,33 @@ let guard fault thunk =
     }
 
 let run ?progress config circuit faults =
-  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
-  let sess = session config circuit in
-  let nominal_wf, nominal_stats = simulate_session config sess in
-  let total = List.length faults in
-  let results =
-    List.mapi
-      (fun i fault ->
-        let r = guard fault (fun () -> run_one_in config sess ~nominal:nominal_wf fault) in
-        (match progress with Some f -> f (i + 1) total | None -> ());
-        r)
-      faults
-  in
-  {
-    config;
-    nominal = nominal_wf;
-    nominal_stats;
-    results;
-    wall_seconds = Unix.gettimeofday () -. wall0;
-    cpu_seconds = Sys.time () -. cpu0;
-  }
+  Obs.span config.obs "anafault.batch"
+    ~attrs:[ ("faults", Obs.Int (List.length faults)); ("domains", Obs.Int 1) ]
+    (fun _ ->
+      let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+      let sess = session config circuit in
+      let nominal_wf, nominal_stats =
+        Obs.span config.obs "anafault.nominal" (fun _ -> simulate_session config sess)
+      in
+      let total = List.length faults in
+      let results =
+        List.mapi
+          (fun i fault ->
+            let r =
+              guard fault (fun () -> run_one_in config sess ~nominal:nominal_wf fault)
+            in
+            (match progress with Some f -> f (i + 1) total | None -> ());
+            r)
+          faults
+      in
+      {
+        config;
+        nominal = nominal_wf;
+        nominal_stats;
+        results;
+        wall_seconds = Unix.gettimeofday () -. wall0;
+        cpu_seconds = Sys.time () -. cpu0;
+      })
 
 let tally run =
   List.fold_left

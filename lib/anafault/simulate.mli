@@ -6,6 +6,11 @@
     map and solver buffers across the whole fault list, and each fault is
     a patch-simulate-compare cycle against it. *)
 
+(** The single place a fault-simulation run is described: fault model,
+    stimulus, observation point, detection tolerance, kernel options,
+    output grid, scheduler width and telemetry sink.  Every front end
+    (CLI, benches, examples) builds one of these and hands it to
+    {!run} / {!Parsim.execute}. *)
 type config = {
   model : Faults.Inject.model;  (** fault simulation model *)
   tran : Netlist.Parser.tran;  (** analysis request *)
@@ -13,11 +18,29 @@ type config = {
   tolerance : Detect.tolerance;
   sim_options : Sim.Engine.options;
   samples : int;  (** output grid size (the paper uses a 400-step run) *)
+  domains : int;  (** scheduler width for {!Parsim.execute}; 1 = serial *)
+  obs : Obs.sink;  (** telemetry sink threaded through the kernel, the
+                       sessions and the per-fault loop *)
 }
 
-(** [default_config ~tran ~observed] uses the source model, the paper's
-    tolerances and a 400-point grid. *)
-val default_config : tran:Netlist.Parser.tran -> observed:string -> config
+(** [default_config ~tran ~observed] is the paper's working point: the
+    source model, 2 V / 0.2 us tolerances, a 400-point grid, one domain
+    and no telemetry; each piece can be overridden in place. *)
+val default_config :
+  ?model:Faults.Inject.model ->
+  ?tolerance:Detect.tolerance ->
+  ?sim_options:Sim.Engine.options ->
+  ?samples:int ->
+  ?domains:int ->
+  ?obs:Obs.sink ->
+  tran:Netlist.Parser.tran ->
+  observed:string ->
+  unit ->
+  config
+
+(** The last non-ground node of the circuit - by SPICE habit the
+    output - for callers that let the observed node default. *)
+val default_observed : Netlist.Circuit.t -> string
 
 type outcome =
   | Detected of float  (** first detection time *)
@@ -48,25 +71,27 @@ type run = {
 val zero_stats : Sim.Engine.stats
 
 (** [nominal config circuit] runs the fault-free simulation, resampled
-    onto the uniform output grid. *)
+    onto the uniform output grid, inside an ["anafault.nominal"]
+    span. *)
 val nominal : config -> Netlist.Circuit.t -> Sim.Waveform.t * Sim.Engine.stats
 
 (** [session config circuit] opens an engine session on the nominal
-    circuit with the config's simulator options - the shared state for a
-    batch of {!run_one_in} calls. *)
+    circuit with the config's simulator options and telemetry sink -
+    the shared state for a batch of {!run_one_in} calls. *)
 val session : config -> Netlist.Circuit.t -> Sim.Engine.Session.t
 
 (** [run_one config circuit ~nominal fault] injects, simulates and
     compares one fault, rebuilding all engine state from scratch (the
-    pre-session reference path). *)
+    pre-session reference path).  Emits one ["anafault.fault"] span
+    tagged with the fault, its outcome and first-detection time. *)
 val run_one :
   config -> Netlist.Circuit.t -> nominal:Sim.Waveform.t -> Faults.Fault.t -> fault_result
 
 (** [run_one_in config session ~nominal fault] is {!run_one} through the
     shared session: the fault is applied as a device patch, simulated in
     the session's buffers, and the nominal view is restored afterwards.
-    Falls back to {!run_one} if the injection exceeds the session's patch
-    capacity. *)
+    Falls back to the rebuild path if the injection exceeds the
+    session's patch capacity (counted as ["session.rebuild"]). *)
 val run_one_in :
   config ->
   Sim.Engine.Session.t ->
@@ -81,8 +106,10 @@ val run_one_in :
 val guard : Faults.Fault.t -> (unit -> fault_result) -> fault_result
 
 (** [run config circuit faults] performs the whole loop serially through
-    one shared session.  [progress] (if given) is called after each
-    fault with (done, total). *)
+    one shared session, inside an ["anafault.batch"] span.  [progress]
+    (if given) is called after each fault with (done, total).
+    [config.domains] is ignored here; {!Parsim.execute} dispatches on
+    it. *)
 val run :
   ?progress:(int -> int -> unit) ->
   config ->

@@ -12,9 +12,8 @@ let run_glrfm ?lift_options ?extractor_options ~golden mask =
   let lift = Defects.Lift.run ?options:lift_options extraction in
   { extraction; lvs; lift }
 
-let run_fault_simulation ?(domains = 1) config circuit faults =
-  if domains <= 1 then Anafault.Simulate.run config circuit faults
-  else Anafault.Parsim.run ~domains config circuit faults
+let run_fault_simulation ?domains config circuit faults =
+  fst (Anafault.Parsim.execute ?domains config circuit faults)
 
 module Demo = struct
   let schematic () = Vco.Schematic.schematic ()
@@ -32,7 +31,7 @@ module Demo = struct
 
   let config =
     Anafault.Simulate.default_config ~tran:Vco.Schematic.tran
-      ~observed:Vco.Schematic.out_node
+      ~observed:Vco.Schematic.out_node ()
 
   let universe () = Faults.Universe.build (schematic ())
 end

@@ -221,6 +221,7 @@ type ctx = {
   node_count : int;
   extra_node : int option;
   devices : cdev array;
+  obs : Obs.sink;
 }
 
 let add_gmin_and_cmin ~gmin ~mode ctx =
@@ -240,11 +241,28 @@ let add_gmin_and_cmin ~gmin ~mode ctx =
   Option.iter pin ctx.extra_node
 
 (* Damped Newton-Raphson.  Returns the converged iterate and the number of
-   iterations, or [None]. *)
+   iterations, or [None].  With a live sink, each solve reports its
+   iteration count, the time spent in LU factor+solve and how often the
+   dv clamp fired; the [traced] flag keeps the telemetry arithmetic
+   entirely off the null-sink path. *)
 let newton ~gmin ~mode ctx v0 =
   let opts = ctx.opts in
   let size = ctx.size in
   let sys = ctx.sys in
+  let traced = Obs.enabled ctx.obs in
+  let clamp_hits = ref 0 and lu_seconds = ref 0.0 in
+  let finish result =
+    if traced then begin
+      let iters, ok =
+        match result with Some (_, k) -> (k, true) | None -> (0, false)
+      in
+      Obs.sample ctx.obs "engine.newton.iters_per_solve" (float_of_int iters);
+      Obs.sample ctx.obs "engine.lu.seconds_per_solve" !lu_seconds;
+      if !clamp_hits > 0 then Obs.count ctx.obs "engine.newton.dv_clamp" !clamp_hits;
+      if not ok then Obs.count ctx.obs "engine.newton.failed" 1
+    end;
+    result
+  in
   let v = Array.copy v0 in
   let node_dv x =
     (* Step-length damping applies to node voltages only: branch
@@ -259,12 +277,21 @@ let newton ~gmin ~mode ctx v0 =
       ctx.extra_node;
     !max_dv
   in
+  let factor_solve () =
+    if not traced then Lu.factor_solve ~n:size ctx.scratch sys.Mna.a sys.Mna.b
+    else begin
+      let t0 = Obs.Clock.now () in
+      Fun.protect
+        ~finally:(fun () -> lu_seconds := !lu_seconds +. (Obs.Clock.now () -. t0))
+        (fun () -> Lu.factor_solve ~n:size ctx.scratch sys.Mna.a sys.Mna.b)
+    end
+  in
   let rec iterate k total =
     if k >= opts.max_iter then None
     else begin
       stamp ~opts ~gmin ~mode ~n:size sys ctx.devices v;
       add_gmin_and_cmin ~gmin ~mode ctx;
-      match Lu.factor_solve ~n:size ctx.scratch sys.Mna.a sys.Mna.b with
+      match factor_solve () with
       | exception Lu.Singular _ -> None
       | () ->
         let x = sys.Mna.b in
@@ -275,6 +302,7 @@ let newton ~gmin ~mode ctx v0 =
         let max_dv = node_dv x in
         if Float.is_nan !max_delta then None
         else if max_dv > opts.dv_limit then begin
+          incr clamp_hits;
           let f = opts.dv_limit /. max_dv in
           for i = 0 to size - 1 do
             v.(i) <- v.(i) +. (f *. (x.(i) -. v.(i)))
@@ -292,7 +320,7 @@ let newton ~gmin ~mode ctx v0 =
         end
     end
   in
-  iterate 0 0
+  finish (iterate 0 0)
 
 let dc_solve ctx =
   let opts = ctx.opts in
@@ -301,6 +329,7 @@ let dc_solve ctx =
   match try_newton ~gmin:opts.gmin ~scale:1.0 zero with
   | Some (v, _) -> v
   | None -> begin
+    Obs.count ctx.obs "engine.dc.gmin_stepping" 1;
     (* gmin stepping: solve with a heavy shunt first, then relax it. *)
     let rec gmin_steps v = function
       | [] -> Some v
@@ -314,6 +343,7 @@ let dc_solve ctx =
     match gmin_steps zero ladder with
     | Some v -> v
     | None -> begin
+      Obs.count ctx.obs "engine.dc.source_stepping" 1;
       (* Source stepping: ramp all independent sources from 10 % to 100 %. *)
       let rec source_steps v = function
         | [] -> Some v
@@ -326,13 +356,15 @@ let dc_solve ctx =
       let ramp = List.init 10 (fun i -> 0.1 *. float_of_int (i + 1)) in
       match source_steps zero ramp with
       | Some v -> v
-      | None -> raise (No_convergence "DC operating point did not converge")
+      | None ->
+        Obs.count ctx.obs "engine.dc.failed" 1;
+        raise (No_convergence "DC operating point did not converge")
     end
   end
 
 (* A throwaway context with exactly-sized buffers, for the one-shot
    analyses below. *)
-let ctx_of_circuit ~opts circuit =
+let ctx_of_circuit ~opts ~obs circuit =
   let mna = Mna.make circuit in
   let devices = compile mna circuit in
   let size = Mna.size mna in
@@ -344,11 +376,12 @@ let ctx_of_circuit ~opts circuit =
       node_count = Mna.node_count mna;
       extra_node = None;
       devices;
+      obs;
     },
     mna )
 
-let dc_operating_point ?(options = default_options) circuit =
-  let ctx, mna = ctx_of_circuit ~opts:options circuit in
+let op_impl ~opts ~obs circuit =
+  let ctx, mna = ctx_of_circuit ~opts ~obs circuit in
   { mna; v = dc_solve ctx }
 
 (* Initial transient state: DC operating point, or zeros plus capacitor
@@ -438,6 +471,16 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
   let t = ref 0.0 in
   let total_iters = ref 0 and accepted = ref 0 and rejected = ref 0 in
   let eps = tstop *. 1e-12 in
+  (* Step counters are reported even when the transient stalls and
+     raises: a diverging fault's work must not vanish from the trace. *)
+  Fun.protect ~finally:(fun () ->
+      if Obs.enabled ctx.obs then begin
+        Obs.count ctx.obs "engine.tran.accepted_steps" !accepted;
+        if !rejected > 0 then
+          Obs.count ctx.obs "engine.tran.rejected_steps" !rejected;
+        Obs.count ctx.obs "engine.tran.newton_iterations" !total_iters
+      end)
+  @@ fun () ->
   while !t < tstop -. eps do
     (* Propose a step: drain every breakpoint at or behind [t] (several
        source edges can pile up inside one accepted step), then clip to
@@ -483,12 +526,9 @@ let output_names mna =
   Array.append (Mna.node_names mna)
     (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
 
-let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic =
-  let ctx, mna = ctx_of_circuit ~opts:options circuit in
+let transient_impl ~opts ~obs circuit ~tstep ~tstop ~uic =
+  let ctx, mna = ctx_of_circuit ~opts ~obs circuit in
   transient_core ctx ~circuit ~names:(output_names mna) ~tstep ~tstop ~uic
-
-let transient ?options circuit ~tstep ~tstop ~uic =
-  fst (transient_with_stats ?options circuit ~tstep ~tstop ~uic)
 
 (* --- Sessions: batch solving of one circuit topology ------------------ *)
 
@@ -507,6 +547,7 @@ module Session = struct
 
   type t = {
     opts : options;
+    obs : Obs.sink;
     circuit : Netlist.Circuit.t;
     mna : Mna.t;
     base_devices : cdev array;
@@ -523,13 +564,14 @@ module Session = struct
     mutable act_names : string array;
   }
 
-  let create ?(options = default_options) circuit =
+  let create ?(options = default_options) ?(obs = Obs.null) circuit =
     let mna = Mna.make circuit in
     let base_size = Mna.size mna in
     let base_devices = compile mna circuit in
     let base_names = output_names mna in
     {
       opts = options;
+      obs;
       circuit;
       mna;
       base_devices;
@@ -558,6 +600,7 @@ module Session = struct
       node_count = s.base_node_count;
       extra_node = s.act_extra_node;
       devices = s.act_devices;
+      obs = s.obs;
     }
 
   let solve_dc s = { mna = s.mna; v = dc_solve (ctx s) }
@@ -629,11 +672,23 @@ module Session = struct
         zip (i + 1) bs ps (cd :: acc)
     in
     let compiled =
-      zip 0
-        (Netlist.Circuit.devices s.circuit)
-        (Netlist.Circuit.devices patched)
-        []
+      match
+        zip 0
+          (Netlist.Circuit.devices s.circuit)
+          (Netlist.Circuit.devices patched)
+          []
+      with
+      | compiled -> compiled
+      | exception Patch_overflow msg ->
+        (* The caller pays a full rebuild for this patch. *)
+        Obs.count s.obs "session.patch_overflow" 1;
+        raise (Patch_overflow msg)
     in
+    if Obs.enabled s.obs then begin
+      Obs.count s.obs "session.patch" 1;
+      Obs.sample s.obs "session.overlay_rows"
+        (float_of_int (!next_row - s.base_size))
+    end;
     let row_name = function
       | None -> []
       | Some (n, row) -> [ (row, n) ]
@@ -668,7 +723,8 @@ end
    branch.  The sweep is a natural session batch: only the swept source's
    wave changes between points, so the node map and solver buffers are
    shared across the whole sweep. *)
-let dc_sweep ?(options = default_options) circuit ~source ~values =
+let dc_sweep_impl ~opts ~obs circuit ~source ~values =
+  let options = opts in
   (match Netlist.Circuit.find circuit source with
   | Some (Netlist.Device.V _) | Some (Netlist.Device.I _) -> ()
   | Some _ | None ->
@@ -683,7 +739,7 @@ let dc_sweep ?(options = default_options) circuit ~source ~values =
         (Netlist.Device.I { i with wave = Netlist.Wave.Dc value })
     | Some _ | None -> assert false
   in
-  let session = Session.create ~options circuit in
+  let session = Session.create ~options ~obs circuit in
   let prev = ref None in
   List.map
     (fun value ->
@@ -708,15 +764,14 @@ let dc_sweep ?(options = default_options) circuit ~source ~values =
    MNA system once per frequency.  The designated source drives with unit
    magnitude and zero phase; every other independent source is quenched
    (V -> short, I -> open), as in SPICE. *)
-let ac ?(options = default_options) circuit ~source ~freqs =
+let ac_impl ~opts ~obs circuit ~source ~freqs =
   (* Validate the source name against the circuit before any solving so
      a typo fails fast - even with an empty frequency list. *)
   (match Netlist.Circuit.find circuit source with
   | Some (Netlist.Device.V _) | Some (Netlist.Device.I _) -> ()
   | Some _ | None ->
     invalid_arg ("Engine.ac: no independent source named " ^ source));
-  let opts = options in
-  let ctx, mna = ctx_of_circuit ~opts circuit in
+  let ctx, mna = ctx_of_circuit ~opts ~obs circuit in
   let devices = ctx.devices in
   let v_op = dc_solve ctx in
   let n = Mna.size mna in
@@ -786,4 +841,75 @@ let ac ?(options = default_options) circuit ~source ~freqs =
     b
   in
   let points = List.map (fun f -> (f, solve_at f)) freqs in
+  if Obs.enabled obs then Obs.count obs "engine.ac.points" (List.length points);
   Spectrum.make ~names:(output_names mna) ~points
+
+(* --- The unified analysis entry point --------------------------------- *)
+
+module Analysis = struct
+  type t =
+    | Op
+    | Tran of { tstep : float; tstop : float; uic : bool }
+    | Dc_sweep of { source : string; values : float list }
+    | Ac of { source : string; freqs : float list }
+
+  type result =
+    | Op_result of solution
+    | Tran_result of Waveform.t * stats
+    | Sweep_result of (float * solution) list
+    | Ac_result of Spectrum.t
+
+  let kind = function
+    | Op -> "op"
+    | Tran _ -> "tran"
+    | Dc_sweep _ -> "dc_sweep"
+    | Ac _ -> "ac"
+
+  let mismatch want = function
+    | Op_result _ -> invalid_arg ("Engine.Analysis: op result, wanted " ^ want)
+    | Tran_result _ -> invalid_arg ("Engine.Analysis: tran result, wanted " ^ want)
+    | Sweep_result _ -> invalid_arg ("Engine.Analysis: sweep result, wanted " ^ want)
+    | Ac_result _ -> invalid_arg ("Engine.Analysis: ac result, wanted " ^ want)
+
+  let solution = function Op_result s -> s | r -> mismatch "solution" r
+
+  let waveform = function Tran_result (wf, _) -> wf | r -> mismatch "waveform" r
+
+  let stats = function Tran_result (_, st) -> st | r -> mismatch "stats" r
+
+  let sweep = function Sweep_result pts -> pts | r -> mismatch "sweep" r
+
+  let spectrum = function Ac_result sp -> sp | r -> mismatch "spectrum" r
+end
+
+let run ?(options = default_options) ?(obs = Obs.null) circuit analysis =
+  let opts = options in
+  Obs.span obs "engine.analysis"
+    ~attrs:[ ("kind", Obs.Str (Analysis.kind analysis)) ]
+    (fun _ ->
+      match analysis with
+      | Analysis.Op -> Analysis.Op_result (op_impl ~opts ~obs circuit)
+      | Analysis.Tran { tstep; tstop; uic } ->
+        let wf, stats = transient_impl ~opts ~obs circuit ~tstep ~tstop ~uic in
+        Analysis.Tran_result (wf, stats)
+      | Analysis.Dc_sweep { source; values } ->
+        Analysis.Sweep_result (dc_sweep_impl ~opts ~obs circuit ~source ~values)
+      | Analysis.Ac { source; freqs } ->
+        Analysis.Ac_result (ac_impl ~opts ~obs circuit ~source ~freqs))
+
+(* --- Deprecated pre-Analysis entry points ----------------------------- *)
+
+let dc_operating_point ?(options = default_options) circuit =
+  op_impl ~opts:options ~obs:Obs.null circuit
+
+let transient_with_stats ?(options = default_options) circuit ~tstep ~tstop ~uic =
+  transient_impl ~opts:options ~obs:Obs.null circuit ~tstep ~tstop ~uic
+
+let transient ?options circuit ~tstep ~tstop ~uic =
+  fst (transient_with_stats ?options circuit ~tstep ~tstop ~uic)
+
+let dc_sweep ?(options = default_options) circuit ~source ~values =
+  dc_sweep_impl ~opts:options ~obs:Obs.null circuit ~source ~values
+
+let ac ?(options = default_options) circuit ~source ~freqs =
+  ac_impl ~opts:options ~obs:Obs.null circuit ~source ~freqs

@@ -48,7 +48,74 @@ type stats = {
   rejected_steps : int;
 }
 
+(** {1 The unified analysis entry point}
+
+    Every one-shot analysis the engine offers is a value of
+    {!Analysis.t}, executed by {!run}.  This is the single place a
+    caller describes {e what} to compute; options and the telemetry
+    sink ride alongside, so instrumentation reaches every analysis kind
+    uniformly. *)
+
+module Analysis : sig
+  (** An analysis request. *)
+  type t =
+    | Op  (** DC operating point *)
+    | Tran of { tstep : float; tstop : float; uic : bool }
+        (** transient from 0 to [tstop]; [tstep] is the suggested output
+            resolution and maximum internal step; with [uic] the initial
+            state is zero node voltages overridden by capacitor [IC=]
+            values instead of the DC operating point *)
+    | Dc_sweep of { source : string; values : float list }
+        (** DC transfer characteristic over the named V or I source *)
+    | Ac of { source : string; freqs : float list }
+        (** small-signal analysis, unit drive on the named source *)
+
+  type result =
+    | Op_result of solution
+    | Tran_result of Waveform.t * stats
+    | Sweep_result of (float * solution) list
+    | Ac_result of Spectrum.t
+
+  (** ["op"], ["tran"], ["dc_sweep"] or ["ac"] - the tag {!run} stamps
+      on its telemetry span. *)
+  val kind : t -> string
+
+  (** Result projections.  Each raises [Invalid_argument] when the
+      result came from a different analysis kind. *)
+
+  val solution : result -> solution
+
+  val waveform : result -> Waveform.t
+
+  val stats : result -> stats
+
+  val sweep : result -> (float * solution) list
+
+  val spectrum : result -> Spectrum.t
+end
+
+(** [run ?options ?obs circuit analysis] executes [analysis] on
+    [circuit].  All kernel telemetry (Newton iterations per solve, LU
+    time, dv-clamp hits, gmin/source-stepping fallbacks, step
+    accept/reject) flows into [obs] (default {!Obs.null}, which is
+    free); the whole analysis is additionally wrapped in an
+    ["engine.analysis"] span tagged with {!Analysis.kind}.  Raises like
+    the analysis-specific entry points it replaces: {!No_convergence},
+    [Invalid_argument]. *)
+val run :
+  ?options:options ->
+  ?obs:Obs.sink ->
+  Netlist.Circuit.t ->
+  Analysis.t ->
+  Analysis.result
+
+(** {1 Deprecated pre-{!Analysis} entry points}
+
+    Thin wrappers over {!run} kept for source compatibility; they run
+    without telemetry. *)
+
 val dc_operating_point : ?options:options -> Netlist.Circuit.t -> solution
+[@@deprecated "use Engine.run _ Analysis.Op"]
 
 (** [transient circuit ~tstep ~tstop ~uic] integrates from 0 to [tstop].
     [tstep] is the suggested output resolution and the maximum internal
@@ -63,6 +130,7 @@ val transient :
   tstop:float ->
   uic:bool ->
   Waveform.t
+[@@deprecated "use Engine.run _ (Analysis.Tran _)"]
 
 (** Like {!transient}, also returning work counters. *)
 val transient_with_stats :
@@ -72,6 +140,7 @@ val transient_with_stats :
   tstop:float ->
   uic:bool ->
   Waveform.t * stats
+[@@deprecated "use Engine.run _ (Analysis.Tran _)"]
 
 (** Batch solving of one circuit topology.
 
@@ -91,9 +160,11 @@ val transient_with_stats :
 module Session : sig
   type t
 
-  (** [create ?options circuit] compiles [circuit] and allocates the
-      shared solver state. *)
-  val create : ?options:options -> Netlist.Circuit.t -> t
+  (** [create ?options ?obs circuit] compiles [circuit] and allocates
+      the shared solver state.  Kernel telemetry of every solve through
+      this session flows into [obs]; [with_patch] additionally reports
+      patch counts and overlay-row occupancy. *)
+  val create : ?options:options -> ?obs:Obs.sink -> Netlist.Circuit.t -> t
 
   (** The base (nominal) circuit the session was built from. *)
   val circuit : t -> Netlist.Circuit.t
@@ -131,6 +202,7 @@ val dc_sweep :
   source:string ->
   values:float list ->
   (float * solution) list
+[@@deprecated "use Engine.run _ (Analysis.Dc_sweep _)"]
 
 (** [ac circuit ~source ~freqs] performs small-signal AC analysis: the DC
     operating point is computed, every device is linearised around it,
@@ -146,3 +218,4 @@ val ac :
   source:string ->
   freqs:float list ->
   Spectrum.t
+[@@deprecated "use Engine.run _ (Analysis.Ac _)"]

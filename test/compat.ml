@@ -1,0 +1,23 @@
+(* The pre-Analysis engine entry points, re-expressed through
+   {!Sim.Engine.run}.  The test suites predate the unified API and call
+   these shims; keeping them here (instead of silencing the deprecation
+   alert file by file) means the tests exercise exactly the code paths
+   the deprecated wrappers forward to. *)
+
+open Sim
+
+let dc_operating_point ?options c =
+  Engine.(Analysis.solution (run ?options c Analysis.Op))
+
+let transient_with_stats ?options c ~tstep ~tstop ~uic =
+  let result = Engine.(run ?options c (Analysis.Tran { tstep; tstop; uic })) in
+  (Engine.Analysis.waveform result, Engine.Analysis.stats result)
+
+let transient ?options c ~tstep ~tstop ~uic =
+  fst (transient_with_stats ?options c ~tstep ~tstop ~uic)
+
+let dc_sweep ?options c ~source ~values =
+  Engine.(Analysis.sweep (run ?options c (Analysis.Dc_sweep { source; values })))
+
+let ac ?options c ~source ~freqs =
+  Engine.(Analysis.spectrum (run ?options c (Analysis.Ac { source; freqs })))

@@ -75,7 +75,7 @@ let inverter =
 
 let tran = { Netlist.Parser.tstep = 10e-9; tstop = 4e-6; uic = true }
 
-let config = Anafault.Simulate.default_config ~tran ~observed:"out"
+let config = Anafault.Simulate.default_config ~tran ~observed:"out" ()
 
 let bridge_out_vdd =
   Faults.Fault.make ~id:"#1"

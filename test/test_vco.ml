@@ -14,7 +14,7 @@ let count_edges wf signal =
 
 let simulate ?(vctl = 3.0) ?(mutate = fun c -> c) () =
   let c = mutate (Vco.Schematic.schematic ~vctl ()) in
-  Sim.Engine.transient c ~tstep:Vco.Schematic.tran.Netlist.Parser.tstep
+  Compat.transient c ~tstep:Vco.Schematic.tran.Netlist.Parser.tstep
     ~tstop:Vco.Schematic.tran.Netlist.Parser.tstop ~uic:true
 
 let schematic_tests =
