@@ -5,15 +5,28 @@
          [--model source|resistor] [--tol-v V] [--tol-t S]
          [--domains N] [--limit N] [--csv FILE] [--plot]
          [--trace FILE.jsonl] [--metrics]
+         [--journal FILE] [--resume] [--retries SPEC]
+         [--budget-iters N] [--budget-steps N] [--budget-seconds S]
 
    The circuit must contain a .tran card; the fault list comes from lift
    (or --universe builds the complete schematic fault set).  --trace
    streams the run's telemetry (per-fault spans, per-domain scheduler
    stats, Newton/fallback counters) as JSON lines; --metrics prints the
-   aggregated summary table. *)
+   aggregated summary table.  --journal records every completed fault to
+   a crash-safe JSONL file; --resume skips the faults an earlier
+   (killed) run of the same campaign already journalled.  The --budget-*
+   flags bound the work spent on each fault; --retries configures the
+   escalation ladder tried when a fault's simulation fails to converge.
+
+   Exit codes: 0 success; 1 usage errors, a failed nominal simulation,
+   or a campaign in which every fault failed; 3 a campaign stopped by
+   --abort-after (the journal keeps what completed). *)
+
+exception Aborted of int
 
 let run input fault_file universe observe model_name tol_v tol_t domains limit
-    csv_file plot trace metrics =
+    csv_file plot trace metrics journal_path resume retries_spec budget_iters
+    budget_steps budget_seconds abort_after =
   let deck = Netlist.Parser.parse_file input in
   let circuit = deck.Netlist.Parser.circuit in
   match deck.Netlist.Parser.tran with
@@ -52,6 +65,31 @@ let run input fault_file universe observe model_name tol_v tol_t domains limit
         Format.eprintf "error: unknown model %S (source|resistor)@." other;
         exit 1
     in
+    let retries =
+      match String.trim retries_spec with
+      | "" | "none" -> []
+      | spec ->
+        String.split_on_char ',' spec
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match Anafault.Outcome.strategy_of_string s with
+               | Ok strategy -> strategy
+               | Error msg ->
+                 Format.eprintf "error: --retries: %s@." msg;
+                 exit 1)
+    in
+    let sim_options =
+      {
+        Sim.Engine.default_options with
+        Sim.Engine.budget =
+          {
+            Sim.Engine.max_newton_iterations = budget_iters;
+            max_steps = budget_steps;
+            deadline_seconds = budget_seconds;
+          };
+      }
+    in
     (* One memory sink feeds both outputs; the run stays untraced when
        neither was asked for. *)
     let obs =
@@ -60,36 +98,83 @@ let run input fault_file universe observe model_name tol_v tol_t domains limit
     let config =
       Anafault.Simulate.default_config ~model
         ~tolerance:{ Anafault.Detect.tol_v; tol_t }
-        ~domains ~obs ~tran ~observed ()
+        ~sim_options ~retries ~domains ~obs ~tran ~observed ()
+    in
+    let journal =
+      match journal_path with
+      | None ->
+        if resume then begin
+          Format.eprintf "error: --resume requires --journal FILE@.";
+          exit 1
+        end;
+        None
+      | Some path -> begin
+        let fingerprint = Anafault.Simulate.fingerprint config circuit faults in
+        match
+          Anafault.Journal.start ~path ~fingerprint ~resume
+            ~faults:(Array.of_list faults)
+        with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 1
+        | Ok j ->
+          if resume then
+            Format.printf "resuming: %d of %d faults already journalled@."
+              (Anafault.Journal.restored_count j)
+              (Anafault.Journal.total j);
+          Some j
+      end
+    in
+    let progress =
+      Option.map
+        (fun n completed _total -> if completed >= n then raise (Aborted completed))
+        abort_after
     in
     Format.printf "observing %s, %d faults, %s model@." observed
       (List.length faults) model_name;
-    let run_result, domain_stats = Anafault.Parsim.execute config circuit faults in
-    Format.printf "%a@.@.%a@." Anafault.Report.pp_table run_result
-      Anafault.Report.pp_summary run_result;
-    if domain_stats <> [] then
-      Format.printf "@.%a@." Anafault.Report.pp_domains domain_stats;
-    if plot then print_string (Anafault.Report.coverage_plot run_result);
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-            output_string oc (Anafault.Report.csv run_result));
-        Format.eprintf "csv written to %s@." path)
-      csv_file;
-    let events = Obs.drain obs in
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-            Obs.Jsonl.write oc events);
-        Format.eprintf "trace written to %s (%d events)@." path
-          (List.length events))
-      trace;
-    if metrics then
-      Format.printf "@.telemetry summary@.%a@." Obs.Summary.pp
-        (Obs.Summary.of_events events);
-    0
+    match Anafault.Parsim.execute ?progress ?journal config circuit faults with
+    | exception Aborted n ->
+      Option.iter Anafault.Journal.close journal;
+      Format.eprintf "aborted after %d faults (journal holds every completed result)@." n;
+      3
+    | exception Sim.Engine.Sim_error (err, detail) ->
+      Option.iter Anafault.Journal.close journal;
+      Format.eprintf "error: nominal simulation failed (%s): %s@."
+        (Sim.Engine.error_to_string err) detail;
+      1
+    | run_result, domain_stats ->
+      Option.iter Anafault.Journal.close journal;
+      Format.printf "%a@.@.%a@." Anafault.Report.pp_table run_result
+        Anafault.Report.pp_summary run_result;
+      if domain_stats <> [] then
+        Format.printf "@.%a@." Anafault.Report.pp_domains domain_stats;
+      if plot then print_string (Anafault.Report.coverage_plot run_result);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              output_string oc (Anafault.Report.csv run_result));
+          Format.eprintf "csv written to %s@." path)
+        csv_file;
+      let events = Obs.drain obs in
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              Obs.Jsonl.write oc events);
+          Format.eprintf "trace written to %s (%d events)@." path
+            (List.length events))
+        trace;
+      if metrics then
+        Format.printf "@.telemetry summary@.%a@." Obs.Summary.pp
+          (Obs.Summary.of_events events);
+      let _, _, failed = Anafault.Simulate.tally run_result in
+      if faults <> [] && failed = List.length faults then begin
+        Format.eprintf
+          "error: every fault simulation failed (see the failure breakdown above)@.";
+        1
+      end
+      else 0
   end
 
 open Cmdliner
@@ -134,12 +219,55 @@ let trace =
 let metrics =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print the aggregated telemetry summary table.")
 
+let journal_path =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Record every completed fault to the crash-safe JSONL journal $(docv).")
+
+let resume =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Skip the faults an earlier run of the same campaign already \
+                 journalled (requires --journal; the journal must match the \
+                 campaign fingerprint).")
+
+let retries_spec =
+  Arg.(value & opt string "swap-model"
+       & info [ "retries" ] ~docv:"SPEC"
+           ~doc:"Comma-separated escalation ladder tried when a fault fails to \
+                 converge: swap-model, cut-tstep[=F], raise-gmin[=F], \
+                 relax-reltol[=F], or none.")
+
+let budget_iters =
+  Arg.(value & opt (some int) None
+       & info [ "budget-iters" ] ~docv:"N"
+           ~doc:"Per-fault cumulative Newton-iteration budget.")
+
+let budget_steps =
+  Arg.(value & opt (some int) None
+       & info [ "budget-steps" ] ~docv:"N"
+           ~doc:"Per-fault transient-step budget (accepted + rejected).")
+
+let budget_seconds =
+  Arg.(value & opt (some float) None
+       & info [ "budget-seconds" ] ~docv:"S"
+           ~doc:"Per-fault wall-clock deadline in seconds.")
+
+let abort_after =
+  Arg.(value & opt (some int) None
+       & info [ "abort-after" ] ~docv:"N"
+           ~doc:"Stop the campaign (exit 3) once $(docv) faults completed - \
+                 simulates a mid-campaign kill for testing --journal/--resume; \
+                 intended for the serial scheduler.")
+
 let cmd =
   let doc = "automatic analogue fault simulation (AnaFAULT)" in
   Cmd.v
     (Cmd.info "anafault" ~doc)
     Term.(
       const run $ input $ fault_file $ universe $ observe $ model_name $ tol_v $ tol_t
-      $ domains $ limit $ csv_file $ plot $ trace $ metrics)
+      $ domains $ limit $ csv_file $ plot $ trace $ metrics $ journal_path
+      $ resume $ retries_spec $ budget_iters $ budget_steps $ budget_seconds
+      $ abort_after)
 
 let () = exit (Cmd.eval' cmd)

@@ -49,7 +49,8 @@ let () =
         | Anafault.Simulate.Detected t ->
           Printf.sprintf "detected at %s" (Netlist.Eng.to_string t)
         | Anafault.Simulate.Undetected -> "undetected"
-        | Anafault.Simulate.Sim_failed m -> "simulation failed: " ^ m
+        | Anafault.Simulate.Sim_failed f ->
+          "simulation failed: " ^ Anafault.Simulate.failure_to_string f
       in
       Printf.printf "%s model: %s\n" label outcome)
     [ ("source  ", Faults.Inject.Source);

@@ -51,7 +51,7 @@ let run_one config circuit ~nominal fault =
   with
   | exception Not_found ->
     { fault; outcome = Sim_failed "fault references unknown device/terminal" }
-  | exception Sim.Engine.No_convergence msg -> { fault; outcome = Sim_failed msg }
+  | exception Sim.Engine.Sim_error (_, msg) -> { fault; outcome = Sim_failed msg }
   | faulty -> begin
     match first_escape config ~nominal ~faulty with
     | Some f -> { fault; outcome = Detected f }

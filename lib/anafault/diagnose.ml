@@ -27,7 +27,7 @@ let build config circuit faults =
                uic = config.Simulate.tran.Netlist.Parser.uic;
              })
       with
-      | exception Sim.Engine.No_convergence _ -> { fault; samples = None }
+      | exception Sim.Engine.Sim_error _ -> { fault; samples = None }
       | r ->
         { fault; samples = Some (sample_on grid config (Sim.Engine.Analysis.waveform r)) }
     end

@@ -1,0 +1,143 @@
+(* Crash-safe campaign journal: a JSONL file holding one header line
+   (campaign fingerprint) plus one line per completed fault, flushed as
+   it is written.  A campaign killed at any point leaves at worst one
+   torn trailing line, which resume ignores; every intact line is a
+   fault that never needs re-simulating. *)
+
+module J = Obs.Json
+
+let fingerprint pieces = Digest.to_hex (Digest.string (String.concat "\x00" pieces))
+
+type t = {
+  path : string;
+  fingerprint : string;
+  total : int;
+  oc : out_channel;
+  lock : Mutex.t;
+  (* Results restored from disk at open plus everything recorded since;
+     [find] serves the campaign loops, so a fault is never simulated
+     twice per journal. *)
+  completed : (int, Outcome.fault_result) Hashtbl.t;
+  restored : int;
+}
+
+let header_line ~fingerprint ~total =
+  J.to_string
+    (J.Obj
+       [
+         ("journal", J.String "anafault");
+         ("version", J.Int 1);
+         ("fingerprint", J.String fingerprint);
+         ("faults", J.Int total);
+       ])
+
+let parse_header line ~fingerprint ~total =
+  match J.of_string line with
+  | Error msg -> Error ("journal header is not JSON: " ^ msg)
+  | Ok (J.Obj fields) -> begin
+    let str name =
+      match List.assoc_opt name fields with Some (J.String s) -> Some s | _ -> None
+    in
+    let int name =
+      match List.assoc_opt name fields with Some (J.Int i) -> Some i | _ -> None
+    in
+    match (str "journal", int "version", str "fingerprint", int "faults") with
+    | Some "anafault", Some 1, Some fp, Some n ->
+      if not (String.equal fp fingerprint) then
+        Error
+          "journal fingerprint mismatch: it belongs to a different campaign \
+           (circuit, config or fault list changed)"
+      else if n <> total then
+        Error
+          (Printf.sprintf "journal holds %d faults, campaign has %d" n total)
+      else Ok ()
+    | Some "anafault", Some v, _, _ when v <> 1 ->
+      Error (Printf.sprintf "unsupported journal version %d" v)
+    | _ -> Error "not an anafault journal"
+  end
+  | Ok _ -> Error "journal header is not an object"
+
+(* Read every line of an existing journal; unparseable lines (the torn
+   tail of a crashed append, at worst) are skipped.  Later entries for
+   the same index win, so a journal that was resumed before a
+   now-skipped line stays consistent. *)
+let restore path ~fingerprint ~faults tbl =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let header = try Some (input_line ic) with End_of_file -> None in
+  match header with
+  | None -> Error "journal file is empty"
+  | Some line -> begin
+    match parse_header line ~fingerprint ~total:(Array.length faults) with
+    | Error _ as e -> e
+    | Ok () ->
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> Ok ()
+        | line ->
+          if not (String.trim line = "") then begin
+            match J.of_string line with
+            | Error _ -> () (* torn tail of a crashed append *)
+            | Ok json -> begin
+              match Outcome.result_of_json ~faults json with
+              | Error _ -> ()
+              | Ok (index, result) -> Hashtbl.replace tbl index result
+            end
+          end;
+          loop ()
+      in
+      loop ()
+  end
+
+let start ~path ~fingerprint ~resume ~faults =
+  let total = Array.length faults in
+  let completed = Hashtbl.create 64 in
+  let fresh () =
+    let oc = open_out path in
+    output_string oc (header_line ~fingerprint ~total);
+    output_char oc '\n';
+    flush oc;
+    Ok { path; fingerprint; total; oc; lock = Mutex.create (); completed; restored = 0 }
+  in
+  if resume && Sys.file_exists path then begin
+    match restore path ~fingerprint ~faults completed with
+    | Error msg -> Error (path ^ ": " ^ msg)
+    | Ok () ->
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      Ok
+        {
+          path;
+          fingerprint;
+          total;
+          oc;
+          lock = Mutex.create ();
+          completed;
+          restored = Hashtbl.length completed;
+        }
+  end
+  else fresh ()
+
+let find t index fault =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.completed index with
+  | Some r when String.equal r.Outcome.fault.Faults.Fault.id fault.Faults.Fault.id
+    ->
+    Some r
+  | Some _ | None -> None
+
+let record t index result =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.replace t.completed index result;
+  output_string t.oc (J.to_string (Outcome.result_to_json ~index result));
+  output_char t.oc '\n';
+  flush t.oc
+
+let completed_count t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.completed
+
+let restored_count t = t.restored
+
+let total t = t.total
+
+let path t = t.path
+
+let close t = close_out_noerr t.oc

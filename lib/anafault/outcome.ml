@@ -1,0 +1,269 @@
+(* The typed per-fault result vocabulary shared by the serial loop, the
+   parallel scheduler and the campaign journal.  Lives below Simulate so
+   Journal can read and write results without depending on the loop. *)
+
+type failure =
+  | Dc_no_convergence of string
+  | Tran_step_underflow of string
+  | Singular_matrix of string
+  | Bad_injection of string
+  | Budget_exceeded of string
+  | Crashed of string
+
+let failure_kind = function
+  | Dc_no_convergence _ -> "dc_no_convergence"
+  | Tran_step_underflow _ -> "tran_step_underflow"
+  | Singular_matrix _ -> "singular_matrix"
+  | Bad_injection _ -> "bad_injection"
+  | Budget_exceeded _ -> "budget_exceeded"
+  | Crashed _ -> "crashed"
+
+let failure_detail = function
+  | Dc_no_convergence d
+  | Tran_step_underflow d
+  | Singular_matrix d
+  | Bad_injection d
+  | Budget_exceeded d
+  | Crashed d ->
+    d
+
+let failure_to_string f =
+  let d = failure_detail f in
+  if d = "" then failure_kind f else failure_kind f ^ ": " ^ d
+
+let failure_of_kind kind detail =
+  match kind with
+  | "dc_no_convergence" -> Ok (Dc_no_convergence detail)
+  | "tran_step_underflow" -> Ok (Tran_step_underflow detail)
+  | "singular_matrix" -> Ok (Singular_matrix detail)
+  | "bad_injection" -> Ok (Bad_injection detail)
+  | "budget_exceeded" -> Ok (Budget_exceeded detail)
+  | "crashed" -> Ok (Crashed detail)
+  | other -> Error ("unknown failure kind " ^ other)
+
+let of_engine_error (err : Sim.Engine.error) detail =
+  match err with
+  | Sim.Engine.Dc_no_convergence -> Dc_no_convergence detail
+  | Sim.Engine.Tran_step_underflow -> Tran_step_underflow detail
+  | Sim.Engine.Singular_matrix -> Singular_matrix detail
+  | Sim.Engine.Budget_exceeded -> Budget_exceeded detail
+
+(* Only kernel convergence failures are worth re-attempting: a bad
+   injection stays bad, a budget trip was deliberate, and a crash is a
+   bug report, not a tolerance problem. *)
+let retryable = function
+  | Dc_no_convergence _ | Tran_step_underflow _ | Singular_matrix _ -> true
+  | Bad_injection _ | Budget_exceeded _ | Crashed _ -> false
+
+(* A failure that may have corrupted or bypassed shared session state;
+   the campaign loops quarantine the session (rebuild it) before the
+   next fault.  Bad injections raise before any device is patched. *)
+let poisons_session = function
+  | Bad_injection _ -> false
+  | Dc_no_convergence _ | Tran_step_underflow _ | Singular_matrix _
+  | Budget_exceeded _ | Crashed _ ->
+    true
+
+type strategy =
+  | Baseline
+  | Swap_model
+  | Cut_tstep of float
+  | Raise_gmin of float
+  | Relax_reltol of float
+
+let strategy_to_string = function
+  | Baseline -> "baseline"
+  | Swap_model -> "swap-model"
+  | Cut_tstep f -> Printf.sprintf "cut-tstep=%.17g" f
+  | Raise_gmin f -> Printf.sprintf "raise-gmin=%.17g" f
+  | Relax_reltol f -> Printf.sprintf "relax-reltol=%.17g" f
+
+let strategy_of_string s =
+  let name, arg =
+    match String.index_opt s '=' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i,
+        float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let with_arg default k =
+    match (String.contains s '=', arg) with
+    | false, _ -> Ok (k default)
+    | true, Some f -> Ok (k f)
+    | true, None -> Error ("bad numeric argument in strategy " ^ s)
+  in
+  match name with
+  | "baseline" -> Ok Baseline
+  | "swap-model" -> Ok Swap_model
+  | "cut-tstep" -> with_arg 0.1 (fun f -> Cut_tstep f)
+  | "raise-gmin" -> with_arg 1e3 (fun f -> Raise_gmin f)
+  | "relax-reltol" -> with_arg 10.0 (fun f -> Relax_reltol f)
+  | other -> Error ("unknown retry strategy " ^ other)
+
+(* One rung of the retry ladder as it was actually run: [None] means the
+   attempt succeeded (it is the winning strategy). *)
+type attempt = { strategy : strategy; failure : failure option }
+
+type outcome = Detected of float | Undetected | Sim_failed of failure
+
+type fault_result = {
+  fault : Faults.Fault.t;
+  outcome : outcome;
+  attempts : attempt list;
+  stats : Sim.Engine.stats;
+  cpu_seconds : float;
+}
+
+let outcome_to_string = function
+  | Detected t -> Printf.sprintf "detected at %.4g s" t
+  | Undetected -> "undetected"
+  | Sim_failed f -> "sim failed: " ^ failure_to_string f
+
+(* --- JSONL codec (journal lines) -------------------------------------- *)
+
+module J = Obs.Json
+
+let failure_to_json f =
+  J.Obj [ ("kind", J.String (failure_kind f)); ("detail", J.String (failure_detail f)) ]
+
+let failure_of_json = function
+  | J.Obj fields -> begin
+    match (List.assoc_opt "kind" fields, List.assoc_opt "detail" fields) with
+    | Some (J.String kind), Some (J.String detail) -> failure_of_kind kind detail
+    | Some (J.String kind), None -> failure_of_kind kind ""
+    | _ -> Error "failure: want {kind; detail}"
+  end
+  | _ -> Error "failure: want an object"
+
+let attempt_to_json a =
+  J.Obj
+    (("strategy", J.String (strategy_to_string a.strategy))
+    ::
+    (match a.failure with
+    | None -> []
+    | Some f -> [ ("failure", failure_to_json f) ]))
+
+let attempt_of_json = function
+  | J.Obj fields -> begin
+    match List.assoc_opt "strategy" fields with
+    | Some (J.String s) -> begin
+      match strategy_of_string s with
+      | Error msg -> Error msg
+      | Ok strategy -> begin
+        match List.assoc_opt "failure" fields with
+        | None -> Ok { strategy; failure = None }
+        | Some j ->
+          Result.map (fun f -> { strategy; failure = Some f }) (failure_of_json j)
+      end
+    end
+    | _ -> Error "attempt: want a strategy string"
+  end
+  | _ -> Error "attempt: want an object"
+
+(* A number that survives the codec bit-for-bit: Json.Float prints with
+   %.17g, which round-trips IEEE doubles exactly. *)
+let result_to_json ~index r =
+  let open J in
+  let outcome_fields =
+    match r.outcome with
+    | Detected t -> [ ("outcome", String "detected"); ("t_detect", Float t) ]
+    | Undetected -> [ ("outcome", String "undetected") ]
+    | Sim_failed f -> [ ("outcome", String "failed"); ("failure", failure_to_json f) ]
+  in
+  Obj
+    ([ ("index", Int index); ("id", String r.fault.Faults.Fault.id) ]
+    @ outcome_fields
+    @ [
+        ("attempts", List (List.map attempt_to_json r.attempts));
+        ( "stats",
+          Obj
+            [
+              ("newton_iterations", Int r.stats.Sim.Engine.newton_iterations);
+              ("accepted_steps", Int r.stats.Sim.Engine.accepted_steps);
+              ("rejected_steps", Int r.stats.Sim.Engine.rejected_steps);
+            ] );
+        ("cpu_seconds", Float r.cpu_seconds);
+      ])
+
+let ( let* ) = Result.bind
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error ("missing field " ^ name)
+
+let as_int = function
+  | J.Int i -> Ok i
+  | _ -> Error "want an integer"
+
+let as_float = function
+  | J.Float f -> Ok f
+  | J.Int i -> Ok (float_of_int i)
+  | _ -> Error "want a number"
+
+let result_of_json ~faults json =
+  match json with
+  | J.Obj fields ->
+    let* index = Result.bind (field fields "index") as_int in
+    if index < 0 || index >= Array.length faults then
+      Error (Printf.sprintf "fault index %d out of range" index)
+    else begin
+      let fault = faults.(index) in
+      let* id =
+        match field fields "id" with
+        | Ok (J.String s) -> Ok s
+        | _ -> Error "want an id string"
+      in
+      if not (String.equal id fault.Faults.Fault.id) then
+        Error
+          (Printf.sprintf "journal id %s does not match fault %s at index %d" id
+             fault.Faults.Fault.id index)
+      else
+        let* outcome =
+          match field fields "outcome" with
+          | Ok (J.String "detected") ->
+            let* t = Result.bind (field fields "t_detect") as_float in
+            Ok (Detected t)
+          | Ok (J.String "undetected") -> Ok Undetected
+          | Ok (J.String "failed") ->
+            let* f = Result.bind (field fields "failure") failure_of_json in
+            Ok (Sim_failed f)
+          | Ok _ | Error _ -> Error "want an outcome tag"
+        in
+        let* attempts =
+          match List.assoc_opt "attempts" fields with
+          | Some (J.List l) ->
+            List.fold_right
+              (fun j acc ->
+                let* acc = acc in
+                let* a = attempt_of_json j in
+                Ok (a :: acc))
+              l (Ok [])
+          | Some _ -> Error "attempts: want a list"
+          | None -> Ok []
+        in
+        let* stats =
+          match List.assoc_opt "stats" fields with
+          | Some (J.Obj s) ->
+            let* ni = Result.bind (field s "newton_iterations") as_int in
+            let* acc = Result.bind (field s "accepted_steps") as_int in
+            let* rej = Result.bind (field s "rejected_steps") as_int in
+            Ok
+              {
+                Sim.Engine.newton_iterations = ni;
+                accepted_steps = acc;
+                rejected_steps = rej;
+              }
+          | Some _ -> Error "stats: want an object"
+          | None ->
+            Ok
+              {
+                Sim.Engine.newton_iterations = 0;
+                accepted_steps = 0;
+                rejected_steps = 0;
+              }
+        in
+        let* cpu_seconds = Result.bind (field fields "cpu_seconds") as_float in
+        Ok (index, { fault; outcome; attempts; stats; cpu_seconds })
+    end
+  | _ -> Error "journal entry: want an object"

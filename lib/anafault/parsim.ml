@@ -17,30 +17,51 @@ type domain_stats = {
   steal_seconds : float;
 }
 
-let worker ~config ~circuit ~nominal ~faults ~next ~results d () =
+let worker ~config ~circuit ~nominal ~faults ~next ~results ~journal ~completed
+    ~progress ~total d () =
   let obs = config.Simulate.obs in
   let t0 = Unix.gettimeofday () in
   let ndone = ref 0 and iters = ref 0 and indices = ref [] in
   let steal_acc = ref 0.0 in
   (try
-     let sess = Simulate.session config circuit in
+     let sess = ref (Simulate.session config circuit) in
      let n = Array.length faults in
      let rec steal () =
        let t_steal = Unix.gettimeofday () in
        let i = Atomic.fetch_and_add next 1 in
        if i < n then begin
-         let fault = faults.(i) in
-         let dt = Unix.gettimeofday () -. t_steal in
-         steal_acc := !steal_acc +. dt;
-         Obs.sample obs "parsim.steal_seconds" dt;
-         let r =
-           Simulate.guard fault (fun () ->
-               Simulate.run_one_in config sess ~nominal fault)
-         in
-         results.(i) <- Some r;
-         incr ndone;
-         indices := i :: !indices;
-         iters := !iters + r.Simulate.stats.Sim.Engine.newton_iterations;
+         (* Journal-restored results were prefilled before the spawn and
+            already counted in [completed]; skip straight to the next
+            index. *)
+         if results.(i) = None then begin
+           let fault = faults.(i) in
+           let dt = Unix.gettimeofday () -. t_steal in
+           steal_acc := !steal_acc +. dt;
+           Obs.sample obs "parsim.steal_seconds" dt;
+           let r =
+             Simulate.guard fault (fun () ->
+                 Simulate.run_one_in config !sess ~nominal fault)
+           in
+           results.(i) <- Some r;
+           Option.iter (fun j -> Journal.record j i r) journal;
+           (* Quarantine, as in the serial loop: rebuild this domain's
+              session after a kernel failure. *)
+           (match r.Simulate.outcome with
+           | Simulate.Sim_failed failure when Outcome.poisons_session failure ->
+             Obs.count obs "session.quarantine" 1;
+             sess := Simulate.session config circuit
+           | Simulate.Sim_failed _ | Simulate.Detected _ | Simulate.Undetected ->
+             ());
+           incr ndone;
+           indices := i :: !indices;
+           iters := !iters + r.Simulate.stats.Sim.Engine.newton_iterations;
+           let c = Atomic.fetch_and_add completed 1 + 1 in
+           (* The shared counter is polled from domain 0 only, so the
+              callback never runs concurrently with itself. *)
+           match progress with
+           | Some f when d = 0 -> f c total
+           | Some _ | None -> ()
+         end;
          steal ()
        end
      in
@@ -68,7 +89,8 @@ let worker ~config ~circuit ~nominal ~faults ~next ~results d () =
     steal_seconds = !steal_acc;
   }
 
-let run_with_stats ?(clamp = true) ~domains config circuit faults =
+let run_with_stats ?progress ?journal ?(clamp = true) ~domains config circuit
+    faults =
   let domains =
     if clamp then max 1 (min domains (Domain.recommended_domain_count ()))
     else max 1 domains
@@ -82,13 +104,33 @@ let run_with_stats ?(clamp = true) ~domains config circuit faults =
       let faults_arr = Array.of_list faults in
       let n = Array.length faults_arr in
       let results = Array.make n None in
+      (* Prefill journal-restored results so no domain re-simulates a
+         completed fault. *)
+      let restored = ref 0 in
+      (match journal with
+      | Some j ->
+        Array.iteri
+          (fun i fault ->
+            match Journal.find j i fault with
+            | Some r ->
+              results.(i) <- Some r;
+              incr restored;
+              Obs.count config.Simulate.obs "journal.skipped" 1
+            | None -> ())
+          faults_arr
+      | None -> ());
       let next = Atomic.make 0 in
+      let completed = Atomic.make !restored in
       let work =
         worker ~config ~circuit ~nominal ~faults:faults_arr ~next ~results
+          ~journal ~completed ~progress ~total:n
       in
       let spawned = List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1))) in
       let mine = work 0 () in
       let stats = mine :: List.map Domain.join spawned in
+      (* Domain 0 only sees the counter after its own faults; guarantee
+         the caller one final (total, total) call once everyone joined. *)
+      (match progress with Some f when n > 0 -> f n n | Some _ | None -> ());
       let results =
         Array.to_list
           (Array.mapi
@@ -100,7 +142,10 @@ let run_with_stats ?(clamp = true) ~domains config circuit faults =
                     index i. *)
                  {
                    Simulate.fault = faults_arr.(i);
-                   outcome = Simulate.Sim_failed "no domain simulated this fault";
+                   outcome =
+                     Simulate.Sim_failed
+                       (Simulate.Crashed "no domain simulated this fault");
+                   attempts = [];
                    stats = Simulate.zero_stats;
                    cpu_seconds = 0.0;
                  })
@@ -119,7 +164,7 @@ let run_with_stats ?(clamp = true) ~domains config circuit faults =
 let run ?clamp ~domains config circuit faults =
   fst (run_with_stats ?clamp ~domains config circuit faults)
 
-let execute ?progress ?clamp ?domains config circuit faults =
+let execute ?progress ?journal ?clamp ?domains config circuit faults =
   let domains = Option.value ~default:config.Simulate.domains domains in
-  if domains <= 1 then (Simulate.run ?progress config circuit faults, [])
-  else run_with_stats ?clamp ~domains config circuit faults
+  if domains <= 1 then (Simulate.run ?progress ?journal config circuit faults, [])
+  else run_with_stats ?progress ?journal ?clamp ~domains config circuit faults

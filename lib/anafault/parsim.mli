@@ -12,7 +12,10 @@
 
     A fault whose simulation raises is reported as
     {!Simulate.Sim_failed}; the exception never escapes the domain, and
-    all other results are returned in input order. *)
+    all other results are returned in input order.  Each domain applies
+    the same robustness layers as the serial loop: the retry ladder,
+    per-fault budgets, session quarantine after kernel failures, and
+    journal skip/record when a {!Journal.t} is supplied. *)
 
 (** Per-domain load counters, for judging schedule balance. *)
 type domain_stats = {
@@ -34,8 +37,18 @@ type domain_stats = {
     limited to [Domain.recommended_domain_count]; [~clamp:false] takes
     the request literally, which oversubscribes small machines but keeps
     scheduling behaviour reproducible.  Results keep the input fault
-    order. *)
+    order.
+
+    [progress] is called with (completed, total): every domain bumps a
+    shared atomic completed-counter, domain 0 polls it after each of its
+    own faults (so the callback never runs concurrently with itself),
+    and one final (total, total) call is guaranteed after all domains
+    join.  With [journal], completed faults are prefilled before any
+    domain spawns (never re-simulated) and fresh results are recorded as
+    they finish, under the journal's internal lock. *)
 val run_with_stats :
+  ?progress:(int -> int -> unit) ->
+  ?journal:Journal.t ->
   ?clamp:bool ->
   domains:int ->
   Simulate.config ->
@@ -57,9 +70,10 @@ val run :
     front end uses: serial {!Simulate.run} (with an empty load report)
     when the effective domain count is 1, {!run_with_stats} otherwise.
     The domain count comes from [config.domains] unless overridden by
-    [?domains]; [?progress] only applies to the serial path. *)
+    [?domains].  [?progress] and [?journal] apply to both paths. *)
 val execute :
   ?progress:(int -> int -> unit) ->
+  ?journal:Journal.t ->
   ?clamp:bool ->
   ?domains:int ->
   Simulate.config ->

@@ -1,7 +1,21 @@
 let outcome_to_string = function
   | Simulate.Detected t -> Printf.sprintf "detected @ %s" (Netlist.Eng.to_string t)
   | Simulate.Undetected -> "undetected"
-  | Simulate.Sim_failed m -> "sim failed: " ^ m
+  | Simulate.Sim_failed f -> "sim failed: " ^ Simulate.failure_to_string f
+
+(* The ladder as a suffix, shown only when more than the baseline ran:
+   "[retried: swap-model]" on a win, "[after 2 attempts]" on a loss. *)
+let attempts_to_string (r : Simulate.fault_result) =
+  match r.attempts with
+  | [] | [ _ ] -> ""
+  | attempts -> begin
+    match
+      List.find_opt (fun (a : Simulate.attempt) -> a.failure = None) attempts
+    with
+    | Some a ->
+      Printf.sprintf " [retried: %s]" (Outcome.strategy_to_string a.strategy)
+    | None -> Printf.sprintf " [after %d attempts]" (List.length attempts)
+  end
 
 let kind_label (f : Faults.Fault.t) =
   match f.kind with
@@ -16,9 +30,9 @@ let pp_table ppf (run : Simulate.run) =
   List.iter
     (fun (r : Simulate.fault_result) ->
       let f = r.fault in
-      Format.fprintf ppf "%-8s %-20s %-10s %-10.3g %s@," f.Faults.Fault.id
+      Format.fprintf ppf "%-8s %-20s %-10s %-10.3g %s%s@," f.Faults.Fault.id
         f.Faults.Fault.mechanism (kind_label f) f.Faults.Fault.prob
-        (outcome_to_string r.outcome))
+        (outcome_to_string r.outcome) (attempts_to_string r))
     run.results;
   Format.fprintf ppf "@]"
 
@@ -30,14 +44,25 @@ let pp_summary ppf (run : Simulate.run) =
       (fun acc (r : Simulate.fault_result) -> acc + r.stats.Sim.Engine.accepted_steps)
       run.nominal_stats.Sim.Engine.accepted_steps run.results
   in
+  let retried =
+    List.fold_left
+      (fun acc (r : Simulate.fault_result) ->
+        if List.length r.attempts > 1 then acc + 1 else acc)
+      0 run.results
+  in
   Format.fprintf ppf
     "@[<v>faults simulated   %d@,detected           %d@,undetected         %d@,\
      sim failures       %d@,final coverage     %.1f %%@,weighted coverage  %.1f %%@,\
-     kernel steps       %d@,wall time          %.2f s@,cpu time           %.2f s@]"
+     kernel steps       %d@,wall time          %.2f s@,cpu time           %.2f s"
     total detected undetected failed
     (Coverage.final_percent run)
     (Coverage.weighted_percent run)
-    kernel_steps run.wall_seconds run.cpu_seconds
+    kernel_steps run.wall_seconds run.cpu_seconds;
+  if retried > 0 then Format.fprintf ppf "@,faults retried     %d" retried;
+  List.iter
+    (fun (kind, n) -> Format.fprintf ppf "@,  %-20s %d" kind n)
+    (Simulate.failure_tally run);
+  Format.fprintf ppf "@]"
 
 let pp_overview ppf (run : Simulate.run) =
   let tbl : (string, int * int * float) Hashtbl.t = Hashtbl.create 8 in
@@ -82,18 +107,20 @@ let coverage_plot ?(points = 100) run =
 
 let csv (run : Simulate.run) =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "id,mechanism,kind,probability,outcome,t_detect\n";
+  Buffer.add_string buf "id,mechanism,kind,probability,outcome,t_detect,failure,attempts\n";
   List.iter
     (fun (r : Simulate.fault_result) ->
       let f = r.fault in
-      let outcome, t =
+      let outcome, t, failure =
         match r.outcome with
-        | Simulate.Detected t -> ("detected", Printf.sprintf "%g" t)
-        | Simulate.Undetected -> ("undetected", "")
-        | Simulate.Sim_failed _ -> ("failed", "")
+        | Simulate.Detected t -> ("detected", Printf.sprintf "%g" t, "")
+        | Simulate.Undetected -> ("undetected", "", "")
+        | Simulate.Sim_failed failure -> ("failed", "", Outcome.failure_kind failure)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%g,%s,%s\n" f.Faults.Fault.id f.Faults.Fault.mechanism
-           (kind_label f) f.Faults.Fault.prob outcome t))
+        (Printf.sprintf "%s,%s,%s,%g,%s,%s,%s,%d\n" f.Faults.Fault.id
+           f.Faults.Fault.mechanism (kind_label f) f.Faults.Fault.prob outcome t
+           failure
+           (List.length r.attempts)))
     run.results;
   Buffer.contents buf

@@ -5,7 +5,9 @@
 (** One row per fault: id, mechanism, kind, probability, outcome. *)
 val pp_table : Format.formatter -> Simulate.run -> unit
 
-(** Aggregate counts, coverage percentages and kernel workload. *)
+(** Aggregate counts, coverage percentages and kernel workload, plus a
+    retried-fault count and a per-class breakdown of simulation failures
+    ({!Simulate.failure_tally}) when any occurred. *)
 val pp_summary : Format.formatter -> Simulate.run -> unit
 
 (** Per-mechanism overview: fault count, detected count, mean detection
@@ -20,5 +22,7 @@ val pp_domains : Format.formatter -> Parsim.domain_stats list -> unit
 val coverage_plot : ?points:int -> Simulate.run -> string
 
 (** [csv run] renders the per-fault table as comma-separated values for
-    external tooling. *)
+    external tooling; the [failure] column holds the
+    {!Outcome.failure_kind} tag of failed simulations and [attempts] the
+    number of retry-ladder rungs run. *)
 val csv : Simulate.run -> string

@@ -4,6 +4,7 @@ type config = {
   observed : string;
   tolerance : Detect.tolerance;
   sim_options : Sim.Engine.options;
+  retries : Outcome.strategy list;
   samples : int;
   domains : int;
   obs : Obs.sink;
@@ -11,9 +12,10 @@ type config = {
 
 let default_config ?(model = Faults.Inject.Source)
     ?(tolerance = Detect.paper_tolerance)
-    ?(sim_options = Sim.Engine.default_options) ?(samples = 400) ?(domains = 1)
+    ?(sim_options = Sim.Engine.default_options)
+    ?(retries = [ Outcome.Swap_model ]) ?(samples = 400) ?(domains = 1)
     ?(obs = Obs.null) ~tran ~observed () =
-  { model; tran; observed; tolerance; sim_options; samples; domains; obs }
+  { model; tran; observed; tolerance; sim_options; retries; samples; domains; obs }
 
 (* SPICE habit: the last non-ground node of the deck is the output. *)
 let default_observed circuit =
@@ -21,14 +23,33 @@ let default_observed circuit =
   | n :: _ when n <> "0" -> n
   | _ -> "0"
 
-type outcome = Detected of float | Undetected | Sim_failed of string
+type failure = Outcome.failure =
+  | Dc_no_convergence of string
+  | Tran_step_underflow of string
+  | Singular_matrix of string
+  | Bad_injection of string
+  | Budget_exceeded of string
+  | Crashed of string
 
-type fault_result = {
+type outcome = Outcome.outcome =
+  | Detected of float
+  | Undetected
+  | Sim_failed of failure
+
+type attempt = Outcome.attempt = {
+  strategy : Outcome.strategy;
+  failure : failure option;
+}
+
+type fault_result = Outcome.fault_result = {
   fault : Faults.Fault.t;
   outcome : outcome;
+  attempts : attempt list;
   stats : Sim.Engine.stats;
   cpu_seconds : float;
 }
+
+let failure_to_string = Outcome.failure_to_string
 
 type run = {
   config : config;
@@ -39,22 +60,33 @@ type run = {
   cpu_seconds : float;
 }
 
-let simulate config circuit =
+(* The work budget in [sim_options] is a per-fault limit: the nominal
+   run is the reference every comparison needs, so it always runs
+   unbudgeted. *)
+let nominal_options config =
+  { config.sim_options with Sim.Engine.budget = Sim.Engine.unlimited }
+
+let simulate_with ~options config circuit =
   let { Netlist.Parser.tstep; tstop; uic } = config.tran in
   let result =
-    Sim.Engine.run ~options:config.sim_options ~obs:config.obs circuit
+    Sim.Engine.run ~options ~obs:config.obs circuit
       (Sim.Engine.Analysis.Tran { tstep; tstop; uic })
   in
   ( Sim.Waveform.resample (Sim.Engine.Analysis.waveform result) ~n:config.samples,
     Sim.Engine.Analysis.stats result )
 
-let simulate_session config session =
+let simulate config circuit = simulate_with ~options:config.sim_options config circuit
+
+let simulate_session ?options config session =
   let { Netlist.Parser.tstep; tstop; uic } = config.tran in
-  let wf, stats = Sim.Engine.Session.transient session ~tstep ~tstop ~uic in
+  let wf, stats =
+    Sim.Engine.Session.transient ?options session ~tstep ~tstop ~uic
+  in
   (Sim.Waveform.resample wf ~n:config.samples, stats)
 
 let nominal config circuit =
-  Obs.span config.obs "anafault.nominal" (fun _ -> simulate config circuit)
+  Obs.span config.obs "anafault.nominal" (fun _ ->
+      simulate_with ~options:(nominal_options config) config circuit)
 
 let session config circuit =
   Sim.Engine.Session.create ~options:config.sim_options ~obs:config.obs circuit
@@ -70,29 +102,80 @@ let detect_outcome config ~nominal ~faulty =
   | Some t -> Detected t
   | None -> Undetected
 
-(* A 0 V source bridging two nodes that other voltage sources already
-   constrain creates a singular source loop; the paper notes both models
-   yield near-identical coverage, so such faults silently fall back to
-   the resistor model. *)
-let with_model_fallback config ~sp ~finish attempt =
-  match attempt config.model with
-  | result -> result
-  | exception Not_found ->
-    finish (Sim_failed "fault references unknown device/terminal") zero_stats
-  | exception Sim.Engine.No_convergence msg -> begin
-    match config.model with
-    | Faults.Inject.Source -> begin
-      Obs.set sp "model_fallback" (Obs.Bool true);
-      Obs.count config.obs "anafault.model_fallback" 1;
-      match attempt Faults.Inject.default_resistor with
-      | result -> result
-      | exception Sim.Engine.No_convergence msg -> finish (Sim_failed msg) zero_stats
-    end
-    | Faults.Inject.Resistor _ -> finish (Sim_failed msg) zero_stats
-  end
+(* --- The retry ladder ------------------------------------------------- *)
 
-(* One span per fault, tagged with its outcome and first-detection
-   time; the attribute strings are only built when the sink is live. *)
+let swap_model = function
+  | Faults.Inject.Source -> Faults.Inject.default_resistor
+  | Faults.Inject.Resistor _ -> Faults.Inject.Source
+
+(* Each strategy is an independent perturbation of the baseline config,
+   not a cumulative one: escalation order is the caller's policy, and
+   independent rungs keep "which strategy won" meaningful. *)
+let apply_strategy config (s : Outcome.strategy) =
+  match s with
+  | Outcome.Baseline -> config
+  | Outcome.Swap_model -> { config with model = swap_model config.model }
+  | Outcome.Cut_tstep f ->
+    let tran = { config.tran with Netlist.Parser.tstep = config.tran.Netlist.Parser.tstep *. f } in
+    { config with tran }
+  | Outcome.Raise_gmin f ->
+    let sim_options =
+      { config.sim_options with Sim.Engine.gmin = config.sim_options.Sim.Engine.gmin *. f }
+    in
+    { config with sim_options }
+  | Outcome.Relax_reltol f ->
+    let sim_options =
+      { config.sim_options with Sim.Engine.reltol = config.sim_options.Sim.Engine.reltol *. f }
+    in
+    { config with sim_options }
+
+let classify_exn = function
+  | Not_found ->
+    Some (Outcome.Bad_injection "fault references unknown device/terminal")
+  | Sim.Engine.Sim_error (err, detail) -> Some (Outcome.of_engine_error err detail)
+  | _ -> None
+
+(* Walk [Baseline :: config.retries]: the first attempt that simulates
+   wins; a retryable kernel failure escalates to the next rung; anything
+   else (bad injection, budget trip) stops the ladder.  Every rung is
+   recorded, so a report can show the original failure even when a retry
+   succeeded - or both messages when both failed.  [attempt cfg] returns
+   [(outcome, stats)] and may raise; exceptions the taxonomy does not
+   cover (e.g. [Patch_overflow]) propagate to the caller's handlers. *)
+let run_ladder config ~sp ~finish attempt =
+  let note (s : Outcome.strategy) =
+    if s <> Outcome.Baseline then begin
+      Obs.count config.obs "anafault.retry" 1;
+      if s = Outcome.Swap_model then begin
+        Obs.set sp "model_fallback" (Obs.Bool true);
+        Obs.count config.obs "anafault.model_fallback" 1
+      end
+    end
+  in
+  let rec go acc = function
+    | [] -> assert false (* the list always starts with Baseline *)
+    | s :: rest -> begin
+      note s;
+      let cfg = apply_strategy config s in
+      match attempt cfg with
+      | outcome, stats ->
+        let attempts = List.rev ({ strategy = s; failure = None } :: acc) in
+        finish ~attempts outcome stats
+      | exception exn -> begin
+        match classify_exn exn with
+        | None -> raise exn
+        | Some failure ->
+          let acc = { strategy = s; failure = Some failure } :: acc in
+          if Outcome.retryable failure && rest <> [] then go acc rest
+          else finish ~attempts:(List.rev acc) (Sim_failed failure) zero_stats
+      end
+    end
+  in
+  go [] (Outcome.Baseline :: config.retries)
+
+(* One span per fault, tagged with its outcome, failure class, attempt
+   count and winning strategy; the attribute strings are only built when
+   the sink is live. *)
 let fault_span config fault f =
   Obs.span config.obs "anafault.fault" (fun sp ->
       if Obs.enabled config.obs then
@@ -104,9 +187,17 @@ let fault_span config fault f =
           Obs.set sp "outcome" (Obs.Str "detected");
           Obs.set sp "t_detect" (Obs.Float t)
         | Undetected -> Obs.set sp "outcome" (Obs.Str "undetected")
-        | Sim_failed msg ->
+        | Sim_failed failure ->
           Obs.set sp "outcome" (Obs.Str "failed");
-          Obs.set sp "reason" (Obs.Str msg));
+          Obs.set sp "failure" (Obs.Str (Outcome.failure_kind failure));
+          Obs.set sp "reason" (Obs.Str (Outcome.failure_to_string failure)));
+        if result.attempts <> [] then begin
+          Obs.set sp "attempts" (Obs.Int (List.length result.attempts));
+          match List.find_opt (fun a -> a.failure = None) result.attempts with
+          | Some a ->
+            Obs.set sp "strategy" (Obs.Str (Outcome.strategy_to_string a.strategy))
+          | None -> ()
+        end;
         Obs.set sp "newton_iterations" (Obs.Int result.stats.Sim.Engine.newton_iterations)
       end;
       result)
@@ -116,15 +207,15 @@ let fault_span config fault f =
    only a circuit); the batch loop below goes through a session. *)
 let run_one_core config circuit ~nominal ~sp fault =
   let t0 = Sys.time () in
-  let finish outcome stats =
-    { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
+  let finish ~attempts outcome stats =
+    { fault; outcome; attempts; stats; cpu_seconds = Sys.time () -. t0 }
   in
-  let attempt model =
-    let faulty_circuit = Faults.Inject.apply ~model circuit fault in
-    let faulty, stats = simulate config faulty_circuit in
-    finish (detect_outcome config ~nominal ~faulty) stats
+  let attempt cfg =
+    let faulty_circuit = Faults.Inject.apply ~model:cfg.model circuit fault in
+    let faulty, stats = simulate cfg faulty_circuit in
+    (detect_outcome config ~nominal ~faulty, stats)
   in
-  with_model_fallback config ~sp ~finish attempt
+  run_ladder config ~sp ~finish attempt
 
 let run_one config circuit ~nominal fault =
   fault_span config fault (fun sp ->
@@ -137,21 +228,21 @@ let run_one config circuit ~nominal fault =
 let run_one_in config sess ~nominal fault =
   fault_span config fault (fun sp ->
       let t0 = Sys.time () in
-      let finish outcome stats =
-        { fault; outcome; stats; cpu_seconds = Sys.time () -. t0 }
+      let finish ~attempts outcome stats =
+        { fault; outcome; attempts; stats; cpu_seconds = Sys.time () -. t0 }
       in
       let base = Sim.Engine.Session.circuit sess in
-      let attempt model =
-        let faulty_circuit = Faults.Inject.apply ~model base fault in
+      let attempt cfg =
+        let faulty_circuit = Faults.Inject.apply ~model:cfg.model base fault in
         let faulty, stats =
           Sim.Engine.Session.with_patch sess faulty_circuit (fun s ->
-              simulate_session config s)
+              simulate_session ~options:cfg.sim_options cfg s)
         in
-        finish (detect_outcome config ~nominal ~faulty) stats
+        (detect_outcome config ~nominal ~faulty, stats)
       in
       match
         Obs.set sp "path" (Obs.Str "session");
-        with_model_fallback config ~sp ~finish attempt
+        run_ladder config ~sp ~finish attempt
       with
       | result -> result
       | exception Sim.Engine.Patch_overflow _ ->
@@ -167,26 +258,87 @@ let guard fault thunk =
   | exception exn ->
     {
       fault;
-      outcome = Sim_failed (Printexc.to_string exn);
+      outcome = Sim_failed (Crashed (Printexc.to_string exn));
+      attempts = [];
       stats = zero_stats;
       cpu_seconds = 0.0;
     }
 
-let run ?progress config circuit faults =
+(* --- Campaign fingerprint --------------------------------------------- *)
+
+let model_signature = function
+  | Faults.Inject.Source -> "source"
+  | Faults.Inject.Resistor { r_short; r_open } ->
+    Printf.sprintf "resistor(%.17g,%.17g)" r_short r_open
+
+let options_signature (o : Sim.Engine.options) =
+  let b = o.Sim.Engine.budget in
+  let opt f = function None -> "-" | Some v -> f v in
+  Printf.sprintf
+    "gmin=%.17g;reltol=%.17g;abstol=%.17g;max_iter=%d;dv_limit=%.17g;cmin=%.17g;integration=%s;budget=%s/%s/%s"
+    o.Sim.Engine.gmin o.Sim.Engine.reltol o.Sim.Engine.abstol
+    o.Sim.Engine.max_iter o.Sim.Engine.dv_limit o.Sim.Engine.cmin
+    (match o.Sim.Engine.integration with
+    | Sim.Engine.Backward_euler -> "be"
+    | Sim.Engine.Trapezoidal -> "trap")
+    (opt string_of_int b.Sim.Engine.max_newton_iterations)
+    (opt string_of_int b.Sim.Engine.max_steps)
+    (opt (Printf.sprintf "%.17g") b.Sim.Engine.deadline_seconds)
+
+(* Everything that can change a per-fault result is hashed; the domain
+   count and the telemetry sink deliberately are not (results are
+   schedule-independent), so a journal written serially resumes under
+   any parallel width. *)
+let fingerprint config circuit faults =
+  let deck = Netlist.Printer.deck_to_string ~tran:config.tran circuit in
+  let cfg =
+    Printf.sprintf
+      "model=%s;tran=%.17g/%.17g/%b;observed=%s;tol=%.17g/%.17g;samples=%d;opts=%s;retries=%s"
+      (model_signature config.model) config.tran.Netlist.Parser.tstep
+      config.tran.Netlist.Parser.tstop config.tran.Netlist.Parser.uic
+      config.observed config.tolerance.Detect.tol_v config.tolerance.Detect.tol_t
+      config.samples
+      (options_signature config.sim_options)
+      (String.concat "," (List.map Outcome.strategy_to_string config.retries))
+  in
+  Journal.fingerprint [ deck; cfg; Faults.Fault_list.to_string faults ]
+
+(* --- The serial campaign loop ----------------------------------------- *)
+
+let run ?progress ?journal config circuit faults =
   Obs.span config.obs "anafault.batch"
     ~attrs:[ ("faults", Obs.Int (List.length faults)); ("domains", Obs.Int 1) ]
     (fun _ ->
       let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
-      let sess = session config circuit in
+      let sess = ref (session config circuit) in
       let nominal_wf, nominal_stats =
-        Obs.span config.obs "anafault.nominal" (fun _ -> simulate_session config sess)
+        Obs.span config.obs "anafault.nominal" (fun _ ->
+            simulate_session ~options:(nominal_options config) config !sess)
       in
       let total = List.length faults in
       let results =
         List.mapi
           (fun i fault ->
             let r =
-              guard fault (fun () -> run_one_in config sess ~nominal:nominal_wf fault)
+              match Option.bind journal (fun j -> Journal.find j i fault) with
+              | Some r ->
+                Obs.count config.obs "journal.skipped" 1;
+                r
+              | None ->
+                let r =
+                  guard fault (fun () ->
+                      run_one_in config !sess ~nominal:nominal_wf fault)
+                in
+                Option.iter (fun j -> Journal.record j i r) journal;
+                (* Quarantine: a kernel failure may leave device state or
+                   an unfinished overlay behind; rebuilding the session
+                   guarantees the next fault starts clean. *)
+                (match r.outcome with
+                | Sim_failed failure when Outcome.poisons_session failure ->
+                  Obs.count config.obs "session.quarantine" 1;
+                  sess := session config circuit
+                | Sim_failed _ | Detected _ | Undetected -> ());
+                r
             in
             (match progress with Some f -> f (i + 1) total | None -> ());
             r)
@@ -209,3 +361,15 @@ let tally run =
       | Undetected -> (d, u + 1, f)
       | Sim_failed _ -> (d, u, f + 1))
     (0, 0, 0) run.results
+
+let failure_tally run =
+  List.fold_left
+    (fun acc r ->
+      match r.outcome with
+      | Detected _ | Undetected -> acc
+      | Sim_failed failure ->
+        let k = Outcome.failure_kind failure in
+        let n = Option.value ~default:0 (List.assoc_opt k acc) in
+        (k, n + 1) :: List.remove_assoc k acc)
+    [] run.results
+  |> List.sort compare

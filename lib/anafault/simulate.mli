@@ -4,19 +4,30 @@
 
     The loop is batch-shaped: one {!Sim.Engine.Session} carries the node
     map and solver buffers across the whole fault list, and each fault is
-    a patch-simulate-compare cycle against it. *)
+    a patch-simulate-compare cycle against it.  Per-fault robustness is
+    layered: a typed failure taxonomy ({!Outcome.failure}), a work budget
+    ({!Sim.Engine.budget}, applied per fault - the nominal run is always
+    unbudgeted), a configurable retry ladder ([retries]), session
+    quarantine after kernel failures, and an optional crash-safe
+    {!Journal} for resumable campaigns. *)
 
 (** The single place a fault-simulation run is described: fault model,
     stimulus, observation point, detection tolerance, kernel options,
-    output grid, scheduler width and telemetry sink.  Every front end
-    (CLI, benches, examples) builds one of these and hands it to
-    {!run} / {!Parsim.execute}. *)
+    retry policy, output grid, scheduler width and telemetry sink.
+    Every front end (CLI, benches, examples) builds one of these and
+    hands it to {!run} / {!Parsim.execute}. *)
 type config = {
   model : Faults.Inject.model;  (** fault simulation model *)
   tran : Netlist.Parser.tran;  (** analysis request *)
   observed : string;  (** the node whose waveform the test observes *)
   tolerance : Detect.tolerance;
   sim_options : Sim.Engine.options;
+      (** kernel options; its [budget] bounds each {e fault} simulation
+          (the nominal reference run is exempt) *)
+  retries : Outcome.strategy list;
+      (** escalation ladder tried, in order, after the baseline attempt
+          fails with a retryable kernel failure; each rung perturbs the
+          baseline config independently *)
   samples : int;  (** output grid size (the paper uses a 400-step run) *)
   domains : int;  (** scheduler width for {!Parsim.execute}; 1 = serial *)
   obs : Obs.sink;  (** telemetry sink threaded through the kernel, the
@@ -24,12 +35,16 @@ type config = {
 }
 
 (** [default_config ~tran ~observed] is the paper's working point: the
-    source model, 2 V / 0.2 us tolerances, a 400-point grid, one domain
-    and no telemetry; each piece can be overridden in place. *)
+    source model, 2 V / 0.2 us tolerances, a 400-point grid, one domain,
+    no telemetry and a one-rung [Swap_model] retry ladder (the paper
+    notes both fault models yield near-identical coverage, so a singular
+    source-model injection silently falls back to the resistor model);
+    each piece can be overridden in place. *)
 val default_config :
   ?model:Faults.Inject.model ->
   ?tolerance:Detect.tolerance ->
   ?sim_options:Sim.Engine.options ->
+  ?retries:Outcome.strategy list ->
   ?samples:int ->
   ?domains:int ->
   ?obs:Obs.sink ->
@@ -42,18 +57,41 @@ val default_config :
     output - for callers that let the observed node default. *)
 val default_observed : Netlist.Circuit.t -> string
 
-type outcome =
+(** Why a fault produced no comparable waveform; re-exported from
+    {!Outcome} so existing matches keep compiling. *)
+type failure = Outcome.failure =
+  | Dc_no_convergence of string
+  | Tran_step_underflow of string
+  | Singular_matrix of string
+  | Bad_injection of string
+  | Budget_exceeded of string
+  | Crashed of string
+
+type outcome = Outcome.outcome =
   | Detected of float  (** first detection time *)
   | Undetected
-  | Sim_failed of string  (** kernel did not converge, or the injected
-                              circuit was unsimulatable *)
+  | Sim_failed of failure
+      (** the kernel gave up, the injection was invalid, the work budget
+          tripped, or the simulation crashed - see the payload *)
 
-type fault_result = {
+type attempt = Outcome.attempt = {
+  strategy : Outcome.strategy;
+  failure : failure option;  (** [None]: this attempt won *)
+}
+
+type fault_result = Outcome.fault_result = {
   fault : Faults.Fault.t;
   outcome : outcome;
+  attempts : attempt list;
+      (** the retry ladder as executed, baseline first; every failed
+          rung keeps its own failure, so the original error survives a
+          successful (or failed) retry *)
   stats : Sim.Engine.stats;
   cpu_seconds : float;
 }
+
+(** {!Outcome.failure_to_string}, re-exported for presentation code. *)
+val failure_to_string : failure -> string
 
 type run = {
   config : config;
@@ -70,9 +108,9 @@ type run = {
 (** All-zero work counters (placeholder for failed simulations). *)
 val zero_stats : Sim.Engine.stats
 
-(** [nominal config circuit] runs the fault-free simulation, resampled
-    onto the uniform output grid, inside an ["anafault.nominal"]
-    span. *)
+(** [nominal config circuit] runs the fault-free simulation (unbudgeted),
+    resampled onto the uniform output grid, inside an
+    ["anafault.nominal"] span. *)
 val nominal : config -> Netlist.Circuit.t -> Sim.Waveform.t * Sim.Engine.stats
 
 (** [session config circuit] opens an engine session on the nominal
@@ -82,8 +120,9 @@ val session : config -> Netlist.Circuit.t -> Sim.Engine.Session.t
 
 (** [run_one config circuit ~nominal fault] injects, simulates and
     compares one fault, rebuilding all engine state from scratch (the
-    pre-session reference path).  Emits one ["anafault.fault"] span
-    tagged with the fault, its outcome and first-detection time. *)
+    pre-session reference path).  Runs the retry ladder; emits one
+    ["anafault.fault"] span tagged with the fault, its outcome, failure
+    class, attempt count and winning strategy. *)
 val run_one :
   config -> Netlist.Circuit.t -> nominal:Sim.Waveform.t -> Faults.Fault.t -> fault_result
 
@@ -100,18 +139,29 @@ val run_one_in :
   fault_result
 
 (** [guard fault thunk] isolates a per-fault failure: any exception the
-    simulation paths do not already map (e.g. an invalid injected
-    device) becomes a {!Sim_failed} result instead of aborting the
-    batch. *)
+    simulation paths do not already map becomes a
+    [Sim_failed (Crashed _)] result instead of aborting the batch. *)
 val guard : Faults.Fault.t -> (unit -> fault_result) -> fault_result
+
+(** [fingerprint config circuit faults] is the campaign identity a
+    {!Journal} is keyed by: a digest over the printed circuit deck,
+    every result-affecting config field, and the printed fault list.
+    The domain count and telemetry sink are excluded (results are
+    schedule-independent). *)
+val fingerprint : config -> Netlist.Circuit.t -> Faults.Fault.t list -> string
 
 (** [run config circuit faults] performs the whole loop serially through
     one shared session, inside an ["anafault.batch"] span.  [progress]
-    (if given) is called after each fault with (done, total).
-    [config.domains] is ignored here; {!Parsim.execute} dispatches on
-    it. *)
+    (if given) is called after each fault with (done, total).  With
+    [journal], faults the journal already holds are skipped (counted as
+    ["journal.skipped"]) and every freshly simulated result is recorded
+    before the loop advances.  After a result whose failure
+    {!Outcome.poisons_session}, the session is rebuilt (quarantine,
+    counted as ["session.quarantine"]).  [config.domains] is ignored
+    here; {!Parsim.execute} dispatches on it. *)
 val run :
   ?progress:(int -> int -> unit) ->
+  ?journal:Journal.t ->
   config ->
   Netlist.Circuit.t ->
   Faults.Fault.t list ->
@@ -119,3 +169,7 @@ val run :
 
 (** Detected / undetected / failed counts. *)
 val tally : run -> int * int * int
+
+(** Failed-fault counts by failure class ({!Outcome.failure_kind} tag),
+    sorted by tag - the breakdown {!Report.pp_summary} prints. *)
+val failure_tally : run -> (string * int) list

@@ -1,5 +1,17 @@
 type integration = Backward_euler | Trapezoidal
 
+(* A budget bounds the work one analysis may spend before the kernel
+   gives up deterministically with [Budget_exceeded].  All limits are
+   cumulative over the whole analysis, not per solve. *)
+type budget = {
+  max_newton_iterations : int option;
+  max_steps : int option;
+  deadline_seconds : float option;
+}
+
+let unlimited =
+  { max_newton_iterations = None; max_steps = None; deadline_seconds = None }
+
 type options = {
   gmin : float;
   reltol : float;
@@ -8,6 +20,7 @@ type options = {
   dv_limit : float;
   cmin : float;
   integration : integration;
+  budget : budget;
 }
 
 let default_options =
@@ -19,9 +32,22 @@ let default_options =
     dv_limit = 1.0;
     cmin = 1e-16;
     integration = Backward_euler;
+    budget = unlimited;
   }
 
-exception No_convergence of string
+type error =
+  | Dc_no_convergence
+  | Tran_step_underflow
+  | Singular_matrix
+  | Budget_exceeded
+
+let error_to_string = function
+  | Dc_no_convergence -> "dc_no_convergence"
+  | Tran_step_underflow -> "tran_step_underflow"
+  | Singular_matrix -> "singular_matrix"
+  | Budget_exceeded -> "budget_exceeded"
+
+exception Sim_error of error * string
 
 exception Patch_overflow of string
 
@@ -241,10 +267,12 @@ let add_gmin_and_cmin ~gmin ~mode ctx =
   Option.iter pin ctx.extra_node
 
 (* Damped Newton-Raphson.  Returns the converged iterate and the number of
-   iterations, or [None].  With a live sink, each solve reports its
-   iteration count, the time spent in LU factor+solve and how often the
-   dv clamp fired; the [traced] flag keeps the telemetry arithmetic
-   entirely off the null-sink path. *)
+   iterations, or the reason the solve failed ([`Singular] when the last
+   factorisation hit a singular pivot, [`No_conv] otherwise) - callers
+   use the distinction to raise a typed {!Sim_error}.  With a live sink,
+   each solve reports its iteration count, the time spent in LU
+   factor+solve and how often the dv clamp fired; the [traced] flag keeps
+   the telemetry arithmetic entirely off the null-sink path. *)
 let newton ~gmin ~mode ctx v0 =
   let opts = ctx.opts in
   let size = ctx.size in
@@ -254,7 +282,7 @@ let newton ~gmin ~mode ctx v0 =
   let finish result =
     if traced then begin
       let iters, ok =
-        match result with Some (_, k) -> (k, true) | None -> (0, false)
+        match result with Ok (_, k) -> (k, true) | Error (_, k) -> (k, false)
       in
       Obs.sample ctx.obs "engine.newton.iters_per_solve" (float_of_int iters);
       Obs.sample ctx.obs "engine.lu.seconds_per_solve" !lu_seconds;
@@ -287,12 +315,12 @@ let newton ~gmin ~mode ctx v0 =
     end
   in
   let rec iterate k total =
-    if k >= opts.max_iter then None
+    if k >= opts.max_iter then Error (`No_conv, total)
     else begin
       stamp ~opts ~gmin ~mode ~n:size sys ctx.devices v;
       add_gmin_and_cmin ~gmin ~mode ctx;
       match factor_solve () with
-      | exception Lu.Singular _ -> None
+      | exception Lu.Singular _ -> Error (`Singular, total + 1)
       | () ->
         let x = sys.Mna.b in
         let max_delta = ref 0.0 in
@@ -300,7 +328,7 @@ let newton ~gmin ~mode ctx v0 =
           max_delta := Float.max !max_delta (Float.abs (x.(i) -. v.(i)))
         done;
         let max_dv = node_dv x in
-        if Float.is_nan !max_delta then None
+        if Float.is_nan !max_delta then Error (`No_conv, total + 1)
         else if max_dv > opts.dv_limit then begin
           incr clamp_hits;
           let f = opts.dv_limit /. max_dv in
@@ -316,7 +344,7 @@ let newton ~gmin ~mode ctx v0 =
             if Float.abs (x.(i) -. v.(i)) > tol then converged := false
           done;
           Array.blit x 0 v 0 size;
-          if !converged then Some (v, total + 1) else iterate (k + 1) (total + 1)
+          if !converged then Ok (v, total + 1) else iterate (k + 1) (total + 1)
         end
     end
   in
@@ -324,7 +352,19 @@ let newton ~gmin ~mode ctx v0 =
 
 let dc_solve ctx =
   let opts = ctx.opts in
-  let try_newton ~gmin ~scale v0 = newton ~gmin ~mode:(Dc { scale }) ctx v0 in
+  (* Remember whether any attempt died on a singular factorisation: a
+     structurally singular system (e.g. an injected voltage-source loop)
+     deserves a different diagnosis than a Newton iterate that merely
+     wandered. *)
+  let saw_singular = ref false in
+  let try_newton ~gmin ~scale v0 =
+    match newton ~gmin ~mode:(Dc { scale }) ctx v0 with
+    | Ok res -> Some res
+    | Error (`Singular, _) ->
+      saw_singular := true;
+      None
+    | Error (`No_conv, _) -> None
+  in
   let zero = Array.make ctx.size 0.0 in
   match try_newton ~gmin:opts.gmin ~scale:1.0 zero with
   | Some (v, _) -> v
@@ -358,7 +398,11 @@ let dc_solve ctx =
       | Some v -> v
       | None ->
         Obs.count ctx.obs "engine.dc.failed" 1;
-        raise (No_convergence "DC operating point did not converge")
+        if !saw_singular then
+          raise
+            (Sim_error (Singular_matrix, "DC system is singular (MNA matrix has no unique solution)"))
+        else
+          raise (Sim_error (Dc_no_convergence, "DC operating point did not converge"))
     end
   end
 
@@ -471,6 +515,39 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
   let t = ref 0.0 in
   let total_iters = ref 0 and accepted = ref 0 and rejected = ref 0 in
   let eps = tstop *. 1e-12 in
+  (* Budget enforcement: checked once per proposed step, so a
+     pathological fault terminates deterministically instead of stalling
+     its domain.  All-None budgets compile to three cheap matches; the
+     clock is only read when a deadline is set. *)
+  let budget = opts.budget in
+  let deadline =
+    Option.map (fun s -> Obs.Clock.now () +. s) budget.deadline_seconds
+  in
+  let exceeded what =
+    Obs.count ctx.obs "engine.budget_exceeded" 1;
+    raise
+      (Sim_error
+         ( Budget_exceeded,
+           Printf.sprintf
+             "%s at t=%.4g (%d newton iterations, %d steps accepted, %d rejected)"
+             what !t !total_iters !accepted !rejected ))
+  in
+  let check_budget () =
+    (match budget.max_newton_iterations with
+    | Some cap when !total_iters >= cap ->
+      exceeded (Printf.sprintf "newton-iteration budget (%d) exhausted" cap)
+    | Some _ | None -> ());
+    (match budget.max_steps with
+    | Some cap when !accepted + !rejected >= cap ->
+      exceeded (Printf.sprintf "transient-step budget (%d) exhausted" cap)
+    | Some _ | None -> ());
+    match deadline with
+    | Some d when Obs.Clock.now () > d ->
+      exceeded
+        (Printf.sprintf "wall-clock budget (%g s) exhausted"
+           (Option.get budget.deadline_seconds))
+    | Some _ | None -> ()
+  in
   (* Step counters are reported even when the transient stalls and
      raises: a diverging fault's work must not vanish from the trace. *)
   Fun.protect ~finally:(fun () ->
@@ -482,6 +559,7 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
       end)
   @@ fun () ->
   while !t < tstop -. eps do
+    check_budget ();
     (* Propose a step: drain every breakpoint at or behind [t] (several
        source edges can pile up inside one accepted step), then clip to
        the first future breakpoint and to tstop. *)
@@ -496,7 +574,7 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
     in
     let mode = Tran { h = h_try; time = !t +. h_try; vnode_prev } in
     match newton ~gmin:opts.gmin ~mode ctx !v with
-    | Some (v', iters) ->
+    | Ok (v', iters) ->
       total_iters := !total_iters + iters;
       incr accepted;
       update_device_states ~opts ~h:h_try devices v';
@@ -506,13 +584,23 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
       samples := (!t, Array.copy v') :: !samples;
       if iters <= 8 then h := Float.min (!h *. 1.5) hmax
       else if iters > 30 then h := Float.max (!h /. 2.0) hmin
-    | None ->
+    | Error (why, iters) ->
+      (* Rejected solves count against the iteration budget: the work
+         was spent even though no step was accepted. *)
+      total_iters := !total_iters + iters;
       incr rejected;
       h := h_try /. 2.0;
-      if !h < hmin then
+      if !h < hmin then begin
+        let err =
+          match why with
+          | `Singular -> Singular_matrix
+          | `No_conv -> Tran_step_underflow
+        in
         raise
-          (No_convergence
-             (Printf.sprintf "transient stalled at t=%.4g (step %.3g)" !t !h))
+          (Sim_error
+             ( err,
+               Printf.sprintf "transient stalled at t=%.4g (step %.3g)" !t !h ))
+      end
   done;
   let wf = Waveform.make ~names ~samples:(List.rev !samples) in
   ( wf,
@@ -591,9 +679,9 @@ module Session = struct
 
   let options s = s.opts
 
-  let ctx s =
+  let ctx ?options s =
     {
-      opts = s.opts;
+      opts = Option.value ~default:s.opts options;
       sys = s.sys;
       scratch = s.scratch;
       size = s.act_size;
@@ -603,11 +691,15 @@ module Session = struct
       obs = s.obs;
     }
 
-  let solve_dc s = { mna = s.mna; v = dc_solve (ctx s) }
+  (* [?options] overrides the session's solver options for this one
+     analysis (the buffers depend only on the topology, never on the
+     options); retry ladders use it to re-attempt a fault with relaxed
+     tolerances without rebuilding the session. *)
+  let solve_dc ?options s = { mna = s.mna; v = dc_solve (ctx ?options s) }
 
-  let transient s ~tstep ~tstop ~uic =
-    transient_core (ctx s) ~circuit:s.act_circuit ~names:s.act_names ~tstep ~tstop
-      ~uic
+  let transient ?options s ~tstep ~tstop ~uic =
+    transient_core (ctx ?options s) ~circuit:s.act_circuit ~names:s.act_names
+      ~tstep ~tstop ~uic
 
   (* Recompile only what [patched] changed relative to the base circuit.
      Fault injection rewrites circuits with Circuit.replace (same name,
@@ -750,9 +842,9 @@ let dc_sweep_impl ~opts ~obs circuit ~source ~values =
               match !prev with
               | Some v0 when Array.length v0 = ctx.size ->
                 newton ~gmin:options.gmin ~mode:(Dc { scale = 1.0 }) ctx v0
-              | Some _ | None -> None
+              | Some _ | None -> Error (`No_conv, 0)
             in
-            match warm with Some (v, _) -> v | None -> dc_solve ctx
+            match warm with Ok (v, _) -> v | Error _ -> dc_solve ctx
           in
           prev := Some v;
           (value, { mna = s.Session.mna; v })))

@@ -8,6 +8,22 @@
 
 type integration = Backward_euler | Trapezoidal
 
+(** A work budget for one analysis.  Each limit is cumulative over the
+    whole analysis (all Newton solves, accepted and rejected steps);
+    [None] means unlimited.  When any limit trips, the analysis raises
+    {!Sim_error} with {!Budget_exceeded} - the deterministic alternative
+    to letting a pathological fault stall its domain.  The deadline is
+    checked once per proposed transient step, so the overshoot past the
+    deadline is at most one Newton solve. *)
+type budget = {
+  max_newton_iterations : int option;
+  max_steps : int option;  (** accepted + rejected transient steps *)
+  deadline_seconds : float option;  (** wall clock, from transient start *)
+}
+
+(** No limits - the default. *)
+val unlimited : budget
+
 type options = {
   gmin : float;  (** conductance to ground on every node (default 1e-12) *)
   reltol : float;  (** relative convergence tolerance (1e-3) *)
@@ -21,11 +37,33 @@ type options = {
           high-gain metastable equilibria fault injection creates, which
           trapezoidal integration rings on; use [Trapezoidal] for
           accuracy-sensitive lightly-damped circuits *)
+  budget : budget;  (** work limits for each analysis (default {!unlimited}) *)
 }
 
 val default_options : options
 
-exception No_convergence of string
+(** Why the kernel gave up.  The taxonomy is carried verbatim into
+    AnaFAULT's per-fault outcomes, so a campaign report can tell a
+    singular injected topology from a transient that merely stalled. *)
+type error =
+  | Dc_no_convergence
+      (** the operating point defeated Newton, gmin stepping and source
+          stepping *)
+  | Tran_step_underflow
+      (** the adaptive transient halved its step below [tstop * 1e-12]
+          without Newton converging *)
+  | Singular_matrix
+      (** LU hit a structurally singular system (e.g. an injected
+          voltage-source loop) and no fallback found a solvable one *)
+  | Budget_exceeded  (** a limit of {!budget} tripped *)
+
+(** Stable lower-snake tag of an {!error} (["dc_no_convergence"], ...),
+    used in telemetry attributes and the campaign journal. *)
+val error_to_string : error -> string
+
+exception Sim_error of error * string
+(** [Sim_error (reason, detail)]: an analysis failed; [detail] is a
+    human-readable elaboration (where, at which time point). *)
 
 exception Patch_overflow of string
 (** A session patch needed more than the reserved overlay capacity (one
@@ -100,7 +138,7 @@ end
     accept/reject) flows into [obs] (default {!Obs.null}, which is
     free); the whole analysis is additionally wrapped in an
     ["engine.analysis"] span tagged with {!Analysis.kind}.  Raises like
-    the analysis-specific entry points it replaces: {!No_convergence},
+    the analysis-specific entry points it replaces: {!Sim_error},
     [Invalid_argument]. *)
 val run :
   ?options:options ->
@@ -172,13 +210,22 @@ module Session : sig
   val options : t -> options
 
   (** DC operating point of the session's active circuit, reusing the
-      session buffers.  Raises {!No_convergence} like
-      {!dc_operating_point}. *)
-  val solve_dc : t -> solution
+      session buffers.  Raises {!Sim_error} like {!dc_operating_point}.
+      [?options] overrides the session's solver options for this one
+      solve (the buffers depend only on the topology) - retry ladders
+      use it to relax tolerances without rebuilding the session. *)
+  val solve_dc : ?options:options -> t -> solution
 
   (** Transient analysis of the session's active circuit, reusing the
-      session buffers; same semantics as {!transient_with_stats}. *)
-  val transient : t -> tstep:float -> tstop:float -> uic:bool -> Waveform.t * stats
+      session buffers; same semantics as {!transient_with_stats}, same
+      [?options] override as {!solve_dc}. *)
+  val transient :
+    ?options:options ->
+    t ->
+    tstep:float ->
+    tstop:float ->
+    uic:bool ->
+    Waveform.t * stats
 
   (** [with_patch t patched f] runs [f] with the session's active circuit
       swapped for [patched], then restores the nominal view (also on
@@ -211,7 +258,7 @@ val dc_sweep :
     magnitude; all other independent sources are quenched, so each node's
     phasor IS the transfer function to that node.  Raises
     [Invalid_argument] when [source] names no independent source and
-    {!No_convergence} if the operating point fails. *)
+    {!Sim_error} if the operating point fails. *)
 val ac :
   ?options:options ->
   Netlist.Circuit.t ->

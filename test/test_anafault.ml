@@ -296,6 +296,513 @@ let report_tests =
           (Anafault.Ascii_plot.render ~series:[ ("x", []) ] ()));
   ]
 
+(* --- Typed failure taxonomy, retry ladder, budgets, journal ----------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let counter_total events name =
+  List.fold_left
+    (fun acc -> function
+      | Obs.Count { name = n'; n; _ } when n' = name -> acc + n
+      | _ -> acc)
+    0 events
+
+(* Detection outcomes keyed per fault with full float precision, for
+   bit-for-bit comparisons across runs and journal round-trips. *)
+let key (run : Anafault.Simulate.run) =
+  List.map
+    (fun (r : Anafault.Simulate.fault_result) ->
+      ( r.fault.Faults.Fault.id,
+        match r.outcome with
+        | Anafault.Simulate.Detected t -> Printf.sprintf "d%.17g" t
+        | Anafault.Simulate.Undetected -> "u"
+        | Anafault.Simulate.Sim_failed f -> "f:" ^ Anafault.Outcome.failure_kind f ))
+    run.Anafault.Simulate.results
+
+(* Bridging the pulse input to the supply under the source model closes
+   a loop of three ideal voltage sources with inconsistent values while
+   the pulse is low: Newton cannot converge at any step size, so the
+   baseline attempt always fails with a retryable kernel failure. *)
+let singular_bridge =
+  Faults.Fault.make ~id:"#S"
+    ~kind:(Faults.Fault.Bridge { net_a = "in"; net_b = "vdd" })
+    ~mechanism:"metal1_short" ~prob:1e-7 ()
+
+let all_failures =
+  [
+    Anafault.Outcome.Dc_no_convergence "a";
+    Anafault.Outcome.Tran_step_underflow "b";
+    Anafault.Outcome.Singular_matrix "c";
+    Anafault.Outcome.Bad_injection "d";
+    Anafault.Outcome.Budget_exceeded "e";
+    Anafault.Outcome.Crashed "f";
+  ]
+
+let taxonomy_tests =
+  [
+    Alcotest.test_case "failure kinds round-trip through their tags" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            match
+              Anafault.Outcome.failure_of_kind
+                (Anafault.Outcome.failure_kind f)
+                (Anafault.Outcome.failure_detail f)
+            with
+            | Ok f' ->
+              check_bool (Anafault.Outcome.failure_kind f) true (f = f')
+            | Error msg -> Alcotest.fail msg)
+          all_failures);
+    Alcotest.test_case "only kernel convergence failures are retryable" `Quick
+      (fun () ->
+        let expected = function
+          | Anafault.Outcome.Dc_no_convergence _ | Anafault.Outcome.Tran_step_underflow _
+          | Anafault.Outcome.Singular_matrix _ -> true
+          | Anafault.Outcome.Bad_injection _ | Anafault.Outcome.Budget_exceeded _
+          | Anafault.Outcome.Crashed _ -> false
+        in
+        List.iter
+          (fun f ->
+            check_bool (Anafault.Outcome.failure_kind f) (expected f)
+              (Anafault.Outcome.retryable f))
+          all_failures);
+    Alcotest.test_case "everything but a bad injection poisons the session" `Quick
+      (fun () ->
+        List.iter
+          (fun f ->
+            check_bool (Anafault.Outcome.failure_kind f)
+              (match f with Anafault.Outcome.Bad_injection _ -> false | _ -> true)
+              (Anafault.Outcome.poisons_session f))
+          all_failures);
+    Alcotest.test_case "retry strategies round-trip through strings" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match
+              Anafault.Outcome.strategy_of_string (Anafault.Outcome.strategy_to_string s)
+            with
+            | Ok s' -> check_bool (Anafault.Outcome.strategy_to_string s) true (s = s')
+            | Error msg -> Alcotest.fail msg)
+          [
+            Anafault.Outcome.Baseline;
+            Anafault.Outcome.Swap_model;
+            Anafault.Outcome.Cut_tstep 0.25;
+            Anafault.Outcome.Raise_gmin 1e3;
+            Anafault.Outcome.Relax_reltol 10.0;
+          ];
+        check_bool "bare name takes the default factor" true
+          (Anafault.Outcome.strategy_of_string "cut-tstep"
+          = Ok (Anafault.Outcome.Cut_tstep 0.1));
+        check_bool "unknown strategy rejected" true
+          (Result.is_error (Anafault.Outcome.strategy_of_string "pray")));
+    Alcotest.test_case "results round-trip through the journal codec" `Quick (fun () ->
+        let r =
+          {
+            Anafault.Outcome.fault = bridge_out_vdd;
+            outcome = Anafault.Outcome.Detected 1.2345678901234566e-06;
+            attempts =
+              [
+                {
+                  Anafault.Outcome.strategy = Anafault.Outcome.Baseline;
+                  failure = Some (Anafault.Outcome.Singular_matrix "no unique solution");
+                };
+                { Anafault.Outcome.strategy = Anafault.Outcome.Swap_model; failure = None };
+              ];
+            stats =
+              { Sim.Engine.newton_iterations = 905; accepted_steps = 412; rejected_steps = 3 };
+            cpu_seconds = 0.00312;
+          }
+        in
+        match
+          Anafault.Outcome.result_of_json ~faults:[| bridge_out_vdd |]
+            (Anafault.Outcome.result_to_json ~index:0 r)
+        with
+        | Ok (0, r') -> check_bool "bit-for-bit" true (r = r')
+        | Ok (i, _) -> Alcotest.failf "wrong index %d" i
+        | Error msg -> Alcotest.fail msg);
+    Alcotest.test_case "codec rejects a result for the wrong fault" `Quick (fun () ->
+        let r =
+          {
+            Anafault.Outcome.fault = bridge_out_vdd;
+            outcome = Anafault.Outcome.Undetected;
+            attempts = [];
+            stats = Anafault.Simulate.zero_stats;
+            cpu_seconds = 0.0;
+          }
+        in
+        let json = Anafault.Outcome.result_to_json ~index:0 r in
+        check_bool "id mismatch" true
+          (Result.is_error (Anafault.Outcome.result_of_json ~faults:[| open_gate |] json));
+        check_bool "index out of range" true
+          (Result.is_error (Anafault.Outcome.result_of_json ~faults:[||] json)));
+  ]
+
+let run_budgeted budget =
+  let options = { Sim.Engine.default_options with Sim.Engine.budget } in
+  ignore
+    (Sim.Engine.run ~options inverter
+       (Sim.Engine.Analysis.Tran { tstep = 10e-9; tstop = 4e-6; uic = true }))
+
+let expect_budget_exceeded what budget =
+  match run_budgeted budget with
+  | exception Sim.Engine.Sim_error (Sim.Engine.Budget_exceeded, _) -> ()
+  | () -> Alcotest.failf "%s: expected Budget_exceeded, simulation completed" what
+  | exception e -> Alcotest.failf "%s: unexpected %s" what (Printexc.to_string e)
+
+(* A budget campaign: same inverter, 1000x longer transient.  The step
+   size is capped at tstep, so every full simulation needs >= 400k
+   accepted steps - far beyond any 50 ms wall-clock deadline - while the
+   unbudgeted nominal run still completes. *)
+let tran_slow = { Netlist.Parser.tstep = 10e-9; tstop = 4e-3; uic = true }
+
+let deadline_options =
+  {
+    Sim.Engine.default_options with
+    Sim.Engine.budget =
+      { Sim.Engine.unlimited with Sim.Engine.deadline_seconds = Some 0.05 };
+  }
+
+let check_all_budget_exceeded (run : Anafault.Simulate.run) =
+  List.iter
+    (fun (r : Anafault.Simulate.fault_result) ->
+      match r.outcome with
+      | Anafault.Simulate.Sim_failed (Anafault.Simulate.Budget_exceeded _) -> ()
+      | o ->
+        Alcotest.failf "%s: expected Budget_exceeded, got %s" r.fault.Faults.Fault.id
+          (Anafault.Outcome.outcome_to_string o))
+    run.Anafault.Simulate.results
+
+let budget_tests =
+  [
+    Alcotest.test_case "transient-step budget trips" `Quick (fun () ->
+        expect_budget_exceeded "steps"
+          { Sim.Engine.unlimited with Sim.Engine.max_steps = Some 5 });
+    Alcotest.test_case "newton-iteration budget trips" `Quick (fun () ->
+        expect_budget_exceeded "iters"
+          { Sim.Engine.unlimited with Sim.Engine.max_newton_iterations = Some 10 });
+    Alcotest.test_case "wall-clock deadline trips" `Quick (fun () ->
+        expect_budget_exceeded "deadline"
+          { Sim.Engine.unlimited with Sim.Engine.deadline_seconds = Some 0.0 });
+    Alcotest.test_case "unlimited budget never trips" `Quick (fun () ->
+        run_budgeted Sim.Engine.unlimited);
+    Alcotest.test_case "50 ms deadline bounds every fault, serial" `Slow (fun () ->
+        let config =
+          Anafault.Simulate.default_config ~tran:tran_slow ~observed:"out"
+            ~sim_options:deadline_options ~retries:[] ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let run = Anafault.Simulate.run config inverter faults in
+        check_all_budget_exceeded run;
+        check_bool "terminated promptly" true (Unix.gettimeofday () -. t0 < 60.0));
+    Alcotest.test_case "50 ms deadline bounds every fault, 4 domains" `Slow (fun () ->
+        let config =
+          Anafault.Simulate.default_config ~tran:tran_slow ~observed:"out"
+            ~sim_options:deadline_options ~retries:[] ~domains:4 ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let run, _ = Anafault.Parsim.execute config inverter faults in
+        check_all_budget_exceeded run;
+        check_bool "terminated promptly" true (Unix.gettimeofday () -. t0 < 60.0));
+    Alcotest.test_case "the nominal run is exempt from the fault budget" `Quick
+      (fun () ->
+        (* A zero deadline would kill every simulation it applies to; the
+           campaign must still produce a nominal waveform. *)
+        let options =
+          {
+            Sim.Engine.default_options with
+            Sim.Engine.budget =
+              { Sim.Engine.unlimited with Sim.Engine.deadline_seconds = Some 0.0 };
+          }
+        in
+        let config =
+          Anafault.Simulate.default_config ~tran ~observed:"out" ~sim_options:options
+            ~retries:[] ()
+        in
+        let run = Anafault.Simulate.run config inverter faults in
+        check_bool "nominal produced" true
+          (Sim.Waveform.length run.Anafault.Simulate.nominal > 0);
+        check_all_budget_exceeded run);
+  ]
+
+let retry_tests =
+  [
+    Alcotest.test_case "swap-model retry rescues a singular injection" `Quick
+      (fun () ->
+        (* Default ladder: [Swap_model]. *)
+        let run = Anafault.Simulate.run config inverter [ singular_bridge ] in
+        let r = List.hd run.Anafault.Simulate.results in
+        (match r.outcome with
+        | Anafault.Simulate.Sim_failed f ->
+          Alcotest.failf "retry should have won: %s"
+            (Anafault.Simulate.failure_to_string f)
+        | Anafault.Simulate.Detected _ | Anafault.Simulate.Undetected -> ());
+        check_int "two attempts" 2 (List.length r.attempts);
+        (match r.attempts with
+        | [ baseline; winner ] ->
+          check_bool "baseline strategy" true
+            (baseline.strategy = Anafault.Outcome.Baseline);
+          (match baseline.failure with
+          | Some f ->
+            check_bool "original failure message kept" true
+              (String.length (Anafault.Simulate.failure_to_string f) > 0)
+          | None -> Alcotest.fail "baseline should have failed");
+          check_bool "winning strategy recorded" true
+            (winner.strategy = Anafault.Outcome.Swap_model && winner.failure = None)
+        | _ -> Alcotest.fail "expected exactly two attempts"));
+    Alcotest.test_case "every failed rung keeps its own message" `Quick (fun () ->
+        (* Relaxing reltol cannot fix an insoluble system: both rungs
+           fail and both failures must be reported. *)
+        let config = { config with retries = [ Anafault.Outcome.Relax_reltol 10.0 ] } in
+        let run = Anafault.Simulate.run config inverter [ singular_bridge ] in
+        let r = List.hd run.Anafault.Simulate.results in
+        let failure_kind =
+          match r.outcome with
+          | Anafault.Simulate.Sim_failed f -> Anafault.Outcome.failure_kind f
+          | _ -> Alcotest.fail "expected a failed simulation"
+        in
+        check_int "two attempts" 2 (List.length r.attempts);
+        List.iter
+          (fun (a : Anafault.Simulate.attempt) ->
+            match a.failure with
+            | Some f ->
+              check_bool "non-empty message" true
+                (String.length (Anafault.Simulate.failure_to_string f) > 0)
+            | None -> Alcotest.fail "every rung should have failed")
+          r.attempts;
+        let table = Format.asprintf "%a" Anafault.Report.pp_table run in
+        check_bool "table reports the exhausted ladder" true
+          (contains table "[after 2 attempts]");
+        let summary = Format.asprintf "%a" Anafault.Report.pp_summary run in
+        check_bool "summary breaks failures down by class" true
+          (contains summary failure_kind));
+    Alcotest.test_case "non-retryable failures skip the ladder" `Quick (fun () ->
+        let ghost =
+          Faults.Fault.make ~id:"#G"
+            ~kind:(Faults.Fault.Break
+                     { net = "in";
+                       moved = [ { Faults.Fault.device = "ZZ"; port = 1 } ] })
+            ~mechanism:"poly_open" ~prob:1e-8 ()
+        in
+        let run = Anafault.Simulate.run config inverter [ ghost ] in
+        let r = List.hd run.Anafault.Simulate.results in
+        (match r.outcome with
+        | Anafault.Simulate.Sim_failed (Anafault.Simulate.Bad_injection _) -> ()
+        | o ->
+          Alcotest.failf "expected Bad_injection, got %s"
+            (Anafault.Outcome.outcome_to_string o));
+        check_int "single attempt" 1 (List.length r.attempts));
+    Alcotest.test_case "retries are counted in the telemetry" `Quick (fun () ->
+        let obs = Obs.memory () in
+        let config = { config with obs } in
+        let _ = Anafault.Simulate.run config inverter [ singular_bridge ] in
+        let events = Obs.drain obs in
+        check_bool "anafault.retry counted" true
+          (counter_total events "anafault.retry" >= 1));
+  ]
+
+let robust_tests =
+  [
+    Alcotest.test_case "guard maps arbitrary exceptions to Crashed" `Quick (fun () ->
+        let r =
+          Anafault.Simulate.guard benign_bridge (fun () -> failwith "boom")
+        in
+        (match r.outcome with
+        | Anafault.Simulate.Sim_failed (Anafault.Simulate.Crashed msg) ->
+          check_bool "carries the exception" true (contains msg "boom")
+        | o ->
+          Alcotest.failf "expected Crashed, got %s"
+            (Anafault.Outcome.outcome_to_string o));
+        check_int "no attempts recorded" 0 (List.length r.attempts));
+    Alcotest.test_case "patch overflow falls back to a rebuild" `Quick (fun () ->
+        (* A bridge between two nets the circuit does not have needs two
+           fresh node rows plus a branch - beyond the session's overlay
+           reserve - so the session path must rebuild, and agree with
+           the from-scratch path. *)
+        let ghost_bridge =
+          Faults.Fault.make ~id:"#O"
+            ~kind:(Faults.Fault.Bridge { net_a = "ghost1"; net_b = "ghost2" })
+            ~mechanism:"metal1_short" ~prob:1e-9 ()
+        in
+        let obs = Obs.memory () in
+        let config = { config with obs } in
+        let nominal, _ = Anafault.Simulate.nominal config inverter in
+        let sess = Anafault.Simulate.session config inverter in
+        let in_session = Anafault.Simulate.run_one_in config sess ~nominal ghost_bridge in
+        let rebuilt = Anafault.Simulate.run_one config inverter ~nominal ghost_bridge in
+        check_bool "session path agrees with rebuild path" true
+          (in_session.outcome = rebuilt.outcome);
+        check_bool "rebuild counted" true
+          (counter_total (Obs.drain obs) "session.rebuild" >= 1));
+    Alcotest.test_case "a poisoned session is quarantined, later faults unaffected"
+      `Quick (fun () ->
+        let obs = Obs.memory () in
+        let config = { config with retries = []; obs } in
+        let run =
+          Anafault.Simulate.run config inverter (singular_bridge :: faults)
+        in
+        (match key run with
+        | ("#S", first) :: rest ->
+          check_bool "poisoning fault failed" true (String.length first > 1 && first.[0] = 'f');
+          let clean =
+            Anafault.Simulate.run { config with obs = Obs.null } inverter faults
+          in
+          Alcotest.(check (list (pair string string)))
+            "bit-for-bit with an unpoisoned run" (key clean) rest
+        | _ -> Alcotest.fail "unexpected result order");
+        check_bool "quarantine counted" true
+          (counter_total (Obs.drain obs) "session.quarantine" >= 1));
+    Alcotest.test_case "parallel progress is monotone and complete" `Quick (fun () ->
+        let calls = ref [] in
+        let config = { config with domains = 4 } in
+        let _ =
+          Anafault.Parsim.execute
+            ~progress:(fun d t -> calls := (d, t) :: !calls)
+            config inverter faults
+        in
+        let calls = List.rev !calls in
+        check_bool "at least the final call" true (calls <> []);
+        check_bool "all totals right" true (List.for_all (fun (_, t) -> t = 3) calls);
+        let rec monotone = function
+          | (a, _) :: ((b, _) :: _ as rest) -> a <= b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        check_bool "monotone" true (monotone calls);
+        check_bool "ends at (total, total)" true
+          (match List.rev calls with (3, 3) :: _ -> true | _ -> false));
+  ]
+
+exception Abort
+
+let with_temp_journal f =
+  let path = Filename.temp_file "anafault_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+      f path)
+
+let start_exn ~path ~fingerprint ~resume ~faults =
+  match Anafault.Journal.start ~path ~fingerprint ~resume ~faults with
+  | Ok j -> j
+  | Error msg -> Alcotest.fail msg
+
+let journal_tests =
+  [
+    Alcotest.test_case "a journalled campaign restores on resume" `Quick (fun () ->
+        with_temp_journal @@ fun path ->
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        let fault_arr = Array.of_list faults in
+        let j = start_exn ~path ~fingerprint:fp ~resume:false ~faults:fault_arr in
+        let first = Anafault.Simulate.run ~journal:j config inverter faults in
+        Anafault.Journal.close j;
+        let j2 = start_exn ~path ~fingerprint:fp ~resume:true ~faults:fault_arr in
+        check_int "all restored" 3 (Anafault.Journal.restored_count j2);
+        let obs = Obs.memory () in
+        let second =
+          Anafault.Simulate.run ~journal:j2 { config with obs } inverter faults
+        in
+        Anafault.Journal.close j2;
+        Alcotest.(check (list (pair string string)))
+          "bit-for-bit" (key first) (key second);
+        check_int "nothing re-simulated" 3
+          (counter_total (Obs.drain obs) "journal.skipped"));
+    Alcotest.test_case "killed mid-campaign, resume matches the uninterrupted run"
+      `Quick (fun () ->
+        with_temp_journal @@ fun path ->
+        let uninterrupted = Anafault.Simulate.run config inverter faults in
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        let fault_arr = Array.of_list faults in
+        let j = start_exn ~path ~fingerprint:fp ~resume:false ~faults:fault_arr in
+        (match
+           Anafault.Simulate.run ~journal:j
+             ~progress:(fun completed _ -> if completed >= 1 then raise Abort)
+             config inverter faults
+         with
+        | exception Abort -> ()
+        | _ -> Alcotest.fail "campaign should have been aborted");
+        Anafault.Journal.close j;
+        let j2 = start_exn ~path ~fingerprint:fp ~resume:true ~faults:fault_arr in
+        check_int "one fault survived the kill" 1 (Anafault.Journal.restored_count j2);
+        let obs = Obs.memory () in
+        let resumed =
+          Anafault.Simulate.run ~journal:j2 { config with obs } inverter faults
+        in
+        Anafault.Journal.close j2;
+        Alcotest.(check (list (pair string string)))
+          "detection tally bit-for-bit" (key uninterrupted) (key resumed);
+        check_bool "tallies equal" true
+          (Anafault.Simulate.tally uninterrupted = Anafault.Simulate.tally resumed);
+        check_int "completed fault not re-simulated" 1
+          (counter_total (Obs.drain obs) "journal.skipped"));
+    Alcotest.test_case "a torn trailing line is tolerated" `Quick (fun () ->
+        with_temp_journal @@ fun path ->
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        let fault_arr = Array.of_list faults in
+        let j = start_exn ~path ~fingerprint:fp ~resume:false ~faults:fault_arr in
+        let _ = Anafault.Simulate.run ~journal:j config inverter faults in
+        Anafault.Journal.close j;
+        let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+        output_string oc "{\"index\": 2, \"id";
+        close_out oc;
+        let j2 = start_exn ~path ~fingerprint:fp ~resume:true ~faults:fault_arr in
+        check_int "intact lines all restored" 3 (Anafault.Journal.restored_count j2);
+        Anafault.Journal.close j2);
+    Alcotest.test_case "a journal for another campaign is refused" `Quick (fun () ->
+        with_temp_journal @@ fun path ->
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        let fault_arr = Array.of_list faults in
+        let j = start_exn ~path ~fingerprint:fp ~resume:false ~faults:fault_arr in
+        Anafault.Journal.close j;
+        (match
+           Anafault.Journal.start ~path ~fingerprint:"deadbeef" ~resume:true
+             ~faults:fault_arr
+         with
+        | Error msg -> check_bool "says fingerprint" true (contains msg "fingerprint")
+        | Ok _ -> Alcotest.fail "fingerprint mismatch must be refused");
+        match
+          Anafault.Journal.start ~path ~fingerprint:fp ~resume:true
+            ~faults:(Array.of_list (faults @ faults))
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "fault-count mismatch must be refused");
+    Alcotest.test_case "the parallel scheduler honours a journal" `Quick (fun () ->
+        with_temp_journal @@ fun path ->
+        let serial = Anafault.Simulate.run config inverter faults in
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        let fault_arr = Array.of_list faults in
+        let j = start_exn ~path ~fingerprint:fp ~resume:false ~faults:fault_arr in
+        let _ = Anafault.Simulate.run ~journal:j config inverter faults in
+        Anafault.Journal.close j;
+        let j2 = start_exn ~path ~fingerprint:fp ~resume:true ~faults:fault_arr in
+        let config4 = { config with domains = 4 } in
+        let resumed, _ = Anafault.Parsim.execute ~journal:j2 config4 inverter faults in
+        Anafault.Journal.close j2;
+        Alcotest.(check (list (pair string string)))
+          "parallel resume bit-for-bit" (key serial) (key resumed));
+    Alcotest.test_case "different configs fingerprint differently" `Quick (fun () ->
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        check_bool "model changes it" true
+          (fp
+          <> Anafault.Simulate.fingerprint
+               { config with model = Faults.Inject.default_resistor }
+               inverter faults);
+        check_bool "retry ladder changes it" true
+          (fp
+          <> Anafault.Simulate.fingerprint
+               { config with retries = [] }
+               inverter faults);
+        check_bool "budget changes it" true
+          (fp
+          <> Anafault.Simulate.fingerprint
+               { config with sim_options = deadline_options }
+               inverter faults);
+        check_bool "fault list changes it" true
+          (fp <> Anafault.Simulate.fingerprint config inverter (List.tl faults));
+        check_bool "domains and obs do not change it" true
+          (fp
+          = Anafault.Simulate.fingerprint
+              { config with domains = 7; obs = Obs.memory () }
+              inverter faults));
+  ]
+
 let suites =
   [
     ("anafault.detect", detect_tests);
@@ -303,4 +810,9 @@ let suites =
     ("anafault.parsim", parsim_tests);
     ("anafault.coverage", coverage_tests);
     ("anafault.report", report_tests);
+    ("anafault.failure", taxonomy_tests);
+    ("anafault.budget", budget_tests);
+    ("anafault.retry", retry_tests);
+    ("anafault.robust", robust_tests);
+    ("anafault.journal", journal_tests);
   ]

@@ -270,7 +270,8 @@ let parity_tests =
           match r.outcome with
           | Anafault.Simulate.Detected t -> Printf.sprintf "d %.17g" t
           | Anafault.Simulate.Undetected -> "u"
-          | Anafault.Simulate.Sim_failed m -> "f " ^ m
+          | Anafault.Simulate.Sim_failed f ->
+            "f " ^ Anafault.Simulate.failure_to_string f
         in
         let run ~obs =
           let config = { Cat.Demo.config with Anafault.Simulate.obs } in
