@@ -1,0 +1,111 @@
+(* Linear-solver backend crossover.
+
+   Runs the same transient on synthesized ladder and grid circuits with
+   the dense and the sparse backend, isolating the time spent inside
+   factor+solve through the engine.lu.seconds_per_solve samples both
+   backends emit.  The small sizes show where dense wins (the Auto
+   threshold lives there); the >= 200-unknown rows are the acceptance
+   point - sparse must beat dense by >= 5x on factor+solve while agreeing
+   on the waveforms. *)
+
+let tstep = 1e-7
+
+let tstop = 4e-6
+
+let lu_seconds events =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Obs.Sample { name = "engine.lu.seconds_per_solve"; v; _ } -> acc +. v
+      | Obs.Sample _ | Obs.Count _ | Obs.Span _ -> acc)
+    0.0 events
+
+let counter events name =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Obs.Count { name = n; n = k; _ } when String.equal n name -> acc + k
+      | Obs.Count _ | Obs.Sample _ | Obs.Span _ -> acc)
+    0 events
+
+let last_sample events name =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Obs.Sample { name = n; v; _ } when String.equal n name -> Some v
+      | Obs.Sample _ | Obs.Count _ | Obs.Span _ -> acc)
+    None events
+
+let run_backend backend circuit =
+  let obs = Obs.memory () in
+  let options = { Sim.Engine.default_options with solver = backend } in
+  let wf =
+    Sim.Engine.(
+      Analysis.waveform
+        (run ~options ~obs circuit (Analysis.Tran { tstep; tstop; uic = false })))
+  in
+  (wf, Obs.drain obs)
+
+(* Max |dense - sparse| over every signal of the resampled waveforms. *)
+let max_delta wf_a wf_b =
+  let n = 200 in
+  let ra = Sim.Waveform.resample wf_a ~n and rb = Sim.Waveform.resample wf_b ~n in
+  let times = Sim.Waveform.times ra in
+  Array.fold_left
+    (fun acc signal ->
+      Array.fold_left
+        (fun acc t ->
+          Float.max acc
+            (Float.abs
+               (Sim.Waveform.value_at ra signal t -. Sim.Waveform.value_at rb signal t)))
+        acc times)
+    0.0 (Sim.Waveform.names ra)
+
+let bench name circuit unknowns =
+  let wf_d, ev_d = run_backend Sim.Solver.Dense circuit in
+  let wf_s, ev_s = run_backend Sim.Solver.Sparse circuit in
+  let td = lu_seconds ev_d and ts = lu_seconds ev_s in
+  let speedup = if ts > 0.0 then td /. ts else Float.infinity in
+  let delta = max_delta wf_d wf_s in
+  let nnz = Option.value ~default:0.0 (last_sample ev_s "solver.sparse.nnz") in
+  let fill = Option.value ~default:0.0 (last_sample ev_s "solver.sparse.fill_in") in
+  Helpers.row "  %-22s %5d  %9.4f %9.4f %7.2fx  %8.1e  %6.0f %6.0f %5d %6d\n" name
+    unknowns td ts speedup delta nnz fill
+    (counter ev_s "solver.sparse.full_factor")
+    (counter ev_s "solver.sparse.refactor");
+  (unknowns, speedup, delta)
+
+let run () =
+  Helpers.banner "Solver backends: dense vs sparse crossover";
+  Printf.printf
+    "  transient %.0e s in %.0e s steps; factor+solve seconds from\n\
+    \  engine.lu.seconds_per_solve; delta = max |dense - sparse| on all signals\n\n"
+    tstop tstep;
+  Helpers.row "  %-22s %5s  %9s %9s %8s  %8s  %6s %6s %5s %6s\n" "circuit" "n"
+    "dense_s" "sparse_s" "speedup" "delta" "nnz" "fill" "full" "refac";
+  let ladder s =
+    bench
+      (Printf.sprintf "rc ladder %d" s)
+      (Synth.Circuit_synth.rc_ladder ~diodes:true ~sections:s ())
+      (s + 2)
+  in
+  let results =
+    (* Rows in print order (a list literal would evaluate - and print -
+       right to left). *)
+    let r30 = ladder 30 in
+    let r60 = ladder 60 in
+    let r120 = ladder 120 in
+    let r260 = ladder 260 in
+    let grid =
+      bench "resistor grid 16x16"
+        (Synth.Circuit_synth.resistor_grid ~rows:16 ~cols:16 ())
+        (256 + 1)
+    in
+    [ r30; r60; r120; r260; grid ]
+  in
+  let big = List.filter (fun (n, _, _) -> n >= 200) results in
+  let ok_speed = List.for_all (fun (_, s, _) -> s >= 5.0) big in
+  let ok_delta = List.for_all (fun (_, _, d) -> d < 1e-9) results in
+  Printf.printf "\n  >= 200-unknown speedup >= 5x: %s; all deltas < 1e-9: %s\n"
+    (if ok_speed then "yes" else "NO")
+    (if ok_delta then "yes" else "NO")

@@ -6,12 +6,14 @@
      dune exec bench/main.exe -- quick   # skip ablations and micro-benchmarks
      dune exec bench/main.exe -- batch   # only the session/scheduler experiment
      dune exec bench/main.exe -- obs     # only the telemetry-overhead experiment
+     dune exec bench/main.exe -- solver  # only the solver-backend crossover
 *)
 
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
   let batch_only = Array.exists (String.equal "batch") Sys.argv in
   let obs_only = Array.exists (String.equal "obs") Sys.argv in
+  let solver_only = Array.exists (String.equal "solver") Sys.argv in
   Printf.printf
     "Reproduction harness: Sebeke/Teixeira/Ohletz, DATE 1995\n\
      'Automatic Fault Extraction and Simulation of Layout Realistic Faults\n\
@@ -23,6 +25,11 @@ let () =
   end;
   if obs_only then begin
     Exp_obs.run ();
+    Helpers.banner "Done";
+    exit 0
+  end;
+  if solver_only then begin
+    Exp_solver.run ();
     Helpers.banner "Done";
     exit 0
   end;
@@ -39,6 +46,7 @@ let () =
     Exp_batch.run ();
     Exp_ablation.run fig5_run;
     Exp_obs.run ();
+    Exp_solver.run ();
     Micro.run ()
   end;
   Helpers.banner "Done"

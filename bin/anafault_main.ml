@@ -2,7 +2,8 @@
 
      dune exec bin/anafault_main.exe -- CIRCUIT.cir
          [--faults faults.flt | --universe] [--observe NODE]
-         [--model source|resistor] [--tol-v V] [--tol-t S]
+         [--model source|resistor] [--solver auto|dense|sparse]
+         [--tol-v V] [--tol-t S]
          [--domains N] [--limit N] [--csv FILE] [--plot]
          [--trace FILE.jsonl] [--metrics]
          [--journal FILE] [--resume] [--retries SPEC]
@@ -24,9 +25,9 @@
 
 exception Aborted of int
 
-let run input fault_file universe observe model_name tol_v tol_t domains limit
-    csv_file plot trace metrics journal_path resume retries_spec budget_iters
-    budget_steps budget_seconds abort_after =
+let run input fault_file universe observe model_name solver_name tol_v tol_t
+    domains limit csv_file plot trace metrics journal_path resume retries_spec
+    budget_iters budget_steps budget_seconds abort_after =
   let deck = Netlist.Parser.parse_file input in
   let circuit = deck.Netlist.Parser.circuit in
   match deck.Netlist.Parser.tran with
@@ -79,6 +80,13 @@ let run input fault_file universe observe model_name tol_v tol_t domains limit
                  Format.eprintf "error: --retries: %s@." msg;
                  exit 1)
     in
+    let solver =
+      match Sim.Solver.backend_of_string solver_name with
+      | Ok b -> b
+      | Error msg ->
+        Format.eprintf "error: --solver: %s@." msg;
+        exit 1
+    in
     let sim_options =
       {
         Sim.Engine.default_options with
@@ -88,6 +96,7 @@ let run input fault_file universe observe model_name tol_v tol_t domains limit
             max_steps = budget_steps;
             deadline_seconds = budget_seconds;
           };
+        solver;
       }
     in
     (* One memory sink feeds both outputs; the run stays untraced when
@@ -194,6 +203,12 @@ let observe =
 let model_name =
   Arg.(value & opt string "source" & info [ "model" ] ~docv:"MODEL" ~doc:"Fault model: source or resistor.")
 
+let solver_name =
+  Arg.(value & opt string "auto"
+       & info [ "solver" ] ~docv:"BACKEND"
+           ~doc:"Linear-solver backend: auto (dense below the size \
+                 threshold, sparse above), dense, or sparse.")
+
 let tol_v =
   Arg.(value & opt float Anafault.Detect.paper_tolerance.Anafault.Detect.tol_v
        & info [ "tol-v" ] ~docv:"V" ~doc:"Amplitude tolerance in volts.")
@@ -265,9 +280,9 @@ let cmd =
   Cmd.v
     (Cmd.info "anafault" ~doc)
     Term.(
-      const run $ input $ fault_file $ universe $ observe $ model_name $ tol_v $ tol_t
-      $ domains $ limit $ csv_file $ plot $ trace $ metrics $ journal_path
-      $ resume $ retries_spec $ budget_iters $ budget_steps $ budget_seconds
-      $ abort_after)
+      const run $ input $ fault_file $ universe $ observe $ model_name
+      $ solver_name $ tol_v $ tol_t $ domains $ limit $ csv_file $ plot $ trace
+      $ metrics $ journal_path $ resume $ retries_spec $ budget_iters
+      $ budget_steps $ budget_seconds $ abort_after)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,9 +1,23 @@
 exception Singular of int
 
-let solve a b =
-  let n = Array.length b in
-  assert (Array.length a = n);
-  let piv = Array.init n (fun i -> i) in
+(* Same reusable-scratch shape as Lu: an AC analysis factors one complex
+   system per frequency point, all of the same size, so the pivot and
+   substitution buffers are allocated once and reused for the whole
+   sweep. *)
+type scratch = { piv : int array; y : Complex.t array }
+
+let make_scratch n = { piv = Array.make n 0; y = Array.make n Complex.zero }
+
+let scratch_capacity s = Array.length s.piv
+
+let factor_solve ?n scratch a b =
+  let n = match n with Some n -> n | None -> Array.length b in
+  if Array.length scratch.piv < n || Array.length scratch.y < n then
+    invalid_arg "Clu.factor_solve: scratch smaller than the system";
+  let piv = scratch.piv and y = scratch.y in
+  for i = 0 to n - 1 do
+    piv.(i) <- i
+  done;
   for k = 0 to n - 1 do
     let best = ref k in
     for i = k + 1 to n - 1 do
@@ -15,7 +29,8 @@ let solve a b =
       piv.(!best) <- t
     end;
     let akk = a.(piv.(k)).(k) in
-    if Complex.norm akk < 1e-30 then raise (Singular k);
+    (* Post-pivot row index, as in Lu: the unknown the caller can name. *)
+    if Complex.norm akk < 1e-30 then raise (Singular piv.(k));
     for i = k + 1 to n - 1 do
       let f = Complex.div a.(piv.(i)).(k) akk in
       if f <> Complex.zero then begin
@@ -27,7 +42,6 @@ let solve a b =
       else a.(piv.(i)).(k) <- Complex.zero
     done
   done;
-  let y = Array.make n Complex.zero in
   for i = 0 to n - 1 do
     let s = ref b.(piv.(i)) in
     for j = 0 to i - 1 do
@@ -42,6 +56,8 @@ let solve a b =
     done;
     b.(i) <- Complex.div !s a.(piv.(i)).(i)
   done
+
+let solve a b = factor_solve (make_scratch (Array.length b)) a b
 
 let solve_copy a b =
   let a = Array.map Array.copy a and b = Array.copy b in

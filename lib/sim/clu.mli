@@ -1,10 +1,33 @@
 (** Dense complex LU factorisation with partial pivoting, for AC
-    (small-signal) analysis. *)
+    (small-signal) analysis.  Mirrors {!Lu}: the factorisation works in
+    place on caller buffers, with pivot and substitution intermediates in
+    a reusable scratch so a frequency sweep allocates once. *)
 
 exception Singular of int
+(** Row index, in the caller's original row numbering, whose pivot
+    vanished. *)
+
+type scratch
+(** Reusable pivot/permutation and substitution buffers. *)
+
+(** [make_scratch n] allocates scratch for systems of up to [n]
+    unknowns. *)
+val make_scratch : int -> scratch
+
+(** Capacity the scratch was allocated for. *)
+val scratch_capacity : scratch -> int
+
+(** [factor_solve ?n scratch a b] overwrites the leading [n]x[n] block
+    of [a] with its LU factors and the first [n] entries of [b] with the
+    solution of [a x = b] ([n] defaults to the length of [b]).  No
+    allocation happens; all intermediates live in [scratch].  Raises
+    {!Singular} on a numerically singular matrix and [Invalid_argument]
+    if [scratch] is smaller than [n]. *)
+val factor_solve :
+  ?n:int -> scratch -> Complex.t array array -> Complex.t array -> unit
 
 (** [solve a b] overwrites [a] with its LU factors and [b] with the
-    solution of [a x = b]. *)
+    solution of [a x = b], allocating fresh scratch. *)
 val solve : Complex.t array array -> Complex.t array -> unit
 
 (** [solve_copy a b] is {!solve} on copies, leaving inputs intact. *)

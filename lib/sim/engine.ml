@@ -21,6 +21,7 @@ type options = {
   cmin : float;
   integration : integration;
   budget : budget;
+  solver : Solver.backend;
 }
 
 let default_options =
@@ -33,6 +34,7 @@ let default_options =
     cmin = 1e-16;
     integration = Backward_euler;
     budget = unlimited;
+    solver = Solver.Auto;
   }
 
 type error =
@@ -144,7 +146,7 @@ let exp_lim x =
   end
 
 (* Companion model of a linear capacitor between unknowns [i] and [j]. *)
-let stamp_cap ~opts ~mode sys i j c st =
+let stamp_cap ~opts ~mode sv i j c st =
   match mode with
   | Dc _ -> ()
   | Tran { h; _ } ->
@@ -158,34 +160,34 @@ let stamp_cap ~opts ~mode sys i j c st =
       | Backward_euler -> geq *. st.q
       | Trapezoidal -> (geq *. st.q) +. st.f
     in
-    Mna.add_conductance sys i j geq;
-    Mna.add_rhs sys i const;
-    Mna.add_rhs sys j (-.const)
+    Solver.add_conductance sv i j geq;
+    Solver.add_rhs sv i const;
+    Solver.add_rhs sv j (-.const)
 
-let stamp ~opts ~gmin ~mode ~n sys devices v =
-  Mna.clear ~n sys;
+let stamp ~opts ~gmin ~mode ~n sv devices v =
+  Solver.begin_stamp sv ~n;
   Array.iter
     (fun dev ->
       match dev with
-      | CR { i; j; g } -> Mna.add_conductance sys i j g
-      | CC { i; j; c; st; _ } -> stamp_cap ~opts ~mode sys i j c st
+      | CR { i; j; g } -> Solver.add_conductance sv i j g
+      | CC { i; j; c; st; _ } -> stamp_cap ~opts ~mode sv i j c st
       | CL { i; j; br; ind; st; _ } -> begin
-        Mna.add_jacobian sys i br 1.0;
-        Mna.add_jacobian sys j br (-1.0);
-        Mna.add_jacobian sys br i 1.0;
-        Mna.add_jacobian sys br j (-1.0);
+        Solver.add sv i br 1.0;
+        Solver.add sv j br (-1.0);
+        Solver.add sv br i 1.0;
+        Solver.add sv br j (-1.0);
         match mode with
         | Dc _ -> () (* ideal short: v_i - v_j = 0 *)
         | Tran { h; _ } -> begin
           match opts.integration with
           | Backward_euler ->
             let r = ind /. h in
-            Mna.add_jacobian sys br br (-.r);
-            Mna.add_rhs sys br (-.r *. st.q)
+            Solver.add sv br br (-.r);
+            Solver.add_rhs sv br (-.r *. st.q)
           | Trapezoidal ->
             let r = 2.0 *. ind /. h in
-            Mna.add_jacobian sys br br (-.r);
-            Mna.add_rhs sys br ((-.r *. st.q) -. st.f)
+            Solver.add sv br br (-.r);
+            Solver.add_rhs sv br ((-.r *. st.q) -. st.f)
         end
       end
       | CV { i; j; br; wave } ->
@@ -194,71 +196,80 @@ let stamp ~opts ~gmin ~mode ~n sys devices v =
           | Dc { scale } -> scale *. Netlist.Wave.dc_value wave
           | Tran { time; _ } -> Netlist.Wave.value wave time
         in
-        Mna.add_jacobian sys i br 1.0;
-        Mna.add_jacobian sys j br (-1.0);
-        Mna.add_jacobian sys br i 1.0;
-        Mna.add_jacobian sys br j (-1.0);
-        Mna.add_rhs sys br e
+        Solver.add sv i br 1.0;
+        Solver.add sv j br (-1.0);
+        Solver.add sv br i 1.0;
+        Solver.add sv br j (-1.0);
+        Solver.add_rhs sv br e
       | CI { i; j; wave } ->
         let cur =
           match mode with
           | Dc { scale } -> scale *. Netlist.Wave.dc_value wave
           | Tran { time; _ } -> Netlist.Wave.value wave time
         in
-        Mna.add_current sys i (-.cur);
-        Mna.add_current sys j cur
+        Solver.add_current sv i (-.cur);
+        Solver.add_current sv j cur
       | CD { i; j; is_sat; nvt } ->
         let vd = gv v i -. gv v j in
         let e, de = exp_lim (vd /. nvt) in
         let id = is_sat *. (e -. 1.0) in
         let gd = (is_sat *. de /. nvt) +. gmin in
         let ieq = id -. (gd *. vd) in
-        Mna.add_conductance sys i j gd;
-        Mna.add_current sys i (-.ieq);
-        Mna.add_current sys j ieq
+        Solver.add_conductance sv i j gd;
+        Solver.add_current sv i (-.ieq);
+        Solver.add_current sv j ieq
       | CM { d; g; s; model; w; l; cg; st_gs; st_gd } ->
-        stamp_cap ~opts ~mode sys g s cg st_gs;
-        stamp_cap ~opts ~mode sys g d cg st_gd;
+        stamp_cap ~opts ~mode sv g s cg st_gs;
+        stamp_cap ~opts ~mode sv g d cg st_gd;
         let vgs = gv v g -. gv v s and vds = gv v d -. gv v s in
         let e = Mosfet.eval model ~w ~l ~vgs ~vds in
         let gds = e.Mosfet.gds +. gmin in
         let ieq = e.Mosfet.ids -. (e.Mosfet.gm *. vgs) -. (gds *. vds) in
         (* Current leaving the drain node: gm*vgs + gds*vds + ieq. *)
-        Mna.add_jacobian sys d d gds;
-        Mna.add_jacobian sys d g e.Mosfet.gm;
-        Mna.add_jacobian sys d s (-.(e.Mosfet.gm +. gds));
-        Mna.add_jacobian sys s d (-.gds);
-        Mna.add_jacobian sys s g (-.e.Mosfet.gm);
-        Mna.add_jacobian sys s s (e.Mosfet.gm +. gds);
-        Mna.add_current sys d (-.ieq);
-        Mna.add_current sys s ieq)
+        Solver.add sv d d gds;
+        Solver.add sv d g e.Mosfet.gm;
+        Solver.add sv d s (-.(e.Mosfet.gm +. gds));
+        Solver.add sv s d (-.gds);
+        Solver.add sv s g (-.e.Mosfet.gm);
+        Solver.add sv s s (e.Mosfet.gm +. gds);
+        Solver.add_current sv d (-.ieq);
+        Solver.add_current sv s ieq)
     devices
 
+let output_names mna =
+  Array.append (Mna.node_names mna)
+    (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
+
 (* The solver context: one circuit topology's compiled devices plus the
-   buffers every solve reuses.  [size] is the number of active unknowns
-   (may be below the buffer capacity when a session reserves overlay
-   rows); node rows are [0 .. node_count-1] plus, for a patched session,
-   the single overlay node row [extra_node]. *)
+   solver owning the buffers every solve reuses.  [size] is the number of
+   active unknowns (may be below the solver capacity when a session
+   reserves overlay rows); node rows are [0 .. node_count-1] plus, for a
+   patched session, the single overlay node row [extra_node].  [names]
+   labels every active unknown, for diagnostics. *)
 type ctx = {
   opts : options;
-  sys : Mna.system;
-  scratch : Lu.scratch;
+  sv : Solver.t;
   size : int;
   node_count : int;
   extra_node : int option;
   devices : cdev array;
   obs : Obs.sink;
+  names : string array;
 }
 
+let unknown_label ctx row =
+  if row >= 0 && row < Array.length ctx.names then ctx.names.(row)
+  else Printf.sprintf "unknown #%d" row
+
 let add_gmin_and_cmin ~gmin ~mode ctx =
-  let sys = ctx.sys in
+  let sv = ctx.sv in
   let pin i =
-    sys.Mna.a.(i).(i) <- sys.Mna.a.(i).(i) +. gmin;
+    Solver.add sv i i gmin;
     match mode with
     | Tran { h; vnode_prev; _ } when ctx.opts.cmin > 0.0 ->
       let geq = ctx.opts.cmin /. h in
-      sys.Mna.a.(i).(i) <- sys.Mna.a.(i).(i) +. geq;
-      sys.Mna.b.(i) <- sys.Mna.b.(i) +. (geq *. vnode_prev.(i))
+      Solver.add sv i i geq;
+      Solver.add_rhs sv i (geq *. vnode_prev.(i))
     | Tran _ | Dc _ -> ()
   in
   for i = 0 to ctx.node_count - 1 do
@@ -267,16 +278,17 @@ let add_gmin_and_cmin ~gmin ~mode ctx =
   Option.iter pin ctx.extra_node
 
 (* Damped Newton-Raphson.  Returns the converged iterate and the number of
-   iterations, or the reason the solve failed ([`Singular] when the last
-   factorisation hit a singular pivot, [`No_conv] otherwise) - callers
-   use the distinction to raise a typed {!Sim_error}.  With a live sink,
-   each solve reports its iteration count, the time spent in LU
-   factor+solve and how often the dv clamp fired; the [traced] flag keeps
-   the telemetry arithmetic entirely off the null-sink path. *)
+   iterations, or the reason the solve failed ([`Singular row] when the
+   last factorisation hit a singular pivot at the named unknown,
+   [`No_conv] otherwise) - callers use the distinction to raise a typed
+   {!Sim_error}.  With a live sink, each solve reports its iteration
+   count, the time spent in factor+solve and how often the dv clamp
+   fired; the [traced] flag keeps the telemetry arithmetic entirely off
+   the null-sink path. *)
 let newton ~gmin ~mode ctx v0 =
   let opts = ctx.opts in
   let size = ctx.size in
-  let sys = ctx.sys in
+  let sv = ctx.sv in
   let traced = Obs.enabled ctx.obs in
   let clamp_hits = ref 0 and lu_seconds = ref 0.0 in
   let finish result =
@@ -287,7 +299,8 @@ let newton ~gmin ~mode ctx v0 =
       Obs.sample ctx.obs "engine.newton.iters_per_solve" (float_of_int iters);
       Obs.sample ctx.obs "engine.lu.seconds_per_solve" !lu_seconds;
       if !clamp_hits > 0 then Obs.count ctx.obs "engine.newton.dv_clamp" !clamp_hits;
-      if not ok then Obs.count ctx.obs "engine.newton.failed" 1
+      if not ok then Obs.count ctx.obs "engine.newton.failed" 1;
+      Solver.flush_stats sv ctx.obs
     end;
     result
   in
@@ -306,23 +319,24 @@ let newton ~gmin ~mode ctx v0 =
     !max_dv
   in
   let factor_solve () =
-    if not traced then Lu.factor_solve ~n:size ctx.scratch sys.Mna.a sys.Mna.b
+    Solver.finish sv;
+    if not traced then Solver.factor_solve sv
     else begin
       let t0 = Obs.Clock.now () in
       Fun.protect
         ~finally:(fun () -> lu_seconds := !lu_seconds +. (Obs.Clock.now () -. t0))
-        (fun () -> Lu.factor_solve ~n:size ctx.scratch sys.Mna.a sys.Mna.b)
+        (fun () -> Solver.factor_solve sv)
     end
   in
   let rec iterate k total =
     if k >= opts.max_iter then Error (`No_conv, total)
     else begin
-      stamp ~opts ~gmin ~mode ~n:size sys ctx.devices v;
+      stamp ~opts ~gmin ~mode ~n:size sv ctx.devices v;
       add_gmin_and_cmin ~gmin ~mode ctx;
       match factor_solve () with
-      | exception Lu.Singular _ -> Error (`Singular, total + 1)
+      | exception Solver.Singular row -> Error (`Singular row, total + 1)
       | () ->
-        let x = sys.Mna.b in
+        let x = Solver.solution sv in
         let max_delta = ref 0.0 in
         for i = 0 to size - 1 do
           max_delta := Float.max !max_delta (Float.abs (x.(i) -. v.(i)))
@@ -352,16 +366,16 @@ let newton ~gmin ~mode ctx v0 =
 
 let dc_solve ctx =
   let opts = ctx.opts in
-  (* Remember whether any attempt died on a singular factorisation: a
-     structurally singular system (e.g. an injected voltage-source loop)
-     deserves a different diagnosis than a Newton iterate that merely
-     wandered. *)
-  let saw_singular = ref false in
+  (* Remember whether any attempt died on a singular factorisation (and
+     at which unknown): a structurally singular system (e.g. an injected
+     voltage-source loop) deserves a different diagnosis than a Newton
+     iterate that merely wandered. *)
+  let saw_singular = ref None in
   let try_newton ~gmin ~scale v0 =
     match newton ~gmin ~mode:(Dc { scale }) ctx v0 with
     | Ok res -> Some res
-    | Error (`Singular, _) ->
-      saw_singular := true;
+    | Error (`Singular row, _) ->
+      saw_singular := Some row;
       None
     | Error (`No_conv, _) -> None
   in
@@ -398,11 +412,16 @@ let dc_solve ctx =
       | Some v -> v
       | None ->
         Obs.count ctx.obs "engine.dc.failed" 1;
-        if !saw_singular then
+        (match !saw_singular with
+        | Some row ->
           raise
-            (Sim_error (Singular_matrix, "DC system is singular (MNA matrix has no unique solution)"))
-        else
-          raise (Sim_error (Dc_no_convergence, "DC operating point did not converge"))
+            (Sim_error
+               ( Singular_matrix,
+                 Printf.sprintf
+                   "DC system is singular at unknown %s (MNA matrix has no unique solution)"
+                   (unknown_label ctx row) ))
+        | None ->
+          raise (Sim_error (Dc_no_convergence, "DC operating point did not converge")))
     end
   end
 
@@ -414,13 +433,13 @@ let ctx_of_circuit ~opts ~obs circuit =
   let size = Mna.size mna in
   ( {
       opts;
-      sys = Mna.fresh_system mna;
-      scratch = Lu.make_scratch size;
+      sv = Solver.create opts.solver ~capacity:size;
       size;
       node_count = Mna.node_count mna;
       extra_node = None;
       devices;
       obs;
+      names = output_names mna;
     },
     mna )
 
@@ -591,15 +610,16 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
       incr rejected;
       h := h_try /. 2.0;
       if !h < hmin then begin
-        let err =
+        let err, where =
           match why with
-          | `Singular -> Singular_matrix
-          | `No_conv -> Tran_step_underflow
+          | `Singular row ->
+            (Singular_matrix, Printf.sprintf " (singular at unknown %s)" (unknown_label ctx row))
+          | `No_conv -> (Tran_step_underflow, "")
         in
         raise
           (Sim_error
              ( err,
-               Printf.sprintf "transient stalled at t=%.4g (step %.3g)" !t !h ))
+               Printf.sprintf "transient stalled at t=%.4g (step %.3g)%s" !t !h where ))
       end
   done;
   let wf = Waveform.make ~names ~samples:(List.rev !samples) in
@@ -609,10 +629,6 @@ let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
       accepted_steps = !accepted;
       rejected_steps = !rejected;
     } )
-
-let output_names mna =
-  Array.append (Mna.node_names mna)
-    (Array.map (fun b -> "I(" ^ b ^ ")") (Mna.branch_names mna))
 
 let transient_impl ~opts ~obs circuit ~tstep ~tstop ~uic =
   let ctx, mna = ctx_of_circuit ~opts ~obs circuit in
@@ -642,8 +658,10 @@ module Session = struct
     base_size : int;
     base_node_count : int;
     base_names : string array;
-    sys : Mna.system;
-    scratch : Lu.scratch;
+    (* The solver spans the base system plus the overlay reserve; on the
+       sparse backend every fault patch stamps into the same accumulated
+       pattern, so the whole fault list shares one symbolic analysis. *)
+    sv : Solver.t;
     (* Active view, swapped by [with_patch]. *)
     mutable act_circuit : Netlist.Circuit.t;
     mutable act_devices : cdev array;
@@ -666,8 +684,7 @@ module Session = struct
       base_size;
       base_node_count = Mna.node_count mna;
       base_names;
-      sys = Mna.fresh_system ~extra:reserve mna;
-      scratch = Lu.make_scratch (base_size + reserve);
+      sv = Solver.create options.solver ~capacity:(base_size + reserve);
       act_circuit = circuit;
       act_devices = base_devices;
       act_size = base_size;
@@ -682,13 +699,13 @@ module Session = struct
   let ctx ?options s =
     {
       opts = Option.value ~default:s.opts options;
-      sys = s.sys;
-      scratch = s.scratch;
+      sv = s.sv;
       size = s.act_size;
       node_count = s.base_node_count;
       extra_node = s.act_extra_node;
       devices = s.act_devices;
       obs = s.obs;
+      names = s.act_names;
     }
 
   (* [?options] overrides the session's solver options for this one
@@ -873,10 +890,18 @@ let ac_impl ~opts ~obs circuit ~source ~freqs =
   let dev_names =
     Array.of_list (List.map Netlist.Device.name (Netlist.Circuit.devices circuit))
   in
+  (* One complex system plus one Clu scratch for the whole sweep - the
+     same begin-stamp / factor-solve lifecycle the real-valued solver
+     runs, sized once per topology. *)
+  let a = Array.make_matrix n n Complex.zero in
+  let b = Array.make n Complex.zero in
+  let scratch = Clu.make_scratch n in
   let solve_at freq =
     let w = 2.0 *. Float.pi *. freq in
-    let a = Array.make_matrix n n Complex.zero in
-    let b = Array.make n Complex.zero in
+    for i = 0 to n - 1 do
+      Array.fill a.(i) 0 n Complex.zero;
+      b.(i) <- Complex.zero
+    done;
     let add i j z = if i >= 0 && j >= 0 then a.(i).(j) <- Complex.add a.(i).(j) z in
     let add_rhs i z = if i >= 0 then b.(i) <- Complex.add b.(i) z in
     let add_g i j z =
@@ -929,8 +954,8 @@ let ac_impl ~opts ~obs circuit ~source ~freqs =
     for i = 0 to node_count - 1 do
       a.(i).(i) <- Complex.add a.(i).(i) (cx opts.gmin)
     done;
-    Clu.solve a b;
-    b
+    Clu.factor_solve ~n scratch a b;
+    Array.sub b 0 n
   in
   let points = List.map (fun f -> (f, solve_at f)) freqs in
   if Obs.enabled obs then Obs.count obs "engine.ac.points" (List.length points);

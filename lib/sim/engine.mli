@@ -38,6 +38,9 @@ type options = {
           trapezoidal integration rings on; use [Trapezoidal] for
           accuracy-sensitive lightly-damped circuits *)
   budget : budget;  (** work limits for each analysis (default {!unlimited}) *)
+  solver : Solver.backend;
+      (** linear-solver backend (default [Auto]: dense below
+          {!Solver.auto_threshold} unknowns, sparse at or above it) *)
 }
 
 val default_options : options
@@ -53,8 +56,9 @@ type error =
       (** the adaptive transient halved its step below [tstop * 1e-12]
           without Newton converging *)
   | Singular_matrix
-      (** LU hit a structurally singular system (e.g. an injected
-          voltage-source loop) and no fallback found a solvable one *)
+      (** the factorisation hit a structurally singular system (e.g. an
+          injected voltage-source loop) and no fallback found a solvable
+          one; the detail string names the offending node or branch *)
   | Budget_exceeded  (** a limit of {!budget} tripped *)
 
 (** Stable lower-snake tag of an {!error} (["dc_no_convergence"], ...),

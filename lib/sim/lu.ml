@@ -29,7 +29,10 @@ let factor_solve ?n scratch a b =
       piv.(!best) <- t
     end;
     let akk = a.(piv.(k)).(k) in
-    if Float.abs akk < 1e-30 then raise (Singular k);
+    (* Report the post-pivot row: the permutation maps column k's failed
+       pivot back to a row in the caller's numbering, i.e. an MNA
+       unknown the caller can name. *)
+    if Float.abs akk < 1e-30 then raise (Singular piv.(k));
     for i = k + 1 to n - 1 do
       let f = a.(piv.(i)).(k) /. akk in
       if f <> 0.0 then begin

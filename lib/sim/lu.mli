@@ -7,7 +7,9 @@
     without allocating. *)
 
 exception Singular of int
-(** Column index at which no usable pivot was found. *)
+(** Row index, in the caller's original row numbering (i.e. the MNA
+    unknown index), whose pivot vanished - the elimination column's
+    failed pivot mapped back through the permutation. *)
 
 type scratch
 (** Reusable pivot/permutation and substitution buffers. *)

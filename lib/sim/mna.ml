@@ -46,6 +46,13 @@ let node_names t = t.nodes
 
 let branch_names t = t.branches
 
+let unknown_name t i =
+  let n = Array.length t.nodes in
+  if i < 0 then Netlist.Device.ground
+  else if i < n then t.nodes.(i)
+  else if i - n < Array.length t.branches then "I(" ^ t.branches.(i - n) ^ ")"
+  else Printf.sprintf "overlay[%d]" i
+
 type system = { a : float array array; b : float array }
 
 let fresh_system ?(extra = 0) t =

@@ -28,6 +28,12 @@ val node_names : t -> string array
 (** Branch owner names in index order. *)
 val branch_names : t -> string array
 
+(** [unknown_name t i] is a human-readable name for unknown [i]: the
+    node name, ["I(device)"] for a branch current, the ground name for
+    [-1], or ["overlay[i]"] for a session overlay row beyond the base
+    unknowns. *)
+val unknown_name : t -> int -> string
+
 type system = { a : float array array; b : float array }
 
 (** [fresh_system ?extra t] allocates a zeroed system sized for the

@@ -1,0 +1,563 @@
+(* Sparse LU backend for the MNA core.
+
+   The matrix lives in two representations.  While the nonzero pattern is
+   still being discovered ("building" mode) stamps accumulate into a
+   hashtable keyed by (row, col).  The first factorisation compiles the
+   union of every coordinate ever stamped into a CSC structure (columns
+   sorted, one slot per coordinate) and from then on stamping is a binary
+   search into the compiled pattern - an MNA topology stamps the same
+   coordinates on every Newton iteration, so the compiled path is the
+   steady state.  A stamp that misses the pattern (a fault patch touching
+   new coordinates, the first transient step adding companion-model
+   entries to a DC-only pattern) decompiles back to the hashtable and the
+   next factorisation re-compiles the grown union; the pattern only ever
+   grows, so a session settles after a handful of rebuilds.
+
+   Factorisation is Gilbert-Peierls left-looking LU with threshold
+   partial pivoting (after CSparse's cs_lu).  The first ("full")
+   factorisation computes the pattern of each factor column by a DFS
+   reachability pass and chooses pivots; every later solve replays the
+   stored pattern and pivot order numerically ("refactorisation") with no
+   graph traversal and no pivot search - the payoff the whole backend
+   exists for.  A refactorisation whose reused pivot degenerates falls
+   back to one full factorisation with fresh pivoting.
+
+   Columns are pre-ordered by a greedy minimum-degree pass over the
+   symmetrised pattern (static fill reduction); rows are permuted by
+   pivoting only.
+
+   Batch sessions solve at several active sizes (the nominal topology,
+   then +1/+2 overlay rows per fault patch).  Rather than re-running the
+   symbolic analysis whenever the active size shrinks, the factorisation
+   always covers [pat_n] (the largest size seen): rows in
+   [n, pat_n) are padded with a unit diagonal and a zero right-hand
+   side, which leaves the active unknowns' solution bit-identical while
+   keeping one pattern, one ordering and one pivot sequence alive across
+   the whole fault list. *)
+
+exception Singular of int
+(* Original (pre-ordering) index of the unknown whose pivot vanished. *)
+
+let pivot_eps = 1e-30
+
+(* Prefer the diagonal when it is within [pivot_tol] of the column
+   maximum: diagonal pivots keep the pivot order stable across
+   refactorisations of the same topology. *)
+let pivot_tol = 1e-3
+
+type t = {
+  cap : int;
+  b : float array; (* right-hand side, overwritten with the solution *)
+  mutable n : int; (* active unknowns of the current stamp *)
+  mutable pat_n : int; (* factorised order: max [n] ever seen *)
+  (* --- compiled matrix: CSC over the accumulated pattern --- *)
+  mutable colptr : int array; (* length pat_n + 1 *)
+  mutable rowind : int array; (* rows, sorted within each column *)
+  mutable vals : float array;
+  mutable diag_slot : int array; (* slot of (r, r) per row, for padding *)
+  mutable compiled : bool;
+  building : (int, float) Hashtbl.t; (* key = row * cap + col *)
+  (* --- factorisation --- *)
+  mutable q : int array; (* column order: factor col k holds A(:, q.(k)) *)
+  mutable pinv : int array; (* row -> pivot position *)
+  mutable lp : int array; (* L column pointers, length cap + 1 *)
+  mutable li : int array;
+  mutable lx : float array;
+  mutable up : int array;
+  mutable ui : int array;
+  mutable ux : float array;
+  mutable have_factor : bool;
+  (* --- workspace (sized cap once) --- *)
+  x : float array;
+  flag : int array;
+  rstack : int array;
+  pstack : int array;
+  xi : int array;
+  work : float array;
+  (* --- counters (cumulative; Solver reports deltas) --- *)
+  mutable stat_full : int;
+  mutable stat_refactor : int;
+  mutable stat_solve : int;
+  mutable stat_symbolic : int;
+  mutable stat_repivot : int;
+}
+
+let create ~capacity =
+  let cap = max capacity 1 in
+  {
+    cap;
+    b = Array.make cap 0.0;
+    n = 0;
+    pat_n = 0;
+    colptr = [| 0 |];
+    rowind = [||];
+    vals = [||];
+    diag_slot = [||];
+    compiled = false;
+    building = Hashtbl.create 256;
+    q = [||];
+    pinv = Array.make cap (-1);
+    lp = Array.make (cap + 1) 0;
+    li = [||];
+    lx = [||];
+    up = Array.make (cap + 1) 0;
+    ui = [||];
+    ux = [||];
+    have_factor = false;
+    x = Array.make cap 0.0;
+    flag = Array.make cap (-1);
+    rstack = Array.make cap 0;
+    pstack = Array.make cap 0;
+    xi = Array.make cap 0;
+    work = Array.make cap 0.0;
+    stat_full = 0;
+    stat_refactor = 0;
+    stat_solve = 0;
+    stat_symbolic = 0;
+    stat_repivot = 0;
+  }
+
+let capacity t = t.cap
+
+let rhs t = t.b
+
+let nnz t = if t.compiled then Array.length t.rowind else Hashtbl.length t.building
+
+let factor_nnz t = if t.have_factor then t.lp.(t.pat_n) + t.up.(t.pat_n) else 0
+
+let stats t =
+  (t.stat_full, t.stat_refactor, t.stat_solve, t.stat_symbolic, t.stat_repivot)
+
+(* --- stamping ---------------------------------------------------------- *)
+
+let decompile t =
+  (* Dump every compiled slot (pattern and current values) back into the
+     hashtable so the union pattern survives the rebuild. *)
+  for j = 0 to t.pat_n - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      Hashtbl.replace t.building ((t.rowind.(p) * t.cap) + j) t.vals.(p)
+    done
+  done;
+  t.compiled <- false;
+  t.have_factor <- false
+
+let begin_stamp t ~n =
+  if n > t.cap then invalid_arg "Sparse.begin_stamp: n exceeds capacity";
+  t.n <- n;
+  if n > t.pat_n then begin
+    (* New rows join the pattern; force a rebuild so they get diagonal
+       slots and a place in the ordering. *)
+    if t.compiled then decompile t;
+    t.pat_n <- n
+  end;
+  Array.fill t.b 0 t.pat_n 0.0;
+  if t.compiled then Array.fill t.vals 0 (Array.length t.vals) 0.0
+  else
+    (* Zero the values but keep the keys: the accumulated pattern must
+       survive from one stamp to the next. *)
+    Hashtbl.filter_map_inplace (fun _ _ -> Some 0.0) t.building
+
+let add_building t i j v =
+  let key = (i * t.cap) + j in
+  match Hashtbl.find_opt t.building key with
+  | Some v0 -> Hashtbl.replace t.building key (v0 +. v)
+  | None -> Hashtbl.replace t.building key v
+
+(* Binary search for row [i] within column [j] of the compiled pattern;
+   returns the slot or -1. *)
+let find_slot t i j =
+  let lo = ref t.colptr.(j) and hi = ref (t.colptr.(j + 1) - 1) in
+  let slot = ref (-1) in
+  while !slot < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.rowind.(mid) in
+    if r = i then slot := mid else if r < i then lo := mid + 1 else hi := mid - 1
+  done;
+  !slot
+
+let add t i j v =
+  if i >= 0 && j >= 0 then
+    if not t.compiled then add_building t i j v
+    else begin
+      let slot = find_slot t i j in
+      if slot >= 0 then t.vals.(slot) <- t.vals.(slot) +. v
+      else begin
+        (* Pattern growth: fall back to building mode for this stamp. *)
+        decompile t;
+        add_building t i j v
+      end
+    end
+
+let add_rhs t i v = if i >= 0 then t.b.(i) <- t.b.(i) +. v
+
+(* --- pattern compilation ----------------------------------------------- *)
+
+(* Greedy minimum-degree ordering of the symmetrised pattern.  The
+   quotient-graph refinements of real AMD are overkill here: this runs
+   once per topology, on systems of at most a few thousand unknowns. *)
+let min_degree_order m colptr rowind =
+  let adj = Array.init m (fun _ -> Hashtbl.create 8) in
+  for j = 0 to m - 1 do
+    for p = colptr.(j) to colptr.(j + 1) - 1 do
+      let i = rowind.(p) in
+      if i <> j && i < m then begin
+        Hashtbl.replace adj.(i) j ();
+        Hashtbl.replace adj.(j) i ()
+      end
+    done
+  done;
+  let alive = Array.make m true in
+  let order = Array.make m 0 in
+  for k = 0 to m - 1 do
+    let best = ref (-1) and best_d = ref max_int in
+    for v = 0 to m - 1 do
+      if alive.(v) then begin
+        let d = Hashtbl.length adj.(v) in
+        if d < !best_d then begin
+          best := v;
+          best_d := d
+        end
+      end
+    done;
+    let v = !best in
+    order.(k) <- v;
+    alive.(v) <- false;
+    (* Connect the eliminated vertex's neighbours into a clique. *)
+    let nbrs = Hashtbl.fold (fun u () acc -> if alive.(u) then u :: acc else acc) adj.(v) [] in
+    List.iter
+      (fun u ->
+        Hashtbl.remove adj.(u) v;
+        List.iter
+          (fun w -> if u <> w then Hashtbl.replace adj.(u) w ())
+          nbrs)
+      nbrs;
+    Hashtbl.reset adj.(v)
+  done;
+  order
+
+let compile t =
+  let m = t.pat_n in
+  (* Every row keeps a diagonal slot: branch rows get one even when no
+     device stamps it (an explicit zero costs one slot and lets inactive
+     overlay rows be padded with a unit pivot). *)
+  for r = 0 to m - 1 do
+    let key = (r * t.cap) + r in
+    if not (Hashtbl.mem t.building key) then Hashtbl.add t.building key 0.0
+  done;
+  let entries =
+    Hashtbl.fold (fun key v acc -> (key / t.cap, key mod t.cap, v) :: acc) t.building []
+  in
+  let entries =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) ->
+        match Int.compare j1 j2 with 0 -> Int.compare i1 i2 | c -> c)
+      entries
+  in
+  let nz = List.length entries in
+  let colptr = Array.make (m + 1) 0 in
+  let rowind = Array.make nz 0 in
+  let vals = Array.make nz 0.0 in
+  let diag_slot = Array.make m (-1) in
+  let p = ref 0 in
+  List.iter
+    (fun (i, j, v) ->
+      colptr.(j + 1) <- colptr.(j + 1) + 1;
+      rowind.(!p) <- i;
+      vals.(!p) <- v;
+      if i = j then diag_slot.(i) <- !p;
+      incr p)
+    entries;
+  for j = 0 to m - 1 do
+    colptr.(j + 1) <- colptr.(j + 1) + colptr.(j)
+  done;
+  t.colptr <- colptr;
+  t.rowind <- rowind;
+  t.vals <- vals;
+  t.diag_slot <- diag_slot;
+  t.compiled <- true;
+  t.have_factor <- false;
+  Hashtbl.reset t.building;
+  t.q <- min_degree_order m colptr rowind;
+  t.stat_symbolic <- t.stat_symbolic + 1
+
+let finish t = if not t.compiled then compile t
+
+(* --- factorisation ----------------------------------------------------- *)
+
+(* Growable factor storage. *)
+let ensure arr len fill =
+  if Array.length !arr >= len then ()
+  else begin
+    let cap = max len (max 16 (2 * Array.length !arr)) in
+    let fresh = Array.make cap fill in
+    Array.blit !arr 0 fresh 0 (Array.length !arr);
+    arr := fresh
+  end
+
+(* DFS from [root] over the graph of already-computed L columns
+   (cs_dfs): pushes the reach of [root] onto [xi] ending at [top] - 1,
+   in topological (head-first) order.  Returns the new top. *)
+let dfs t root k top0 =
+  let head = ref 0 and top = ref top0 in
+  t.rstack.(0) <- root;
+  while !head >= 0 do
+    let i = t.rstack.(!head) in
+    let jcol = t.pinv.(i) in
+    if t.flag.(i) <> k then begin
+      t.flag.(i) <- k;
+      t.pstack.(!head) <- (if jcol < 0 then 0 else t.lp.(jcol))
+    end;
+    let finished = ref true in
+    if jcol >= 0 then begin
+      let pend = t.lp.(jcol + 1) in
+      let p = ref t.pstack.(!head) in
+      while !finished && !p < pend do
+        let i2 = t.li.(!p) in
+        if t.flag.(i2) <> k then begin
+          t.pstack.(!head) <- !p + 1;
+          incr head;
+          t.rstack.(!head) <- i2;
+          finished := false
+        end
+        else incr p
+      done;
+      if !finished then t.pstack.(!head) <- pend
+    end;
+    if !finished then begin
+      decr head;
+      decr top;
+      t.xi.(!top) <- i
+    end
+  done;
+  !top
+
+(* One full Gilbert-Peierls factorisation with threshold partial
+   pivoting.  Raises {!Singular} naming the offending column's original
+   unknown. *)
+let full_factor t =
+  let m = t.pat_n in
+  let lnz = ref 0 and unz = ref 0 in
+  Array.fill t.pinv 0 m (-1);
+  for i = 0 to m - 1 do
+    t.flag.(i) <- -1;
+    t.x.(i) <- 0.0
+  done;
+  (* Conservative initial factor capacity; grown on demand.  The DFS
+     walks the in-progress L through [t.li]/[t.lp], so growth writes the
+     resized arrays straight back into [t]. *)
+  let grow_l len =
+    let r = ref t.li in
+    ensure r len 0;
+    t.li <- !r;
+    let r = ref t.lx in
+    ensure r len 0.0;
+    t.lx <- !r
+  in
+  let grow_u len =
+    let r = ref t.ui in
+    ensure r len 0;
+    t.ui <- !r;
+    let r = ref t.ux in
+    ensure r len 0.0;
+    t.ux <- !r
+  in
+  let est = max 64 (4 * Array.length t.rowind) in
+  grow_l est;
+  grow_u est;
+  for k = 0 to m - 1 do
+    t.lp.(k) <- !lnz;
+    t.up.(k) <- !unz;
+    let col = t.q.(k) in
+    (* Symbolic: reach of the column's pattern through L. *)
+    let top = ref m in
+    for p = t.colptr.(col) to t.colptr.(col + 1) - 1 do
+      let i = t.rowind.(p) in
+      if t.flag.(i) <> k then top := dfs t i k !top
+    done;
+    (* Numeric: x = L \ A(:, col), in topological order. *)
+    for p = t.colptr.(col) to t.colptr.(col + 1) - 1 do
+      t.x.(t.rowind.(p)) <- t.vals.(p)
+    done;
+    for px = !top to m - 1 do
+      let i = t.xi.(px) in
+      let jcol = t.pinv.(i) in
+      if jcol >= 0 then begin
+        let xj = t.x.(i) in
+        if xj <> 0.0 then
+          for p = t.lp.(jcol) + 1 to t.lp.(jcol + 1) - 1 do
+            t.x.(t.li.(p)) <- t.x.(t.li.(p)) -. (t.lx.(p) *. xj)
+          done
+      end
+    done;
+    (* Pivot: largest magnitude among not-yet-pivotal rows, with a
+       preference for the diagonal when it is close enough. *)
+    let ipiv = ref (-1) and amax = ref 0.0 in
+    for px = !top to m - 1 do
+      let i = t.xi.(px) in
+      if t.pinv.(i) < 0 then begin
+        let a = Float.abs t.x.(i) in
+        if a > !amax then begin
+          amax := a;
+          ipiv := i
+        end
+      end
+    done;
+    if !ipiv < 0 || !amax < pivot_eps then begin
+      (* Clean the workspace before giving up. *)
+      for px = !top to m - 1 do
+        t.x.(t.xi.(px)) <- 0.0
+      done;
+      t.have_factor <- false;
+      raise (Singular col)
+    end;
+    if t.pinv.(col) < 0 && Float.abs t.x.(col) >= pivot_tol *. !amax then
+      ipiv := col;
+    let pivot = t.x.(!ipiv) in
+    t.pinv.(!ipiv) <- k;
+    (* Emit U (rows already pivotal) then L (rows below the pivot). *)
+    grow_u (!unz + m + 1);
+    grow_l (!lnz + m + 1);
+    for px = !top to m - 1 do
+      let i = t.xi.(px) in
+      let pi = t.pinv.(i) in
+      if pi >= 0 && pi < k then begin
+        t.ui.(!unz) <- pi;
+        t.ux.(!unz) <- t.x.(i);
+        incr unz
+      end
+    done;
+    t.ui.(!unz) <- k;
+    t.ux.(!unz) <- pivot;
+    incr unz;
+    t.li.(!lnz) <- !ipiv;
+    t.lx.(!lnz) <- 1.0;
+    incr lnz;
+    for px = !top to m - 1 do
+      let i = t.xi.(px) in
+      if t.pinv.(i) < 0 then begin
+        t.li.(!lnz) <- i;
+        t.lx.(!lnz) <- t.x.(i) /. pivot;
+        incr lnz
+      end;
+      t.x.(i) <- 0.0
+    done
+  done;
+  t.lp.(m) <- !lnz;
+  t.up.(m) <- !unz;
+  (* Map L's rows into pivot coordinates and sort both factors' columns
+     by row, so refactorisation and the triangular solves can walk them
+     in elimination order. *)
+  for p = 0 to !lnz - 1 do
+    t.li.(p) <- t.pinv.(t.li.(p))
+  done;
+  let sort_cols ptr idx vx =
+    for k = 0 to m - 1 do
+      let lo = ptr.(k) and hi = ptr.(k + 1) in
+      let len = hi - lo in
+      if len > 1 then begin
+        let pairs = Array.init len (fun d -> (idx.(lo + d), vx.(lo + d))) in
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) pairs;
+        Array.iteri
+          (fun d (i, v) ->
+            idx.(lo + d) <- i;
+            vx.(lo + d) <- v)
+          pairs
+      end
+    done
+  in
+  sort_cols t.lp t.li t.lx;
+  sort_cols t.up t.ui t.ux;
+  t.have_factor <- true;
+  t.stat_full <- t.stat_full + 1
+
+exception Stale_pivot
+
+(* Numeric refactorisation: same pattern, same pivot order, new values.
+   No DFS, no pivot search.  Raises {!Stale_pivot} when a reused pivot
+   has degenerated, in which case the caller re-runs {!full_factor}. *)
+let refactor t =
+  let m = t.pat_n in
+  for k = 0 to m - 1 do
+    let col = t.q.(k) in
+    (* Scatter A(:, col) into pivot coordinates.  Every target position
+       lies inside column k's stored L/U pattern, which is also exactly
+       what gets cleared below. *)
+    for p = t.colptr.(col) to t.colptr.(col + 1) - 1 do
+      t.x.(t.pinv.(t.rowind.(p))) <- t.vals.(p)
+    done;
+    let udiag = t.up.(k + 1) - 1 in
+    for p = t.up.(k) to udiag - 1 do
+      let j = t.ui.(p) in
+      let xj = t.x.(j) in
+      t.ux.(p) <- xj;
+      if xj <> 0.0 then
+        for pl = t.lp.(j) + 1 to t.lp.(j + 1) - 1 do
+          t.x.(t.li.(pl)) <- t.x.(t.li.(pl)) -. (t.lx.(pl) *. xj)
+        done
+    done;
+    let pivot = t.x.(k) in
+    if Float.abs pivot < pivot_eps then begin
+      for p = t.up.(k) to udiag do
+        t.x.(t.ui.(p)) <- 0.0
+      done;
+      for pl = t.lp.(k) to t.lp.(k + 1) - 1 do
+        t.x.(t.li.(pl)) <- 0.0
+      done;
+      raise Stale_pivot
+    end;
+    t.ux.(udiag) <- pivot;
+    for pl = t.lp.(k) + 1 to t.lp.(k + 1) - 1 do
+      let i = t.li.(pl) in
+      t.lx.(pl) <- t.x.(i) /. pivot;
+      t.x.(i) <- 0.0
+    done;
+    for p = t.up.(k) to udiag do
+      t.x.(t.ui.(p)) <- 0.0
+    done
+  done;
+  t.stat_refactor <- t.stat_refactor + 1
+
+let factor_solve t =
+  if not t.compiled then compile t;
+  let m = t.pat_n in
+  if m > 0 then begin
+    (* Pad inactive overlay rows with a unit pivot and zero RHS: rows in
+       [n, pat_n) then solve to exactly zero without disturbing the
+       active window. *)
+    for r = t.n to m - 1 do
+      t.vals.(t.diag_slot.(r)) <- 1.0;
+      t.b.(r) <- 0.0
+    done;
+    (if not t.have_factor then full_factor t
+     else
+       match refactor t with
+       | () -> ()
+       | exception Stale_pivot ->
+         t.stat_repivot <- t.stat_repivot + 1;
+         full_factor t);
+    (* Solve P A Q z = P b, then x = Q z. *)
+    let w = t.work in
+    for i = 0 to m - 1 do
+      w.(t.pinv.(i)) <- t.b.(i)
+    done;
+    for k = 0 to m - 1 do
+      let xk = w.(k) in
+      if xk <> 0.0 then
+        for p = t.lp.(k) + 1 to t.lp.(k + 1) - 1 do
+          w.(t.li.(p)) <- w.(t.li.(p)) -. (t.lx.(p) *. xk)
+        done
+    done;
+    for k = m - 1 downto 0 do
+      let udiag = t.up.(k + 1) - 1 in
+      let xk = w.(k) /. t.ux.(udiag) in
+      w.(k) <- xk;
+      if xk <> 0.0 then
+        for p = t.up.(k) to udiag - 1 do
+          w.(t.ui.(p)) <- w.(t.ui.(p)) -. (t.ux.(p) *. xk)
+        done
+    done;
+    for k = 0 to m - 1 do
+      t.b.(t.q.(k)) <- w.(k)
+    done;
+    t.stat_solve <- t.stat_solve + 1
+  end

@@ -1,0 +1,107 @@
+(* Parametric netlist generators for solver benchmarks and tests.
+
+   Row_synth turns schematics into silicon; this module goes the other
+   way and manufactures schematics of a chosen size, so the linear-solver
+   backends can be compared on systems far larger than the paper's VCO.
+   Both topologies have the banded/mesh sparsity real analogue circuits
+   exhibit (an RC ladder's MNA matrix is tridiagonal plus one source
+   branch, a resistor grid's is the five-point stencil), which is exactly
+   the structure the sparse backend's fill-reducing ordering exploits. *)
+
+let pulse =
+  Netlist.Wave.Pulse
+    {
+      v1 = 0.0;
+      v2 = 5.0;
+      delay = 1e-6;
+      rise = 1e-7;
+      fall = 1e-7;
+      width = 5e-6;
+      period = 10e-6;
+    }
+
+let node k = "n" ^ string_of_int k
+
+let rc_ladder ?(diodes = false) ~sections () =
+  if sections < 1 then invalid_arg "Circuit_synth.rc_ladder: sections < 1";
+  let devices = ref [] in
+  let push d = devices := d :: !devices in
+  push (Netlist.Device.V { name = "vin"; np = node 0; nn = "0"; wave = pulse });
+  for k = 1 to sections do
+    push
+      (Netlist.Device.R
+         { name = "r" ^ string_of_int k; n1 = node (k - 1); n2 = node k; value = 100.0 });
+    push
+      (Netlist.Device.C
+         { name = "c" ^ string_of_int k; n1 = node k; n2 = "0"; value = 1e-9; ic = None });
+    (* A clamp diode every eighth section keeps the system nonlinear, so
+       the benchmark exercises repeated refactorisation inside Newton
+       instead of a single linear solve per step. *)
+    if diodes && k mod 8 = 0 then
+      push
+        (Netlist.Device.D
+           {
+             name = "d" ^ string_of_int k;
+             na = node k;
+             nc = "0";
+             model = Netlist.Device.default_diode;
+           })
+  done;
+  Netlist.Circuit.of_devices
+    (Printf.sprintf "rc ladder (%d sections)" sections)
+    (List.rev !devices)
+
+let grid_node r c = Printf.sprintf "g%d_%d" r c
+
+let resistor_grid ?(caps = true) ~rows ~cols () =
+  if rows < 2 || cols < 2 then
+    invalid_arg "Circuit_synth.resistor_grid: need rows, cols >= 2";
+  let devices = ref [] in
+  let push d = devices := d :: !devices in
+  push
+    (Netlist.Device.V { name = "vdrive"; np = grid_node 0 0; nn = "0"; wave = pulse });
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        push
+          (Netlist.Device.R
+             {
+               name = Printf.sprintf "rh%d_%d" r c;
+               n1 = grid_node r c;
+               n2 = grid_node r (c + 1);
+               value = 1_000.0;
+             });
+      if r + 1 < rows then
+        push
+          (Netlist.Device.R
+             {
+               name = Printf.sprintf "rv%d_%d" r c;
+               n1 = grid_node r c;
+               n2 = grid_node (r + 1) c;
+               value = 1_000.0;
+             });
+      if caps then
+        push
+          (Netlist.Device.C
+             {
+               name = Printf.sprintf "cg%d_%d" r c;
+               n1 = grid_node r c;
+               n2 = "0";
+               value = 1e-12;
+               ic = None;
+             })
+    done
+  done;
+  (* Ground the far corner through a load so the DC system is
+     well-conditioned end to end. *)
+  push
+    (Netlist.Device.R
+       {
+         name = "rload";
+         n1 = grid_node (rows - 1) (cols - 1);
+         n2 = "0";
+         value = 10_000.0;
+       });
+  Netlist.Circuit.of_devices
+    (Printf.sprintf "resistor grid (%dx%d)" rows cols)
+    (List.rev !devices)

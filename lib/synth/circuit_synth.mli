@@ -1,0 +1,21 @@
+(** Parametric netlist generators for solver benchmarks and tests.
+
+    The paper's VCO has ~30 MNA unknowns - too small to show anything
+    about sparse factorisation.  These generators build circuits of any
+    size with the banded/mesh sparsity real analogue layouts produce, so
+    dense and sparse backends can be compared across the crossover. *)
+
+(** [rc_ladder ~sections ()] is a pulse-driven RC ladder: [sections]
+    series resistors with a capacitor to ground at every tap, giving
+    [sections + 2] MNA unknowns (taps, the drive node's source branch).
+    With [diodes] (default false) every eighth tap carries a clamp diode
+    to ground, making the system nonlinear so transient benchmarks
+    exercise repeated factorisation inside Newton. *)
+val rc_ladder : ?diodes:bool -> sections:int -> unit -> Netlist.Circuit.t
+
+(** [resistor_grid ~rows ~cols ()] is a pulse-driven [rows] x [cols]
+    resistor mesh (five-point stencil sparsity), driven at one corner and
+    loaded to ground at the opposite one; with [caps] (default true)
+    every grid node also carries a capacitor to ground for transient
+    activity.  [rows * cols + 1] MNA unknowns. *)
+val resistor_grid : ?caps:bool -> rows:int -> cols:int -> unit -> Netlist.Circuit.t

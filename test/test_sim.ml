@@ -517,6 +517,272 @@ let robustness_tests =
         check_bool "order holds" true (e_fine < e_coarse));
   ]
 
+(* MNA bookkeeping on degenerate shapes: circuits whose unknowns are all
+   branch currents, shared node names across devices, and devices wired
+   entirely to ground. *)
+let mna_edge_tests =
+  [
+    Alcotest.test_case "branch-only circuit (V and L)" `Quick (fun () ->
+        let c =
+          Netlist.Circuit.of_devices "branches"
+            [ Netlist.Device.V
+                { name = "V1"; np = "a"; nn = "0"; wave = Netlist.Wave.Dc 1.0 };
+              Netlist.Device.L
+                { name = "L1"; n1 = "a"; n2 = "0"; value = 1e-3; ic = None } ]
+        in
+        let m = Sim.Mna.make c in
+        Alcotest.(check int) "node count" 1 (Sim.Mna.node_count m);
+        Alcotest.(check int) "size" 3 (Sim.Mna.size m);
+        Alcotest.(check int)
+          "branches" 2
+          (Array.length (Sim.Mna.branch_names m));
+        (* Branch ids live past the nodes and carry I(...) names. *)
+        List.iter
+          (fun d ->
+            let i = Sim.Mna.branch_id m d in
+            check_bool "branch id in range" true
+              (i >= Sim.Mna.node_count m && i < Sim.Mna.size m);
+            Alcotest.(check string)
+              "branch name" ("I(" ^ d ^ ")")
+              (Sim.Mna.unknown_name m i))
+          [ "V1"; "L1" ]);
+    Alcotest.test_case "duplicate node names index once" `Quick (fun () ->
+        let c =
+          Netlist.Circuit.of_devices "dup"
+            [ Netlist.Device.R { name = "R1"; n1 = "a"; n2 = "b"; value = 1e3 };
+              Netlist.Device.R { name = "R2"; n1 = "b"; n2 = "a"; value = 1e3 };
+              Netlist.Device.C
+                { name = "C1"; n1 = "a"; n2 = "0"; value = 1e-9; ic = None } ]
+        in
+        let m = Sim.Mna.make c in
+        Alcotest.(check int) "node count" 2 (Sim.Mna.node_count m);
+        Alcotest.(check int) "size" 2 (Sim.Mna.size m);
+        (* node_id and node_names/unknown_name agree index by index. *)
+        Array.iteri
+          (fun i name ->
+            Alcotest.(check int) ("id of " ^ name) i (Sim.Mna.node_id m name);
+            Alcotest.(check string) "name" name (Sim.Mna.unknown_name m i))
+          (Sim.Mna.node_names m));
+    Alcotest.test_case "ground-only ports yield no unknowns" `Quick (fun () ->
+        let c =
+          Netlist.Circuit.of_devices "gnd"
+            [ Netlist.Device.R { name = "R1"; n1 = "0"; n2 = "0"; value = 1e3 } ]
+        in
+        let m = Sim.Mna.make c in
+        Alcotest.(check int) "size" 0 (Sim.Mna.size m);
+        Alcotest.(check int) "ground id" (-1) (Sim.Mna.node_id m "0");
+        Alcotest.(check string) "ground name" "0" (Sim.Mna.unknown_name m (-1)));
+    Alcotest.test_case "ground-to-ground source still owns a branch" `Quick
+      (fun () ->
+        let c =
+          Netlist.Circuit.of_devices "gndv"
+            [ Netlist.Device.V
+                { name = "V1"; np = "0"; nn = "0"; wave = Netlist.Wave.Dc 1.0 } ]
+        in
+        let m = Sim.Mna.make c in
+        Alcotest.(check int) "node count" 0 (Sim.Mna.node_count m);
+        Alcotest.(check int) "size" 1 (Sim.Mna.size m);
+        Alcotest.(check int) "branch id" 0 (Sim.Mna.branch_id m "V1");
+        Alcotest.(check string) "name" "I(V1)" (Sim.Mna.unknown_name m 0));
+  ]
+
+(* The solver layer itself: backend selection, the sparse backend's
+   stamp/compile/factor lifecycle, and dense/sparse agreement on whole
+   analyses. *)
+let solver_tests =
+  let dense = { Sim.Engine.default_options with solver = Sim.Solver.Dense } in
+  let sparse = { Sim.Engine.default_options with solver = Sim.Solver.Sparse } in
+  [
+    Alcotest.test_case "backend names round-trip" `Quick (fun () ->
+        List.iter
+          (fun b ->
+            match Sim.Solver.(backend_of_string (backend_to_string b)) with
+            | Ok b' -> check_bool "round trip" true (b = b')
+            | Error e -> Alcotest.fail e)
+          [ Sim.Solver.Auto; Sim.Solver.Dense; Sim.Solver.Sparse ];
+        match Sim.Solver.backend_of_string "cholesky" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected Error");
+    Alcotest.test_case "auto resolves by capacity" `Quick (fun () ->
+        let small = Sim.Solver.create Sim.Solver.Auto ~capacity:10 in
+        let big =
+          Sim.Solver.create Sim.Solver.Auto ~capacity:Sim.Solver.auto_threshold
+        in
+        check_bool "small is dense" true (Sim.Solver.backend small = Sim.Solver.Dense);
+        check_bool "big is sparse" true (Sim.Solver.backend big = Sim.Solver.Sparse));
+    Alcotest.test_case "sparse solves a stamped 2x2" `Quick (fun () ->
+        let sp = Sim.Sparse.create ~capacity:2 in
+        Sim.Sparse.begin_stamp sp ~n:2;
+        Sim.Sparse.add sp 0 0 2.0;
+        Sim.Sparse.add sp 0 1 1.0;
+        Sim.Sparse.add sp 1 0 1.0;
+        Sim.Sparse.add sp 1 1 3.0;
+        Sim.Sparse.add_rhs sp 0 5.0;
+        Sim.Sparse.add_rhs sp 1 10.0;
+        Sim.Sparse.finish sp;
+        Sim.Sparse.factor_solve sp;
+        let x = Sim.Sparse.rhs sp in
+        checkf 1e-12 "x0" 1.0 x.(0);
+        checkf 1e-12 "x1" 3.0 x.(1));
+    Alcotest.test_case "sparse refactorises on a stable pattern" `Quick (fun () ->
+        let sp = Sim.Sparse.create ~capacity:3 in
+        for round = 1 to 3 do
+          Sim.Sparse.begin_stamp sp ~n:3;
+          for i = 0 to 2 do
+            Sim.Sparse.add sp i i (4.0 +. float_of_int round);
+            Sim.Sparse.add_rhs sp i 1.0
+          done;
+          Sim.Sparse.add sp 0 2 1.0;
+          Sim.Sparse.add sp 2 0 1.0;
+          Sim.Sparse.finish sp;
+          Sim.Sparse.factor_solve sp
+        done;
+        let full, refactor, solves, symbolic, _ = Sim.Sparse.stats sp in
+        Alcotest.(check int) "one full factorisation" 1 full;
+        Alcotest.(check int) "rest are refactorisations" 2 refactor;
+        Alcotest.(check int) "solves" 3 solves;
+        Alcotest.(check int) "one symbolic pass" 1 symbolic);
+    Alcotest.test_case "sparse raises Singular on a rank-1 system" `Quick
+      (fun () ->
+        let sp = Sim.Sparse.create ~capacity:2 in
+        Sim.Sparse.begin_stamp sp ~n:2;
+        Sim.Sparse.add sp 0 0 1.0;
+        Sim.Sparse.add sp 0 1 2.0;
+        Sim.Sparse.add sp 1 0 2.0;
+        Sim.Sparse.add sp 1 1 4.0;
+        Sim.Sparse.finish sp;
+        match Sim.Sparse.factor_solve sp with
+        | exception Sim.Sparse.Singular i ->
+            check_bool "original index" true (i = 0 || i = 1)
+        | () -> Alcotest.fail "expected Singular");
+    Alcotest.test_case "dense and sparse agree on a grid DC point" `Quick
+      (fun () ->
+        let c = Synth.Circuit_synth.resistor_grid ~rows:4 ~cols:4 () in
+        let sd = Compat.dc_operating_point ~options:dense c in
+        let ss = Compat.dc_operating_point ~options:sparse c in
+        for r = 0 to 3 do
+          for col = 0 to 3 do
+            let node = Printf.sprintf "g%d_%d" r col in
+            checkf 1e-9 node
+              (Sim.Engine.voltage sd node)
+              (Sim.Engine.voltage ss node)
+          done
+        done);
+    Alcotest.test_case "dense and sparse agree on a nonlinear transient" `Quick
+      (fun () ->
+        let c = Synth.Circuit_synth.rc_ladder ~diodes:true ~sections:20 () in
+        let wd = Compat.transient ~options:dense c ~tstep:1e-7 ~tstop:2e-6 ~uic:false in
+        let ws = Compat.transient ~options:sparse c ~tstep:1e-7 ~tstop:2e-6 ~uic:false in
+        List.iter
+          (fun node ->
+            List.iter
+              (fun t ->
+                checkf 1e-9
+                  (Printf.sprintf "%s @ %.1e" node t)
+                  (Sim.Waveform.value_at wd node t)
+                  (Sim.Waveform.value_at ws node t))
+              [ 5e-7; 1.2e-6; 2e-6 ])
+          [ "n1"; "n10"; "n20" ]);
+    Alcotest.test_case "sparse session patches reuse the pattern" `Quick (fun () ->
+        let divider = parse "div\nV1 in 0 10\nR1 in out 1k\nR2 out 0 1k\n.end\n" in
+        let v_out sol = Sim.Engine.voltage sol "out" in
+        let s = Sim.Engine.Session.create ~options:sparse divider in
+        checkf 1e-6 "nominal" 5.0 (v_out (Sim.Engine.Session.solve_dc s));
+        let patched =
+          Netlist.Circuit.add divider
+            (Netlist.Device.R { name = "RF"; n1 = "out"; n2 = "0"; value = 1e3 })
+        in
+        let v =
+          Sim.Engine.Session.with_patch s patched (fun s ->
+              v_out (Sim.Engine.Session.solve_dc s))
+        in
+        checkf 1e-6 "patched" (10.0 /. 3.0) v;
+        (* A patch that grows the system exercises the identity-padded
+           overlay rows of the shared pattern. *)
+        let grown =
+          Netlist.Circuit.add
+            (Netlist.Circuit.replace divider
+               (Netlist.Device.R { name = "R2"; n1 = "out"; n2 = "nx"; value = 1e3 }))
+            (Netlist.Device.R { name = "RB"; n1 = "nx"; n2 = "0"; value = 1e3 })
+        in
+        let v =
+          Sim.Engine.Session.with_patch s grown (fun s ->
+              v_out (Sim.Engine.Session.solve_dc s))
+        in
+        checkf 1e-6 "grown patch" (20.0 /. 3.0) v;
+        checkf 1e-6 "restored" 5.0 (v_out (Sim.Engine.Session.solve_dc s)));
+    Alcotest.test_case "singular failure names the offending unknown" `Quick
+      (fun () ->
+        let c = parse "bad\nV1 a 0 1\nV2 a 0 2\n.end\n" in
+        match Compat.dc_operating_point c with
+        | exception Sim.Engine.Sim_error (Sim.Engine.Singular_matrix, detail) ->
+            let mentions s =
+              let ls = String.length s and ld = String.length detail in
+              let rec scan i = i >= 0 && (String.sub detail i ls = s || scan (i - 1)) in
+              ld >= ls && scan (ld - ls)
+            in
+            check_bool
+              (Printf.sprintf "detail names an unknown: %s" detail)
+              true
+              (mentions "at unknown ");
+            check_bool
+              (Printf.sprintf "detail carries a circuit name: %s" detail)
+              true
+              (mentions "a" || mentions "I(V1)" || mentions "I(V2)")
+        | exception (Sim.Engine.Sim_error _ as e) -> raise e
+        | _ -> Alcotest.fail "expected Singular_matrix");
+  ]
+
+(* Complex LU scratch reuse (the AC path) and the post-pivot row index
+   both real and complex factorisations report on singularity. *)
+let clu_tests =
+  [
+    Alcotest.test_case "factor_solve reuses one scratch across systems" `Quick
+      (fun () ->
+        let scratch = Sim.Clu.make_scratch 3 in
+        Alcotest.(check int) "capacity" 3 (Sim.Clu.scratch_capacity scratch);
+        let solve_with_scratch a b =
+          let a = Array.map Array.copy a and b = Array.copy b in
+          Sim.Clu.factor_solve ~n:(Array.length b) scratch a b;
+          b
+        in
+        let check_case a b =
+          let expect = Sim.Clu.solve_copy a b in
+          let got = solve_with_scratch a b in
+          Array.iteri
+            (fun i e ->
+              checkf 1e-12 "re" e.Complex.re got.(i).Complex.re;
+              checkf 1e-12 "im" e.Complex.im got.(i).Complex.im)
+            expect
+        in
+        let c re im = { Complex.re; im } in
+        check_case
+          [| [| c 2.0 0.0; c 1.0 1.0 |]; [| c 0.0 (-1.0); c 3.0 0.0 |] |]
+          [| c 5.0 0.0; c 10.0 2.0 |];
+        check_case
+          [| [| c 0.0 1.0; c 4.0 0.0 |]; [| c 1.0 0.0; c 0.0 0.0 |] |]
+          [| c 2.0 0.0; c 3.0 1.0 |]);
+    Alcotest.test_case "undersized scratch rejected" `Quick (fun () ->
+        let scratch = Sim.Clu.make_scratch 1 in
+        let a = [| [| Complex.one; Complex.zero |]; [| Complex.zero; Complex.one |] |] in
+        match Sim.Clu.factor_solve scratch a [| Complex.one; Complex.one |] with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "Lu.Singular reports the post-pivot row" `Quick (fun () ->
+        (* Column 0 pivots on row 1, so the vanished second pivot lives in
+           original row 0 - the payload must say 0, not 1. *)
+        let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        match Sim.Lu.solve_copy a [| 1.0; 2.0 |] with
+        | exception Sim.Lu.Singular row -> Alcotest.(check int) "row" 0 row
+        | _ -> Alcotest.fail "expected Singular");
+    Alcotest.test_case "Clu.Singular reports the post-pivot row" `Quick (fun () ->
+        let r x = { Complex.re = x; im = 0.0 } in
+        let a = [| [| r 1.0; r 2.0 |]; [| r 2.0; r 4.0 |] |] in
+        match Sim.Clu.solve_copy a [| r 1.0; r 2.0 |] with
+        | exception Sim.Clu.Singular row -> Alcotest.(check int) "row" 0 row
+        | _ -> Alcotest.fail "expected Singular");
+  ]
+
 let suites =
   [
     ("sim.lu", lu_tests);
@@ -530,4 +796,7 @@ let suites =
     ("sim.session", session_tests);
     ("sim.engine.properties", engine_qcheck);
     ("sim.robustness", robustness_tests);
+    ("sim.mna.edges", mna_edge_tests);
+    ("sim.solver", solver_tests);
+    ("sim.clu.scratch", clu_tests);
   ]
