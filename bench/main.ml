@@ -7,17 +7,26 @@
      dune exec bench/main.exe -- batch   # only the session/scheduler experiment
      dune exec bench/main.exe -- obs     # only the telemetry-overhead experiment
      dune exec bench/main.exe -- solver  # only the solver-backend crossover
+     dune exec bench/main.exe -- batch-faults  # only the lock-step batch-width crossover
 *)
 
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
-  let batch_only = Array.exists (String.equal "batch") Sys.argv in
+  let batch_faults_only = Array.exists (String.equal "batch-faults") Sys.argv in
+  let batch_only =
+    (not batch_faults_only) && Array.exists (String.equal "batch") Sys.argv
+  in
   let obs_only = Array.exists (String.equal "obs") Sys.argv in
   let solver_only = Array.exists (String.equal "solver") Sys.argv in
   Printf.printf
     "Reproduction harness: Sebeke/Teixeira/Ohletz, DATE 1995\n\
      'Automatic Fault Extraction and Simulation of Layout Realistic Faults\n\
      for Integrated Analogue Circuits'\n";
+  if batch_faults_only then begin
+    Exp_batch_faults.run ();
+    Helpers.banner "Done";
+    exit 0
+  end;
   if batch_only then begin
     Exp_batch.run ();
     Helpers.banner "Done";
@@ -47,6 +56,7 @@ let () =
     Exp_ablation.run fig5_run;
     Exp_obs.run ();
     Exp_solver.run ();
+    Exp_batch_faults.run ();
     Micro.run ()
   end;
   Helpers.banner "Done"

@@ -4,7 +4,7 @@
          [--faults faults.flt | --universe] [--observe NODE]
          [--model source|resistor] [--solver auto|dense|sparse]
          [--tol-v V] [--tol-t S]
-         [--domains N] [--limit N] [--csv FILE] [--plot]
+         [--domains N] [--batch N] [--limit N] [--csv FILE] [--plot]
          [--trace FILE.jsonl] [--metrics]
          [--journal FILE] [--resume] [--retries SPEC]
          [--budget-iters N] [--budget-steps N] [--budget-seconds S]
@@ -19,15 +19,21 @@
    flags bound the work spent on each fault; --retries configures the
    escalation ladder tried when a fault's simulation fails to converge.
 
+   --batch sets the lock-step batch width: how many faulty variants
+   advance together through one shared time grid per chunk of stolen
+   work (0 = automatic; 1 = the per-fault serial path).
+
    Exit codes: 0 success; 1 usage errors, a failed nominal simulation,
    or a campaign in which every fault failed; 3 a campaign stopped by
-   --abort-after (the journal keeps what completed). *)
+   --abort-after (the journal keeps what completed); 4 one or more
+   worker domains died (their claimed faults carry typed failures in
+   the report). *)
 
 exception Aborted of int
 
 let run input fault_file universe observe model_name solver_name tol_v tol_t
-    domains limit csv_file plot trace metrics journal_path resume retries_spec
-    budget_iters budget_steps budget_seconds abort_after =
+    domains batch limit csv_file plot trace metrics journal_path resume
+    retries_spec budget_iters budget_steps budget_seconds abort_after =
   let deck = Netlist.Parser.parse_file input in
   let circuit = deck.Netlist.Parser.circuit in
   match deck.Netlist.Parser.tran with
@@ -107,7 +113,7 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
     let config =
       Anafault.Simulate.default_config ~model
         ~tolerance:{ Anafault.Detect.tol_v; tol_t }
-        ~sim_options ~retries ~domains ~obs ~tran ~observed ()
+        ~sim_options ~retries ~domains ~batch ~obs ~tran ~observed ()
     in
     let journal =
       match journal_path with
@@ -177,8 +183,18 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
       if metrics then
         Format.printf "@.telemetry summary@.%a@." Obs.Summary.pp
           (Obs.Summary.of_events events);
+      let died =
+        List.filter (fun d -> d.Anafault.Parsim.died) domain_stats
+      in
       let _, _, failed = Anafault.Simulate.tally run_result in
-      if faults <> [] && failed = List.length faults then begin
+      if died <> [] then begin
+        Format.eprintf
+          "error: %d worker domain(s) died; their claimed faults carry typed \
+           failures (see the report above)@."
+          (List.length died);
+        4
+      end
+      else if faults <> [] && failed = List.length faults then begin
         Format.eprintf
           "error: every fault simulation failed (see the failure breakdown above)@.";
         1
@@ -219,6 +235,14 @@ let tol_t =
 
 let domains =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Run fault simulations on $(docv) domains.")
+
+let batch =
+  Arg.(value & opt int 0
+       & info [ "batch" ] ~docv:"N"
+           ~doc:"Lock-step batch width: simulate $(docv) faulty variants \
+                 together through one shared time grid, dropping each the \
+                 moment its detection verdict is final.  0 (default) picks \
+                 a width automatically; 1 forces the per-fault serial path.")
 
 let limit =
   Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Simulate only the first $(docv) faults of the list.")
@@ -281,8 +305,8 @@ let cmd =
     (Cmd.info "anafault" ~doc)
     Term.(
       const run $ input $ fault_file $ universe $ observe $ model_name
-      $ solver_name $ tol_v $ tol_t $ domains $ limit $ csv_file $ plot $ trace
-      $ metrics $ journal_path $ resume $ retries_spec $ budget_iters
+      $ solver_name $ tol_v $ tol_t $ domains $ batch $ limit $ csv_file $ plot
+      $ trace $ metrics $ journal_path $ resume $ retries_spec $ budget_iters
       $ budget_steps $ budget_seconds $ abort_after)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,8 +10,14 @@
     Level shifts below [tol_v] and phase wobble well below [tol_t] count
     as process variation, not faults.  A full window is required, so
     nothing is detected before [tol_t] - the flat start of the paper's
-    Fig. 5 plot.  The tolerance pair is the one its caption quotes:
-    "2V for the amplitude and 0.2 us for the time". *)
+    Fig. 5 plot.  One exception at the other end: a divergence run still
+    open when the observation window ends, and already at least half a
+    window long, is flushed as a detection at the last sample, so a
+    fault that diverges shortly before tstop is not silently lost to
+    window truncation (the half-window floor keeps the last sliver of
+    tolerated phase wobble from being promoted).  The tolerance pair is the
+    one the paper's caption quotes: "2V for the amplitude and 0.2 us for
+    the time". *)
 
 type tolerance = { tol_v : float; tol_t : float }
 
@@ -37,3 +43,51 @@ val detected_at :
   faulty:Sim.Waveform.t ->
   float ->
   bool
+
+(** [analyse ~tolerance ~signal ~nominal ~faulty] is {!first_detection}
+    with degenerate inputs turned into typed failures: a nominal
+    waveform with fewer than two samples, a non-increasing nominal time
+    grid ([dt <= 0]) or an empty faulty waveform comes back as [Error]
+    instead of an exception, so a campaign can record a per-fault
+    failure rather than crash its domain.  A missing [signal] still
+    raises [Not_found] (a bad injection, which the campaign taxonomy
+    already classifies). *)
+val analyse :
+  tolerance:tolerance ->
+  signal:string ->
+  nominal:Sim.Waveform.t ->
+  faulty:Sim.Waveform.t ->
+  (float option, string) result
+
+(** Prefix-decidable detection, for the lock-step batched campaign loop:
+    faulty samples on the nominal grid are fed one at a time, and the
+    verdict becomes final the moment it can no longer change - for most
+    detected faults well before tstop, which is what lets the batch
+    drop them early.  Fed the whole grid, the verdict is exactly
+    {!first_detection}'s (including the tail flush, which only ever
+    fires at the last grid index and therefore never produces a
+    premature [Detected]). *)
+module Incremental : sig
+  type t
+
+  type verdict =
+    | Pending  (** not decidable yet - keep feeding *)
+    | Detected of int  (** final: first detection at this grid index *)
+    | Clear  (** final (only at end of grid): never detected *)
+
+  (** [create ~tolerance ~times ~nom] starts a detector against the
+      nominal response [nom] sampled at [times] (the shared grid).
+      [Error] on degenerate grids, as for {!analyse}. *)
+  val create :
+    tolerance:tolerance ->
+    times:float array ->
+    nom:float array ->
+    (t, string) result
+
+  (** Feed the faulty sample at the next grid index; returns the
+      (possibly now-final) verdict.  Raises [Invalid_argument] when fed
+      past the end of the grid or after the verdict became final. *)
+  val feed : t -> float -> verdict
+
+  val verdict : t -> verdict
+end

@@ -2,11 +2,17 @@
 
    Per-fault Newton costs vary wildly (a stuck-open fault converges far
    slower than a low-ohmic bridge), so instead of static chunking every
-   domain pulls the next fault index from a shared atomic counter.  Each
-   domain owns one engine session (sessions are single-threaded), writes
-   results into its own slots of a shared buffer, and keeps its own load
-   counters.  A fault whose simulation raises is recorded as Sim_failed
-   through Simulate.guard, so one bad fault never aborts the run. *)
+   domain pulls the next chunk of fault indices from a shared atomic
+   counter.  The chunk width is the lock-step batch width: a chunk of
+   width > 1 is simulated as one batch through Simulate.run_batch, so
+   batches are the unit of work stealing.  Each domain owns one engine
+   session (sessions are single-threaded), writes results into its own
+   slots of a shared buffer, and keeps its own load counters.  A fault
+   whose simulation raises is recorded as Sim_failed through
+   Simulate.guard, so one bad fault never aborts the run; a domain that
+   dies outright (e.g. session setup fails) marks the faults it had
+   claimed with a typed failure and reports itself in [died], so the
+   campaign can never silently succeed with holes. *)
 
 type domain_stats = {
   domain : int;
@@ -15,61 +21,136 @@ type domain_stats = {
   newton_iterations : int;
   busy_seconds : float;
   steal_seconds : float;
+  died : bool;
 }
 
-let worker ~config ~circuit ~nominal ~faults ~next ~results ~journal ~completed
-    ~progress ~total d () =
+(* Test hook: when it returns true for a domain index, that domain's
+   session setup raises - the only way to exercise the domain-death path
+   deterministically. *)
+let chaos_session_failure : (int -> bool) ref = ref (fun _ -> false)
+
+let worker ~config ~circuit ~nominal ~faults ~batch ~next ~results ~journal
+    ~completed ~progress ~progress_lock ~abort ~stop ~total d () =
   let obs = config.Simulate.obs in
   let t0 = Unix.gettimeofday () in
   let ndone = ref 0 and iters = ref 0 and indices = ref [] in
   let steal_acc = ref 0.0 in
-  (try
-     let sess = ref (Simulate.session config circuit) in
-     let n = Array.length faults in
-     let rec steal () =
-       let t_steal = Unix.gettimeofday () in
-       let i = Atomic.fetch_and_add next 1 in
-       if i < n then begin
-         (* Journal-restored results were prefilled before the spawn and
-            already counted in [completed]; skip straight to the next
-            index. *)
-         if results.(i) = None then begin
-           let fault = faults.(i) in
-           let dt = Unix.gettimeofday () -. t_steal in
-           steal_acc := !steal_acc +. dt;
-           Obs.sample obs "parsim.steal_seconds" dt;
-           let r =
-             Simulate.guard fault (fun () ->
-                 Simulate.run_one_in config !sess ~nominal fault)
-           in
-           results.(i) <- Some r;
-           Option.iter (fun j -> Journal.record j i r) journal;
-           (* Quarantine, as in the serial loop: rebuild this domain's
-              session after a kernel failure. *)
-           (match r.Simulate.outcome with
-           | Simulate.Sim_failed failure when Outcome.poisons_session failure ->
-             Obs.count obs "session.quarantine" 1;
-             sess := Simulate.session config circuit
-           | Simulate.Sim_failed _ | Simulate.Detected _ | Simulate.Undetected ->
-             ());
-           incr ndone;
-           indices := i :: !indices;
-           iters := !iters + r.Simulate.stats.Sim.Engine.newton_iterations;
-           let c = Atomic.fetch_and_add completed 1 + 1 in
-           (* The shared counter is polled from domain 0 only, so the
-              callback never runs concurrently with itself. *)
-           match progress with
-           | Some f when d = 0 -> f c total
-           | Some _ | None -> ()
-         end;
-         steal ()
-       end
-     in
-     steal ()
-   with _ ->
-     (* A domain that cannot even set up its session just stops stealing;
-        the remaining faults drain through the other domains. *)
-     ());
+  let died = ref false in
+  let n = Array.length faults in
+  (* Any domain may drive the progress callback; the CAS lock keeps it
+     single-flight, and the completed counter is read inside the locked
+     region, so consecutive callbacks see non-decreasing counts.  A
+     callback that raises (the CLI's abort knob) stops every domain; the
+     exception is re-raised by [run_with_stats] after the join. *)
+  let report () =
+    match progress with
+    | None -> ()
+    | Some f ->
+      if Atomic.compare_and_set progress_lock false true then begin
+        (match f (Atomic.get completed) total with
+        | () -> ()
+        | exception exn ->
+          ignore (Atomic.compare_and_set abort None (Some exn));
+          Atomic.set stop true);
+        Atomic.set progress_lock false
+      end
+  in
+  (* The domain is dying: give every fault it claimed but did not finish
+     a typed failure (never a silent hole), count the death, and stop
+     stealing.  Unclaimed faults drain through the other domains. *)
+  let mark_died i0 hi exn =
+    died := true;
+    Obs.count obs "parsim.domain_died" 1;
+    let detail = Printf.sprintf "domain %d died: %s" d (Printexc.to_string exn) in
+    for i = i0 to hi - 1 do
+      if results.(i) = None then begin
+        results.(i) <-
+          Some
+            {
+              Simulate.fault = faults.(i);
+              outcome = Simulate.Sim_failed (Simulate.Crashed detail);
+              attempts = [];
+              stats = Simulate.zero_stats;
+              cpu_seconds = 0.0;
+            };
+        ignore (Atomic.fetch_and_add completed 1)
+      end
+    done;
+    report ()
+  in
+  (match
+     if !chaos_session_failure d then
+       failwith "chaos: injected session-setup failure";
+     Simulate.session config circuit
+   with
+  | exception exn -> mark_died 0 0 exn
+  | session ->
+    let sess = ref session in
+    let bw = max 1 batch in
+    let rec steal () =
+      if not (Atomic.get stop) then begin
+        let t_steal = Unix.gettimeofday () in
+        let i0 = Atomic.fetch_and_add next bw in
+        let dt = Unix.gettimeofday () -. t_steal in
+        (* Every steal is accounted, including the final unsuccessful
+           one: the scheduler's overhead does not vanish at the end of
+           the list. *)
+        steal_acc := !steal_acc +. dt;
+        Obs.sample obs "parsim.steal_seconds" dt;
+        if i0 < n then begin
+          let hi = min n (i0 + bw) in
+          match
+            (* Journal-restored results were prefilled before the spawn
+               and already counted in [completed]; skip those indices. *)
+            let todo = ref [] in
+            for i = hi - 1 downto i0 do
+              if results.(i) = None then todo := (i, faults.(i)) :: !todo
+            done;
+            let todo = !todo in
+            if todo <> [] then begin
+              let rs =
+                match todo with
+                | [ (_, fault) ] ->
+                  (* A width-1 chunk takes the serial per-fault path
+                     directly - no batch machinery in the way. *)
+                  [
+                    Simulate.guard fault (fun () ->
+                        Simulate.run_one_in config !sess ~nominal fault);
+                  ]
+                | _ -> Simulate.run_batch config !sess ~nominal (List.map snd todo)
+              in
+              let poisoned = ref false in
+              List.iter2
+                (fun (i, _) r ->
+                  results.(i) <- Some r;
+                  Option.iter (fun j -> Journal.record j i r) journal;
+                  (match r.Simulate.outcome with
+                  | Simulate.Sim_failed failure
+                    when Outcome.poisons_session failure ->
+                    poisoned := true
+                  | Simulate.Sim_failed _ | Simulate.Detected _
+                  | Simulate.Undetected -> ());
+                  incr ndone;
+                  indices := i :: !indices;
+                  iters := !iters + r.Simulate.stats.Sim.Engine.newton_iterations;
+                  ignore (Atomic.fetch_and_add completed 1);
+                  report ())
+                todo rs;
+              (* Quarantine, as in the serial loop: a kernel failure may
+                 leave device state or an unfinished overlay behind, so
+                 the domain's session is rebuilt before the next chunk. *)
+              if !poisoned then begin
+                Obs.count obs "session.quarantine" 1;
+                sess := Simulate.session config circuit
+              end
+            end
+          with
+          | () -> steal ()
+          | exception exn -> mark_died i0 hi exn
+        end
+      end
+    in
+    steal ());
   let busy = Unix.gettimeofday () -. t0 in
   if Obs.enabled obs then
     Obs.sample obs "parsim.domain_busy_seconds" busy
@@ -79,6 +160,7 @@ let worker ~config ~circuit ~nominal ~faults ~next ~results ~journal ~completed
           ("faults_done", Obs.Int !ndone);
           ("newton_iterations", Obs.Int !iters);
           ("steal_seconds", Obs.Float !steal_acc);
+          ("died", Obs.Bool !died);
         ];
   {
     domain = d;
@@ -87,10 +169,11 @@ let worker ~config ~circuit ~nominal ~faults ~next ~results ~journal ~completed
     newton_iterations = !iters;
     busy_seconds = busy;
     steal_seconds = !steal_acc;
+    died = !died;
   }
 
-let run_with_stats ?progress ?journal ?(clamp = true) ~domains config circuit
-    faults =
+let run_with_stats ?progress ?journal ?(clamp = true) ?batch ~domains config
+    circuit faults =
   let domains =
     if clamp then max 1 (min domains (Domain.recommended_domain_count ()))
     else max 1 domains
@@ -103,6 +186,12 @@ let run_with_stats ?progress ?journal ?(clamp = true) ~domains config circuit
       let nominal, nominal_stats = Simulate.nominal config circuit in
       let faults_arr = Array.of_list faults in
       let n = Array.length faults_arr in
+      let batch =
+        match batch with
+        | Some b when b > 0 -> b
+        | Some _ | None ->
+          Simulate.effective_batch { config with Simulate.domains } ~total:n
+      in
       let results = Array.make n None in
       (* Prefill journal-restored results so no domain re-simulates a
          completed fault. *)
@@ -121,16 +210,27 @@ let run_with_stats ?progress ?journal ?(clamp = true) ~domains config circuit
       | None -> ());
       let next = Atomic.make 0 in
       let completed = Atomic.make !restored in
+      let progress_lock = Atomic.make false in
+      let abort = Atomic.make None in
+      let stop = Atomic.make false in
       let work =
-        worker ~config ~circuit ~nominal ~faults:faults_arr ~next ~results
-          ~journal ~completed ~progress ~total:n
+        worker ~config ~circuit ~nominal ~faults:faults_arr ~batch ~next
+          ~results ~journal ~completed ~progress ~progress_lock ~abort ~stop
+          ~total:n
       in
       let spawned = List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1))) in
       let mine = work 0 () in
       let stats = mine :: List.map Domain.join spawned in
-      (* Domain 0 only sees the counter after its own faults; guarantee
-         the caller one final (total, total) call once everyone joined. *)
-      (match progress with Some f when n > 0 -> f n n | Some _ | None -> ());
+      (* An aborting progress callback (the CLI's --abort-after) stopped
+         every domain; surface it to the caller exactly as the serial
+         loop would have. *)
+      (match Atomic.get abort with
+      | Some exn -> raise exn
+      | None ->
+        (* Workers only see the counter after their own chunks; guarantee
+           the caller one final (total, total) call once everyone
+           joined. *)
+        (match progress with Some f when n > 0 -> f n n | Some _ | None -> ()));
       let results =
         Array.to_list
           (Array.mapi
@@ -161,10 +261,23 @@ let run_with_stats ?progress ?journal ?(clamp = true) ~domains config circuit
         },
         List.sort (fun a b -> Int.compare a.domain b.domain) stats ))
 
-let run ?clamp ~domains config circuit faults =
-  fst (run_with_stats ?clamp ~domains config circuit faults)
+let run ?clamp ?batch ~domains config circuit faults =
+  fst (run_with_stats ?clamp ?batch ~domains config circuit faults)
 
-let execute ?progress ?journal ?clamp ?domains config circuit faults =
+let execute ?progress ?journal ?clamp ?domains ?batch config circuit faults =
   let domains = Option.value ~default:config.Simulate.domains domains in
-  if domains <= 1 then (Simulate.run ?progress ?journal config circuit faults, [])
-  else run_with_stats ?progress ?journal ?clamp ~domains config circuit faults
+  let width =
+    match batch with
+    | Some b when b > 0 -> b
+    | Some _ | None ->
+      Simulate.effective_batch
+        { config with Simulate.domains }
+        ~total:(List.length faults)
+  in
+  if domains <= 1 && width <= 1 then
+    (Simulate.run ?progress ?journal config circuit faults, [])
+  else
+    (* One domain with a wider batch still goes through the worker loop:
+       domain 0 processes every chunk itself, batched. *)
+    run_with_stats ?progress ?journal ?clamp ~batch:width ~domains config
+      circuit faults

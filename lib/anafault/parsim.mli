@@ -5,8 +5,11 @@
     independent, so the same structure maps onto shared-memory domains.
     Per-fault Newton costs vary wildly (stuck-open faults converge far
     slower than low-ohmic bridges), so the fault list is not chunked
-    statically: every domain pulls the next fault index from a shared
-    atomic counter until the list is drained.  Each domain owns one
+    statically: every domain pulls the next chunk of fault indices from
+    a shared atomic counter until the list is drained.  The chunk width
+    is the lock-step batch width ({!Simulate.effective_batch}): a chunk
+    wider than one fault is simulated as a single {!Simulate.run_batch},
+    so batches are the unit of work stealing.  Each domain owns one
     {!Sim.Engine.Session}, so the per-topology setup is paid once per
     domain rather than once per fault.
 
@@ -15,7 +18,12 @@
     all other results are returned in input order.  Each domain applies
     the same robustness layers as the serial loop: the retry ladder,
     per-fault budgets, session quarantine after kernel failures, and
-    journal skip/record when a {!Journal.t} is supplied. *)
+    journal skip/record when a {!Journal.t} is supplied.  A domain that
+    dies outright (e.g. its session setup fails) records a typed
+    [Crashed] failure for every fault it had claimed, is counted as
+    ["parsim.domain_died"], and reports itself through
+    {!domain_stats.died} - a campaign can never silently succeed with
+    holes. *)
 
 (** Per-domain load counters, for judging schedule balance. *)
 type domain_stats = {
@@ -26,9 +34,19 @@ type domain_stats = {
   newton_iterations : int;
   busy_seconds : float;  (** wall-clock time the domain spent stealing *)
   steal_seconds : float;
-      (** wall-clock time spent pulling fault indices off the shared
-          counter - the scheduler's overhead, normally microseconds *)
+      (** wall-clock time spent pulling chunks off the shared counter,
+          including the final unsuccessful steal that ends the domain's
+          loop - the scheduler's overhead, normally microseconds *)
+  died : bool;
+      (** the domain aborted (setup failure or an unclassifiable error
+          mid-chunk); its claimed faults carry typed failures, and the
+          CLI turns any died domain into a nonzero exit *)
 }
+
+(** Test hook: when the function returns true for a domain index, that
+    domain's session setup raises.  The only way to exercise the
+    domain-death path deterministically; leave untouched otherwise. *)
+val chaos_session_failure : (int -> bool) ref
 
 (** [run_with_stats ~domains config circuit faults] behaves like
     {!Simulate.run} but distributes the per-fault simulations over
@@ -36,20 +54,25 @@ type domain_stats = {
     domain index.  With [clamp] (the default) the domain count is
     limited to [Domain.recommended_domain_count]; [~clamp:false] takes
     the request literally, which oversubscribes small machines but keeps
-    scheduling behaviour reproducible.  Results keep the input fault
-    order.
+    scheduling behaviour reproducible.  [batch] overrides the lock-step
+    chunk width (default: {!Simulate.effective_batch} at the effective
+    domain count).  Results keep the input fault order.
 
     [progress] is called with (completed, total): every domain bumps a
-    shared atomic completed-counter, domain 0 polls it after each of its
-    own faults (so the callback never runs concurrently with itself),
-    and one final (total, total) call is guaranteed after all domains
-    join.  With [journal], completed faults are prefilled before any
-    domain spawns (never re-simulated) and fresh results are recorded as
-    they finish, under the journal's internal lock. *)
+    shared atomic completed-counter and any domain may fire the callback
+    under a single-flight guard (reads of the counter happen inside the
+    guard, so consecutive calls see non-decreasing counts); one final
+    (total, total) call is guaranteed after all domains join.  A
+    progress callback that raises stops every domain, and the exception
+    is re-raised here after the join - the CLI's [--abort-after] knob.
+    With [journal], completed faults are prefilled before any domain
+    spawns (never re-simulated) and fresh results are recorded as they
+    finish, under the journal's internal lock. *)
 val run_with_stats :
   ?progress:(int -> int -> unit) ->
   ?journal:Journal.t ->
   ?clamp:bool ->
+  ?batch:int ->
   domains:int ->
   Simulate.config ->
   Netlist.Circuit.t ->
@@ -60,6 +83,7 @@ val run_with_stats :
     load report. *)
 val run :
   ?clamp:bool ->
+  ?batch:int ->
   domains:int ->
   Simulate.config ->
   Netlist.Circuit.t ->
@@ -68,14 +92,19 @@ val run :
 
 (** [execute config circuit faults] is the single dispatch point every
     front end uses: serial {!Simulate.run} (with an empty load report)
-    when the effective domain count is 1, {!run_with_stats} otherwise.
-    The domain count comes from [config.domains] unless overridden by
-    [?domains].  [?progress] and [?journal] apply to both paths. *)
+    when both the effective domain count and the effective batch width
+    are 1, {!run_with_stats} otherwise (a single domain with a wider
+    batch runs the batched loop on the caller's domain).  The domain
+    count comes from [config.domains] unless overridden by [?domains];
+    the batch width from [config.batch] / {!Simulate.effective_batch}
+    unless overridden by [?batch].  [?progress] and [?journal] apply to
+    both paths. *)
 val execute :
   ?progress:(int -> int -> unit) ->
   ?journal:Journal.t ->
   ?clamp:bool ->
   ?domains:int ->
+  ?batch:int ->
   Simulate.config ->
   Netlist.Circuit.t ->
   Faults.Fault.t list ->

@@ -30,6 +30,11 @@ type config = {
           baseline config independently *)
   samples : int;  (** output grid size (the paper uses a 400-step run) *)
   domains : int;  (** scheduler width for {!Parsim.execute}; 1 = serial *)
+  batch : int;
+      (** lock-step batch width for {!run_batch}: how many faulty
+          variants advance together through one shared time grid.  0
+          (the default) resolves automatically via {!effective_batch};
+          1 forces the exact per-fault serial path *)
   obs : Obs.sink;  (** telemetry sink threaded through the kernel, the
                        sessions and the per-fault loop *)
 }
@@ -47,11 +52,19 @@ val default_config :
   ?retries:Outcome.strategy list ->
   ?samples:int ->
   ?domains:int ->
+  ?batch:int ->
   ?obs:Obs.sink ->
   tran:Netlist.Parser.tran ->
   observed:string ->
   unit ->
   config
+
+(** The lock-step batch width actually used for a campaign of [total]
+    faults: an explicit [config.batch] verbatim, otherwise an automatic
+    width that keeps at least four batches per domain available for work
+    stealing, clamps at 16, and degenerates to 1 (the exact serial path)
+    for small campaigns. *)
+val effective_batch : config -> total:int -> int
 
 (** The last non-ground node of the circuit - by SPICE habit the
     output - for callers that let the observed node default. *)
@@ -142,6 +155,31 @@ val run_one_in :
     simulation paths do not already map becomes a
     [Sim_failed (Crashed _)] result instead of aborting the batch. *)
 val guard : Faults.Fault.t -> (unit -> fault_result) -> fault_result
+
+(** [run_batch config session ~nominal faults] simulates the whole list
+    as one lock-step batch on [session]
+    ({!Sim.Engine.Session.transient_batch}): all variants share the
+    session buffers and one sparse symbolic pattern, advance together
+    through the nominal output grid, and each is dropped (counted as
+    ["batch.drops"]) the moment its {!Detect.Incremental} verdict is
+    final - a detected fault pays only the transient prefix needed to
+    detect it.  Variants that run to tstop are compared exactly like
+    {!run_one_in}, so their outcomes are bit-identical to the serial
+    path; dropped variants report detection at the same grid instant the
+    serial comparison finds (the observed values differ only by a
+    rounding-level interpolation difference).  Faults the batch cannot
+    carry - injection errors, patch overflow, kernel failures (which may
+    still be rescued by the retry ladder) - fall back to {!run_one_in}
+    individually; a failure of the batch machinery itself retires the
+    whole list to the serial path (counted as ["batch.fallback"]).
+    Results are returned in input order; every fault gets the usual
+    ["anafault.fault"] span.  A width-1 batch {e is} the serial path. *)
+val run_batch :
+  config ->
+  Sim.Engine.Session.t ->
+  nominal:Sim.Waveform.t ->
+  Faults.Fault.t list ->
+  fault_result list
 
 (** [fingerprint config circuit faults] is the campaign identity a
     {!Journal} is keyed by: a digest over the printed circuit deck,

@@ -519,116 +519,184 @@ let breakpoints circuit ~tstop =
   |> List.filter (fun t -> t > 0.0 && t < tstop)
   |> List.sort_uniq compare
 
-let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
-  if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
-    invalid_arg "Engine.transient: need 0 < tstep <= tstop";
-  let opts = ctx.opts in
-  let devices = ctx.devices in
-  let v = ref (initial_state ~uic ctx) in
-  init_device_states devices !v;
-  let vnode_prev = Array.copy !v in
-  let samples = ref [ (0.0, Array.copy !v) ] in
-  let bps = ref (breakpoints circuit ~tstop) in
-  let hmax = tstep and hmin = tstop *. 1e-12 in
-  let h = ref (tstep /. 10.0) in
-  let t = ref 0.0 in
-  let total_iters = ref 0 and accepted = ref 0 and rejected = ref 0 in
-  let eps = tstop *. 1e-12 in
+(* One in-flight adaptive transient, reified: the loop state of the
+   former inline transient loop as a record, so a caller can advance it
+   step by step.  [transient_core] drives one stepper to completion;
+   [Session.transient_batch] interleaves many of them through a shared
+   checkpoint grid.  The float operations and their order are exactly
+   those of the old inline loop, so reifying the state changes no
+   result. *)
+type stepper = {
+  sctx : ctx;
+  tstop : float;
+  hmax : float;
+  hmin : float;
+  eps : float;
+  mutable v : float array;
+  vnode_prev : float array;
+  mutable samples : (float * float array) list; (* newest first *)
+  mutable bps : float list;
+  mutable h : float;
+  mutable t : float;
+  mutable total_iters : int;
+  mutable accepted : int;
+  mutable rejected : int;
   (* Budget enforcement: checked once per proposed step, so a
      pathological fault terminates deterministically instead of stalling
      its domain.  All-None budgets compile to three cheap matches; the
      clock is only read when a deadline is set. *)
-  let budget = opts.budget in
-  let deadline =
-    Option.map (fun s -> Obs.Clock.now () +. s) budget.deadline_seconds
+  deadline : float option;
+}
+
+let stepper_start ctx ~circuit ~tstep ~tstop ~uic =
+  if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
+    invalid_arg "Engine.transient: need 0 < tstep <= tstop";
+  let v = initial_state ~uic ctx in
+  init_device_states ctx.devices v;
+  {
+    sctx = ctx;
+    tstop;
+    hmax = tstep;
+    hmin = tstop *. 1e-12;
+    eps = tstop *. 1e-12;
+    v;
+    vnode_prev = Array.copy v;
+    samples = [ (0.0, Array.copy v) ];
+    bps = breakpoints circuit ~tstop;
+    h = tstep /. 10.0;
+    t = 0.0;
+    total_iters = 0;
+    accepted = 0;
+    rejected = 0;
+    deadline =
+      Option.map (fun s -> Obs.Clock.now () +. s) ctx.opts.budget.deadline_seconds;
+  }
+
+let stepper_done st = st.t >= st.tstop -. st.eps
+
+let stepper_stats st =
+  {
+    newton_iterations = st.total_iters;
+    accepted_steps = st.accepted;
+    rejected_steps = st.rejected;
+  }
+
+(* Step counters are reported even when the transient stalls and raises:
+   a diverging fault's work must not vanish from the trace. *)
+let stepper_emit_counters st =
+  if Obs.enabled st.sctx.obs then begin
+    Obs.count st.sctx.obs "engine.tran.accepted_steps" st.accepted;
+    if st.rejected > 0 then
+      Obs.count st.sctx.obs "engine.tran.rejected_steps" st.rejected;
+    Obs.count st.sctx.obs "engine.tran.newton_iterations" st.total_iters
+  end
+
+let stepper_exceeded st what =
+  Obs.count st.sctx.obs "engine.budget_exceeded" 1;
+  raise
+    (Sim_error
+       ( Budget_exceeded,
+         Printf.sprintf
+           "%s at t=%.4g (%d newton iterations, %d steps accepted, %d rejected)"
+           what st.t st.total_iters st.accepted st.rejected ))
+
+let stepper_check_budget st =
+  let budget = st.sctx.opts.budget in
+  (match budget.max_newton_iterations with
+  | Some cap when st.total_iters >= cap ->
+    stepper_exceeded st (Printf.sprintf "newton-iteration budget (%d) exhausted" cap)
+  | Some _ | None -> ());
+  (match budget.max_steps with
+  | Some cap when st.accepted + st.rejected >= cap ->
+    stepper_exceeded st (Printf.sprintf "transient-step budget (%d) exhausted" cap)
+  | Some _ | None -> ());
+  match st.deadline with
+  | Some d when Obs.Clock.now () > d ->
+    stepper_exceeded st
+      (Printf.sprintf "wall-clock budget (%g s) exhausted"
+         (Option.get budget.deadline_seconds))
+  | Some _ | None -> ()
+
+(* One iteration of the adaptive loop: check the budget, drain every
+   breakpoint at or behind [t] (several source edges can pile up inside
+   one accepted step), propose a step clipped to the first future
+   breakpoint and to tstop, solve, accept or reject.  Raises [Sim_error]
+   on budget trips and step underflow exactly as the inline loop did. *)
+let stepper_step st =
+  let ctx = st.sctx in
+  let opts = ctx.opts in
+  let eps = st.eps and tstop = st.tstop in
+  stepper_check_budget st;
+  let h_try =
+    while (match st.bps with bp :: _ -> bp <= st.t +. eps | [] -> false) do
+      st.bps <- List.tl st.bps
+    done;
+    let clip = Float.min st.h (tstop -. st.t) in
+    match st.bps with
+    | bp :: _ when bp -. st.t < clip -. eps -> bp -. st.t
+    | _ -> clip
   in
-  let exceeded what =
-    Obs.count ctx.obs "engine.budget_exceeded" 1;
-    raise
-      (Sim_error
-         ( Budget_exceeded,
-           Printf.sprintf
-             "%s at t=%.4g (%d newton iterations, %d steps accepted, %d rejected)"
-             what !t !total_iters !accepted !rejected ))
-  in
-  let check_budget () =
-    (match budget.max_newton_iterations with
-    | Some cap when !total_iters >= cap ->
-      exceeded (Printf.sprintf "newton-iteration budget (%d) exhausted" cap)
-    | Some _ | None -> ());
-    (match budget.max_steps with
-    | Some cap when !accepted + !rejected >= cap ->
-      exceeded (Printf.sprintf "transient-step budget (%d) exhausted" cap)
-    | Some _ | None -> ());
-    match deadline with
-    | Some d when Obs.Clock.now () > d ->
-      exceeded
-        (Printf.sprintf "wall-clock budget (%g s) exhausted"
-           (Option.get budget.deadline_seconds))
-    | Some _ | None -> ()
-  in
-  (* Step counters are reported even when the transient stalls and
-     raises: a diverging fault's work must not vanish from the trace. *)
-  Fun.protect ~finally:(fun () ->
-      if Obs.enabled ctx.obs then begin
-        Obs.count ctx.obs "engine.tran.accepted_steps" !accepted;
-        if !rejected > 0 then
-          Obs.count ctx.obs "engine.tran.rejected_steps" !rejected;
-        Obs.count ctx.obs "engine.tran.newton_iterations" !total_iters
-      end)
+  let mode = Tran { h = h_try; time = st.t +. h_try; vnode_prev = st.vnode_prev } in
+  match newton ~gmin:opts.gmin ~mode ctx st.v with
+  | Ok (v', iters) ->
+    st.total_iters <- st.total_iters + iters;
+    st.accepted <- st.accepted + 1;
+    update_device_states ~opts ~h:h_try ctx.devices v';
+    Array.blit v' 0 st.vnode_prev 0 ctx.size;
+    st.v <- v';
+    st.t <- st.t +. h_try;
+    st.samples <- (st.t, Array.copy v') :: st.samples;
+    if iters <= 8 then st.h <- Float.min (st.h *. 1.5) st.hmax
+    else if iters > 30 then st.h <- Float.max (st.h /. 2.0) st.hmin
+  | Error (why, iters) ->
+    (* Rejected solves count against the iteration budget: the work was
+       spent even though no step was accepted. *)
+    st.total_iters <- st.total_iters + iters;
+    st.rejected <- st.rejected + 1;
+    st.h <- h_try /. 2.0;
+    if st.h < st.hmin then begin
+      let err, where =
+        match why with
+        | `Singular row ->
+          (Singular_matrix, Printf.sprintf " (singular at unknown %s)" (unknown_label ctx row))
+        | `No_conv -> (Tran_step_underflow, "")
+      in
+      raise
+        (Sim_error
+           ( err,
+             Printf.sprintf "transient stalled at t=%.4g (step %.3g)%s" st.t st.h where ))
+    end
+
+(* Interpolated value of unknown [idx] on the stepper's accepted-sample
+   history at time [tau], replicating {!Waveform.value_at}'s bracketing
+   and clamping on the reversed sample list - a checkpoint probe must see
+   the same float the resampled waveform would hold at a grid point. *)
+let stepper_value st idx tau =
+  match st.samples with
+  | [] -> assert false (* stepper_start always records the t=0 sample *)
+  | (tn, vn) :: older ->
+    if tau >= tn then vn.(idx)
+    else begin
+      let rec bracket t1 v1 = function
+        | [] -> v1.(idx) (* unreachable: tau >= 0 and the t=0 sample is last *)
+        | (t0, v0) :: older ->
+          if t0 <= tau then
+            if tau <= t0 then v0.(idx)
+            else if t1 <= t0 then v1.(idx)
+            else v0.(idx) +. ((v1.(idx) -. v0.(idx)) *. (tau -. t0) /. (t1 -. t0))
+          else bracket t0 v0 older
+      in
+      bracket tn vn older
+    end
+
+let transient_core ctx ~circuit ~names ~tstep ~tstop ~uic =
+  let st = stepper_start ctx ~circuit ~tstep ~tstop ~uic in
+  Fun.protect ~finally:(fun () -> stepper_emit_counters st)
   @@ fun () ->
-  while !t < tstop -. eps do
-    check_budget ();
-    (* Propose a step: drain every breakpoint at or behind [t] (several
-       source edges can pile up inside one accepted step), then clip to
-       the first future breakpoint and to tstop. *)
-    let h_try =
-      while (match !bps with bp :: _ -> bp <= !t +. eps | [] -> false) do
-        bps := List.tl !bps
-      done;
-      let clip = Float.min !h (tstop -. !t) in
-      match !bps with
-      | bp :: _ when bp -. !t < clip -. eps -> bp -. !t
-      | _ -> clip
-    in
-    let mode = Tran { h = h_try; time = !t +. h_try; vnode_prev } in
-    match newton ~gmin:opts.gmin ~mode ctx !v with
-    | Ok (v', iters) ->
-      total_iters := !total_iters + iters;
-      incr accepted;
-      update_device_states ~opts ~h:h_try devices v';
-      Array.blit v' 0 vnode_prev 0 ctx.size;
-      v := v';
-      t := !t +. h_try;
-      samples := (!t, Array.copy v') :: !samples;
-      if iters <= 8 then h := Float.min (!h *. 1.5) hmax
-      else if iters > 30 then h := Float.max (!h /. 2.0) hmin
-    | Error (why, iters) ->
-      (* Rejected solves count against the iteration budget: the work
-         was spent even though no step was accepted. *)
-      total_iters := !total_iters + iters;
-      incr rejected;
-      h := h_try /. 2.0;
-      if !h < hmin then begin
-        let err, where =
-          match why with
-          | `Singular row ->
-            (Singular_matrix, Printf.sprintf " (singular at unknown %s)" (unknown_label ctx row))
-          | `No_conv -> (Tran_step_underflow, "")
-        in
-        raise
-          (Sim_error
-             ( err,
-               Printf.sprintf "transient stalled at t=%.4g (step %.3g)%s" !t !h where ))
-      end
+  while not (stepper_done st) do
+    stepper_step st
   done;
-  let wf = Waveform.make ~names ~samples:(List.rev !samples) in
-  ( wf,
-    {
-      newton_iterations = !total_iters;
-      accepted_steps = !accepted;
-      rejected_steps = !rejected;
-    } )
+  (Waveform.make ~names ~samples:(List.rev st.samples), stepper_stats st)
 
 let transient_impl ~opts ~obs circuit ~tstep ~tstop ~uic =
   let ctx, mna = ctx_of_circuit ~opts ~obs circuit in
@@ -718,13 +786,24 @@ module Session = struct
     transient_core (ctx ?options s) ~circuit:s.act_circuit ~names:s.act_names
       ~tstep ~tstop ~uic
 
+  (* A compiled patch: everything [with_patch] swaps into the active
+     view, reified as a value so the batched transient can hold many
+     patched variants alive at once without toggling the view. *)
+  type patch_view = {
+    pv_circuit : Netlist.Circuit.t;
+    pv_devices : cdev array;
+    pv_size : int;
+    pv_extra_node : int option;
+    pv_names : string array;
+  }
+
   (* Recompile only what [patched] changed relative to the base circuit.
      Fault injection rewrites circuits with Circuit.replace (same name,
      same position) and Circuit.add (appended), so a positional walk
      recognises untouched devices by physical equality and reuses their
      compiled form.  Anything structurally different raises
      Patch_overflow and the caller falls back to a full rebuild. *)
-  let with_patch s patched f =
+  let compile_patch s patched =
     (* Overlay rows are allocated in order of first use, so a patch that
        adds only a node (break/split) or only a branch (bridging V
        source) costs exactly one extra row - the same system size a full
@@ -809,19 +888,215 @@ module Session = struct
         | Some (b, row) -> [ (row, "I(" ^ b ^ ")") ])
       |> List.sort compare |> List.map snd
     in
-    s.act_circuit <- patched;
-    s.act_devices <- Array.of_list compiled;
-    s.act_size <- !next_row;
-    s.act_extra_node <- Option.map snd !extra_node;
-    s.act_names <- Array.append s.base_names (Array.of_list extra_names);
-    Fun.protect
-      ~finally:(fun () ->
-        s.act_circuit <- s.circuit;
-        s.act_devices <- s.base_devices;
-        s.act_size <- s.base_size;
-        s.act_extra_node <- None;
-        s.act_names <- s.base_names)
-      (fun () -> f s)
+    {
+      pv_circuit = patched;
+      pv_devices = Array.of_list compiled;
+      pv_size = !next_row;
+      pv_extra_node = Option.map snd !extra_node;
+      pv_names = Array.append s.base_names (Array.of_list extra_names);
+    }
+
+  let apply_view s pv =
+    s.act_circuit <- pv.pv_circuit;
+    s.act_devices <- pv.pv_devices;
+    s.act_size <- pv.pv_size;
+    s.act_extra_node <- pv.pv_extra_node;
+    s.act_names <- pv.pv_names
+
+  let base_view s =
+    {
+      pv_circuit = s.circuit;
+      pv_devices = s.base_devices;
+      pv_size = s.base_size;
+      pv_extra_node = None;
+      pv_names = s.base_names;
+    }
+
+  let with_patch s patched f =
+    let pv = compile_patch s patched in
+    apply_view s pv;
+    Fun.protect ~finally:(fun () -> apply_view s (base_view s)) (fun () -> f s)
+
+  (* --- Lock-step batched transient ----------------------------------- *)
+
+  (* Compiled patches share untouched devices with the base array by
+     physical equality, including their mutable integration state; a
+     batch interleaves many transients, so every variant gets private
+     state records (values are copied, so a clone taken after DC carries
+     the operating point forward exactly like the serial path). *)
+  let clone_state st = { q = st.q; f = st.f }
+
+  let clone_cdev = function
+    | CC r -> CC { r with st = clone_state r.st }
+    | CL r -> CL { r with st = clone_state r.st }
+    | CM r -> CM { r with st_gs = clone_state r.st_gs; st_gd = clone_state r.st_gd }
+    | (CR _ | CV _ | CI _ | CD _) as d -> d
+
+  let ctx_of_view ?options s pv =
+    {
+      opts = Option.value ~default:s.opts options;
+      sv = s.sv;
+      size = pv.pv_size;
+      node_count = s.base_node_count;
+      extra_node = pv.pv_extra_node;
+      devices = Array.map clone_cdev pv.pv_devices;
+      obs = s.obs;
+      names = pv.pv_names;
+    }
+
+  (* How one variant of a batched transient ended. *)
+  type batch_outcome =
+    | Batch_finished of Waveform.t * stats
+        (** ran to [tstop]; the waveform holds every accepted sample *)
+    | Batch_dropped of { grid_index : int; stats : stats }
+        (** the probe returned [`Drop] at this checkpoint - the variant
+            was retired early, its detection already final *)
+    | Batch_failed of { error : error; detail : string; stats : stats }
+        (** the variant's own solve failed ({!Sim_error} payload) *)
+    | Batch_overflow of string
+        (** the patch exceeded the overlay reserve; the caller must fall
+            back to a full per-fault rebuild *)
+
+  type batch_result = { outcome : batch_outcome; seconds : float }
+
+  (* Per-variant bookkeeping of the lock-step loop. *)
+  type bvar = {
+    mutable bst : stepper option;  (* None until started / after settle *)
+    mutable bctx : ctx option;  (* None when the patch overflowed *)
+    mutable bsettled : batch_outcome option;
+    mutable bsecs : float;
+  }
+
+  let transient_batch ?options s ~variants ~observe ~grid ~tstep ~tstop ~uic
+      ~probe =
+    let opts = Option.value ~default:s.opts options in
+    let obs_idx =
+      let n = Array.length s.base_names in
+      let rec find i =
+        if i >= n then
+          invalid_arg
+            ("Engine.Session.transient_batch: unknown observed signal " ^ observe)
+        else if String.equal s.base_names.(i) observe then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let bvars =
+      Array.map
+        (fun circuit ->
+          match compile_patch s circuit with
+          | pv ->
+            {
+              bst = None;
+              bctx = Some (ctx_of_view ~options:opts s pv);
+              bsettled = None;
+              bsecs = 0.0;
+            }
+          | exception Patch_overflow msg ->
+            { bst = None; bctx = None; bsettled = Some (Batch_overflow msg); bsecs = 0.0 })
+        variants
+    in
+    (* One symbolic pass for the whole batch: stamp every variant's
+       pattern (values discarded) before any solve, so the sparse
+       backend compiles the union pattern once instead of decompiling on
+       each variant's first stamp.  Transient stamps are a superset of
+       DC stamps, so priming in Tran mode covers every solve that
+       follows. *)
+    Solver.prime s.sv
+      (Array.to_list bvars
+      |> List.filter_map (fun bv ->
+             Option.map
+               (fun ctx () ->
+                 let zeros = Array.make ctx.size 0.0 in
+                 let mode = Tran { h = tstep; time = 0.0; vnode_prev = zeros } in
+                 stamp ~opts ~gmin:opts.gmin ~mode ~n:ctx.size s.sv ctx.devices
+                   zeros;
+                 add_gmin_and_cmin ~gmin:opts.gmin ~mode ctx)
+               bv.bctx));
+    let settle bv st outcome =
+      stepper_emit_counters st;
+      bv.bst <- None;
+      bv.bsettled <- Some outcome
+    in
+    (* DC operating point + initial state, per variant, in batch order -
+       the same solves the serial path performs, against the shared
+       (already primed) solver. *)
+    Array.iteri
+      (fun vi bv ->
+        match bv.bctx with
+        | None -> ()
+        | Some ctx -> begin
+          let t0 = Obs.Clock.now () in
+          (match stepper_start ctx ~circuit:variants.(vi) ~tstep ~tstop ~uic with
+          | st -> bv.bst <- Some st
+          | exception Sim_error (error, detail) ->
+            bv.bsettled <-
+              Some
+                (Batch_failed
+                   {
+                     error;
+                     detail;
+                     stats =
+                       { newton_iterations = 0; accepted_steps = 0; rejected_steps = 0 };
+                   }));
+          bv.bsecs <- bv.bsecs +. (Obs.Clock.now () -. t0)
+        end)
+      bvars;
+    (* The lock-step grid walk: advance every live variant to the next
+       checkpoint, read the observed signal with the same interpolation
+       {!Waveform.resample} would apply, and let the probe retire
+       variants whose fate is already decided. *)
+    let ngrid = Array.length grid in
+    for gi = 0 to ngrid - 1 do
+      let tau = grid.(gi) in
+      Array.iteri
+        (fun vi bv ->
+          match bv.bst with
+          | None -> ()
+          | Some st -> begin
+            let t0 = Obs.Clock.now () in
+            (try
+               while (not (stepper_done st)) && st.t < tau do
+                 stepper_step st
+               done;
+               let value = stepper_value st obs_idx tau in
+               match probe ~variant:vi ~grid_index:gi ~value with
+               | `Continue ->
+                 if gi = ngrid - 1 then
+                   settle bv st
+                     (Batch_finished
+                        ( Waveform.make ~names:st.sctx.names
+                            ~samples:(List.rev st.samples),
+                          stepper_stats st ))
+               | `Drop ->
+                 settle bv st (Batch_dropped { grid_index = gi; stats = stepper_stats st })
+             with Sim_error (error, detail) ->
+               settle bv st (Batch_failed { error; detail; stats = stepper_stats st }));
+            bv.bsecs <- bv.bsecs +. (Obs.Clock.now () -. t0)
+          end)
+        bvars
+    done;
+    if Obs.enabled s.obs && Solver.backend s.sv = Solver.Sparse then begin
+      let shared = ref 0 in
+      Array.iter
+        (fun bv ->
+          match bv.bsettled with
+          | Some (Batch_finished (_, st) )
+          | Some (Batch_dropped { stats = st; _ })
+          | Some (Batch_failed { stats = st; _ }) ->
+            shared := !shared + st.newton_iterations
+          | Some (Batch_overflow _) | None -> ())
+        bvars;
+      if !shared > 0 then Obs.count s.obs "batch.shared_factorisations" !shared
+    end;
+    Array.map
+      (fun bv ->
+        match bv.bsettled with
+        | Some outcome -> { outcome; seconds = bv.bsecs }
+        | None ->
+          (* A variant can only be unsettled if the grid was empty. *)
+          invalid_arg "Engine.Session.transient_batch: empty grid")
+      bvars
 end
 
 (* --- DC transfer sweep ------------------------------------------------ *)

@@ -240,6 +240,63 @@ module Session : sig
       patch keep their compiled form; only replaced and appended devices
       are recompiled. *)
   val with_patch : t -> Netlist.Circuit.t -> (t -> 'a) -> 'a
+
+  (** {2 Lock-step batched transients}
+
+      [transient_batch] steps several patched variants of the session's
+      base circuit through one shared checkpoint grid, interleaved on
+      the session's single solver.  Each variant keeps its own adaptive
+      step size, integration state and work budget; what is shared is
+      the session's buffers and - on the sparse backend - one symbolic
+      analysis of the union stamp pattern, primed before any solve.  The
+      per-variant float operations are exactly those of a serial
+      {!transient} of the same patch, so waveforms and detection results
+      are unchanged by batching. *)
+
+  (** How one variant of a batched transient ended. *)
+  type batch_outcome =
+    | Batch_finished of Waveform.t * stats
+        (** ran to [tstop]; the waveform holds every accepted sample *)
+    | Batch_dropped of { grid_index : int; stats : stats }
+        (** the probe returned [`Drop] at checkpoint [grid_index]; the
+            variant was retired early *)
+    | Batch_failed of { error : error; detail : string; stats : stats }
+        (** this variant's own solve failed ({!Sim_error} payload); the
+            other variants are unaffected *)
+    | Batch_overflow of string
+        (** the patch exceeded the overlay reserve; the caller must fall
+            back to a full per-fault rebuild *)
+
+  type batch_result = {
+    outcome : batch_outcome;
+    seconds : float;  (** wall clock spent advancing this variant *)
+  }
+
+  (** [transient_batch t ~variants ~observe ~grid ~tstep ~tstop ~uic
+      ~probe] runs every circuit of [variants] (each a patch of the base
+      circuit, as for {!with_patch}) in lock-step.  At each time of
+      [grid] (ascending, typically the nominal run's resampled times,
+      ending at the nominal stop time) every live variant is advanced
+      past that time and the observed signal [observe] (a waveform name:
+      node voltage or ["I(branch)"]) is interpolated exactly as
+      {!Waveform.resample} would; [probe] then decides whether the
+      variant continues or is dropped.  Budgets apply per variant; a
+      deadline is measured from that variant's own start.  Raises
+      [Invalid_argument] when [observe] names no signal, the grid is
+      empty, or the time parameters are invalid; per-variant failures
+      are returned, not raised. *)
+  val transient_batch :
+    ?options:options ->
+    t ->
+    variants:Netlist.Circuit.t array ->
+    observe:string ->
+    grid:float array ->
+    tstep:float ->
+    tstop:float ->
+    uic:bool ->
+    probe:
+      (variant:int -> grid_index:int -> value:float -> [ `Continue | `Drop ]) ->
+    batch_result array
 end
 
 (** [dc_sweep circuit ~source ~values] computes the DC transfer

@@ -63,6 +63,186 @@ let detect_tests =
         with
         | exception Not_found -> ()
         | _ -> Alcotest.fail "expected Not_found");
+    Alcotest.test_case "divergence within tol_t of tstop is still detected" `Quick
+      (fun () ->
+        (* The run is still open (and more than half a window long) when
+           the observation window ends: the tail flush must report it at
+           the last sample instead of losing it to window truncation. *)
+        let f t =
+          square ~period:0.8e-6 ~delay:0.0 t
+          +. (if t >= 3.85e-6 then 3.0 else 0.0)
+        in
+        match detect f with
+        | Some t -> check_bool "at the tail" true (t >= 3.9e-6)
+        | None -> Alcotest.fail "late divergence must not be lost");
+    Alcotest.test_case "a sub-half-window tail sliver is still tolerated" `Quick
+      (fun () ->
+        (* Divergence covering only the last few samples (well under half
+           the window) is indistinguishable from end-of-grid phase
+           wobble, and must not be flushed. *)
+        let f t =
+          square ~period:0.8e-6 ~delay:0.0 t
+          +. (if t >= 3.97e-6 then 3.0 else 0.0)
+        in
+        check_bool "none" true (detect f = None));
+    Alcotest.test_case "a short mid-run blip is still tolerated" `Quick (fun () ->
+        (* The tail flush only applies to a run that reaches the end of
+           the grid; a closed sub-window divergence stays undetected. *)
+        let f t =
+          square ~period:0.8e-6 ~delay:0.0 t
+          +. (if t >= 2.0e-6 && t < 2.03e-6 then 3.0 else 0.0)
+        in
+        check_bool "none" true (detect f = None));
+  ]
+
+(* --- Guarded analysis and the prefix-decidable detector --------------- *)
+
+let one_sample_wave = Sim.Waveform.make ~names:[| "out" |] ~samples:[ (0.0, [| 0.0 |]) ]
+
+let flat_grid_wave =
+  Sim.Waveform.make ~names:[| "out" |]
+    ~samples:[ (1.0, [| 0.0 |]); (1.0, [| 0.0 |]); (1.0, [| 0.0 |]) ]
+
+let expect_error what = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected Error" what
+
+let analyse_tests =
+  [
+    Alcotest.test_case "analyse agrees with first_detection" `Quick (fun () ->
+        let faulty = wave (fun _ -> 0.0) in
+        let expected =
+          Anafault.Detect.first_detection ~tolerance:tol ~signal:"out" ~nominal
+            ~faulty
+        in
+        (match
+           Anafault.Detect.analyse ~tolerance:tol ~signal:"out" ~nominal ~faulty
+         with
+        | Ok got -> check_bool "same" true (got = expected)
+        | Error msg -> Alcotest.fail msg));
+    Alcotest.test_case "degenerate inputs come back as Error, not exceptions"
+      `Quick (fun () ->
+        expect_error "short nominal"
+          (Anafault.Detect.analyse ~tolerance:tol ~signal:"out"
+             ~nominal:one_sample_wave ~faulty:nominal);
+        expect_error "flat time grid"
+          (Anafault.Detect.analyse ~tolerance:tol ~signal:"out"
+             ~nominal:flat_grid_wave ~faulty:nominal);
+        expect_error "empty faulty"
+          (Anafault.Detect.analyse ~tolerance:tol ~signal:"out" ~nominal
+             ~faulty:(Sim.Waveform.make ~names:[| "out" |] ~samples:[])));
+    Alcotest.test_case "analyse keeps Not_found for a missing signal" `Quick
+      (fun () ->
+        match
+          Anafault.Detect.analyse ~tolerance:tol ~signal:"ghost" ~nominal
+            ~faulty:nominal
+        with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found");
+    Alcotest.test_case "incremental detector refuses degenerate grids" `Quick
+      (fun () ->
+        expect_error "one point"
+          (Anafault.Detect.Incremental.create ~tolerance:tol ~times:[| 0.0 |]
+             ~nom:[| 0.0 |]);
+        expect_error "flat grid"
+          (Anafault.Detect.Incremental.create ~tolerance:tol
+             ~times:[| 1.0; 1.0; 1.0 |] ~nom:[| 0.0; 0.0; 0.0 |]);
+        expect_error "length mismatch"
+          (Anafault.Detect.Incremental.create ~tolerance:tol
+             ~times:[| 0.0; 1.0 |] ~nom:[| 0.0 |]));
+  ]
+
+(* Feed the incremental detector a faulty function over the shared grid,
+   stopping at the first final verdict (the batch loop's drop point);
+   returns the verdict and how many samples were needed. *)
+let incremental_verdict f =
+  let nomv = Sim.Waveform.samples nominal "out" in
+  match Anafault.Detect.Incremental.create ~tolerance:tol ~times:grid ~nom:nomv with
+  | Error msg -> Alcotest.fail msg
+  | Ok st ->
+    let w = wave f in
+    let n = Array.length grid in
+    let rec go i =
+      if i >= n then (Anafault.Detect.Incremental.verdict st, i)
+      else
+        match
+          Anafault.Detect.Incremental.feed st (Sim.Waveform.value_at w "out" grid.(i))
+        with
+        | Anafault.Detect.Incremental.Pending -> go (i + 1)
+        | v -> (v, i + 1)
+    in
+    go 0
+
+let incremental_cases =
+  [
+    ("identical", square ~period:0.8e-6 ~delay:0.0);
+    ("stuck low", fun _ -> 0.0);
+    ("stuck high", fun _ -> 5.0);
+    ("stuck mid-rail", fun _ -> 2.5);
+    ("small phase shift", square ~period:0.8e-6 ~delay:0.04e-6);
+    ("halved frequency", square ~period:1.6e-6 ~delay:0.0);
+    ("doubled frequency", square ~period:0.4e-6 ~delay:0.0);
+    ("fast oscillation", square ~period:0.04e-6 ~delay:0.0);
+    ("small level shift", fun t -> square ~period:0.8e-6 ~delay:0.0 t +. 1.0);
+    ("large level shift", fun t -> square ~period:0.8e-6 ~delay:0.0 t +. 2.6);
+    ( "late divergence",
+      fun t ->
+        square ~period:0.8e-6 ~delay:0.0 t
+        +. (if t >= 3.85e-6 then 3.0 else 0.0) );
+    ( "tail sliver",
+      fun t ->
+        square ~period:0.8e-6 ~delay:0.0 t
+        +. (if t >= 3.97e-6 then 3.0 else 0.0) );
+    ( "mid-run blip",
+      fun t ->
+        square ~period:0.8e-6 ~delay:0.0 t
+        +. (if t >= 2.0e-6 && t < 2.03e-6 then 3.0 else 0.0) );
+  ]
+
+let incremental_tests =
+  [
+    Alcotest.test_case "incremental verdict equals the batch detector" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, f) ->
+            let expected = detect f in
+            let got, _ = incremental_verdict f in
+            match (expected, got) with
+            | Some t, Anafault.Detect.Incremental.Detected i ->
+              Alcotest.(check (float 0.0)) name t grid.(i)
+            | None, Anafault.Detect.Incremental.Clear -> ()
+            | None, Anafault.Detect.Incremental.Pending ->
+              Alcotest.failf "%s: still pending after the full grid" name
+            | ( Some _,
+                ( Anafault.Detect.Incremental.Clear
+                | Anafault.Detect.Incremental.Pending ) ) ->
+              Alcotest.failf "%s: incremental missed the detection" name
+            | None, Anafault.Detect.Incremental.Detected i ->
+              Alcotest.failf "%s: spurious detection at index %d" name i)
+          incremental_cases);
+    Alcotest.test_case "a stuck fault is decided early" `Quick (fun () ->
+        let v, fed = incremental_verdict (fun _ -> 0.0) in
+        (match v with
+        | Anafault.Detect.Incremental.Detected _ -> ()
+        | _ -> Alcotest.fail "expected a detection");
+        check_bool "well before the end of the grid" true
+          (fed < Array.length grid / 2));
+    Alcotest.test_case "feeding past a final verdict raises" `Quick (fun () ->
+        let nomv = Sim.Waveform.samples nominal "out" in
+        match
+          Anafault.Detect.Incremental.create ~tolerance:tol ~times:grid ~nom:nomv
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok st ->
+          let rec drive i =
+            match Anafault.Detect.Incremental.feed st 0.0 with
+            | Anafault.Detect.Incremental.Pending -> drive (i + 1)
+            | _ -> ()
+          in
+          drive 0;
+          (match Anafault.Detect.Incremental.feed st 0.0 with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"));
   ]
 
 (* A testable circuit: NMOS inverter driven by a pulse; bridging the
@@ -672,6 +852,146 @@ let robust_tests =
           (match List.rev calls with (3, 3) :: _ -> true | _ -> false));
   ]
 
+(* --- Lock-step batched fault simulation ------------------------------- *)
+
+let find_result (run : Anafault.Simulate.run) id =
+  List.find
+    (fun (r : Anafault.Simulate.fault_result) -> r.fault.Faults.Fault.id = id)
+    run.Anafault.Simulate.results
+
+let batch_tests =
+  [
+    Alcotest.test_case "auto width scales with campaign size" `Quick (fun () ->
+        let at ~domains ~total =
+          Anafault.Simulate.effective_batch
+            { config with Anafault.Simulate.domains }
+            ~total
+        in
+        check_int "smoke campaigns stay serial" 1 (at ~domains:1 ~total:6);
+        check_int "never zero" 1 (at ~domains:4 ~total:0);
+        check_int "large single-domain campaign" 16 (at ~domains:1 ~total:200);
+        check_int "width shrinks with more domains" 12 (at ~domains:4 ~total:200);
+        check_int "explicit width wins" 5
+          (Anafault.Simulate.effective_batch
+             { config with Anafault.Simulate.batch = 5 }
+             ~total:6));
+    Alcotest.test_case "batched run equals serial run bit-for-bit" `Quick
+      (fun () ->
+        let serial = Anafault.Simulate.run config inverter faults in
+        let batched, _ =
+          Anafault.Parsim.execute ~domains:1 ~batch:3 config inverter faults
+        in
+        Alcotest.(check (list (pair string string)))
+          "same outcomes" (key serial) (key batched));
+    Alcotest.test_case "batched run equals serial on a synthesized grid" `Quick
+      (fun () ->
+        let circuit = Synth.Circuit_synth.resistor_grid ~rows:4 ~cols:4 () in
+        let grid_faults =
+          Faults.Universe.build circuit |> List.filteri (fun i _ -> i < 12)
+        in
+        let tran = { Netlist.Parser.tstep = 1e-7; tstop = 2e-6; uic = false } in
+        let observed = Anafault.Simulate.default_observed circuit in
+        let config = Anafault.Simulate.default_config ~tran ~observed () in
+        let serial = Anafault.Simulate.run config circuit grid_faults in
+        let batched, _ =
+          Anafault.Parsim.execute ~domains:1 ~batch:4 config circuit grid_faults
+        in
+        Alcotest.(check (list (pair string string)))
+          "same outcomes" (key serial) (key batched));
+    Alcotest.test_case "a decided fault is dropped early" `Quick (fun () ->
+        let obs = Obs.memory () in
+        let config = { config with obs } in
+        let serial = Anafault.Simulate.run { config with obs = Obs.null } inverter faults in
+        let batched, _ =
+          Anafault.Parsim.execute ~domains:1 ~batch:3 config inverter faults
+        in
+        let events = Obs.drain obs in
+        check_bool "drops counted" true (counter_total events "batch.drops" >= 1);
+        (* The hard bridge is detected early in the window, so its batch
+           variant must stop stepping well before the serial one. *)
+        let b = find_result batched "#1" and s = find_result serial "#1" in
+        (match (b.outcome, s.outcome) with
+        | Anafault.Simulate.Detected tb, Anafault.Simulate.Detected ts ->
+          Alcotest.(check (float 0.0)) "same detection time" ts tb
+        | _ -> Alcotest.fail "expected the bridge detected in both runs");
+        check_bool "fewer accepted steps for the dropped variant" true
+          (b.stats.Sim.Engine.accepted_steps < s.stats.Sim.Engine.accepted_steps));
+    Alcotest.test_case "batch width does not change the fingerprint" `Quick
+      (fun () ->
+        check_bool "interchangeable journals" true
+          (Anafault.Simulate.fingerprint config inverter faults
+          = Anafault.Simulate.fingerprint
+              { config with Anafault.Simulate.batch = 8 }
+              inverter faults));
+    Alcotest.test_case "progress is monotone and complete under batching" `Quick
+      (fun () ->
+        let calls = ref [] in
+        let _ =
+          Anafault.Parsim.execute ~clamp:false ~domains:2 ~batch:2
+            ~progress:(fun d t -> calls := (d, t) :: !calls)
+            config inverter faults
+        in
+        let calls = List.rev !calls in
+        check_bool "at least the final call" true (calls <> []);
+        check_bool "all totals right" true (List.for_all (fun (_, t) -> t = 3) calls);
+        let rec monotone = function
+          | (a, _) :: ((b, _) :: _ as rest) -> a <= b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        check_bool "monotone" true (monotone calls);
+        check_bool "ends at (total, total)" true
+          (match List.rev calls with (3, 3) :: _ -> true | _ -> false));
+    Alcotest.test_case "a dying domain leaves typed failures, not holes" `Quick
+      (fun () ->
+        let obs = Obs.memory () in
+        let config = { config with obs } in
+        Fun.protect
+          ~finally:(fun () -> Anafault.Parsim.chaos_session_failure := fun _ -> false)
+          (fun () ->
+            Anafault.Parsim.chaos_session_failure := (fun d -> d = 1);
+            let run, stats =
+              Anafault.Parsim.run_with_stats ~clamp:false ~domains:2 config
+                inverter faults
+            in
+            check_int "both domains reported" 2 (List.length stats);
+            let dead =
+              List.filter (fun (d : Anafault.Parsim.domain_stats) -> d.died) stats
+            in
+            check_int "exactly one died" 1 (List.length dead);
+            check_int "the chaos domain" 1
+              (List.hd dead).Anafault.Parsim.domain;
+            check_bool "death counted" true
+              (counter_total (Obs.drain obs) "parsim.domain_died" >= 1);
+            (* The surviving domain drains the whole list. *)
+            check_int "no failures leak into the results" 0
+              (let _, _, failed = Anafault.Simulate.tally run in
+               failed)));
+    Alcotest.test_case "every domain dying still completes the campaign" `Quick
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Anafault.Parsim.chaos_session_failure := fun _ -> false)
+          (fun () ->
+            Anafault.Parsim.chaos_session_failure := (fun _ -> true);
+            let run, stats =
+              Anafault.Parsim.run_with_stats ~clamp:false ~domains:2 config
+                inverter faults
+            in
+            check_bool "all domains died" true
+              (List.for_all
+                 (fun (d : Anafault.Parsim.domain_stats) -> d.died)
+                 stats);
+            check_int "results all accounted for" 3
+              (List.length run.Anafault.Simulate.results);
+            List.iter
+              (fun (r : Anafault.Simulate.fault_result) ->
+                match r.outcome with
+                | Anafault.Simulate.Sim_failed (Anafault.Simulate.Crashed _) -> ()
+                | o ->
+                  Alcotest.failf "expected Crashed, got %s"
+                    (Anafault.Outcome.outcome_to_string o))
+              run.Anafault.Simulate.results));
+  ]
+
 exception Abort
 
 let with_temp_journal f =
@@ -777,6 +1097,48 @@ let journal_tests =
         Anafault.Journal.close j2;
         Alcotest.(check (list (pair string string)))
           "parallel resume bit-for-bit" (key serial) (key resumed));
+    Alcotest.test_case "journals are interchangeable between batch widths" `Quick
+      (fun () ->
+        (* A journal written by the batched scheduler resumes under the
+           serial one and vice versa: the fingerprint ignores the batch
+           width and the records carry identical payloads. *)
+        with_temp_journal @@ fun path ->
+        let fp = Anafault.Simulate.fingerprint config inverter faults in
+        let fault_arr = Array.of_list faults in
+        let j = start_exn ~path ~fingerprint:fp ~resume:false ~faults:fault_arr in
+        let batched, _ =
+          Anafault.Parsim.execute ~journal:j ~domains:1 ~batch:3 config inverter
+            faults
+        in
+        Anafault.Journal.close j;
+        let j2 = start_exn ~path ~fingerprint:fp ~resume:true ~faults:fault_arr in
+        check_int "all restored" 3 (Anafault.Journal.restored_count j2);
+        let obs = Obs.memory () in
+        let serial =
+          Anafault.Simulate.run ~journal:j2 { config with obs } inverter faults
+        in
+        Anafault.Journal.close j2;
+        Alcotest.(check (list (pair string string)))
+          "serial resume of a batched journal" (key batched) (key serial);
+        check_int "nothing re-simulated" 3
+          (counter_total (Obs.drain obs) "journal.skipped");
+        (* And the other direction: a serial journal resumed batched. *)
+        with_temp_journal @@ fun path2 ->
+        let j3 =
+          start_exn ~path:path2 ~fingerprint:fp ~resume:false ~faults:fault_arr
+        in
+        let serial2 = Anafault.Simulate.run ~journal:j3 config inverter faults in
+        Anafault.Journal.close j3;
+        let j4 =
+          start_exn ~path:path2 ~fingerprint:fp ~resume:true ~faults:fault_arr
+        in
+        let rebatched, _ =
+          Anafault.Parsim.execute ~journal:j4 ~domains:1 ~batch:3 config inverter
+            faults
+        in
+        Anafault.Journal.close j4;
+        Alcotest.(check (list (pair string string)))
+          "batched resume of a serial journal" (key serial2) (key rebatched));
     Alcotest.test_case "different configs fingerprint differently" `Quick (fun () ->
         let fp = Anafault.Simulate.fingerprint config inverter faults in
         check_bool "model changes it" true
@@ -806,7 +1168,10 @@ let journal_tests =
 let suites =
   [
     ("anafault.detect", detect_tests);
+    ("anafault.analyse", analyse_tests);
+    ("anafault.incremental", incremental_tests);
     ("anafault.simulate", simulate_tests);
+    ("anafault.batch", batch_tests);
     ("anafault.parsim", parsim_tests);
     ("anafault.coverage", coverage_tests);
     ("anafault.report", report_tests);
