@@ -8,6 +8,7 @@
          [--trace FILE.jsonl] [--metrics]
          [--journal FILE] [--resume] [--retries SPEC]
          [--budget-iters N] [--budget-steps N] [--budget-seconds S]
+         [--remote SOCKET]
 
    The circuit must contain a .tran card; the fault list comes from lift
    (or --universe builds the complete schematic fault set).  --trace
@@ -23,98 +24,141 @@
    advance together through one shared time grid per chunk of stolen
    work (0 = automatic; 1 = the per-fault serial path).
 
+   Remote mode: --remote SOCKET submits the campaign to a running
+   anafaultd daemon instead of simulating in-process, streaming its
+   progress events and rendering the same detection table the local
+   path prints.  --remote-stats / --remote-shutdown query and stop the
+   daemon.  --spec FILE replaces CIRCUIT/--faults with a saved
+   Campaign.spec JSON file; --shard I/N (with --spec and --journal) is
+   the worker mode anafaultd farms sharded jobs to.
+
    Exit codes: 0 success; 1 usage errors, a failed nominal simulation,
    or a campaign in which every fault failed; 3 a campaign stopped by
    --abort-after (the journal keeps what completed); 4 one or more
    worker domains died (their claimed faults carry typed failures in
    the report). *)
 
+module Campaign = Anafault.Campaign
+module Protocol = Anafaultd.Protocol
+
 exception Aborted of int
 
-let run input fault_file universe observe model_name solver_name tol_v tol_t
-    domains batch limit csv_file plot trace metrics journal_path resume
-    retries_spec budget_iters budget_steps budget_seconds abort_after =
-  let deck = Netlist.Parser.parse_file input in
-  let circuit = deck.Netlist.Parser.circuit in
-  match deck.Netlist.Parser.tran with
-  | None ->
-    Format.eprintf "error: %s has no .tran card@." input;
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let fail fmt = Format.kasprintf (fun msg -> Format.eprintf "error: %s@." msg; 1) fmt
+
+(* --- Remote plumbing --------------------------------------------------- *)
+
+let connect socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+    Unix.close fd;
+    Error (Printf.sprintf "%s: %s" socket_path (Unix.error_message err))
+
+let with_daemon socket_path f =
+  match connect socket_path with
+  | Error msg -> fail "%s" msg
+  | Ok fd ->
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () -> f (Unix.in_channel_of_descr fd) (Unix.out_channel_of_descr fd)
+
+(* One-shot requests (stats, shutdown): print the daemon's reply. *)
+let remote_request socket_path request =
+  with_daemon socket_path @@ fun ic oc ->
+  Protocol.send oc (Protocol.request_to_json request);
+  match Protocol.recv ic with
+  | Ok (Some json) ->
+    print_endline (Obs.Json.to_string json);
+    0
+  | Ok None -> fail "daemon closed the connection without replying"
+  | Error msg -> fail "%s" msg
+
+let write_csv path results =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (Anafault.Report.csv_of_results results));
+  Format.eprintf "csv written to %s@." path
+
+(* Exit-code contract shared with the local path: 1 when every fault of
+   a non-empty campaign failed to simulate. *)
+let code_of_results (results : Anafault.Outcome.fault_result list) =
+  let failed =
+    List.length
+      (List.filter
+         (fun (r : Anafault.Outcome.fault_result) ->
+           match r.Anafault.Outcome.outcome with
+           | Anafault.Outcome.Sim_failed _ -> true
+           | Anafault.Outcome.Detected _ | Anafault.Outcome.Undetected -> false)
+         results)
+  in
+  if results <> [] && failed = List.length results then begin
+    Format.eprintf
+      "error: every fault simulation failed (see the failure breakdown above)@.";
     1
-  | Some tran -> begin
-    let faults =
-      match (fault_file, universe) with
-      | Some path, _ -> Faults.Fault_list.load path
-      | None, true -> Faults.Universe.build circuit
-      | None, false ->
-        Format.eprintf "error: need --faults FILE or --universe@.";
-        exit 1
-    in
-    let faults =
-      match limit with
-      | Some n -> List.filteri (fun i _ -> i < n) faults
-      | None -> faults
-    in
-    let observed =
-      match observe with
-      | Some node ->
-        if not (List.mem node (Netlist.Circuit.nodes circuit)) then begin
-          Format.eprintf "error: observed node %S is not in the circuit@." node;
-          exit 1
-        end;
-        node
-      | None -> Anafault.Simulate.default_observed circuit
-    in
-    let model =
-      match model_name with
-      | "resistor" -> Faults.Inject.default_resistor
-      | "source" -> Faults.Inject.Source
-      | other ->
-        Format.eprintf "error: unknown model %S (source|resistor)@." other;
-        exit 1
-    in
-    let retries =
-      match String.trim retries_spec with
-      | "" | "none" -> []
-      | spec ->
-        String.split_on_char ',' spec
-        |> List.map String.trim
-        |> List.filter (fun s -> s <> "")
-        |> List.map (fun s ->
-               match Anafault.Outcome.strategy_of_string s with
-               | Ok strategy -> strategy
-               | Error msg ->
-                 Format.eprintf "error: --retries: %s@." msg;
-                 exit 1)
-    in
-    let solver =
-      match Sim.Solver.backend_of_string solver_name with
-      | Ok b -> b
-      | Error msg ->
-        Format.eprintf "error: --solver: %s@." msg;
-        exit 1
-    in
-    let sim_options =
-      {
-        Sim.Engine.default_options with
-        Sim.Engine.budget =
-          {
-            Sim.Engine.max_newton_iterations = budget_iters;
-            max_steps = budget_steps;
-            deadline_seconds = budget_seconds;
-          };
-        solver;
-      }
-    in
-    (* One memory sink feeds both outputs; the run stays untraced when
-       neither was asked for. *)
-    let obs =
-      if trace <> None || metrics then Obs.memory () else Obs.null
-    in
-    let config =
-      Anafault.Simulate.default_config ~model
-        ~tolerance:{ Anafault.Detect.tol_v; tol_t }
-        ~sim_options ~retries ~domains ~batch ~obs ~tran ~observed ()
-    in
+  end
+  else 0
+
+let run_remote socket_path (spec : Campaign.spec) csv_file =
+  let faults = Array.of_list (Faults.Fault_list.of_string spec.Campaign.faults) in
+  with_daemon socket_path @@ fun ic oc ->
+  Protocol.send oc (Protocol.request_to_json (Protocol.Submit spec));
+  let rec stream () =
+    match Protocol.recv ic with
+    | Ok None -> fail "daemon closed the stream before the campaign finished"
+    | Error msg -> fail "%s" msg
+    | Ok (Some json) -> begin
+      match Campaign.event_of_json ~faults json with
+      | Error msg -> fail "%s" msg
+      | Ok (Campaign.Accepted { fingerprint; total }) ->
+        Format.printf "accepted as %s (%d faults)@." fingerprint total;
+        stream ()
+      | Ok (Campaign.Progress { completed; total }) ->
+        Format.eprintf "progress: %d/%d@." completed total;
+        stream ()
+      | Ok (Campaign.Sharded { shards }) ->
+        Format.printf "sharded across %d worker processes@." shards;
+        stream ()
+      | Ok (Campaign.Cache_hit _) ->
+        Format.printf "served from the result cache (no simulation run)@.";
+        stream ()
+      | Ok (Campaign.Failed { message }) -> fail "%s" message
+      | Ok (Campaign.Finished result) ->
+        Format.printf "%a@." Anafault.Report.pp_results result.Campaign.results;
+        let detected, undetected, failed = Campaign.tally result in
+        Format.printf "@.%d detected, %d undetected, %d failed%s@." detected
+          undetected failed
+          (if result.Campaign.cached then " (cached)" else "");
+        Option.iter (fun path -> write_csv path result.Campaign.results) csv_file;
+        code_of_results result.Campaign.results
+    end
+  in
+  stream ()
+
+(* --- Shard worker mode ------------------------------------------------- *)
+
+let run_shard_worker spec shard journal_path =
+  match Campaign.compile spec with
+  | Error msg -> fail "%s" msg
+  | Ok compiled -> begin
+    match Campaign.run_shard ~journal_path ~shard compiled with
+    | Error msg -> fail "shard %s: %s" (Campaign.shard_to_string shard) msg
+    | Ok simulated ->
+      Format.eprintf "shard %s: %d faults simulated@."
+        (Campaign.shard_to_string shard) simulated;
+      0
+  end
+
+(* --- Local execution --------------------------------------------------- *)
+
+let run_local spec observe_spec trace metrics plot csv_file journal_path resume
+    abort_after =
+  let obs = if trace <> None || metrics then Obs.memory () else Obs.null in
+  match Campaign.compile ~obs spec with
+  | Error msg -> fail "%s" msg
+  | Ok compiled -> begin
+    let faults = compiled.Campaign.faults in
     let journal =
       match journal_path with
       | None ->
@@ -124,9 +168,9 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
         end;
         None
       | Some path -> begin
-        let fingerprint = Anafault.Simulate.fingerprint config circuit faults in
         match
-          Anafault.Journal.start ~path ~fingerprint ~resume
+          Anafault.Journal.start ~path
+            ~fingerprint:compiled.Campaign.fingerprint ~resume
             ~faults:(Array.of_list faults)
         with
         | Error msg ->
@@ -142,22 +186,27 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
     in
     let progress =
       Option.map
-        (fun n completed _total -> if completed >= n then raise (Aborted completed))
+        (fun n completed _total ->
+          if completed >= n then raise (Aborted completed))
         abort_after
     in
-    Format.printf "observing %s, %d faults, %s model@." observed
-      (List.length faults) model_name;
-    match Anafault.Parsim.execute ?progress ?journal config circuit faults with
+    Format.printf "observing %s, %d faults, %s model@." compiled.Campaign.observed
+      (List.length faults)
+      (match observe_spec with
+      | `Model name -> name
+      | `Spec -> "spec-configured");
+    match Campaign.run_local ?progress ?journal compiled with
     | exception Aborted n ->
       Option.iter Anafault.Journal.close journal;
-      Format.eprintf "aborted after %d faults (journal holds every completed result)@." n;
+      Format.eprintf
+        "aborted after %d faults (journal holds every completed result)@." n;
       3
     | exception Sim.Engine.Sim_error (err, detail) ->
       Option.iter Anafault.Journal.close journal;
       Format.eprintf "error: nominal simulation failed (%s): %s@."
         (Sim.Engine.error_to_string err) detail;
       1
-    | run_result, domain_stats ->
+    | { Campaign.run = run_result; domain_stats; _ } ->
       Option.iter Anafault.Journal.close journal;
       Format.printf "%a@.@.%a@." Anafault.Report.pp_table run_result
         Anafault.Report.pp_summary run_result;
@@ -165,11 +214,7 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
         Format.printf "@.%a@." Anafault.Report.pp_domains domain_stats;
       if plot then print_string (Anafault.Report.coverage_plot run_result);
       Option.iter
-        (fun path ->
-          let oc = open_out path in
-          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-              output_string oc (Anafault.Report.csv run_result));
-          Format.eprintf "csv written to %s@." path)
+        (fun path -> write_csv path run_result.Anafault.Simulate.results)
         csv_file;
       let events = Obs.drain obs in
       Option.iter
@@ -196,16 +241,114 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
       end
       else if faults <> [] && failed = List.length faults then begin
         Format.eprintf
-          "error: every fault simulation failed (see the failure breakdown above)@.";
+          "error: every fault simulation failed (see the failure breakdown \
+           above)@.";
         1
       end
       else 0
   end
 
+(* --- Spec assembly ----------------------------------------------------- *)
+
+(* The CLI's flags collapse into a Campaign.spec: the deck and fault
+   list travel as text, so the same value can run locally, go over the
+   wire, or be saved and re-run via --spec. *)
+let spec_of_cli input fault_file universe observe model_name solver_name tol_v
+    tol_t domains batch limit retries_spec budget_iters budget_steps
+    budget_seconds =
+  let deck = read_file input in
+  let faults =
+    match (fault_file, universe) with
+    | Some path, _ -> Faults.Fault_list.load path
+    | None, true ->
+      let parsed = Netlist.Parser.parse_file input in
+      Faults.Universe.build parsed.Netlist.Parser.circuit
+    | None, false ->
+      Format.eprintf "error: need --faults FILE or --universe@.";
+      exit 1
+  in
+  let faults =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) faults
+    | None -> faults
+  in
+  match
+    Campaign.options_of_cli ~model:model_name ~solver:solver_name ~tol_v ~tol_t
+      ~retries:retries_spec ~domains ~batch ?budget_iters ?budget_steps
+      ?budget_seconds ()
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  | Ok options ->
+    {
+      Campaign.deck;
+      observed = observe;
+      faults = Faults.Fault_list.to_string faults;
+      options;
+    }
+
+let load_spec path =
+  match Obs.Json.of_string (read_file path) with
+  | Error msg ->
+    Format.eprintf "error: %s: %s@." path msg;
+    exit 1
+  | Ok json -> begin
+    match Campaign.spec_of_json json with
+    | Error msg ->
+      Format.eprintf "error: %s: %s@." path msg;
+      exit 1
+    | Ok spec -> spec
+  end
+
+let run input fault_file universe observe model_name solver_name tol_v tol_t
+    domains batch limit csv_file plot trace metrics journal_path resume
+    retries_spec budget_iters budget_steps budget_seconds abort_after remote
+    remote_stats remote_shutdown spec_file shard_spec =
+  match (remote_stats, remote_shutdown) with
+  | Some socket, _ -> remote_request socket Protocol.Stats
+  | None, Some socket -> remote_request socket Protocol.Shutdown
+  | None, None -> begin
+    let spec =
+      match (spec_file, input) with
+      | Some path, _ -> Some (load_spec path)
+      | None, Some input ->
+        Some
+          (spec_of_cli input fault_file universe observe model_name solver_name
+             tol_v tol_t domains batch limit retries_spec budget_iters
+             budget_steps budget_seconds)
+      | None, None -> None
+    in
+    match spec with
+    | None -> fail "need a CIRCUIT argument or --spec FILE"
+    | Some spec -> begin
+      match shard_spec with
+      | Some s -> begin
+        match Campaign.shard_of_string s with
+        | Error msg -> fail "--shard: %s" msg
+        | Ok shard -> begin
+          match journal_path with
+          | None -> fail "--shard requires --journal FILE"
+          | Some path -> run_shard_worker spec shard path
+        end
+      end
+      | None -> begin
+        match remote with
+        | Some socket -> run_remote socket spec csv_file
+        | None ->
+          let observe_spec =
+            if spec_file <> None then `Spec else `Model model_name
+          in
+          run_local spec observe_spec trace metrics plot csv_file journal_path
+            resume abort_after
+      end
+    end
+  end
+
 open Cmdliner
 
 let input =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"CIRCUIT" ~doc:"SPICE netlist with a .tran card.")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"CIRCUIT" ~doc:"SPICE netlist with a .tran card (omit with --spec).")
 
 let fault_file =
   Arg.(value & opt (some file) None & info [ "faults" ] ~docv:"FILE" ~doc:"Fault list produced by lift.")
@@ -299,6 +442,38 @@ let abort_after =
                  simulates a mid-campaign kill for testing --journal/--resume; \
                  intended for the serial scheduler.")
 
+let remote =
+  Arg.(value & opt (some string) None
+       & info [ "remote" ] ~docv:"SOCKET"
+           ~doc:"Submit the campaign to the anafaultd daemon listening on \
+                 $(docv) instead of simulating in-process; repeat \
+                 submissions are answered from its result cache.")
+
+let remote_stats =
+  Arg.(value & opt (some string) None
+       & info [ "remote-stats" ] ~docv:"SOCKET"
+           ~doc:"Print the daemon's lifetime counters (jobs, cache hits, \
+                 coalesced submissions, faults simulated, shard runs) and exit.")
+
+let remote_shutdown =
+  Arg.(value & opt (some string) None
+       & info [ "remote-shutdown" ] ~docv:"SOCKET"
+           ~doc:"Ask the daemon to finish its queue and exit.")
+
+let spec_file =
+  Arg.(value & opt (some file) None
+       & info [ "spec" ] ~docv:"FILE"
+           ~doc:"Load the campaign from a Campaign.spec JSON file instead of \
+                 CIRCUIT/--faults; the file's options override the option \
+                 flags.")
+
+let shard_spec =
+  Arg.(value & opt (some string) None
+       & info [ "shard" ] ~docv:"I/N"
+           ~doc:"Worker mode: simulate only the fault indices congruent to I \
+                 modulo N, journalling them under whole-campaign indices \
+                 (requires --spec and --journal; used by anafaultd).")
+
 let cmd =
   let doc = "automatic analogue fault simulation (AnaFAULT)" in
   Cmd.v
@@ -307,6 +482,7 @@ let cmd =
       const run $ input $ fault_file $ universe $ observe $ model_name
       $ solver_name $ tol_v $ tol_t $ domains $ batch $ limit $ csv_file $ plot
       $ trace $ metrics $ journal_path $ resume $ retries_spec $ budget_iters
-      $ budget_steps $ budget_seconds $ abort_after)
+      $ budget_steps $ budget_seconds $ abort_after $ remote $ remote_stats
+      $ remote_shutdown $ spec_file $ shard_spec)
 
 let () = exit (Cmd.eval' cmd)

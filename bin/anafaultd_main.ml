@@ -1,0 +1,98 @@
+(* anafaultd: the resident campaign service.
+
+     dune exec bin/anafaultd_main.exe -- --socket PATH [--work-dir DIR]
+         [--cache-dir DIR] [--shards N [--worker-exe ANAFAULT]]
+         [--verbose]
+
+   Accepts campaign jobs over newline-delimited JSON on a Unix-domain
+   socket (submit / stats / ping / shutdown), runs them through the
+   shared Campaign machinery, streams typed progress events back, and
+   answers repeat submissions of the same campaign fingerprint from a
+   content-addressed result cache.  With --shards N > 1 each job is
+   split across N `anafault --shard` worker processes whose journals
+   are merged into the campaign journal.
+
+   Clients are the anafault CLI's --remote / --remote-stats /
+   --remote-shutdown flags; the wire protocol is documented in
+   DESIGN.md. *)
+
+let run socket_path work_dir cache_dir shards worker_exe verbose =
+  let worker_exe =
+    match worker_exe with
+    | Some _ as w -> w
+    | None when shards > 1 ->
+      (* Default to the anafault binary built next to this one. *)
+      let sibling =
+        Filename.concat (Filename.dirname Sys.executable_name)
+          "anafault_main.exe"
+      in
+      if Sys.file_exists sibling then Some sibling else None
+    | None -> None
+  in
+  if shards > 1 && worker_exe = None then begin
+    Format.eprintf
+      "error: --shards %d needs --worker-exe pointing at the anafault binary@."
+      shards;
+    1
+  end
+  else begin
+    let cfg =
+      {
+        (Anafaultd.Server.default_config ~socket_path ~work_dir) with
+        Anafaultd.Server.cache_dir;
+        shards;
+        worker_exe;
+        verbose;
+      }
+    in
+    match Anafaultd.Server.run cfg with
+    | Ok () -> 0
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  end
+
+open Cmdliner
+
+let socket_path =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket to listen on (beware the ~100-character \
+                 sun_path limit).")
+
+let work_dir =
+  Arg.(value & opt string "anafaultd-work"
+       & info [ "work-dir" ] ~docv:"DIR"
+           ~doc:"Directory for campaign journals, shard specs and the \
+                 default result cache (created if missing).")
+
+let cache_dir =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Result cache root; defaults to DIR/cache under --work-dir.")
+
+let shards =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Split each job across $(docv) anafault --shard worker \
+                 processes and merge their journals (1 = in-process).")
+
+let worker_exe =
+  Arg.(value & opt (some file) None
+       & info [ "worker-exe" ] ~docv:"ANAFAULT"
+           ~doc:"The anafault binary used for --shard children; defaults to \
+                 the one built next to anafaultd.")
+
+let verbose =
+  Arg.(value & flag
+       & info [ "verbose" ] ~doc:"Log jobs and cache traffic to stderr.")
+
+let cmd =
+  let doc = "resident campaign service for AnaFAULT (job queue + result cache)" in
+  Cmd.v
+    (Cmd.info "anafaultd" ~doc)
+    Term.(
+      const run $ socket_path $ work_dir $ cache_dir $ shards $ worker_exe
+      $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,591 @@
+(* The first-class campaign API: typed spec/event/result with total JSON
+   codecs, plus the shared execution entry points (local run, shard run).
+   Every front end - the CLI, the anafaultd daemon, the shard worker -
+   goes through this module; Simulate/Parsim are the engine room below. *)
+
+module J = Obs.Json
+
+let ( let* ) = Result.bind
+
+(* --- JSON field helpers ------------------------------------------------ *)
+
+let obj_fields = function
+  | J.Obj fields -> Ok fields
+  | _ -> Error "want a JSON object"
+
+(* Missing (or null) fields take [default]; present fields must decode. *)
+let get fields name ~default decode =
+  match List.assoc_opt name fields with
+  | None | Some J.Null -> Ok default
+  | Some v -> begin
+    match decode v with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (name ^ ": " ^ msg)
+  end
+
+let require fields name decode =
+  match List.assoc_opt name fields with
+  | None -> Error ("missing field " ^ name)
+  | Some v -> begin
+    match decode v with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (name ^ ": " ^ msg)
+  end
+
+let as_str = function J.String s -> Ok s | _ -> Error "want a string"
+
+let as_int = function J.Int i -> Ok i | _ -> Error "want an integer"
+
+let as_float = function
+  | J.Float f -> Ok f
+  | J.Int i -> Ok (float_of_int i)
+  | _ -> Error "want a number"
+
+let as_bool = function J.Bool b -> Ok b | _ -> Error "want a boolean"
+
+let as_list = function J.List l -> Ok l | _ -> Error "want a list"
+
+let opt_to_json f = function None -> J.Null | Some v -> f v
+
+let as_opt decode = function
+  | J.Null -> Ok None
+  | v -> Result.map Option.some (decode v)
+
+(* --- Options ----------------------------------------------------------- *)
+
+type options = {
+  model : Faults.Inject.model;
+  tolerance : Detect.tolerance;
+  sim : Sim.Engine.options;
+  retries : Outcome.strategy list;
+  samples : int;
+  domains : int;
+  batch : int;
+}
+
+let default_options =
+  {
+    model = Faults.Inject.Source;
+    tolerance = Detect.paper_tolerance;
+    sim = Sim.Engine.default_options;
+    retries = [ Outcome.Swap_model ];
+    samples = 400;
+    domains = 1;
+    batch = 0;
+  }
+
+let model_to_json = function
+  | Faults.Inject.Source -> J.Obj [ ("kind", J.String "source") ]
+  | Faults.Inject.Resistor { r_short; r_open } ->
+    J.Obj
+      [
+        ("kind", J.String "resistor");
+        ("r_short", J.Float r_short);
+        ("r_open", J.Float r_open);
+      ]
+
+let model_of_json json =
+  let* fields = obj_fields json in
+  let* kind = require fields "kind" as_str in
+  match kind with
+  | "source" -> Ok Faults.Inject.Source
+  | "resistor" ->
+    let default_short, default_open =
+      match Faults.Inject.default_resistor with
+      | Faults.Inject.Resistor { r_short; r_open } -> (r_short, r_open)
+      | Faults.Inject.Source -> assert false
+    in
+    let* r_short = get fields "r_short" ~default:default_short as_float in
+    let* r_open = get fields "r_open" ~default:default_open as_float in
+    Ok (Faults.Inject.Resistor { r_short; r_open })
+  | other -> Error ("unknown fault model " ^ other)
+
+let tolerance_to_json (t : Detect.tolerance) =
+  J.Obj [ ("tol_v", J.Float t.Detect.tol_v); ("tol_t", J.Float t.Detect.tol_t) ]
+
+let tolerance_of_json json =
+  let* fields = obj_fields json in
+  let d = Detect.paper_tolerance in
+  let* tol_v = get fields "tol_v" ~default:d.Detect.tol_v as_float in
+  let* tol_t = get fields "tol_t" ~default:d.Detect.tol_t as_float in
+  Ok { Detect.tol_v; tol_t }
+
+let integration_to_string = function
+  | Sim.Engine.Backward_euler -> "be"
+  | Sim.Engine.Trapezoidal -> "trap"
+
+let integration_of_string = function
+  | "be" -> Ok Sim.Engine.Backward_euler
+  | "trap" -> Ok Sim.Engine.Trapezoidal
+  | other -> Error ("unknown integration method " ^ other ^ " (be|trap)")
+
+let budget_to_json (b : Sim.Engine.budget) =
+  J.Obj
+    [
+      ( "max_newton_iterations",
+        opt_to_json (fun i -> J.Int i) b.Sim.Engine.max_newton_iterations );
+      ("max_steps", opt_to_json (fun i -> J.Int i) b.Sim.Engine.max_steps);
+      ( "deadline_seconds",
+        opt_to_json (fun f -> J.Float f) b.Sim.Engine.deadline_seconds );
+    ]
+
+let budget_of_json json =
+  let* fields = obj_fields json in
+  let* max_newton_iterations =
+    get fields "max_newton_iterations" ~default:None (as_opt as_int)
+  in
+  let* max_steps = get fields "max_steps" ~default:None (as_opt as_int) in
+  let* deadline_seconds =
+    get fields "deadline_seconds" ~default:None (as_opt as_float)
+  in
+  Ok { Sim.Engine.max_newton_iterations; max_steps; deadline_seconds }
+
+let sim_options_to_json (o : Sim.Engine.options) =
+  J.Obj
+    [
+      ("gmin", J.Float o.Sim.Engine.gmin);
+      ("reltol", J.Float o.Sim.Engine.reltol);
+      ("abstol", J.Float o.Sim.Engine.abstol);
+      ("max_iter", J.Int o.Sim.Engine.max_iter);
+      ("dv_limit", J.Float o.Sim.Engine.dv_limit);
+      ("cmin", J.Float o.Sim.Engine.cmin);
+      ("integration", J.String (integration_to_string o.Sim.Engine.integration));
+      ("budget", budget_to_json o.Sim.Engine.budget);
+      ("solver", J.String (Sim.Solver.backend_to_string o.Sim.Engine.solver));
+    ]
+
+let sim_options_of_json json =
+  let* fields = obj_fields json in
+  let d = Sim.Engine.default_options in
+  let* gmin = get fields "gmin" ~default:d.Sim.Engine.gmin as_float in
+  let* reltol = get fields "reltol" ~default:d.Sim.Engine.reltol as_float in
+  let* abstol = get fields "abstol" ~default:d.Sim.Engine.abstol as_float in
+  let* max_iter = get fields "max_iter" ~default:d.Sim.Engine.max_iter as_int in
+  let* dv_limit = get fields "dv_limit" ~default:d.Sim.Engine.dv_limit as_float in
+  let* cmin = get fields "cmin" ~default:d.Sim.Engine.cmin as_float in
+  let* integration =
+    get fields "integration" ~default:d.Sim.Engine.integration (fun v ->
+        let* s = as_str v in
+        integration_of_string s)
+  in
+  let* budget =
+    get fields "budget" ~default:d.Sim.Engine.budget budget_of_json
+  in
+  let* solver =
+    get fields "solver" ~default:d.Sim.Engine.solver (fun v ->
+        let* s = as_str v in
+        Sim.Solver.backend_of_string s)
+  in
+  Ok
+    {
+      Sim.Engine.gmin;
+      reltol;
+      abstol;
+      max_iter;
+      dv_limit;
+      cmin;
+      integration;
+      budget;
+      solver;
+    }
+
+let retries_of_spec spec =
+  match String.trim spec with
+  | "" | "none" -> Ok []
+  | spec ->
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.fold_left
+         (fun acc s ->
+           let* acc = acc in
+           let* strategy = Outcome.strategy_of_string s in
+           Ok (strategy :: acc))
+         (Ok [])
+    |> Result.map List.rev
+
+let options_to_json o =
+  J.Obj
+    [
+      ("model", model_to_json o.model);
+      ("tolerance", tolerance_to_json o.tolerance);
+      ("sim", sim_options_to_json o.sim);
+      ( "retries",
+        J.List
+          (List.map (fun s -> J.String (Outcome.strategy_to_string s)) o.retries)
+      );
+      ("samples", J.Int o.samples);
+      ("domains", J.Int o.domains);
+      ("batch", J.Int o.batch);
+    ]
+
+let options_of_json json =
+  let* fields = obj_fields json in
+  let d = default_options in
+  let* model = get fields "model" ~default:d.model model_of_json in
+  let* tolerance =
+    get fields "tolerance" ~default:d.tolerance tolerance_of_json
+  in
+  let* sim = get fields "sim" ~default:d.sim sim_options_of_json in
+  let* retries =
+    get fields "retries" ~default:d.retries (fun v ->
+        let* l = as_list v in
+        List.fold_left
+          (fun acc j ->
+            let* acc = acc in
+            let* s = as_str j in
+            let* strategy = Outcome.strategy_of_string s in
+            Ok (strategy :: acc))
+          (Ok []) l
+        |> Result.map List.rev)
+  in
+  let* samples = get fields "samples" ~default:d.samples as_int in
+  let* domains = get fields "domains" ~default:d.domains as_int in
+  let* batch = get fields "batch" ~default:d.batch as_int in
+  Ok { model; tolerance; sim; retries; samples; domains; batch }
+
+let options_of_cli ?(model = "source") ?(solver = "auto")
+    ?(tol_v = Detect.paper_tolerance.Detect.tol_v)
+    ?(tol_t = Detect.paper_tolerance.Detect.tol_t) ?(retries = "swap-model")
+    ?(samples = 400) ?(domains = 1) ?(batch = 0) ?budget_iters ?budget_steps
+    ?budget_seconds () =
+  let* model =
+    match model with
+    | "source" -> Ok Faults.Inject.Source
+    | "resistor" -> Ok Faults.Inject.default_resistor
+    | other -> Error (Printf.sprintf "unknown model %S (source|resistor)" other)
+  in
+  let* solver = Sim.Solver.backend_of_string solver in
+  let* retries = retries_of_spec retries in
+  if samples <= 1 then Error "samples must be at least 2"
+  else if domains < 1 then Error "domains must be at least 1"
+  else if batch < 0 then Error "batch must be non-negative"
+  else
+    Ok
+      {
+        model;
+        tolerance = { Detect.tol_v; tol_t };
+        sim =
+          {
+            Sim.Engine.default_options with
+            Sim.Engine.budget =
+              {
+                Sim.Engine.max_newton_iterations = budget_iters;
+                max_steps = budget_steps;
+                deadline_seconds = budget_seconds;
+              };
+            solver;
+          };
+        retries;
+        samples;
+        domains;
+        batch;
+      }
+
+let config_of_options ?(obs = Obs.null) o ~tran ~observed =
+  {
+    Simulate.model = o.model;
+    tran;
+    observed;
+    tolerance = o.tolerance;
+    sim_options = o.sim;
+    retries = o.retries;
+    samples = o.samples;
+    domains = o.domains;
+    batch = o.batch;
+    obs;
+  }
+
+let options_of_config (c : Simulate.config) =
+  {
+    model = c.Simulate.model;
+    tolerance = c.Simulate.tolerance;
+    sim = c.Simulate.sim_options;
+    retries = c.Simulate.retries;
+    samples = c.Simulate.samples;
+    domains = c.Simulate.domains;
+    batch = c.Simulate.batch;
+  }
+
+(* --- Specs ------------------------------------------------------------- *)
+
+type spec = {
+  deck : string;
+  observed : string option;
+  faults : string;
+  options : options;
+}
+
+let spec_to_json s =
+  J.Obj
+    [
+      ("anafault", J.String "campaign-spec");
+      ("version", J.Int 1);
+      ("deck", J.String s.deck);
+      ("observed", opt_to_json (fun n -> J.String n) s.observed);
+      ("faults", J.String s.faults);
+      ("options", options_to_json s.options);
+    ]
+
+let spec_of_json json =
+  let* fields = obj_fields json in
+  let* () =
+    match List.assoc_opt "anafault" fields with
+    | None | Some (J.String "campaign-spec") -> Ok ()
+    | Some _ -> Error "not a campaign spec"
+  in
+  let* () =
+    match List.assoc_opt "version" fields with
+    | None | Some (J.Int 1) -> Ok ()
+    | Some (J.Int v) -> Error (Printf.sprintf "unsupported spec version %d" v)
+    | Some _ -> Error "version: want an integer"
+  in
+  let* deck = require fields "deck" as_str in
+  let* observed = get fields "observed" ~default:None (as_opt as_str) in
+  let* faults = require fields "faults" as_str in
+  let* options =
+    get fields "options" ~default:default_options options_of_json
+  in
+  Ok { deck; observed; faults; options }
+
+(* --- Compilation ------------------------------------------------------- *)
+
+type compiled = {
+  circuit : Netlist.Circuit.t;
+  tran : Netlist.Parser.tran;
+  observed : string;
+  faults : Faults.Fault.t list;
+  config : Simulate.config;
+  fingerprint : string;
+}
+
+let compile ?(obs = Obs.null) spec =
+  match Netlist.Parser.parse spec.deck with
+  | exception Netlist.Parser.Parse_error (line, msg) ->
+    Error (Printf.sprintf "deck line %d: %s" line msg)
+  | deck -> begin
+    match deck.Netlist.Parser.tran with
+    | None -> Error "deck has no .tran card"
+    | Some tran -> begin
+      let circuit = deck.Netlist.Parser.circuit in
+      match Faults.Fault_list.of_string spec.faults with
+      | exception Faults.Fault_list.Parse_error (line, msg) ->
+        Error (Printf.sprintf "fault list line %d: %s" line msg)
+      | faults ->
+        let* observed =
+          match spec.observed with
+          | None -> Ok (Simulate.default_observed circuit)
+          | Some node ->
+            if List.mem node (Netlist.Circuit.nodes circuit) then Ok node
+            else
+              Error
+                (Printf.sprintf "observed node %S is not in the circuit" node)
+        in
+        let config = config_of_options ~obs spec.options ~tran ~observed in
+        let fingerprint = Simulate.fingerprint config circuit faults in
+        Ok { circuit; tran; observed; faults; config; fingerprint }
+    end
+  end
+
+(* --- Results ----------------------------------------------------------- *)
+
+type result = {
+  fingerprint : string;
+  total : int;
+  results : Outcome.fault_result list;
+  wall_seconds : float;
+  cached : bool;
+}
+
+let result_to_json r =
+  J.Obj
+    [
+      ("anafault", J.String "campaign-result");
+      ("fingerprint", J.String r.fingerprint);
+      ("total", J.Int r.total);
+      ("cached", J.Bool r.cached);
+      ("wall_seconds", J.Float r.wall_seconds);
+      ( "results",
+        J.List
+          (List.mapi (fun index fr -> Outcome.result_to_json ~index fr) r.results)
+      );
+    ]
+
+let result_of_json ~faults json =
+  let* fields = obj_fields json in
+  let* fingerprint = require fields "fingerprint" as_str in
+  let* total = require fields "total" as_int in
+  let* cached = get fields "cached" ~default:false as_bool in
+  let* wall_seconds = get fields "wall_seconds" ~default:0.0 as_float in
+  let* entries = require fields "results" as_list in
+  let* indexed =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let* entry = Outcome.result_of_json ~faults j in
+        Ok (entry :: acc))
+      (Ok []) entries
+    |> Result.map List.rev
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) indexed in
+  if List.length sorted <> total then
+    Error
+      (Printf.sprintf "result holds %d of %d faults" (List.length sorted) total)
+  else if not (List.for_all2 (fun i (j, _) -> i = j) (List.init total Fun.id) sorted)
+  then Error "result indices are not the contiguous range"
+  else
+    Ok
+      { fingerprint; total; results = List.map snd sorted; wall_seconds; cached }
+
+let tally r =
+  List.fold_left
+    (fun (d, u, f) (fr : Outcome.fault_result) ->
+      match fr.Outcome.outcome with
+      | Outcome.Detected _ -> (d + 1, u, f)
+      | Outcome.Undetected -> (d, u + 1, f)
+      | Outcome.Sim_failed _ -> (d, u, f + 1))
+    (0, 0, 0) r.results
+
+let result_of_run ~fingerprint (run : Simulate.run) =
+  {
+    fingerprint;
+    total = List.length run.Simulate.results;
+    results = run.Simulate.results;
+    wall_seconds = run.Simulate.wall_seconds;
+    cached = false;
+  }
+
+let result_of_journal compiled journal =
+  let total = List.length compiled.faults in
+  let entries = Journal.completed_results journal in
+  if List.length entries <> total then
+    Error
+      (Printf.sprintf "journal holds %d of %d results" (List.length entries)
+         total)
+  else if not (List.for_all2 (fun i (j, _) -> i = j) (List.init total Fun.id) entries)
+  then Error "journal indices are not the contiguous range"
+  else
+    Ok
+      {
+        fingerprint = compiled.fingerprint;
+        total;
+        results = List.map snd entries;
+        wall_seconds = 0.0;
+        cached = false;
+      }
+
+(* --- Events ------------------------------------------------------------ *)
+
+type event =
+  | Accepted of { fingerprint : string; total : int }
+  | Progress of { completed : int; total : int }
+  | Cache_hit of { fingerprint : string }
+  | Sharded of { shards : int }
+  | Finished of result
+  | Failed of { message : string }
+
+let event_to_json = function
+  | Accepted { fingerprint; total } ->
+    J.Obj
+      [
+        ("event", J.String "accepted");
+        ("fingerprint", J.String fingerprint);
+        ("total", J.Int total);
+      ]
+  | Progress { completed; total } ->
+    J.Obj
+      [
+        ("event", J.String "progress");
+        ("completed", J.Int completed);
+        ("total", J.Int total);
+      ]
+  | Cache_hit { fingerprint } ->
+    J.Obj
+      [ ("event", J.String "cache_hit"); ("fingerprint", J.String fingerprint) ]
+  | Sharded { shards } ->
+    J.Obj [ ("event", J.String "sharded"); ("shards", J.Int shards) ]
+  | Finished result ->
+    J.Obj [ ("event", J.String "finished"); ("result", result_to_json result) ]
+  | Failed { message } ->
+    J.Obj [ ("event", J.String "failed"); ("message", J.String message) ]
+
+let event_of_json ~faults json =
+  let* fields = obj_fields json in
+  let* tag = require fields "event" as_str in
+  match tag with
+  | "accepted" ->
+    let* fingerprint = require fields "fingerprint" as_str in
+    let* total = require fields "total" as_int in
+    Ok (Accepted { fingerprint; total })
+  | "progress" ->
+    let* completed = require fields "completed" as_int in
+    let* total = require fields "total" as_int in
+    Ok (Progress { completed; total })
+  | "cache_hit" ->
+    let* fingerprint = require fields "fingerprint" as_str in
+    Ok (Cache_hit { fingerprint })
+  | "sharded" ->
+    let* shards = require fields "shards" as_int in
+    Ok (Sharded { shards })
+  | "finished" ->
+    let* result = require fields "result" (result_of_json ~faults) in
+    Ok (Finished result)
+  | "failed" ->
+    let* message = require fields "message" as_str in
+    Ok (Failed { message })
+  | other -> Error ("unknown event " ^ other)
+
+(* --- Execution --------------------------------------------------------- *)
+
+type local = {
+  run : Simulate.run;
+  domain_stats : Parsim.domain_stats list;
+  result : result;
+}
+
+let run_local ?progress ?journal compiled =
+  let run, domain_stats =
+    Parsim.execute ?progress ?journal compiled.config compiled.circuit
+      compiled.faults
+  in
+  { run; domain_stats; result = result_of_run ~fingerprint:compiled.fingerprint run }
+
+(* --- Sharding ---------------------------------------------------------- *)
+
+let shard_to_string (index, count) = Printf.sprintf "%d/%d" index count
+
+let shard_of_string s =
+  let err = Error (Printf.sprintf "bad shard %S (want I/N with 0 <= I < N)" s) in
+  match String.split_on_char '/' s with
+  | [ a; b ] -> begin
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some index, Some count when count > 0 && index >= 0 && index < count ->
+      Ok (index, count)
+    | _ -> err
+  end
+  | _ -> err
+
+let shard_indices ~shard:(index, count) ~total =
+  List.filter (fun i -> i mod count = index) (List.init total Fun.id)
+
+let run_shard ?progress ~journal_path ~shard compiled =
+  let faults = Array.of_list compiled.faults in
+  match
+    Journal.start ~path:journal_path ~fingerprint:compiled.fingerprint
+      ~resume:false ~faults
+  with
+  | Error _ as e -> e |> Result.map_error Fun.id
+  | Ok j ->
+    Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->
+    let owned = shard_indices ~shard ~total:(Array.length faults) in
+    let owned_arr = Array.of_list owned in
+    let sub = List.map (fun i -> faults.(i)) owned in
+    let journal = Journal.view j ~map:(fun i -> owned_arr.(i)) in
+    (match
+       Parsim.execute ?progress ~journal compiled.config compiled.circuit sub
+     with
+    | exception Sim.Engine.Sim_error (err, detail) ->
+      Error
+        (Printf.sprintf "nominal simulation failed (%s): %s"
+           (Sim.Engine.error_to_string err) detail)
+    | _run, _stats -> Ok (List.length sub))

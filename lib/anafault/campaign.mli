@@ -1,0 +1,214 @@
+(** The first-class campaign API: one typed description of a fault
+    campaign ({!spec}), one typed stream of things that happen to it
+    ({!event}), one typed product ({!result}) - each with a total JSON
+    codec - and the execution entry points every front end shares.
+
+    The CLI, the [anafaultd] daemon and the shard worker all speak this
+    vocabulary: a local run, a remote submission and a shard of a
+    distributed run are the same {!spec} pushed through the same
+    {!compile}/{!run_local} machinery, differing only in who drives the
+    loop.  This supersedes reaching for {!Simulate.default_config} and
+    the [run_one]/[run_one_in]/[run_batch]/[run] entry points directly;
+    those remain as the engine room underneath (see the migration notes
+    in DESIGN.md). *)
+
+(** {1 Options}
+
+    Everything about a campaign that is not the circuit, the stimulus or
+    the fault list, collapsed into one documented record: fault model,
+    detection tolerance, kernel options (solver backend, integration
+    method, work budget included), retry ladder, output grid, scheduler
+    width and lock-step batch width.  The record round-trips through
+    JSON ({!options_to_json}/{!options_of_json}) and builds from
+    CLI-shaped primitives ({!options_of_cli}). *)
+type options = {
+  model : Faults.Inject.model;  (** fault injection model *)
+  tolerance : Detect.tolerance;  (** detection tolerance (volts, seconds) *)
+  sim : Sim.Engine.options;
+      (** kernel options; its [budget] bounds each fault simulation *)
+  retries : Outcome.strategy list;  (** escalation ladder after failures *)
+  samples : int;  (** output grid size (the paper's 400-step run) *)
+  domains : int;  (** scheduler width; 1 = serial *)
+  batch : int;  (** lock-step batch width; 0 = automatic *)
+}
+
+(** The paper's working point: source model, 2 V / 0.2 us tolerance,
+    default kernel options, a one-rung [Swap_model] ladder, 400 samples,
+    one domain, automatic batch width. *)
+val default_options : options
+
+val options_to_json : options -> Obs.Json.t
+
+(** Total inverse of {!options_to_json}.  Missing fields take their
+    {!default_options} value; ill-typed fields are errors. *)
+val options_of_json : Obs.Json.t -> (options, string) result
+
+(** [options_of_cli ()] builds {!options} from the CLI's primitive
+    flags, validating each: [model] is ["source"]/["resistor"], [solver]
+    ["auto"]/["dense"]/["sparse"], [retries] a comma-separated ladder
+    (or ["none"]), the [budget_*] knobs the per-fault work budget. *)
+val options_of_cli :
+  ?model:string ->
+  ?solver:string ->
+  ?tol_v:float ->
+  ?tol_t:float ->
+  ?retries:string ->
+  ?samples:int ->
+  ?domains:int ->
+  ?batch:int ->
+  ?budget_iters:int ->
+  ?budget_steps:int ->
+  ?budget_seconds:float ->
+  unit ->
+  (options, string) result
+
+(** [config_of_options opts ~tran ~observed] is the {!Simulate.config}
+    the engine room runs on; [obs] defaults to {!Obs.null}. *)
+val config_of_options :
+  ?obs:Obs.sink ->
+  options ->
+  tran:Netlist.Parser.tran ->
+  observed:string ->
+  Simulate.config
+
+(** Inverse projection (drops the telemetry sink and stimulus). *)
+val options_of_config : Simulate.config -> options
+
+(** {1 Specs} *)
+
+(** A complete, self-contained campaign description - the unit of work
+    the daemon accepts and the cache is keyed on.  [deck] is SPICE
+    netlist text carrying a [.tran] card; [faults] is fault-list text in
+    the LIFT interchange format; [observed = None] lets the output node
+    default ({!Simulate.default_observed}). *)
+type spec = {
+  deck : string;
+  observed : string option;
+  faults : string;
+  options : options;
+}
+
+val spec_to_json : spec -> Obs.Json.t
+
+val spec_of_json : Obs.Json.t -> (spec, string) result
+
+(** {1 Compilation} *)
+
+(** A parsed, validated spec, ready to run: the circuit, its stimulus,
+    the resolved observed node, the fault list and the engine-room
+    config - plus the campaign {!fingerprint} identifying it. *)
+type compiled = {
+  circuit : Netlist.Circuit.t;
+  tran : Netlist.Parser.tran;
+  observed : string;
+  faults : Faults.Fault.t list;
+  config : Simulate.config;
+  fingerprint : string;
+      (** {!Simulate.fingerprint} over deck, options and fault list -
+          the content address a cache entry and a journal are keyed by *)
+}
+
+(** Parse and validate a spec: the deck must parse and carry a [.tran]
+    card, the fault list must parse, and an explicit observed node must
+    exist in the circuit.  [obs] becomes the campaign's telemetry sink. *)
+val compile : ?obs:Obs.sink -> spec -> (compiled, string) result
+
+(** {1 Results} *)
+
+type result = {
+  fingerprint : string;
+  total : int;
+  results : Outcome.fault_result list;  (** in fault-list order *)
+  wall_seconds : float;
+  cached : bool;  (** served from a result cache, no simulation run *)
+}
+
+val result_to_json : result -> Obs.Json.t
+
+(** [result_of_json ~faults json] rebuilds a result against the
+    campaign's fault array (the codec stores per-fault indices and ids,
+    not whole faults - both ends of the wire hold the spec). *)
+val result_of_json :
+  faults:Faults.Fault.t array -> Obs.Json.t -> (result, string) Stdlib.result
+
+(** Detected / undetected / failed counts. *)
+val tally : result -> int * int * int
+
+(** [result_of_run ~fingerprint run] wraps an engine-room run. *)
+val result_of_run : fingerprint:string -> Simulate.run -> result
+
+(** [result_of_journal compiled journal] rebuilds the campaign result
+    from a (merged) journal alone - no simulation; errors when the
+    journal does not hold every fault of the campaign. *)
+val result_of_journal : compiled -> Journal.t -> (result, string) Stdlib.result
+
+(** {1 Events}
+
+    The typed progress stream a campaign emits while it runs - what the
+    daemon writes to its clients, one JSON object per line. *)
+type event =
+  | Accepted of { fingerprint : string; total : int }
+      (** the job was admitted (queued or about to run) *)
+  | Progress of { completed : int; total : int }
+  | Cache_hit of { fingerprint : string }
+      (** the result that follows was served from the cache *)
+  | Sharded of { shards : int }
+      (** the job was split across this many worker processes *)
+  | Finished of result
+  | Failed of { message : string }
+
+val event_to_json : event -> Obs.Json.t
+
+val event_of_json :
+  faults:Faults.Fault.t array -> Obs.Json.t -> (event, string) Stdlib.result
+
+(** {1 Execution} *)
+
+(** What a local (in-process) campaign execution returns: the full
+    engine-room run (nominal waveform included, for plots and
+    summaries), the scheduler's load report, and the wire-shaped
+    {!result}. *)
+type local = {
+  run : Simulate.run;
+  domain_stats : Parsim.domain_stats list;
+  result : result;
+}
+
+(** [run_local compiled] executes the campaign in-process through
+    {!Parsim.execute} (serial, parallel and lock-step batched paths
+    dispatch on the compiled options).  [progress] and [journal] are
+    passed through; exceptions of the nominal simulation propagate
+    ({!Sim.Engine.Sim_error}). *)
+val run_local :
+  ?progress:(int -> int -> unit) ->
+  ?journal:Journal.t ->
+  compiled ->
+  local
+
+(** {1 Sharding}
+
+    A shard is the slice of a campaign a worker process owns: fault
+    indices congruent to [index] modulo [count].  Shard workers journal
+    under whole-campaign indices ({!Journal.view}), so the daemon can
+    {!Journal.merge} the per-shard journals into one campaign journal
+    interchangeable with an unsharded run's. *)
+
+(** ["I/N"], e.g. ["0/2"]. *)
+val shard_to_string : int * int -> string
+
+val shard_of_string : string -> (int * int, string) Stdlib.result
+
+(** The whole-campaign fault indices shard [index/count] owns. *)
+val shard_indices : shard:int * int -> total:int -> int list
+
+(** [run_shard ~journal_path ~shard compiled] simulates just the owned
+    slice, recording every result into a fresh journal at
+    [journal_path] under whole-campaign indices.  Returns the number of
+    faults simulated.  Kernel failure of the shard's nominal run is
+    returned as [Error]. *)
+val run_shard :
+  ?progress:(int -> int -> unit) ->
+  journal_path:string ->
+  shard:int * int ->
+  compiled ->
+  (int, string) Stdlib.result

@@ -19,6 +19,10 @@ type t = {
      twice per journal. *)
   completed : (int, Outcome.fault_result) Hashtbl.t;
   restored : int;
+  (* Index remapping applied by [find]/[record] - identity except in a
+     shard [view], where a campaign loop running over a sub-list records
+     under the faults' whole-campaign indices. *)
+  map : int -> int;
 }
 
 let header_line ~fingerprint ~total =
@@ -97,7 +101,17 @@ let start ~path ~fingerprint ~resume ~faults =
     output_string oc (header_line ~fingerprint ~total);
     output_char oc '\n';
     flush oc;
-    Ok { path; fingerprint; total; oc; lock = Mutex.create (); completed; restored = 0 }
+    Ok
+      {
+        path;
+        fingerprint;
+        total;
+        oc;
+        lock = Mutex.create ();
+        completed;
+        restored = 0;
+        map = Fun.id;
+      }
   in
   if resume && Sys.file_exists path then begin
     match restore path ~fingerprint ~faults completed with
@@ -113,11 +127,17 @@ let start ~path ~fingerprint ~resume ~faults =
           lock = Mutex.create ();
           completed;
           restored = Hashtbl.length completed;
+          map = Fun.id;
         }
   end
   else fresh ()
 
+(* The view shares the parent's channel, lock and completed table - it
+   is the same journal, addressed through other indices. *)
+let view t ~map = { t with map = (fun i -> t.map (map i)) }
+
 let find t index fault =
+  let index = t.map index in
   Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.completed index with
   | Some r when String.equal r.Outcome.fault.Faults.Fault.id fault.Faults.Fault.id
@@ -126,6 +146,7 @@ let find t index fault =
   | Some _ | None -> None
 
 let record t index result =
+  let index = t.map index in
   Mutex.protect t.lock @@ fun () ->
   Hashtbl.replace t.completed index result;
   output_string t.oc (J.to_string (Outcome.result_to_json ~index result));
@@ -133,6 +154,45 @@ let record t index result =
   flush t.oc
 
 let completed_count t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.completed
+
+let completed_results t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.fold (fun i r acc -> (i, r) :: acc) t.completed []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Merge shard journals into one campaign journal.  Every input must
+   carry the merged campaign's fingerprint and fault count; a later
+   input wins on a shared index.  The output is laid out exactly as a
+   single-process serial run lays it out - one header, then result
+   lines in index order - so a merged journal and an unsharded journal
+   are interchangeable: either resumes the other's campaign. *)
+let merge ~out ~fingerprint ~faults paths =
+  let tbl = Hashtbl.create 64 in
+  let rec load = function
+    | [] -> Ok ()
+    | p :: rest -> begin
+      match restore p ~fingerprint ~faults tbl with
+      | Error msg -> Error (p ^ ": " ^ msg)
+      | Ok () -> load rest
+    end
+  in
+  match load paths with
+  | Error _ as e -> e
+  | Ok () ->
+    let entries =
+      Hashtbl.fold (fun i r acc -> (i, r) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let oc = open_out out in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+    output_string oc (header_line ~fingerprint ~total:(Array.length faults));
+    output_char oc '\n';
+    List.iter
+      (fun (index, r) ->
+        output_string oc (J.to_string (Outcome.result_to_json ~index r));
+        output_char oc '\n')
+      entries;
+    Ok (List.length entries)
 
 let restored_count t = t.restored
 

@@ -38,6 +38,14 @@ val start :
   faults:Faults.Fault.t array ->
   (t, string) result
 
+(** [view t ~map] is the same journal addressed through other indices:
+    [find]/[record] on the view at index [i] reach the parent at
+    [map i].  The channel, lock and completed table are shared, so a
+    campaign loop running over a shard's sub-list records each result
+    under its whole-campaign index - the piece that makes shard
+    journals mergeable.  Views compose. *)
+val view : t -> map:(int -> int) -> t
+
 (** [find t index fault] is the completed result for fault [index], if
     the journal holds one whose stored id matches [fault].  Thread-safe. *)
 val find : t -> int -> Faults.Fault.t -> Outcome.fault_result option
@@ -48,6 +56,25 @@ val record : t -> int -> Outcome.fault_result -> unit
 
 (** Results currently held (restored + recorded). *)
 val completed_count : t -> int
+
+(** Every held result with its whole-campaign index, sorted by index -
+    the material a campaign result is rebuilt from without
+    re-simulating. *)
+val completed_results : t -> (int * Outcome.fault_result) list
+
+(** [merge ~out ~fingerprint ~faults paths] combines shard journals
+    into one campaign journal at [out]: every input must match the
+    campaign (fingerprint and fault count), a later input wins on a
+    shared index, and the output is written as a single-process serial
+    run writes it (header, then result lines in index order), so the
+    merged journal and an unsharded journal are interchangeable.
+    Returns the number of results merged. *)
+val merge :
+  out:string ->
+  fingerprint:string ->
+  faults:Faults.Fault.t array ->
+  string list ->
+  (int, string) result
 
 (** Results restored from disk when the journal was opened. *)
 val restored_count : t -> int

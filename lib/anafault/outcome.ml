@@ -27,6 +27,10 @@ let failure_detail = function
   | Crashed d ->
     d
 
+(* The one text rendering of a failure.  Everything that prints a
+   failure - the CLI table, the CSV, the wire protocol's error events -
+   goes through this pair, so the journal, the wire and the reports can
+   never disagree on the same typed failure. *)
 let failure_to_string f =
   let d = failure_detail f in
   if d = "" then failure_kind f else failure_kind f ^ ": " ^ d
@@ -40,6 +44,19 @@ let failure_of_kind kind detail =
   | "budget_exceeded" -> Ok (Budget_exceeded detail)
   | "crashed" -> Ok (Crashed detail)
   | other -> Error ("unknown failure kind " ^ other)
+
+let failure_of_string s =
+  match String.index_opt s ':' with
+  | None -> failure_of_kind (String.trim s) ""
+  | Some i ->
+    let kind = String.trim (String.sub s 0 i) in
+    let detail =
+      let d = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.length d > 0 && d.[0] = ' ' then
+        String.sub d 1 (String.length d - 1)
+      else d
+    in
+    failure_of_kind kind detail
 
 let of_engine_error (err : Sim.Engine.error) detail =
   match err with

@@ -27,8 +27,14 @@ val failure_kind : failure -> string
 (** The human-readable elaboration carried by every constructor. *)
 val failure_detail : failure -> string
 
-(** ["kind: detail"], or just the kind when the detail is empty. *)
+(** ["kind: detail"], or just the kind when the detail is empty.  The
+    single text codec for failures: the CLI table, the CSV, the wire
+    protocol and log lines all render through this, and
+    {!failure_of_string} reads it back. *)
 val failure_to_string : failure -> string
+
+(** Inverse of {!failure_to_string}: parses ["kind"] or ["kind: detail"]. *)
+val failure_of_string : string -> (failure, string) result
 
 (** Inverse of {!failure_kind}, reattaching a detail string. *)
 val failure_of_kind : string -> string -> (failure, string) result

@@ -24,7 +24,11 @@ let kind_label (f : Faults.Fault.t) =
     if List.length moved <= 1 then "open" else "split"
   | Faults.Fault.Stuck_open _ -> "stuck-open"
 
-let pp_table ppf (run : Simulate.run) =
+(* Rendering is results-shaped, not run-shaped: a remote client and the
+   daemon's cache hold per-fault results without a nominal waveform, so
+   the table and the CSV take the bare list and the run-taking entry
+   points stay as wrappers. *)
+let pp_results ppf (results : Simulate.fault_result list) =
   Format.fprintf ppf "@[<v>%-8s %-20s %-10s %-10s %s@," "id" "mechanism" "kind" "prob"
     "outcome";
   List.iter
@@ -33,8 +37,10 @@ let pp_table ppf (run : Simulate.run) =
       Format.fprintf ppf "%-8s %-20s %-10s %-10.3g %s%s@," f.Faults.Fault.id
         f.Faults.Fault.mechanism (kind_label f) f.Faults.Fault.prob
         (outcome_to_string r.outcome) (attempts_to_string r))
-    run.results;
+    results;
   Format.fprintf ppf "@]"
+
+let pp_table ppf (run : Simulate.run) = pp_results ppf run.results
 
 let pp_summary ppf (run : Simulate.run) =
   let detected, undetected, failed = Simulate.tally run in
@@ -105,7 +111,14 @@ let coverage_plot ?(points = 100) run =
   let series = [ ("fault coverage [%]", Coverage.curve run ~points) ] in
   Ascii_plot.render ~x_label:"time [s]" ~series ()
 
-let csv (run : Simulate.run) =
+(* Field values with commas or quotes (failure details can carry both)
+   are quoted per RFC 4180. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_of_results (results : Simulate.fault_result list) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "id,mechanism,kind,probability,outcome,t_detect,failure,attempts\n";
   List.iter
@@ -115,12 +128,15 @@ let csv (run : Simulate.run) =
         match r.outcome with
         | Simulate.Detected t -> ("detected", Printf.sprintf "%g" t, "")
         | Simulate.Undetected -> ("undetected", "", "")
-        | Simulate.Sim_failed failure -> ("failed", "", Outcome.failure_kind failure)
+        | Simulate.Sim_failed failure ->
+          ("failed", "", csv_field (Outcome.failure_to_string failure))
       in
       Buffer.add_string buf
         (Printf.sprintf "%s,%s,%s,%g,%s,%s,%s,%d\n" f.Faults.Fault.id
            f.Faults.Fault.mechanism (kind_label f) f.Faults.Fault.prob outcome t
            failure
            (List.length r.attempts)))
-    run.results;
+    results;
   Buffer.contents buf
+
+let csv (run : Simulate.run) = csv_of_results run.results

@@ -2,7 +2,12 @@
     and coverage plots (the paper: "detailed reports, clearly arranged
     overview tables and comprehensive fault coverage plots"). *)
 
-(** One row per fault: id, mechanism, kind, probability, outcome. *)
+(** One row per fault: id, mechanism, kind, probability, outcome.  Takes
+    the bare result list so remote clients and cached campaign results
+    (which carry no nominal waveform) render the same table. *)
+val pp_results : Format.formatter -> Simulate.fault_result list -> unit
+
+(** {!pp_results} over [run.results]. *)
 val pp_table : Format.formatter -> Simulate.run -> unit
 
 (** Aggregate counts, coverage percentages and kernel workload, plus a
@@ -21,8 +26,12 @@ val pp_domains : Format.formatter -> Parsim.domain_stats list -> unit
 (** The coverage-versus-time plot (Fig. 5 style), as ASCII art. *)
 val coverage_plot : ?points:int -> Simulate.run -> string
 
-(** [csv run] renders the per-fault table as comma-separated values for
-    external tooling; the [failure] column holds the
-    {!Outcome.failure_kind} tag of failed simulations and [attempts] the
-    number of retry-ladder rungs run. *)
+(** [csv_of_results results] renders the per-fault table as
+    comma-separated values for external tooling; the [failure] column
+    holds {!Outcome.failure_to_string} of failed simulations (quoted
+    when the detail carries commas) and [attempts] the number of
+    retry-ladder rungs run. *)
+val csv_of_results : Simulate.fault_result list -> string
+
+(** {!csv_of_results} over [run.results]. *)
 val csv : Simulate.run -> string

@@ -9,7 +9,14 @@
     ({!Sim.Engine.budget}, applied per fault - the nominal run is always
     unbudgeted), a configurable retry ladder ([retries]), session
     quarantine after kernel failures, and an optional crash-safe
-    {!Journal} for resumable campaigns. *)
+    {!Journal} for resumable campaigns.
+
+    This module is the engine room.  Front ends should not call
+    [run_one]/[run_one_in]/[run_batch]/[run] directly any more: describe
+    the campaign as a {!Campaign.spec} and execute it with
+    {!Campaign.run_local} (or submit it to a running [anafaultd]) - one
+    typed entry point instead of four ad-hoc ones.  The migration guide
+    lives in DESIGN.md. *)
 
 (** The single place a fault-simulation run is described: fault model,
     stimulus, observation point, detection tolerance, kernel options,
@@ -44,7 +51,13 @@ type config = {
     no telemetry and a one-rung [Swap_model] retry ladder (the paper
     notes both fault models yield near-identical coverage, so a singular
     source-model injection silently falls back to the resistor model);
-    each piece can be overridden in place. *)
+    each piece can be overridden in place.
+
+    {b Deprecated} as a front-end entry point: new code should build a
+    {!Campaign.options} (which has total JSON codecs and an [of_cli]
+    constructor) and derive the config via {!Campaign.config_of_options}
+    - see the migration guide in DESIGN.md.  [default_config] remains
+    for the engine room and existing callers. *)
 val default_config :
   ?model:Faults.Inject.model ->
   ?tolerance:Detect.tolerance ->

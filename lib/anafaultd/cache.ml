@@ -1,0 +1,85 @@
+(* Content-addressed result store: one <fingerprint>.json file per
+   campaign result, atomic tmp+rename writes, unreadable entries are
+   misses.  The fingerprint is already a hex digest, so it is used as
+   the file name verbatim. *)
+
+module J = Obs.Json
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+(* Fingerprints are lowercase hex; refuse anything that could escape
+   the cache directory. *)
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       key
+
+let create ~dir =
+  match
+    if Sys.file_exists dir then
+      if Sys.is_directory dir then Ok ()
+      else Error (dir ^ " exists and is not a directory")
+    else begin
+      Unix.mkdir dir 0o755;
+      Ok ()
+    end
+  with
+  | Error _ as e -> e
+  | Ok () -> Ok { dir; lock = Mutex.create (); hits = 0; misses = 0; stores = 0 }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (dir ^ ": " ^ Unix.error_message err)
+
+let dir t = t.dir
+
+let entry_path t key = Filename.concat t.dir (key ^ ".json")
+
+let read_entry path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let n = in_channel_length ic in
+    let body = really_input_string ic n in
+    (match J.of_string body with Ok json -> Some json | Error _ -> None)
+
+let find t key =
+  Mutex.protect t.lock @@ fun () ->
+  let result =
+    if not (valid_key key) then None
+    else
+      let path = entry_path t key in
+      if Sys.file_exists path then read_entry path else None
+  in
+  (match result with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  result
+
+let store t key json =
+  if valid_key key then
+    Mutex.protect t.lock @@ fun () ->
+    let path = entry_path t key in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc (J.to_string json);
+       output_char oc '\n';
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path;
+    t.stores <- t.stores + 1
+
+let hits t = Mutex.protect t.lock @@ fun () -> t.hits
+
+let misses t = Mutex.protect t.lock @@ fun () -> t.misses
+
+let stores t = Mutex.protect t.lock @@ fun () -> t.stores

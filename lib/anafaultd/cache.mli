@@ -1,0 +1,34 @@
+(** Content-addressed campaign result cache.
+
+    Keys are campaign fingerprints ({!Anafault.Simulate.fingerprint}:
+    a digest over the printed circuit deck, every result-affecting
+    option, and the printed fault list), so two submissions of the same
+    electrical problem - whatever file names or whitespace they arrived
+    with - address the same entry.  Values are
+    {!Anafault.Campaign.result_to_json} objects, one file per entry
+    ([<fingerprint>.json]), written atomically (tmp + rename) so a
+    crashed store never leaves a torn entry.  An unreadable or
+    unparseable entry is treated as a miss. *)
+
+type t
+
+(** [create ~dir] opens (creating [dir] if needed) a cache rooted
+    there. *)
+val create : dir:string -> (t, string) result
+
+val dir : t -> string
+
+(** [find t fingerprint] is the stored result object, if any.
+    Thread-safe. *)
+val find : t -> string -> Obs.Json.t option
+
+(** [store t fingerprint json] writes the entry atomically.
+    Thread-safe; the last writer wins. *)
+val store : t -> string -> Obs.Json.t -> unit
+
+(** Lifetime hit / miss / store counters of this handle. *)
+val hits : t -> int
+
+val misses : t -> int
+
+val stores : t -> int

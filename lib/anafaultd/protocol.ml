@@ -1,0 +1,75 @@
+(* Newline-delimited JSON framing for the campaign service.  The
+   payload vocabulary (specs, events, results) lives in
+   Anafault.Campaign; this module only names the request envelope and
+   moves lines. *)
+
+module J = Obs.Json
+
+let ( let* ) = Result.bind
+
+type request =
+  | Submit of Anafault.Campaign.spec
+  | Stats
+  | Ping
+  | Shutdown
+
+let request_to_json = function
+  | Submit spec ->
+    J.Obj
+      [
+        ("cmd", J.String "submit");
+        ("spec", Anafault.Campaign.spec_to_json spec);
+      ]
+  | Stats -> J.Obj [ ("cmd", J.String "stats") ]
+  | Ping -> J.Obj [ ("cmd", J.String "ping") ]
+  | Shutdown -> J.Obj [ ("cmd", J.String "shutdown") ]
+
+let request_of_json json =
+  let* fields =
+    match json with J.Obj f -> Ok f | _ -> Error "request: want a JSON object"
+  in
+  let* cmd =
+    match List.assoc_opt "cmd" fields with
+    | Some (J.String s) -> Ok s
+    | Some _ | None -> Error "request: want a cmd string"
+  in
+  match cmd with
+  | "submit" -> begin
+    match List.assoc_opt "spec" fields with
+    | None -> Error "submit: missing spec"
+    | Some spec_json ->
+      let* spec = Anafault.Campaign.spec_of_json spec_json in
+      Ok (Submit spec)
+  end
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | "shutdown" -> Ok Shutdown
+  | other -> Error ("unknown command " ^ other)
+
+let ok = J.Obj [ ("ok", J.Bool true) ]
+
+let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs =
+  J.Obj
+    [
+      ("jobs", J.Int jobs);
+      ("cache_hits", J.Int cache_hits);
+      ("coalesced", J.Int coalesced);
+      ("faults_simulated", J.Int faults_simulated);
+      ("shard_runs", J.Int shard_runs);
+    ]
+
+let send oc json =
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let rec recv ic =
+  match input_line ic with
+  | exception End_of_file -> Ok None
+  | line ->
+    if String.trim line = "" then recv ic
+    else begin
+      match J.of_string line with
+      | Ok json -> Ok (Some json)
+      | Error msg -> Error ("bad wire line: " ^ msg)
+    end

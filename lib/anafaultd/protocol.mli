@@ -1,0 +1,48 @@
+(** The anafaultd wire protocol: newline-delimited JSON over a Unix
+    domain socket.
+
+    A client writes one request object per line; the daemon answers a
+    [Submit] with a stream of {!Anafault.Campaign.event} objects (one
+    per line, ending in a ["finished"] or ["failed"] event), a [Stats]
+    with one counters object, and [Ping]/[Shutdown] with one
+    acknowledgement object.  The connection stays open for further
+    requests; either side closing it ends the session.
+
+    Requests:
+    {v
+    {"cmd": "submit", "spec": { ...campaign spec... }}
+    {"cmd": "stats"}
+    {"cmd": "ping"}
+    {"cmd": "shutdown"}
+    v} *)
+
+type request =
+  | Submit of Anafault.Campaign.spec
+  | Stats
+  | Ping
+  | Shutdown
+
+val request_to_json : request -> Obs.Json.t
+
+val request_of_json : Obs.Json.t -> (request, string) result
+
+(** The one-object answers to non-submit requests. *)
+val ok : Obs.Json.t
+
+(** Counters object: jobs accepted, cache hits, faults simulated, ... *)
+val stats_to_json :
+  jobs:int ->
+  cache_hits:int ->
+  coalesced:int ->
+  faults_simulated:int ->
+  shard_runs:int ->
+  Obs.Json.t
+
+(** {1 Line transport} *)
+
+(** [send oc json] writes one JSON line and flushes. *)
+val send : out_channel -> Obs.Json.t -> unit
+
+(** [recv ic] reads one line and parses it; [Ok None] at end of
+    stream.  Blank lines are skipped. *)
+val recv : in_channel -> (Obs.Json.t option, string) result

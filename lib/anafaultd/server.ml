@@ -1,0 +1,489 @@
+(* The resident campaign server.  Threads, not domains, carry the
+   service structure (connection handlers block on sockets; the
+   simulation itself spawns domains through Parsim underneath the
+   scheduler thread):
+
+     accept loop ──▶ handler thread per connection
+                        │  submit: fingerprint, cache probe, enqueue
+                        ▼
+                    job queue ──▶ scheduler thread
+                                     │ in-process: Campaign.run_local
+                                     │ sharded:   anafault --shard I/N × N
+                                     ▼
+                                  broadcast events, store cache entry
+
+   Identical in-flight submissions coalesce: the second client
+   subscribes to the running job instead of enqueuing a duplicate, so
+   repeated work is deduped even before it reaches the cache. *)
+
+module Campaign = Anafault.Campaign
+module Journal = Anafault.Journal
+module J = Obs.Json
+
+type config = {
+  socket_path : string;
+  work_dir : string;
+  cache_dir : string option;
+  shards : int;
+  worker_exe : string option;
+  obs : Obs.sink;
+  verbose : bool;
+}
+
+let default_config ~socket_path ~work_dir =
+  {
+    socket_path;
+    work_dir;
+    cache_dir = None;
+    shards = 1;
+    worker_exe = None;
+    obs = Obs.null;
+    verbose = false;
+  }
+
+(* One client connection; the write lock serialises the handler's own
+   acknowledgements with the scheduler's event broadcasts. *)
+type sub = { sout : out_channel; swrite : Mutex.t }
+
+type job = {
+  spec : Campaign.spec;
+  compiled : Campaign.compiled;
+  jlock : Mutex.t;
+  jcond : Condition.t;
+  mutable subs : sub list;
+  mutable finished : bool;
+}
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  listen_fd : Unix.file_descr;
+  queue : job Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  (* fingerprint -> queued-or-running job; entries leave only after the
+     job finished, so late twins always coalesce. *)
+  inflight : (string, job) Hashtbl.t;
+  mutable stopping : bool;
+  slock : Mutex.t;
+  mutable jobs : int;
+  mutable cache_hits : int;
+  mutable coalesced : int;
+  mutable faults_simulated : int;
+  mutable shard_runs : int;
+}
+
+let log t fmt =
+  if t.cfg.verbose then
+    Format.kfprintf
+      (fun ppf -> Format.fprintf ppf "@.")
+      Format.err_formatter
+      ("anafaultd: " ^^ fmt)
+  else Format.ifprintf Format.err_formatter fmt
+
+(* --- Event fan-out ----------------------------------------------------- *)
+
+let subscribers job = Mutex.protect job.jlock (fun () -> job.subs)
+
+(* A subscriber whose connection died is dropped; the job carries on
+   for the others (and for the cache). *)
+let broadcast job ev =
+  let json = Campaign.event_to_json ev in
+  List.iter
+    (fun s ->
+      try Mutex.protect s.swrite (fun () -> Protocol.send s.sout json)
+      with _ ->
+        Mutex.protect job.jlock (fun () ->
+            job.subs <- List.filter (fun s' -> s' != s) job.subs))
+    (subscribers job)
+
+let finish job =
+  Mutex.protect job.jlock (fun () ->
+      job.finished <- true;
+      Condition.broadcast job.jcond)
+
+(* --- Job execution ----------------------------------------------------- *)
+
+let journal_path t fp = Filename.concat t.cfg.work_dir (fp ^ ".journal")
+
+(* The journal is the persistence layer: a daemon killed mid-campaign
+   resumes its own partial work on resubmission.  A corrupt or
+   mismatched journal is discarded, not fatal. *)
+let open_journal t fp faults =
+  let path = journal_path t fp in
+  match Journal.start ~path ~fingerprint:fp ~resume:true ~faults with
+  | Ok j -> Ok j
+  | Error _ -> begin
+    (try Sys.remove path with Sys_error _ -> ());
+    Journal.start ~path ~fingerprint:fp ~resume:false ~faults
+  end
+
+let progress_of job total =
+  (* Stream at most ~50 progress events per job, always including the
+     final one. *)
+  let step = max 1 (total / 50) in
+  fun completed t ->
+    if completed = t || completed mod step = 0 then
+      broadcast job (Campaign.Progress { completed; total = t })
+
+let run_in_process t job =
+  let compiled = job.compiled in
+  let fp = compiled.Campaign.fingerprint in
+  let faults = Array.of_list compiled.Campaign.faults in
+  let total = Array.length faults in
+  match open_journal t fp faults with
+  | Error msg -> Error ("journal: " ^ msg)
+  | Ok journal ->
+    Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
+    (match
+       Campaign.run_local ~progress:(progress_of job total) ~journal compiled
+     with
+    | exception Sim.Engine.Sim_error (err, detail) ->
+      Error
+        (Printf.sprintf "nominal simulation failed (%s): %s"
+           (Sim.Engine.error_to_string err) detail)
+    | { Campaign.result; _ } ->
+      let simulated = total - Journal.restored_count journal in
+      Mutex.protect t.slock (fun () ->
+          t.faults_simulated <- t.faults_simulated + simulated);
+      Ok result)
+
+let wait_child exe pid =
+  match snd (Unix.waitpid [] pid) with
+  | Unix.WEXITED 0 -> Ok ()
+  | Unix.WEXITED n -> Error (Printf.sprintf "%s exited with %d" exe n)
+  | Unix.WSIGNALED n -> Error (Printf.sprintf "%s killed by signal %d" exe n)
+  | Unix.WSTOPPED n -> Error (Printf.sprintf "%s stopped by signal %d" exe n)
+
+(* Farm the job to [shards] anafault --shard child processes, each
+   journalling its slice under whole-campaign indices, then merge the
+   shard journals into the campaign journal and rebuild the result from
+   it - no waveform ever crosses a process boundary, only journal
+   lines. *)
+let run_sharded t job exe shards =
+  let compiled = job.compiled in
+  let fp = compiled.Campaign.fingerprint in
+  let faults = Array.of_list compiled.Campaign.faults in
+  let spec_path = Filename.concat t.cfg.work_dir (fp ^ ".spec.json") in
+  let oc = open_out spec_path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      Protocol.send oc (Campaign.spec_to_json job.spec));
+  broadcast job (Campaign.Sharded { shards });
+  let shard_paths =
+    List.init shards (fun i ->
+        Filename.concat t.cfg.work_dir (Printf.sprintf "%s.shard%d.journal" fp i))
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pids =
+    List.mapi
+      (fun i shard_journal ->
+        let argv =
+          [|
+            exe;
+            "--spec";
+            spec_path;
+            "--shard";
+            Campaign.shard_to_string (i, shards);
+            "--journal";
+            shard_journal;
+          |]
+        in
+        Unix.create_process exe argv devnull devnull devnull)
+      shard_paths
+  in
+  let statuses = List.map (wait_child exe) pids in
+  Unix.close devnull;
+  Mutex.protect t.slock (fun () -> t.shard_runs <- t.shard_runs + shards);
+  match List.find_opt Result.is_error statuses with
+  | Some (Error msg) -> Error ("shard worker: " ^ msg)
+  | Some (Ok ()) | None -> begin
+    match
+      Journal.merge ~out:(journal_path t fp) ~fingerprint:fp ~faults
+        shard_paths
+    with
+    | Error msg -> Error ("journal merge: " ^ msg)
+    | Ok merged -> begin
+      Mutex.protect t.slock (fun () ->
+          t.faults_simulated <- t.faults_simulated + merged);
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) shard_paths;
+      match
+        Journal.start ~path:(journal_path t fp) ~fingerprint:fp ~resume:true
+          ~faults
+      with
+      | Error msg -> Error ("merged journal: " ^ msg)
+      | Ok journal ->
+        Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
+        Campaign.result_of_journal compiled journal
+    end
+  end
+
+let execute t job =
+  let fp = job.compiled.Campaign.fingerprint in
+  let total = List.length job.compiled.Campaign.faults in
+  log t "job %s: %d faults" fp total;
+  Obs.span t.cfg.obs "daemon.job"
+    ~attrs:[ ("job", Obs.Str fp); ("faults", Obs.Int total) ]
+  @@ fun _ ->
+  let outcome =
+    match (t.cfg.worker_exe, t.cfg.shards) with
+    | Some exe, shards when shards > 1 && total >= shards ->
+      run_sharded t job exe shards
+    | _ -> run_in_process t job
+  in
+  (match outcome with
+  | Ok result ->
+    Cache.store t.cache fp (Campaign.result_to_json result);
+    Obs.count t.cfg.obs "daemon.jobs_done" 1 ~attrs:[ ("job", Obs.Str fp) ];
+    broadcast job (Campaign.Finished result);
+    log t "job %s: done (%d results)" fp result.Campaign.total
+  | Error message ->
+    Obs.count t.cfg.obs "daemon.jobs_failed" 1 ~attrs:[ ("job", Obs.Str fp) ];
+    broadcast job (Campaign.Failed { message });
+    log t "job %s: failed: %s" fp message);
+  (* Only now may a twin submission start a fresh job (it will hit the
+     cache instead when we succeeded). *)
+  Mutex.protect t.qlock (fun () -> Hashtbl.remove t.inflight fp);
+  finish job
+
+let scheduler t =
+  let rec loop () =
+    let next =
+      Mutex.protect t.qlock @@ fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.stopping then None
+        else begin
+          Condition.wait t.qcond t.qlock;
+          wait ()
+        end
+      in
+      wait ()
+    in
+    match next with
+    | None -> ()
+    | Some job ->
+      (try execute t job
+       with e ->
+         broadcast job
+           (Campaign.Failed { message = "daemon: " ^ Printexc.to_string e });
+         Mutex.protect t.qlock (fun () ->
+             Hashtbl.remove t.inflight job.compiled.Campaign.fingerprint);
+         finish job);
+      loop ()
+  in
+  loop ()
+
+(* --- Connection handling ----------------------------------------------- *)
+
+let stats_json t =
+  Mutex.protect t.slock @@ fun () ->
+  Protocol.stats_to_json ~jobs:t.jobs ~cache_hits:t.cache_hits
+    ~coalesced:t.coalesced ~faults_simulated:t.faults_simulated
+    ~shard_runs:t.shard_runs
+
+let send_event sub ev =
+  Mutex.protect sub.swrite (fun () ->
+      Protocol.send sub.sout (Campaign.event_to_json ev))
+
+let handle_submit t sub spec =
+  (* Compile once to learn the fingerprint, then re-scope the config's
+     telemetry sink so every event of this job carries it. *)
+  match Campaign.compile ~obs:t.cfg.obs spec with
+  | Error message -> send_event sub (Campaign.Failed { message })
+  | Ok compiled ->
+    let fp = compiled.Campaign.fingerprint in
+    let obs = Obs.tagged t.cfg.obs [ ("job", Obs.Str fp) ] in
+    let compiled =
+      {
+        compiled with
+        Campaign.config = { compiled.Campaign.config with Anafault.Simulate.obs };
+      }
+    in
+    let faults = Array.of_list compiled.Campaign.faults in
+    send_event sub
+      (Campaign.Accepted { fingerprint = fp; total = Array.length faults });
+    let cached =
+      match Cache.find t.cache fp with
+      | None -> None
+      | Some json -> begin
+        match Campaign.result_of_json ~faults json with
+        | Ok result -> Some { result with Campaign.cached = true }
+        | Error _ -> None (* stale or torn entry: treat as a miss *)
+      end
+    in
+    match cached with
+    | Some result ->
+      Mutex.protect t.slock (fun () -> t.cache_hits <- t.cache_hits + 1);
+      Obs.count t.cfg.obs "daemon.cache_hit" 1 ~attrs:[ ("job", Obs.Str fp) ];
+      log t "job %s: cache hit" fp;
+      send_event sub (Campaign.Cache_hit { fingerprint = fp });
+      send_event sub (Campaign.Finished result)
+    | None -> begin
+      let job =
+        Mutex.protect t.qlock @@ fun () ->
+        if t.stopping then None (* the scheduler may already be gone *)
+        else begin
+          match Hashtbl.find_opt t.inflight fp with
+          | Some job ->
+            (* Same campaign already queued or running: subscribe. *)
+            Mutex.protect job.jlock (fun () -> job.subs <- sub :: job.subs);
+            Mutex.protect t.slock (fun () -> t.coalesced <- t.coalesced + 1);
+            Obs.count t.cfg.obs "daemon.coalesced" 1
+              ~attrs:[ ("job", Obs.Str fp) ];
+            Some job
+          | None ->
+            let job =
+              {
+                spec;
+                compiled;
+                jlock = Mutex.create ();
+                jcond = Condition.create ();
+                subs = [ sub ];
+                finished = false;
+              }
+            in
+            Hashtbl.replace t.inflight fp job;
+            Queue.push job t.queue;
+            Mutex.protect t.slock (fun () -> t.jobs <- t.jobs + 1);
+            Condition.signal t.qcond;
+            Some job
+        end
+      in
+      match job with
+      | None ->
+        send_event sub (Campaign.Failed { message = "daemon is shutting down" })
+      | Some job ->
+        (* Hold the connection until the job finished; the scheduler
+           streams the events. *)
+        Mutex.protect job.jlock (fun () ->
+            while not job.finished do
+              Condition.wait job.jcond job.jlock
+            done)
+    end
+
+let request_shutdown t =
+  Mutex.protect t.qlock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.qcond);
+  (* Wake the accept loop: shutting the listening socket down unblocks
+     a pending accept on Linux; the throwaway connection covers
+     platforms where it does not (closing the fd from another thread
+     would NOT interrupt a blocked accept). *)
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let handle_client t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let sub = { sout = oc; swrite = Mutex.create () } in
+  let rec loop () =
+    match Protocol.recv ic with
+    | Ok None | Error _ -> ()
+    | Ok (Some json) -> begin
+      match Protocol.request_of_json json with
+      | Error message ->
+        send_event sub (Campaign.Failed { message });
+        loop ()
+      | Ok (Protocol.Submit spec) ->
+        handle_submit t sub spec;
+        loop ()
+      | Ok Protocol.Stats ->
+        Mutex.protect sub.swrite (fun () -> Protocol.send oc (stats_json t));
+        loop ()
+      | Ok Protocol.Ping ->
+        Mutex.protect sub.swrite (fun () -> Protocol.send oc Protocol.ok);
+        loop ()
+      | Ok Protocol.Shutdown ->
+        Mutex.protect sub.swrite (fun () -> Protocol.send oc Protocol.ok);
+        log t "shutdown requested";
+        request_shutdown t
+    end
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- Lifecycle --------------------------------------------------------- *)
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (dir ^ " exists and is not a directory")
+  else begin
+    match Unix.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (dir ^ ": " ^ Unix.error_message err)
+  end
+
+let ( let* ) = Result.bind
+
+let run cfg =
+  let* () = ensure_dir cfg.work_dir in
+  let cache_dir =
+    Option.value cfg.cache_dir ~default:(Filename.concat cfg.work_dir "cache")
+  in
+  let* cache = Cache.create ~dir:cache_dir in
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path) with
+  | exception Unix.Unix_error (err, _, _) ->
+    Unix.close listen_fd;
+    Error (cfg.socket_path ^ ": " ^ Unix.error_message err)
+  | () ->
+    Unix.listen listen_fd 16;
+    let previous_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    let t =
+      {
+        cfg;
+        cache;
+        listen_fd;
+        queue = Queue.create ();
+        qlock = Mutex.create ();
+        qcond = Condition.create ();
+        inflight = Hashtbl.create 8;
+        stopping = false;
+        slock = Mutex.create ();
+        jobs = 0;
+        cache_hits = 0;
+        coalesced = 0;
+        faults_simulated = 0;
+        shard_runs = 0;
+      }
+    in
+    log t "listening on %s (cache %s, shards %d)" cfg.socket_path cache_dir
+      cfg.shards;
+    let scheduler_thread = Thread.create scheduler t in
+    let handlers = ref [] in
+    let rec accept_loop () =
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error _ -> () (* shut down *)
+      | fd, _ ->
+        if Mutex.protect t.qlock (fun () -> t.stopping) then
+          (* The wake-up connection of request_shutdown, or a client
+             racing the shutdown: refuse it. *)
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        else begin
+          handlers := Thread.create (handle_client t) fd :: !handlers;
+          accept_loop ()
+        end
+    in
+    accept_loop ();
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* Drain: no new connections arrive; finish what is queued. *)
+    List.iter Thread.join !handlers;
+    Mutex.protect t.qlock (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.qcond);
+    Thread.join scheduler_thread;
+    (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+    Option.iter (Sys.set_signal Sys.sigpipe) previous_sigpipe;
+    log t "stopped";
+    Ok ()

@@ -1,0 +1,40 @@
+(** The anafaultd campaign server: a resident engine that accepts
+    campaign jobs over a Unix-domain socket ({!Protocol}), runs them
+    through the shared {!Anafault.Campaign} machinery, and answers
+    repeat submissions from a content-addressed result cache
+    ({!Cache}, keyed on the campaign fingerprint).
+
+    Structure: one accept loop, one connection-handler thread per
+    client, one scheduler thread draining a FIFO job queue.  Identical
+    in-flight submissions coalesce - a second client submitting the
+    fingerprint currently queued or running subscribes to the same job
+    instead of enqueuing a duplicate.  Every job's telemetry is scoped
+    with a [job] attribute carrying its fingerprint ({!Obs.tagged}).
+
+    Jobs persist through the campaign journal: an in-process job
+    journals to [<work_dir>/<fingerprint>.journal] (resuming it if a
+    previous daemon died mid-campaign), and with [shards > 1] the job
+    is split across [anafault --shard I/N] child processes whose
+    per-shard journals are merged ({!Anafault.Journal.merge}) into the
+    same campaign journal the in-process path writes. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket to listen on *)
+  work_dir : string;  (** journals, shard specs, and the default cache *)
+  cache_dir : string option;  (** result cache root; [None]: work_dir/cache *)
+  shards : int;
+      (** > 1: split each job across this many worker processes *)
+  worker_exe : string option;
+      (** the [anafault] binary used for [--shard] children; required
+          when [shards > 1] *)
+  obs : Obs.sink;  (** daemon telemetry (per-job scoped via {!Obs.tagged}) *)
+  verbose : bool;  (** log accepts, jobs and cache traffic to stderr *)
+}
+
+val default_config : socket_path:string -> work_dir:string -> config
+
+(** [run config] binds the socket and serves until a client sends a
+    [shutdown] request.  Returns [Error] when the socket cannot be
+    bound or the work directory cannot be created.  SIGPIPE is ignored
+    for the lifetime of the call (clients may vanish mid-stream). *)
+val run : config -> (unit, string) result

@@ -50,7 +50,11 @@ type buffered = {
   key : dstate Domain.DLS.key;
 }
 
-type sink = Null | Buffered of buffered | Tee of sink list
+type sink =
+  | Null
+  | Buffered of buffered
+  | Tee of sink list
+  | Tagged of attrs * sink
 
 let buffered out =
   let mutex = Mutex.create () in
@@ -77,6 +81,23 @@ let rec enabled = function
   | Null -> false
   | Buffered _ -> true
   | Tee sinks -> List.exists enabled sinks
+  | Tagged (_, s) -> enabled s
+
+let tagged sink attrs =
+  if attrs = [] || not (enabled sink) then sink else Tagged (attrs, sink)
+
+(* Scope attributes ride behind the event's own: an event that sets the
+   same key explicitly wins on an assoc lookup. *)
+let retag tag ev =
+  if tag = [] then ev
+  else
+    match ev with
+    | Span { name; domain; start; dur; parent; attrs } ->
+      Span { name; domain; start; dur; parent; attrs = attrs @ tag }
+    | Count { name; domain; time; n; attrs } ->
+      Count { name; domain; time; n; attrs = attrs @ tag }
+    | Sample { name; domain; time; v; attrs } ->
+      Sample { name; domain; time; v; attrs = attrs @ tag }
 
 let dstate b = Domain.DLS.get b.key
 
@@ -87,6 +108,7 @@ let rec push sink ev =
     let st = dstate b in
     st.events <- ev :: st.events
   | Tee sinks -> List.iter (fun s -> push s ev) sinks
+  | Tagged (tag, s) -> push s (retag tag ev)
 
 let count sink ?(attrs = []) name n =
   if enabled sink then
@@ -108,16 +130,17 @@ let span sink ?(attrs = []) name f =
   if not (enabled sink) then f No_span
   else begin
     let handle = Live { extra = [] } in
-    let rec enter = function
+    let rec enter tag = function
       | Null -> []
       | Buffered b ->
         let st = dstate b in
         let parent = match st.stack with [] -> None | p :: _ -> Some p in
         st.stack <- name :: st.stack;
-        [ (b, st, parent) ]
-      | Tee sinks -> List.concat_map enter sinks
+        [ (st, parent, tag) ]
+      | Tee sinks -> List.concat_map (enter tag) sinks
+      | Tagged (t, s) -> enter (tag @ t) s
     in
-    let entered = enter sink in
+    let entered = enter [] sink in
     let t0 = Clock.now () in
     let finish error =
       let dur = Clock.now () -. t0 in
@@ -128,10 +151,11 @@ let span sink ?(attrs = []) name f =
         | Some msg -> ("error", Str msg) :: extra @ attrs
       in
       List.iter
-        (fun (_, st, parent) ->
+        (fun (st, parent, tag) ->
           (match st.stack with _ :: tl -> st.stack <- tl | [] -> ());
           st.events <-
-            Span { name; domain = st.dom; start = t0; dur; parent; attrs }
+            Span
+              { name; domain = st.dom; start = t0; dur; parent; attrs = attrs @ tag }
             :: st.events)
         entered
     in
@@ -623,3 +647,4 @@ let rec drain sink =
     (match List.find_opt (fun (s, _) -> enabled s) drained with
     | Some (_, evs) -> evs
     | None -> [])
+  | Tagged (_, s) -> drain s

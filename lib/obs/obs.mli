@@ -73,6 +73,14 @@ val console : Format.formatter -> sink
     and returns the first non-null component's events. *)
 val tee : sink list -> sink
 
+(** [tagged sink attrs] scopes a sink: every event emitted through the
+    returned sink carries [attrs] in addition to its own (the event's
+    own attributes ride first, so they win an assoc lookup on a shared
+    key).  The daemon uses this to stamp each job's telemetry with the
+    job fingerprint, so one shared sink still yields per-job streams.
+    Wrapping {!null} (or an empty [attrs]) is the identity. *)
+val tagged : sink -> attrs -> sink
+
 (** [false] only for {!null} (and a tee of nulls): the guard hot call
     sites use to skip attribute construction. *)
 val enabled : sink -> bool

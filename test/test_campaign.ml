@@ -1,0 +1,445 @@
+(* Tests for the first-class Campaign API and the anafaultd service:
+   JSON codec round-trips (options, specs, events, results), the pinned
+   campaign fingerprint, the unified failure string codec, shard /
+   journal-merge equivalence with an unsharded run, and an in-process
+   daemon submit / cache-hit round trip. *)
+
+module Campaign = Anafault.Campaign
+module Journal = Anafault.Journal
+module Outcome = Anafault.Outcome
+module Protocol = Anafaultd.Protocol
+module J = Obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let ok what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+(* The NMOS-inverter campaign of test_anafault, with the .tran card in
+   the deck so the whole campaign travels as one spec. *)
+let deck_text =
+  "inv\nVDD vdd 0 5\nVIN in 0 PULSE(0 5 0 10n 10n 1u 2u)\nRD vdd out 10k\n"
+  ^ "M1 out in 0 0 NM W=20u L=1u\n.model NM NMOS VTO=1 KP=60u\n"
+  ^ ".tran 10n 4u UIC\n.end\n"
+
+let fixture_faults =
+  [
+    Faults.Fault.make ~id:"#1"
+      ~kind:(Faults.Fault.Bridge { net_a = "out"; net_b = "vdd" })
+      ~mechanism:"metal1_short" ~prob:1e-7 ();
+    Faults.Fault.make ~id:"#2"
+      ~kind:
+        (Faults.Fault.Break
+           {
+             net = "in";
+             moved = [ { Faults.Fault.device = "M1"; port = 1 } ];
+           })
+      ~mechanism:"poly_open" ~prob:1e-8 ();
+    (* Shorting out to itself - no electrical change, never detected. *)
+    Faults.Fault.make ~id:"#3"
+      ~kind:(Faults.Fault.Bridge { net_a = "out"; net_b = "out" })
+      ~mechanism:"metal1_short" ~prob:1e-9 ();
+  ]
+
+let spec =
+  {
+    Campaign.deck = deck_text;
+    observed = Some "out";
+    faults = Faults.Fault_list.to_string fixture_faults;
+    options = Campaign.default_options;
+  }
+
+let compile () = ok "compile" (Campaign.compile spec)
+
+let fault_array () = Array.of_list (compile ()).Campaign.faults
+
+let temp_path suffix =
+  let path = Filename.temp_file "campaign" suffix in
+  Sys.remove path;
+  path
+
+(* --- Codec round trips ------------------------------------------------- *)
+
+let codec_tests =
+  [
+    Alcotest.test_case "default options round-trip" `Quick (fun () ->
+        let opts = Campaign.default_options in
+        let back =
+          ok "options_of_json" (Campaign.options_of_json (Campaign.options_to_json opts))
+        in
+        check_bool "equal" true (back = opts));
+    Alcotest.test_case "CLI-built options round-trip" `Quick (fun () ->
+        let opts =
+          ok "options_of_cli"
+            (Campaign.options_of_cli ~model:"resistor" ~solver:"sparse"
+               ~tol_v:1.5 ~tol_t:0.3e-6 ~retries:"swap-model,cut-tstep=0.25"
+               ~samples:200 ~domains:3 ~batch:4 ~budget_iters:1000
+               ~budget_steps:5000 ~budget_seconds:2.5 ())
+        in
+        let back =
+          ok "options_of_json" (Campaign.options_of_json (Campaign.options_to_json opts))
+        in
+        check_bool "equal" true (back = opts);
+        check_int "domains" 3 back.Campaign.domains;
+        check_bool "resistor model" true
+          (match back.Campaign.model with
+          | Faults.Inject.Resistor _ -> true
+          | Faults.Inject.Source -> false));
+    Alcotest.test_case "options_of_cli rejects bad input" `Quick (fun () ->
+        check_bool "bad model" true
+          (Result.is_error (Campaign.options_of_cli ~model:"wires" ()));
+        check_bool "bad solver" true
+          (Result.is_error (Campaign.options_of_cli ~solver:"quantum" ()));
+        check_bool "bad retries" true
+          (Result.is_error (Campaign.options_of_cli ~retries:"warp-time" ())));
+    Alcotest.test_case "missing options fields take defaults" `Quick (fun () ->
+        let back = ok "options_of_json" (Campaign.options_of_json (J.Obj [])) in
+        check_bool "defaults" true (back = Campaign.default_options));
+    Alcotest.test_case "config round-trips through options" `Quick (fun () ->
+        let compiled = compile () in
+        let opts = Campaign.options_of_config compiled.Campaign.config in
+        check_bool "projects back" true (opts = spec.Campaign.options));
+    Alcotest.test_case "spec round-trip (explicit observed)" `Quick (fun () ->
+        let back = ok "spec_of_json" (Campaign.spec_of_json (Campaign.spec_to_json spec)) in
+        check_bool "equal" true (back = spec));
+    Alcotest.test_case "spec round-trip (default observed)" `Quick (fun () ->
+        let s = { spec with Campaign.observed = None } in
+        let back = ok "spec_of_json" (Campaign.spec_of_json (Campaign.spec_to_json s)) in
+        check_bool "equal" true (back = s));
+    Alcotest.test_case "request round-trip" `Quick (fun () ->
+        List.iter
+          (fun req ->
+            let back =
+              ok "request_of_json" (Protocol.request_of_json (Protocol.request_to_json req))
+            in
+            check_bool "equal" true (back = req))
+          [ Protocol.Submit spec; Protocol.Stats; Protocol.Ping; Protocol.Shutdown ]);
+    Alcotest.test_case "event round-trips" `Quick (fun () ->
+        let faults = fault_array () in
+        List.iter
+          (fun ev ->
+            let back =
+              ok "event_of_json" (Campaign.event_of_json ~faults (Campaign.event_to_json ev))
+            in
+            check_bool "equal" true (back = ev))
+          [
+            Campaign.Accepted { fingerprint = "abc123"; total = 3 };
+            Campaign.Progress { completed = 1; total = 3 };
+            Campaign.Cache_hit { fingerprint = "abc123" };
+            Campaign.Sharded { shards = 4 };
+            Campaign.Failed { message = "no such node" };
+          ]);
+    Alcotest.test_case "campaign result round-trips" `Quick (fun () ->
+        let compiled = compile () in
+        let { Campaign.result; _ } = Campaign.run_local compiled in
+        let faults = fault_array () in
+        let back =
+          ok "result_of_json" (Campaign.result_of_json ~faults (Campaign.result_to_json result))
+        in
+        check_string "fingerprint" result.Campaign.fingerprint back.Campaign.fingerprint;
+        check_int "total" result.Campaign.total back.Campaign.total;
+        check_bool "wall clock survives" true
+          (back.Campaign.wall_seconds = result.Campaign.wall_seconds);
+        check_string "same detection table"
+          (Anafault.Report.csv_of_results result.Campaign.results)
+          (Anafault.Report.csv_of_results back.Campaign.results);
+        let d, u, f = Campaign.tally back in
+        check_int "detected" 2 d;
+        check_int "undetected" 1 u;
+        check_int "failed" 0 f);
+  ]
+
+(* --- Fingerprint pinning ----------------------------------------------- *)
+
+(* The campaign fingerprint is the content address of every cache entry
+   and journal; silent drift would orphan them all.  This golden value
+   may only change with a deliberate fingerprint-format bump. *)
+let pinned_fingerprint = "90ab90579a2ba02d2ee8cc968aa5ab1b"
+
+let fingerprint_tests =
+  [
+    Alcotest.test_case "compiled fingerprint matches the pinned golden" `Quick
+      (fun () ->
+        check_string "fingerprint" pinned_fingerprint
+          (compile ()).Campaign.fingerprint);
+    Alcotest.test_case "fingerprint ignores schedule knobs" `Quick (fun () ->
+        let wide =
+          {
+            spec with
+            Campaign.options =
+              { spec.Campaign.options with Campaign.domains = 7; batch = 5 };
+          }
+        in
+        check_string "same" pinned_fingerprint
+          (ok "compile" (Campaign.compile wide)).Campaign.fingerprint);
+    Alcotest.test_case "fingerprint tracks electrical options" `Quick (fun () ->
+        let tighter =
+          {
+            spec with
+            Campaign.options =
+              {
+                spec.Campaign.options with
+                Campaign.tolerance = { Anafault.Detect.tol_v = 0.5; tol_t = 1e-7 };
+              };
+          }
+        in
+        check_bool "different" true
+          ((ok "compile" (Campaign.compile tighter)).Campaign.fingerprint
+          <> pinned_fingerprint));
+  ]
+
+(* --- Compile validation ------------------------------------------------ *)
+
+let compile_tests =
+  [
+    Alcotest.test_case "missing .tran is an error" `Quick (fun () ->
+        let without line text =
+          String.split_on_char '\n' text
+          |> List.filter (fun l -> l <> line)
+          |> String.concat "\n"
+        in
+        let s = { spec with Campaign.deck = without ".tran 10n 4u UIC" deck_text } in
+        check_bool "error" true (Result.is_error (Campaign.compile s)));
+    Alcotest.test_case "unknown observed node is an error" `Quick (fun () ->
+        let s = { spec with Campaign.observed = Some "ghost" } in
+        check_bool "error" true (Result.is_error (Campaign.compile s)));
+    Alcotest.test_case "garbage deck is an error, not an exception" `Quick (fun () ->
+        let s = { spec with Campaign.deck = "inv\nQQ what is this\n.end\n" } in
+        check_bool "error" true (Result.is_error (Campaign.compile s)));
+    Alcotest.test_case "garbage fault list is an error, not an exception" `Quick
+      (fun () ->
+        let s = { spec with Campaign.faults = "#1 blah BLAH x y\n" } in
+        check_bool "error" true (Result.is_error (Campaign.compile s)));
+  ]
+
+(* --- Failure string codec ---------------------------------------------- *)
+
+let failure_tests =
+  [
+    Alcotest.test_case "failure strings round-trip" `Quick (fun () ->
+        List.iter
+          (fun failure ->
+            let s = Outcome.failure_to_string failure in
+            match Outcome.failure_of_string s with
+            | Error msg -> Alcotest.failf "%s: %s" s msg
+            | Ok back -> check_bool s true (back = failure))
+          [
+            Outcome.Dc_no_convergence "";
+            Outcome.Dc_no_convergence "dc failed at t=0";
+            Outcome.Tran_step_underflow "h=1e-21";
+            Outcome.Singular_matrix "pivot 3";
+            Outcome.Bad_injection "no device M9";
+            Outcome.Budget_exceeded "1000 iterations";
+            Outcome.Crashed "Stack_overflow";
+          ]);
+    Alcotest.test_case "detail with colons survives" `Quick (fun () ->
+        let f = Outcome.Crashed "Failure: nested: detail" in
+        check_bool "round trip" true
+          (Outcome.failure_of_string (Outcome.failure_to_string f) = Ok f));
+    Alcotest.test_case "unknown kind is an error" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Outcome.failure_of_string "gremlins: in the matrix")));
+  ]
+
+(* --- Sharding and journal merge ---------------------------------------- *)
+
+let shard_tests =
+  [
+    Alcotest.test_case "shard strings round-trip" `Quick (fun () ->
+        check_string "print" "1/4" (Campaign.shard_to_string (1, 4));
+        check_bool "parse" true (Campaign.shard_of_string "1/4" = Ok (1, 4));
+        check_bool "reject shape" true (Result.is_error (Campaign.shard_of_string "3"));
+        check_bool "reject range" true
+          (Result.is_error (Campaign.shard_of_string "4/4"));
+        check_bool "reject zero" true
+          (Result.is_error (Campaign.shard_of_string "0/0")));
+    Alcotest.test_case "shard indices partition the campaign" `Quick (fun () ->
+        let total = 11 in
+        List.iter
+          (fun count ->
+            let slices =
+              List.init count (fun index ->
+                  Campaign.shard_indices ~shard:(index, count) ~total)
+            in
+            let all = List.sort compare (List.concat slices) in
+            check_bool
+              (Printf.sprintf "%d-way partition" count)
+              true
+              (all = List.init total Fun.id))
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "sharded journals merge into the unsharded campaign" `Slow
+      (fun () ->
+        let compiled = compile () in
+        let faults = fault_array () in
+        let total = Array.length faults in
+        (* The unsharded reference: run locally, keep the detection CSV. *)
+        let { Campaign.result = serial; _ } = Campaign.run_local compiled in
+        let serial_csv = Anafault.Report.csv_of_results serial.Campaign.results in
+        List.iter
+          (fun count ->
+            let label = Printf.sprintf "%d-way" count in
+            let shard_paths =
+              List.init count (fun i -> temp_path (Printf.sprintf ".shard%d" i))
+            in
+            List.iteri
+              (fun i path ->
+                let simulated =
+                  ok (label ^ " run_shard")
+                    (Campaign.run_shard ~journal_path:path ~shard:(i, count)
+                       compiled)
+                in
+                check_int
+                  (Printf.sprintf "%s shard %d simulates its slice" label i)
+                  (List.length
+                     (Campaign.shard_indices ~shard:(i, count) ~total))
+                  simulated)
+              shard_paths;
+            let merged_path = temp_path ".merged" in
+            let merged_count =
+              ok (label ^ " merge")
+                (Journal.merge ~out:merged_path
+                   ~fingerprint:compiled.Campaign.fingerprint ~faults
+                   shard_paths)
+            in
+            check_int (label ^ " merge holds every fault") total merged_count;
+            (* Interchangeable with a serial journal: resuming the
+               unsharded campaign from it restores everything - zero
+               faults left to simulate. *)
+            let journal =
+              ok (label ^ " reopen")
+                (Journal.start ~path:merged_path
+                   ~fingerprint:compiled.Campaign.fingerprint ~resume:true
+                   ~faults)
+            in
+            check_int (label ^ " fully restored") total
+              (Journal.restored_count journal);
+            let merged_result =
+              ok (label ^ " result_of_journal")
+                (Campaign.result_of_journal compiled journal)
+            in
+            Journal.close journal;
+            (* Byte-identical detection table. *)
+            check_string (label ^ " detection CSV") serial_csv
+              (Anafault.Report.csv_of_results merged_result.Campaign.results);
+            List.iter Sys.remove shard_paths;
+            Sys.remove merged_path)
+          [ 1; 2; 4 ]);
+  ]
+
+(* --- The daemon, in process -------------------------------------------- *)
+
+let daemon_socket_dir () =
+  (* sun_path is ~108 chars; build a short path under the system temp
+     dir rather than anywhere near _build. *)
+  let dir = Filename.temp_file "anafd" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec try_connect attempts =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ when attempts > 0 ->
+      Thread.delay 0.05;
+      try_connect (attempts - 1)
+  in
+  try_connect 100
+
+let drain_events ~faults ic =
+  let rec loop acc =
+    match ok "recv" (Protocol.recv ic) with
+    | None -> Alcotest.fail "daemon closed the stream early"
+    | Some json -> begin
+      match ok "event" (Campaign.event_of_json ~faults json) with
+      | (Campaign.Finished _ | Campaign.Failed _) as ev -> List.rev (ev :: acc)
+      | ev -> loop (ev :: acc)
+    end
+  in
+  loop []
+
+let submit_and_wait ~faults path =
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Protocol.send oc (Protocol.request_to_json (Protocol.Submit spec));
+  drain_events ~faults ic
+
+let one_shot path request =
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Protocol.send oc (Protocol.request_to_json request);
+  match ok "recv" (Protocol.recv ic) with
+  | Some json -> json
+  | None -> Alcotest.fail "daemon closed the connection without replying"
+
+let daemon_tests =
+  [
+    Alcotest.test_case "submit, cache hit, stats, shutdown" `Slow (fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let cfg =
+          Anafaultd.Server.default_config ~socket_path
+            ~work_dir:(Filename.concat dir "work")
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let faults = fault_array () in
+        (* First submission simulates. *)
+        let events = submit_and_wait ~faults socket_path in
+        let finished = function
+          | Campaign.Finished r -> Some r
+          | _ -> None
+        in
+        let first =
+          match List.filter_map finished events with
+          | [ r ] -> r
+          | _ -> Alcotest.fail "expected exactly one Finished event"
+        in
+        check_bool "first run is not cached" false first.Campaign.cached;
+        check_bool "accepted preceded it" true
+          (List.exists (function Campaign.Accepted _ -> true | _ -> false) events);
+        (* Second submission of the same spec is served from the cache. *)
+        let events2 = submit_and_wait ~faults socket_path in
+        check_bool "cache hit announced" true
+          (List.exists (function Campaign.Cache_hit _ -> true | _ -> false) events2);
+        let second =
+          match List.filter_map finished events2 with
+          | [ r ] -> r
+          | _ -> Alcotest.fail "expected exactly one Finished event"
+        in
+        check_bool "second run is cached" true second.Campaign.cached;
+        check_string "identical detection tables"
+          (Anafault.Report.csv_of_results first.Campaign.results)
+          (Anafault.Report.csv_of_results second.Campaign.results);
+        (* Counters saw one job and one cache hit. *)
+        (match one_shot socket_path Protocol.Stats with
+        | J.Obj fields ->
+          check_bool "one job" true (List.assoc "jobs" fields = J.Int 1);
+          check_bool "one cache hit" true
+            (List.assoc "cache_hits" fields = J.Int 1)
+        | _ -> Alcotest.fail "stats: expected an object");
+        (* Shutdown stops the server thread. *)
+        (match one_shot socket_path Protocol.Shutdown with
+        | J.Obj [ ("ok", J.Bool true) ] -> ()
+        | _ -> Alcotest.fail "shutdown: expected ok");
+        Thread.join server);
+  ]
+
+let suites =
+  [
+    ("campaign codecs", codec_tests);
+    ("campaign fingerprint", fingerprint_tests);
+    ("campaign compile", compile_tests);
+    ("failure codec", failure_tests);
+    ("campaign sharding", shard_tests);
+    ("anafaultd", daemon_tests);
+  ]
