@@ -27,10 +27,16 @@
    Remote mode: --remote SOCKET submits the campaign to a running
    anafaultd daemon instead of simulating in-process, streaming its
    progress events and rendering the same detection table the local
-   path prints.  --remote-stats / --remote-shutdown query and stop the
-   daemon.  --spec FILE replaces CIRCUIT/--faults with a saved
-   Campaign.spec JSON file; --shard I/N (with --spec and --journal) is
-   the worker mode anafaultd farms sharded jobs to.
+   path prints.  The client is resilient: lost connections, read
+   timeouts (--remote-timeout) and queue-full rejections reconnect and
+   resubmit with exponential backoff (--remote-retries,
+   --remote-backoff); resubmission is idempotent by campaign
+   fingerprint.  --client names the submitter for the daemon's quota.
+   --remote-stats / --remote-shutdown query and stop the daemon.
+   --spec FILE replaces CIRCUIT/--faults with a saved Campaign.spec
+   JSON file; --shard I/N (with --spec and --journal) is the worker
+   mode anafaultd farms sharded jobs to (--resume salvages a previous
+   life's shard journal).
 
    Exit codes: 0 success; 1 usage errors, a failed nominal simulation,
    or a campaign in which every fault failed; 3 a campaign stopped by
@@ -49,24 +55,50 @@ let fail fmt = Format.kasprintf (fun msg -> Format.eprintf "error: %s@." msg; 1)
 
 (* --- Remote plumbing --------------------------------------------------- *)
 
-let connect socket_path =
+(* How the client survives a flaky daemon: [retries] reconnections with
+   exponential backoff from [backoff] seconds (jittered, capped), a
+   per-read [timeout], and a [client] name for the daemon's quota
+   accounting.  Resubmission is idempotent - the campaign fingerprint
+   coalesces with a still-running job or hits the result cache. *)
+type remote_opts = {
+  retries : int;
+  backoff : float;
+  timeout : float; (* seconds; 0 = wait forever *)
+  client : string option;
+}
+
+(* With SIGPIPE at its default, a daemon dying mid-stream kills the
+   client; ignored, the write fails as an error we can retry on. *)
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ -> ()
+
+let backoff_delay opts attempt =
+  let base = opts.backoff *. (2.0 ** float_of_int attempt) in
+  Float.min base 2.0 *. (0.5 +. Random.float 0.5)
+
+let connect ?(timeout = 0.0) socket_path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  match
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    if timeout > 0.0 then Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+  with
   | () -> Ok fd
   | exception Unix.Unix_error (err, _, _) ->
     Unix.close fd;
     Error (Printf.sprintf "%s: %s" socket_path (Unix.error_message err))
 
-let with_daemon socket_path f =
-  match connect socket_path with
+let with_daemon ?timeout socket_path f =
+  match connect ?timeout socket_path with
   | Error msg -> fail "%s" msg
   | Ok fd ->
     Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     @@ fun () -> f (Unix.in_channel_of_descr fd) (Unix.out_channel_of_descr fd)
 
 (* One-shot requests (stats, shutdown): print the daemon's reply. *)
-let remote_request socket_path request =
-  with_daemon socket_path @@ fun ic oc ->
+let remote_request ?timeout socket_path request =
+  ignore_sigpipe ();
+  with_daemon ?timeout socket_path @@ fun ic oc ->
   Protocol.send oc (Protocol.request_to_json request);
   match Protocol.recv ic with
   | Ok (Some json) ->
@@ -100,49 +132,105 @@ let code_of_results (results : Anafault.Outcome.fault_result list) =
   end
   else 0
 
-let run_remote socket_path (spec : Campaign.spec) csv_file =
+(* Submit with retries.  One attempt is connect + submit + stream; a
+   lost connection, read timeout or queue_full rejection reconnects and
+   resubmits after a backoff - the fingerprint makes that idempotent
+   (the daemon coalesces with the still-running job, or answers from
+   the cache when it finished while we were away).  A quota_exceeded
+   rejection or a typed campaign failure is terminal. *)
+let run_remote opts socket_path (spec : Campaign.spec) csv_file =
+  ignore_sigpipe ();
   let faults = Array.of_list (Faults.Fault_list.of_string spec.Campaign.faults) in
-  with_daemon socket_path @@ fun ic oc ->
-  Protocol.send oc (Protocol.request_to_json (Protocol.Submit spec));
-  let rec stream () =
-    match Protocol.recv ic with
-    | Ok None -> fail "daemon closed the stream before the campaign finished"
-    | Error msg -> fail "%s" msg
-    | Ok (Some json) -> begin
-      match Campaign.event_of_json ~faults json with
-      | Error msg -> fail "%s" msg
-      | Ok (Campaign.Accepted { fingerprint; total }) ->
-        Format.printf "accepted as %s (%d faults)@." fingerprint total;
-        stream ()
-      | Ok (Campaign.Progress { completed; total }) ->
-        Format.eprintf "progress: %d/%d@." completed total;
-        stream ()
-      | Ok (Campaign.Sharded { shards }) ->
-        Format.printf "sharded across %d worker processes@." shards;
-        stream ()
-      | Ok (Campaign.Cache_hit _) ->
-        Format.printf "served from the result cache (no simulation run)@.";
-        stream ()
-      | Ok (Campaign.Failed { message }) -> fail "%s" message
-      | Ok (Campaign.Finished result) ->
-        Format.printf "%a@." Anafault.Report.pp_results result.Campaign.results;
-        let detected, undetected, failed = Campaign.tally result in
-        Format.printf "@.%d detected, %d undetected, %d failed%s@." detected
-          undetected failed
-          (if result.Campaign.cached then " (cached)" else "");
-        Option.iter (fun path -> write_csv path result.Campaign.results) csv_file;
-        code_of_results result.Campaign.results
-    end
+  let attempt () =
+    match connect ~timeout:opts.timeout socket_path with
+    | Error msg -> `Retry msg
+    | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let rec stream () =
+        match Protocol.recv ic with
+        | Ok None -> `Retry "daemon closed the stream before the campaign finished"
+        | Error msg -> `Done (fail "%s" msg)
+        | Ok (Some json) -> begin
+          match Protocol.rejected_of_json json with
+          | Error msg -> `Done (fail "%s" msg)
+          | Ok (Some (Protocol.Queue_full, msg)) -> `Retry ("rejected: " ^ msg)
+          | Ok (Some (Protocol.Quota_exceeded, msg)) ->
+            `Done (fail "rejected: %s" msg)
+          | Ok None -> begin
+            match Campaign.event_of_json ~faults json with
+            | Error msg -> `Done (fail "%s" msg)
+            | Ok (Campaign.Accepted { fingerprint; total }) ->
+              Format.printf "accepted as %s (%d faults)@." fingerprint total;
+              stream ()
+            | Ok (Campaign.Progress { completed; total }) ->
+              Format.eprintf "progress: %d/%d@." completed total;
+              stream ()
+            | Ok (Campaign.Sharded { shards }) ->
+              Format.printf "sharded across %d worker processes@." shards;
+              stream ()
+            | Ok (Campaign.Shard_restarted { shard; attempt }) ->
+              Format.eprintf "shard %d died; daemon restart %d@." shard attempt;
+              stream ()
+            | Ok (Campaign.Shard_lost { shard; salvaged; lost }) ->
+              Format.eprintf
+                "shard %d lost: %d results salvaged, %d faults marked crashed@."
+                shard salvaged lost;
+              stream ()
+            | Ok (Campaign.Cache_hit _) ->
+              Format.printf "served from the result cache (no simulation run)@.";
+              stream ()
+            | Ok (Campaign.Failed { message }) -> `Done (fail "%s" message)
+            | Ok (Campaign.Finished result) ->
+              Format.printf "%a@." Anafault.Report.pp_results
+                result.Campaign.results;
+              let detected, undetected, failed = Campaign.tally result in
+              Format.printf "@.%d detected, %d undetected, %d failed%s@."
+                detected undetected failed
+                (if result.Campaign.cached then " (cached)" else "");
+              Option.iter
+                (fun path -> write_csv path result.Campaign.results)
+                csv_file;
+              `Done (code_of_results result.Campaign.results)
+          end
+        end
+      in
+      (match
+         Protocol.send oc
+           (Protocol.request_to_json
+              (Protocol.Submit { spec; client = opts.client }));
+         stream ()
+       with
+      | verdict -> verdict
+      | exception Sys_error msg -> `Retry msg (* timeout, EPIPE, reset *)
+      | exception End_of_file -> `Retry "connection lost")
   in
-  stream ()
+  let rec go tries =
+    match attempt () with
+    | `Done code -> code
+    | `Retry msg ->
+      if tries >= opts.retries then
+        fail "%s (gave up after %d attempts)" msg (tries + 1)
+      else begin
+        let delay = backoff_delay opts tries in
+        Format.eprintf "remote: %s; retrying in %.2fs (%d/%d)@." msg delay
+          (tries + 1) opts.retries;
+        Unix.sleepf delay;
+        go (tries + 1)
+      end
+  in
+  go 0
 
 (* --- Shard worker mode ------------------------------------------------- *)
 
-let run_shard_worker spec shard journal_path =
+let run_shard_worker spec shard journal_path resume =
   match Campaign.compile spec with
   | Error msg -> fail "%s" msg
   | Ok compiled -> begin
-    match Campaign.run_shard ~journal_path ~shard compiled with
+    match Campaign.run_shard ~resume ~journal_path ~shard compiled with
     | Error msg -> fail "shard %s: %s" (Campaign.shard_to_string shard) msg
     | Ok simulated ->
       Format.eprintf "shard %s: %d faults simulated@."
@@ -304,10 +392,24 @@ let load_spec path =
 let run input fault_file universe observe model_name solver_name tol_v tol_t
     domains batch limit csv_file plot trace metrics journal_path resume
     retries_spec budget_iters budget_steps budget_seconds abort_after remote
-    remote_stats remote_shutdown spec_file shard_spec =
+    remote_retries remote_backoff remote_timeout client_name remote_stats
+    remote_shutdown spec_file shard_spec =
+  (match Obs.Failpoint.load_env () with
+  | Ok () -> ()
+  | Error msg -> Format.eprintf "warning: failpoints: %s@." msg);
+  Random.self_init ();
+  let remote_opts =
+    {
+      retries = remote_retries;
+      backoff = remote_backoff;
+      timeout = remote_timeout;
+      client = client_name;
+    }
+  in
+  let timeout = if remote_timeout > 0.0 then Some remote_timeout else None in
   match (remote_stats, remote_shutdown) with
-  | Some socket, _ -> remote_request socket Protocol.Stats
-  | None, Some socket -> remote_request socket Protocol.Shutdown
+  | Some socket, _ -> remote_request ?timeout socket Protocol.Stats
+  | None, Some socket -> remote_request ?timeout socket Protocol.Shutdown
   | None, None -> begin
     let spec =
       match (spec_file, input) with
@@ -329,12 +431,12 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
         | Ok shard -> begin
           match journal_path with
           | None -> fail "--shard requires --journal FILE"
-          | Some path -> run_shard_worker spec shard path
+          | Some path -> run_shard_worker spec shard path resume
         end
       end
       | None -> begin
         match remote with
-        | Some socket -> run_remote socket spec csv_file
+        | Some socket -> run_remote remote_opts socket spec csv_file
         | None ->
           let observe_spec =
             if spec_file <> None then `Spec else `Model model_name
@@ -449,6 +551,31 @@ let remote =
                  $(docv) instead of simulating in-process; repeat \
                  submissions are answered from its result cache.")
 
+let remote_retries =
+  Arg.(value & opt int 5
+       & info [ "remote-retries" ] ~docv:"N"
+           ~doc:"Reconnect and resubmit up to $(docv) times when the daemon \
+                 connection fails, times out, or the queue is full; \
+                 resubmission is idempotent (same campaign fingerprint).")
+
+let remote_backoff =
+  Arg.(value & opt float 0.2
+       & info [ "remote-backoff" ] ~docv:"S"
+           ~doc:"Base retry delay in seconds; doubles per attempt (jittered, \
+                 capped at 2s).")
+
+let remote_timeout =
+  Arg.(value & opt float 0.0
+       & info [ "remote-timeout" ] ~docv:"S"
+           ~doc:"Per-read socket timeout in seconds for remote requests; a \
+                 silent daemon counts as a failed attempt.  0 = wait forever.")
+
+let client_name =
+  Arg.(value & opt (some string) None
+       & info [ "client" ] ~docv:"NAME"
+           ~doc:"Client name for the daemon's per-client submission quota; \
+                 unnamed clients share the anonymous bucket.")
+
 let remote_stats =
   Arg.(value & opt (some string) None
        & info [ "remote-stats" ] ~docv:"SOCKET"
@@ -482,7 +609,8 @@ let cmd =
       const run $ input $ fault_file $ universe $ observe $ model_name
       $ solver_name $ tol_v $ tol_t $ domains $ batch $ limit $ csv_file $ plot
       $ trace $ metrics $ journal_path $ resume $ retries_spec $ budget_iters
-      $ budget_steps $ budget_seconds $ abort_after $ remote $ remote_stats
+      $ budget_steps $ budget_seconds $ abort_after $ remote $ remote_retries
+      $ remote_backoff $ remote_timeout $ client_name $ remote_stats
       $ remote_shutdown $ spec_file $ shard_spec)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,22 +1,51 @@
 (* anafaultd: the resident campaign service.
 
      dune exec bin/anafaultd_main.exe -- --socket PATH [--work-dir DIR]
-         [--cache-dir DIR] [--shards N [--worker-exe ANAFAULT]]
-         [--verbose]
+         [--cache-dir DIR] [--cache-budget BYTES] [--queue-limit N]
+         [--quota N] [--shards N [--worker-exe ANAFAULT]]
+         [--shard-retries N] [--verbose]
 
    Accepts campaign jobs over newline-delimited JSON on a Unix-domain
    socket (submit / stats / ping / shutdown), runs them through the
    shared Campaign machinery, streams typed progress events back, and
    answers repeat submissions of the same campaign fingerprint from a
-   content-addressed result cache.  With --shards N > 1 each job is
-   split across N `anafault --shard` worker processes whose journals
-   are merged into the campaign journal.
+   content-addressed result cache.  Accepted jobs are journalled to a
+   write-ahead queue first, so a daemon killed -9 replays and finishes
+   them at the next start.  With --shards N > 1 each job is split
+   across N `anafault --shard` worker processes whose journals are
+   merged into the campaign journal; dead children are respawned with
+   --resume up to --shard-retries extra lives.
 
    Clients are the anafault CLI's --remote / --remote-stats /
    --remote-shutdown flags; the wire protocol is documented in
    DESIGN.md. *)
 
-let run socket_path work_dir cache_dir shards worker_exe verbose =
+(* "64M"-style sizes for --cache-budget. *)
+let parse_size s =
+  let s = String.trim s in
+  if s = "" then Error (`Msg "empty size")
+  else begin
+    let scale, digits =
+      match s.[String.length s - 1] with
+      | 'k' | 'K' -> (1024, String.sub s 0 (String.length s - 1))
+      | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (String.length s - 1))
+      | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (String.length s - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt (String.trim digits) with
+    | Some n when n >= 0 -> Ok (n * scale)
+    | Some _ | None -> Error (`Msg (s ^ ": want BYTES with an optional k/M/G"))
+  end
+
+let size_conv =
+  Cmdliner.Arg.conv
+    (parse_size, fun ppf n -> Format.fprintf ppf "%d" n)
+
+let run socket_path work_dir cache_dir cache_budget queue_limit client_quota
+    shards shard_retries worker_exe verbose =
+  (match Obs.Failpoint.load_env () with
+  | Ok () -> ()
+  | Error msg -> Format.eprintf "warning: failpoints: %s@." msg);
   let worker_exe =
     match worker_exe with
     | Some _ as w -> w
@@ -40,7 +69,11 @@ let run socket_path work_dir cache_dir shards worker_exe verbose =
       {
         (Anafaultd.Server.default_config ~socket_path ~work_dir) with
         Anafaultd.Server.cache_dir;
+        cache_budget;
+        queue_limit;
+        client_quota;
         shards;
+        shard_retries;
         worker_exe;
         verbose;
       }
@@ -63,19 +96,45 @@ let socket_path =
 let work_dir =
   Arg.(value & opt string "anafaultd-work"
        & info [ "work-dir" ] ~docv:"DIR"
-           ~doc:"Directory for campaign journals, shard specs and the \
-                 default result cache (created if missing).")
+           ~doc:"Directory for campaign journals, shard specs, the queue WAL \
+                 and the default result cache (created if missing).")
 
 let cache_dir =
   Arg.(value & opt (some string) None
        & info [ "cache-dir" ] ~docv:"DIR"
            ~doc:"Result cache root; defaults to DIR/cache under --work-dir.")
 
+let cache_budget =
+  Arg.(value & opt size_conv 0
+       & info [ "cache-budget" ] ~docv:"BYTES"
+           ~doc:"Bound the result cache to $(docv) (suffixes k/M/G); \
+                 least-recently-used entries are evicted past it. 0 = \
+                 unbounded.")
+
+let queue_limit =
+  Arg.(value & opt int 0
+       & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Reject (queue_full) submissions past $(docv) \
+                 queued-or-running jobs. 0 = unbounded.")
+
+let client_quota =
+  Arg.(value & opt int 0
+       & info [ "quota" ] ~docv:"N"
+           ~doc:"Reject (quota_exceeded) a client's submissions past $(docv) \
+                 of its jobs queued or running. 0 = unbounded.")
+
 let shards =
   Arg.(value & opt int 1
        & info [ "shards" ] ~docv:"N"
            ~doc:"Split each job across $(docv) anafault --shard worker \
                  processes and merge their journals (1 = in-process).")
+
+let shard_retries =
+  Arg.(value & opt int 2
+       & info [ "shard-retries" ] ~docv:"N"
+           ~doc:"Respawn a dead shard child (resuming its journal) up to \
+                 $(docv) times before degrading its slice to typed crashed \
+                 results.")
 
 let worker_exe =
   Arg.(value & opt (some file) None
@@ -92,7 +151,8 @@ let cmd =
   Cmd.v
     (Cmd.info "anafaultd" ~doc)
     Term.(
-      const run $ socket_path $ work_dir $ cache_dir $ shards $ worker_exe
+      const run $ socket_path $ work_dir $ cache_dir $ cache_budget
+      $ queue_limit $ client_quota $ shards $ shard_retries $ worker_exe
       $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -455,16 +455,14 @@ let result_of_run ~fingerprint (run : Simulate.run) =
     cached = false;
   }
 
-let result_of_journal compiled journal =
+let result_of_journal ?fill compiled journal =
   let total = List.length compiled.faults in
   let entries = Journal.completed_results journal in
-  if List.length entries <> total then
-    Error
-      (Printf.sprintf "journal holds %d of %d results" (List.length entries)
-         total)
-  else if not (List.for_all2 (fun i (j, _) -> i = j) (List.init total Fun.id) entries)
-  then Error "journal indices are not the contiguous range"
-  else
+  let complete =
+    List.length entries = total
+    && List.for_all2 (fun i (j, _) -> i = j) (List.init total Fun.id) entries
+  in
+  if complete then
     Ok
       {
         fingerprint = compiled.fingerprint;
@@ -473,6 +471,44 @@ let result_of_journal compiled journal =
         wall_seconds = 0.0;
         cached = false;
       }
+  else begin
+    match fill with
+    | None ->
+      Error
+        (Printf.sprintf "journal holds %d of %d results" (List.length entries)
+           total)
+    | Some fill ->
+      (* Degraded mode: every fault the journal misses gets a typed
+         stand-in (a dead shard's unsalvaged slice), so the result stays
+         total and the failure is visible per fault, not per campaign. *)
+      let held = Hashtbl.create 64 in
+      List.iter (fun (i, r) -> Hashtbl.replace held i r) entries;
+      let faults = Array.of_list compiled.faults in
+      let results =
+        List.init total (fun i ->
+            match Hashtbl.find_opt held i with
+            | Some r -> r
+            | None -> fill i faults.(i))
+      in
+      Ok
+        {
+          fingerprint = compiled.fingerprint;
+          total;
+          results;
+          wall_seconds = 0.0;
+          cached = false;
+        }
+  end
+
+(* The stand-in for a fault a dead shard never journalled. *)
+let lost_result ~detail fault =
+  {
+    Outcome.fault;
+    outcome = Outcome.Sim_failed (Outcome.Crashed detail);
+    attempts = [];
+    stats = Simulate.zero_stats;
+    cpu_seconds = 0.0;
+  }
 
 (* --- Events ------------------------------------------------------------ *)
 
@@ -481,6 +517,8 @@ type event =
   | Progress of { completed : int; total : int }
   | Cache_hit of { fingerprint : string }
   | Sharded of { shards : int }
+  | Shard_restarted of { shard : int; attempt : int }
+  | Shard_lost of { shard : int; salvaged : int; lost : int }
   | Finished of result
   | Failed of { message : string }
 
@@ -504,6 +542,21 @@ let event_to_json = function
       [ ("event", J.String "cache_hit"); ("fingerprint", J.String fingerprint) ]
   | Sharded { shards } ->
     J.Obj [ ("event", J.String "sharded"); ("shards", J.Int shards) ]
+  | Shard_restarted { shard; attempt } ->
+    J.Obj
+      [
+        ("event", J.String "shard_restarted");
+        ("shard", J.Int shard);
+        ("attempt", J.Int attempt);
+      ]
+  | Shard_lost { shard; salvaged; lost } ->
+    J.Obj
+      [
+        ("event", J.String "shard_lost");
+        ("shard", J.Int shard);
+        ("salvaged", J.Int salvaged);
+        ("lost", J.Int lost);
+      ]
   | Finished result ->
     J.Obj [ ("event", J.String "finished"); ("result", result_to_json result) ]
   | Failed { message } ->
@@ -527,6 +580,15 @@ let event_of_json ~faults json =
   | "sharded" ->
     let* shards = require fields "shards" as_int in
     Ok (Sharded { shards })
+  | "shard_restarted" ->
+    let* shard = require fields "shard" as_int in
+    let* attempt = require fields "attempt" as_int in
+    Ok (Shard_restarted { shard; attempt })
+  | "shard_lost" ->
+    let* shard = require fields "shard" as_int in
+    let* salvaged = require fields "salvaged" as_int in
+    let* lost = require fields "lost" as_int in
+    Ok (Shard_lost { shard; salvaged; lost })
   | "finished" ->
     let* result = require fields "result" (result_of_json ~faults) in
     Ok (Finished result)
@@ -568,12 +630,27 @@ let shard_of_string s =
 let shard_indices ~shard:(index, count) ~total =
   List.filter (fun i -> i mod count = index) (List.init total Fun.id)
 
-let run_shard ?progress ~journal_path ~shard compiled =
+let run_shard ?progress ?(resume = false) ~journal_path ~shard compiled =
   let faults = Array.of_list compiled.faults in
-  match
-    Journal.start ~path:journal_path ~fingerprint:compiled.fingerprint
-      ~resume:false ~faults
-  with
+  Obs.Failpoint.hit (Printf.sprintf "shard.%d.run" (fst shard));
+  (* A resumed shard (the supervisor's respawn of a dead child) salvages
+     its previous life's journal; a mismatched or torn one starts over. *)
+  let journal =
+    let fresh () =
+      Journal.start ~path:journal_path ~fingerprint:compiled.fingerprint
+        ~resume:false ~faults
+    in
+    if resume && Sys.file_exists journal_path then begin
+      match
+        Journal.start ~path:journal_path ~fingerprint:compiled.fingerprint
+          ~resume:true ~faults
+      with
+      | Ok _ as ok -> ok
+      | Error _ -> fresh ()
+    end
+    else fresh ()
+  in
+  match journal with
   | Error _ as e -> e |> Result.map_error Fun.id
   | Ok j ->
     Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->

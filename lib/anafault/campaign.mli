@@ -139,8 +139,22 @@ val result_of_run : fingerprint:string -> Simulate.run -> result
 
 (** [result_of_journal compiled journal] rebuilds the campaign result
     from a (merged) journal alone - no simulation; errors when the
-    journal does not hold every fault of the campaign. *)
-val result_of_journal : compiled -> Journal.t -> (result, string) Stdlib.result
+    journal does not hold every fault of the campaign.
+
+    With [fill], a journal that misses faults yields a {e typed partial
+    result} instead: every missing index is filled by [fill index
+    fault] (typically {!lost_result}), so the result stays total and a
+    dead shard's unsalvaged slice surfaces as per-fault typed failures,
+    not a campaign-level error. *)
+val result_of_journal :
+  ?fill:(int -> Faults.Fault.t -> Outcome.fault_result) ->
+  compiled ->
+  Journal.t ->
+  (result, string) Stdlib.result
+
+(** [lost_result ~detail fault] is the stand-in for a fault no journal
+    line survived for: [Sim_failed (Crashed detail)], zero stats. *)
+val lost_result : detail:string -> Faults.Fault.t -> Outcome.fault_result
 
 (** {1 Events}
 
@@ -154,6 +168,13 @@ type event =
       (** the result that follows was served from the cache *)
   | Sharded of { shards : int }
       (** the job was split across this many worker processes *)
+  | Shard_restarted of { shard : int; attempt : int }
+      (** a shard child died and is being respawned (to resume its own
+          partial journal); [attempt] counts its restarts, 1-based *)
+  | Shard_lost of { shard : int; salvaged : int; lost : int }
+      (** a shard stayed dead through its retry budget: [salvaged]
+          results were recovered from its journal, [lost] faults carry
+          typed [Crashed] failures in the result that follows *)
   | Finished of result
   | Failed of { message : string }
 
@@ -205,9 +226,16 @@ val shard_indices : shard:int * int -> total:int -> int list
     slice, recording every result into a fresh journal at
     [journal_path] under whole-campaign indices.  Returns the number of
     faults simulated.  Kernel failure of the shard's nominal run is
-    returned as [Error]. *)
+    returned as [Error].
+
+    With [resume] (default false), an existing journal at
+    [journal_path] from a previous life of this shard is restored
+    first and only the remaining faults simulate - how a supervised
+    respawn salvages the work its predecessor completed before dying.
+    A missing, torn or mismatched journal silently starts fresh. *)
 val run_shard :
   ?progress:(int -> int -> unit) ->
+  ?resume:bool ->
   journal_path:string ->
   shard:int * int ->
   compiled ->

@@ -8,6 +8,25 @@ module J = Obs.Json
 
 let fingerprint pieces = Digest.to_hex (Digest.string (String.concat "\x00" pieces))
 
+(* Push a line through the page cache to the platter before anyone
+   depends on it: flush the channel, then fsync the fd.  Without the
+   fsync a power-loss-style crash can commit the file name (via the
+   directory) while the bytes are still in flight, leaving an empty or
+   torn "completed" entry. *)
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+(* Persist a directory entry (a fresh file, a rename target): fsync the
+   directory itself.  Best-effort - some filesystems refuse directory
+   fsync; the entry then lasts as long as the metadata journal does. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 type t = {
   path : string;
   fingerprint : string;
@@ -100,7 +119,8 @@ let start ~path ~fingerprint ~resume ~faults =
     let oc = open_out path in
     output_string oc (header_line ~fingerprint ~total);
     output_char oc '\n';
-    flush oc;
+    fsync_channel oc;
+    fsync_dir (Filename.dirname path);
     Ok
       {
         path;
@@ -148,10 +168,11 @@ let find t index fault =
 let record t index result =
   let index = t.map index in
   Mutex.protect t.lock @@ fun () ->
+  Obs.Failpoint.hit "journal.record";
   Hashtbl.replace t.completed index result;
   output_string t.oc (J.to_string (Outcome.result_to_json ~index result));
   output_char t.oc '\n';
-  flush t.oc
+  fsync_channel t.oc
 
 let completed_count t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.completed
 
@@ -166,14 +187,20 @@ let completed_results t =
    single-process serial run lays it out - one header, then result
    lines in index order - so a merged journal and an unsharded journal
    are interchangeable: either resumes the other's campaign. *)
-let merge ~out ~fingerprint ~faults paths =
+let merge ?(lenient = false) ~out ~fingerprint ~faults paths =
   let tbl = Hashtbl.create 64 in
   let rec load = function
     | [] -> Ok ()
     | p :: rest -> begin
-      match restore p ~fingerprint ~faults tbl with
-      | Error msg -> Error (p ^ ": " ^ msg)
-      | Ok () -> load rest
+      match
+        if Sys.file_exists p then restore p ~fingerprint ~faults tbl
+        else Error "journal file is missing"
+      with
+      | Error msg when not lenient -> Error (p ^ ": " ^ msg)
+      | Error _ (* lenient: a dead shard's missing/torn journal salvages
+                   to nothing; the merged journal just lacks its slice *)
+      | Ok () ->
+        load rest
     end
   in
   match load paths with
@@ -183,15 +210,25 @@ let merge ~out ~fingerprint ~faults paths =
       Hashtbl.fold (fun i r acc -> (i, r) :: acc) tbl []
       |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     in
-    let oc = open_out out in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
-    output_string oc (header_line ~fingerprint ~total:(Array.length faults));
-    output_char oc '\n';
-    List.iter
-      (fun (index, r) ->
-        output_string oc (J.to_string (Outcome.result_to_json ~index r));
-        output_char oc '\n')
-      entries;
+    (* tmp + fsync + rename: a crash mid-merge leaves the previous
+       journal (or nothing) at [out], never a torn merge. *)
+    let tmp = out ^ ".tmp" in
+    let oc = open_out tmp in
+    (try
+       output_string oc (header_line ~fingerprint ~total:(Array.length faults));
+       output_char oc '\n';
+       List.iter
+         (fun (index, r) ->
+           output_string oc (J.to_string (Outcome.result_to_json ~index r));
+           output_char oc '\n')
+         entries;
+       fsync_channel oc;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp out;
+    fsync_dir (Filename.dirname out);
     Ok (List.length entries)
 
 let restored_count t = t.restored

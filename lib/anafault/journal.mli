@@ -68,8 +68,15 @@ val completed_results : t -> (int * Outcome.fault_result) list
     shared index, and the output is written as a single-process serial
     run writes it (header, then result lines in index order), so the
     merged journal and an unsharded journal are interchangeable.
-    Returns the number of results merged. *)
+    Returns the number of results merged.  The output is committed with
+    tmp + fsync + rename, so a crash mid-merge never tears [out].
+
+    With [lenient] (default false), an unreadable input - missing file,
+    torn header, wrong campaign - contributes nothing instead of
+    failing the merge: the salvage mode the daemon uses when a shard
+    child died and its partial journal is all there is. *)
 val merge :
+  ?lenient:bool ->
   out:string ->
   fingerprint:string ->
   faults:Faults.Fault.t array ->

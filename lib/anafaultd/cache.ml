@@ -1,16 +1,41 @@
-(* Content-addressed result store: one <fingerprint>.json file per
-   campaign result, atomic tmp+rename writes, unreadable entries are
-   misses.  The fingerprint is already a hex digest, so it is used as
-   the file name verbatim. *)
+(* Content-addressed result store with a size budget.
+
+   One <fingerprint>.json file per campaign result:
+
+     {"cache":"anafault","version":1,"digest":"<md5 hex>","bytes":N}
+     <the result JSON, exactly N bytes>
+
+   Writes are tmp + fsync + rename (and the directory is fsynced), so
+   a crash - or a power loss - never commits an empty or torn entry.
+   Reads validate the digest; an entry that fails (bit rot, a torn
+   write forced through a failpoint, a pre-checksum legacy entry) is
+   quarantined to <name>.corrupt and treated as a miss, never a crash.
+
+   The budget is enforced with LRU eviction at store time: live entries
+   are evicted oldest-use first until the directory fits, and an entry
+   larger than the whole budget is simply not stored.  Use order is
+   tracked in memory (a logical clock), seeded from file mtimes at
+   open.
+
+   Failpoints: [cache.store] fires before a write, [cache.store.torn]
+   can tear the committed bytes. *)
 
 module J = Obs.Json
 
 type t = {
   dir : string;
+  budget : int; (* bytes; 0 = unbounded *)
+  obs : Obs.sink;
   lock : Mutex.t;
+  sizes : (string, int) Hashtbl.t; (* key -> on-disk bytes *)
+  stamps : (string, int) Hashtbl.t; (* key -> last-use logical time *)
+  mutable clock : int;
+  mutable total : int; (* sum of sizes *)
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable evictions : int;
+  mutable corrupt : int;
 }
 
 (* Fingerprints are lowercase hex; refuse anything that could escape
@@ -21,7 +46,55 @@ let valid_key key =
        (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
        key
 
-let create ~dir =
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let entry_path t key = Filename.concat t.dir (key ^ ".json")
+
+let key_of_file name =
+  match Filename.chop_suffix_opt ~suffix:".json" name with
+  | Some key when valid_key key -> Some key
+  | Some _ | None -> None
+
+(* Seed sizes and the LRU order from what is on disk: mtime order is
+   the best use order a fresh process can know. *)
+let scan t =
+  let files =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> [||]
+    | names -> names
+  in
+  let entries =
+    Array.to_list files
+    |> List.filter_map (fun name ->
+           match key_of_file name with
+           | None -> None
+           | Some key -> begin
+             match Unix.stat (Filename.concat t.dir name) with
+             | exception Unix.Unix_error _ -> None
+             | st when st.Unix.st_kind = Unix.S_REG ->
+               Some (key, st.Unix.st_size, st.Unix.st_mtime)
+             | _ -> None
+           end)
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+  in
+  List.iter
+    (fun (key, size, _) ->
+      Hashtbl.replace t.sizes key size;
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.stamps key t.clock;
+      t.total <- t.total + size)
+    entries
+
+let create ?(budget_bytes = 0) ?(obs = Obs.null) ~dir () =
   match
     if Sys.file_exists dir then
       if Sys.is_directory dir then Ok ()
@@ -32,54 +105,206 @@ let create ~dir =
     end
   with
   | Error _ as e -> e
-  | Ok () -> Ok { dir; lock = Mutex.create (); hits = 0; misses = 0; stores = 0 }
+  | Ok () ->
+    let t =
+      {
+        dir;
+        budget = max 0 budget_bytes;
+        obs;
+        lock = Mutex.create ();
+        sizes = Hashtbl.create 16;
+        stamps = Hashtbl.create 16;
+        clock = 0;
+        total = 0;
+        hits = 0;
+        misses = 0;
+        stores = 0;
+        evictions = 0;
+        corrupt = 0;
+      }
+    in
+    scan t;
+    Ok t
   | exception Unix.Unix_error (err, _, _) ->
     Error (dir ^ ": " ^ Unix.error_message err)
 
 let dir t = t.dir
 
-let entry_path t key = Filename.concat t.dir (key ^ ".json")
+let forget t key =
+  (match Hashtbl.find_opt t.sizes key with
+  | Some size -> t.total <- t.total - size
+  | None -> ());
+  Hashtbl.remove t.sizes key;
+  Hashtbl.remove t.stamps key
 
+(* --- Entry format ------------------------------------------------------ *)
+
+let header_line ~digest ~bytes =
+  J.to_string
+    (J.Obj
+       [
+         ("cache", J.String "anafault");
+         ("version", J.Int 1);
+         ("digest", J.String digest);
+         ("bytes", J.Int bytes);
+       ])
+
+let parse_header line =
+  match J.of_string line with
+  | Error _ -> None
+  | Ok (J.Obj fields) -> begin
+    match
+      ( List.assoc_opt "cache" fields,
+        List.assoc_opt "version" fields,
+        List.assoc_opt "digest" fields,
+        List.assoc_opt "bytes" fields )
+    with
+    | ( Some (J.String "anafault"),
+        Some (J.Int 1),
+        Some (J.String digest),
+        Some (J.Int bytes) ) ->
+      Some (digest, bytes)
+    | _ -> None
+  end
+  | Ok _ -> None
+
+(* [None] = the entry fails validation (missing files are handled by
+   the caller; everything unreadable here is corruption). *)
 let read_entry path =
   match open_in_bin path with
   | exception Sys_error _ -> None
   | ic ->
     Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-    let n = in_channel_length ic in
-    let body = really_input_string ic n in
-    (match J.of_string body with Ok json -> Some json | Error _ -> None)
+    (match input_line ic with
+    | exception End_of_file -> None
+    | header -> begin
+      match parse_header header with
+      | None -> None
+      | Some (digest, bytes) -> begin
+        match really_input_string ic bytes with
+        | exception End_of_file -> None (* shorter than advertised *)
+        | payload ->
+          if not (String.equal (Digest.to_hex (Digest.string payload)) digest)
+          then None
+          else begin
+            match J.of_string payload with
+            | Ok json -> Some json
+            | Error _ -> None
+          end
+      end
+    end)
+
+(* Set a failed entry aside for post-mortems rather than crashing on it
+   or re-reading it forever. *)
+let quarantine t key path =
+  (try Sys.rename path (path ^ ".corrupt")
+   with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  forget t key;
+  t.corrupt <- t.corrupt + 1;
+  Obs.count t.obs "cache.corrupt" 1 ~attrs:[ ("key", Obs.Str key) ]
 
 let find t key =
   Mutex.protect t.lock @@ fun () ->
   let result =
     if not (valid_key key) then None
-    else
+    else begin
       let path = entry_path t key in
-      if Sys.file_exists path then read_entry path else None
+      if not (Sys.file_exists path) then None
+      else begin
+        match read_entry path with
+        | Some json ->
+          t.clock <- t.clock + 1;
+          Hashtbl.replace t.stamps key t.clock;
+          Some json
+        | None ->
+          quarantine t key path;
+          None
+      end
+    end
   in
   (match result with
   | Some _ -> t.hits <- t.hits + 1
   | None -> t.misses <- t.misses + 1);
   result
 
+(* Evict least-recently-used live entries until [fresh] fits the
+   budget.  [fresh] itself is never evicted here - it just got used. *)
+let enforce_budget t ~fresh =
+  if t.budget > 0 then begin
+    while
+      t.total > t.budget
+      && Hashtbl.length t.sizes > 1
+      &&
+      let victim =
+        Hashtbl.fold
+          (fun key stamp acc ->
+            if String.equal key fresh then acc
+            else
+              match acc with
+              | Some (_, best) when best <= stamp -> acc
+              | _ -> Some (key, stamp))
+          t.stamps None
+      in
+      match victim with
+      | None -> false
+      | Some (key, _) ->
+        (try Sys.remove (entry_path t key) with Sys_error _ -> ());
+        forget t key;
+        t.evictions <- t.evictions + 1;
+        Obs.count t.obs "cache.evictions" 1 ~attrs:[ ("key", Obs.Str key) ];
+        true
+    do
+      ()
+    done
+  end
+
 let store t key json =
   if valid_key key then
     Mutex.protect t.lock @@ fun () ->
-    let path = entry_path t key in
-    let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc (J.to_string json);
-       output_char oc '\n';
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       raise e);
-    Sys.rename tmp path;
-    t.stores <- t.stores + 1
+    Obs.Failpoint.hit "cache.store";
+    let payload = J.to_string json in
+    let digest = Digest.to_hex (Digest.string payload) in
+    let header = header_line ~digest ~bytes:(String.length payload) in
+    let body = header ^ "\n" ^ payload ^ "\n" in
+    if t.budget > 0 && String.length body > t.budget then
+      (* Larger than the whole cache: storing it would evict everything
+         and still bust the budget.  Skip it. *)
+      Obs.count t.obs "cache.oversized" 1 ~attrs:[ ("key", Obs.Str key) ]
+    else begin
+      let path = entry_path t key in
+      let tmp = path ^ ".tmp" in
+      let body, durable =
+        match Obs.Failpoint.cut "cache.store.torn" body with
+        | Some prefix -> (prefix, false) (* simulate a torn, unfsynced commit *)
+        | None -> (body, true)
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc body;
+         if durable then fsync_channel oc;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Sys.rename tmp path;
+      if durable then fsync_dir t.dir;
+      forget t key;
+      Hashtbl.replace t.sizes key (String.length body);
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.stamps key t.clock;
+      t.total <- t.total + String.length body;
+      t.stores <- t.stores + 1;
+      enforce_budget t ~fresh:key
+    end
+
+let total_bytes t = Mutex.protect t.lock @@ fun () -> t.total
 
 let hits t = Mutex.protect t.lock @@ fun () -> t.hits
 
 let misses t = Mutex.protect t.lock @@ fun () -> t.misses
 
 let stores t = Mutex.protect t.lock @@ fun () -> t.stores
+
+let evictions t = Mutex.protect t.lock @@ fun () -> t.evictions
+
+let corrupt t = Mutex.protect t.lock @@ fun () -> t.corrupt

@@ -1,4 +1,4 @@
-(** Content-addressed campaign result cache.
+(** Content-addressed campaign result cache, checksummed and bounded.
 
     Keys are campaign fingerprints ({!Anafault.Simulate.fingerprint}:
     a digest over the printed circuit deck, every result-affecting
@@ -6,29 +6,54 @@
     electrical problem - whatever file names or whitespace they arrived
     with - address the same entry.  Values are
     {!Anafault.Campaign.result_to_json} objects, one file per entry
-    ([<fingerprint>.json]), written atomically (tmp + rename) so a
-    crashed store never leaves a torn entry.  An unreadable or
-    unparseable entry is treated as a miss. *)
+    ([<fingerprint>.json]): a checksum header line followed by the
+    payload, written tmp + fsync + rename (directory fsynced too) so a
+    crash never commits a torn entry.
+
+    An entry whose checksum fails to validate - bit rot, a torn write,
+    a pre-checksum legacy file - is {e quarantined}: renamed to
+    [<name>.json.corrupt], counted ([cache.corrupt]), and reported as a
+    miss.  Corruption never raises out of {!find}.
+
+    With a byte budget, {!store} evicts least-recently-used entries
+    ([cache.evictions]) until the cache fits; an entry bigger than the
+    whole budget is not stored at all.
+
+    Failpoints: [cache.store] fires before each write; a
+    [cache.store.torn] torn-write point commits a truncated entry (for
+    exercising the quarantine path). *)
 
 type t
 
-(** [create ~dir] opens (creating [dir] if needed) a cache rooted
-    there. *)
-val create : dir:string -> (t, string) result
+(** [create ~dir ()] opens (creating [dir] if needed) a cache rooted
+    there, seeding LRU order from file modification times.
+    [budget_bytes] bounds the directory's entry bytes (0, the default,
+    is unbounded); [obs] receives [cache.evictions] / [cache.corrupt] /
+    [cache.oversized] counters. *)
+val create :
+  ?budget_bytes:int -> ?obs:Obs.sink -> dir:string -> unit -> (t, string) result
 
 val dir : t -> string
 
-(** [find t fingerprint] is the stored result object, if any.
+(** [find t fingerprint] is the stored result object, if any.  A
+    corrupt entry is quarantined and reported as a miss.
     Thread-safe. *)
 val find : t -> string -> Obs.Json.t option
 
-(** [store t fingerprint json] writes the entry atomically.
-    Thread-safe; the last writer wins. *)
+(** [store t fingerprint json] writes the entry durably, then enforces
+    the budget.  Thread-safe; the last writer wins. *)
 val store : t -> string -> Obs.Json.t -> unit
 
-(** Lifetime hit / miss / store counters of this handle. *)
+(** Bytes currently accounted to entries (headers included). *)
+val total_bytes : t -> int
+
+(** Lifetime counters of this handle. *)
 val hits : t -> int
 
 val misses : t -> int
 
 val stores : t -> int
+
+val evictions : t -> int
+
+val corrupt : t -> int

@@ -8,18 +8,20 @@ module J = Obs.Json
 let ( let* ) = Result.bind
 
 type request =
-  | Submit of Anafault.Campaign.spec
+  | Submit of { spec : Anafault.Campaign.spec; client : string option }
   | Stats
   | Ping
   | Shutdown
 
 let request_to_json = function
-  | Submit spec ->
+  | Submit { spec; client } ->
     J.Obj
-      [
-        ("cmd", J.String "submit");
-        ("spec", Anafault.Campaign.spec_to_json spec);
-      ]
+      (("cmd", J.String "submit")
+       :: ("spec", Anafault.Campaign.spec_to_json spec)
+       ::
+       (match client with
+       | None -> []
+       | Some c -> [ ("client", J.String c) ]))
   | Stats -> J.Obj [ ("cmd", J.String "stats") ]
   | Ping -> J.Obj [ ("cmd", J.String "ping") ]
   | Shutdown -> J.Obj [ ("cmd", J.String "shutdown") ]
@@ -39,16 +41,66 @@ let request_of_json json =
     | None -> Error "submit: missing spec"
     | Some spec_json ->
       let* spec = Anafault.Campaign.spec_of_json spec_json in
-      Ok (Submit spec)
+      let* client =
+        match List.assoc_opt "client" fields with
+        | None -> Ok None
+        | Some (J.String c) -> Ok (Some c)
+        | Some _ -> Error "submit: client must be a string"
+      in
+      Ok (Submit { spec; client })
   end
   | "stats" -> Ok Stats
   | "ping" -> Ok Ping
   | "shutdown" -> Ok Shutdown
   | other -> Error ("unknown command " ^ other)
 
+(* --- Backpressure ------------------------------------------------------ *)
+
+type reject_reason = Queue_full | Quota_exceeded
+
+let reject_reason_to_string = function
+  | Queue_full -> "queue_full"
+  | Quota_exceeded -> "quota_exceeded"
+
+let reject_reason_of_string = function
+  | "queue_full" -> Ok Queue_full
+  | "quota_exceeded" -> Ok Quota_exceeded
+  | other -> Error ("unknown reject reason " ^ other)
+
+let rejected_to_json ~reason ~message =
+  J.Obj
+    [
+      ("event", J.String "rejected");
+      ("reason", J.String (reject_reason_to_string reason));
+      ("message", J.String message);
+    ]
+
+(* [Ok None] when the object is not a rejection at all (so callers can
+   fall through to the event codec). *)
+let rejected_of_json json =
+  match json with
+  | J.Obj fields -> begin
+    match List.assoc_opt "event" fields with
+    | Some (J.String "rejected") ->
+      let* reason =
+        match List.assoc_opt "reason" fields with
+        | Some (J.String s) -> reject_reason_of_string s
+        | Some _ | None -> Error "rejected: want a reason string"
+      in
+      let message =
+        match List.assoc_opt "message" fields with
+        | Some (J.String m) -> m
+        | _ -> ""
+      in
+      Ok (Some (reason, message))
+    | _ -> Ok None
+  end
+  | _ -> Ok None
+
 let ok = J.Obj [ ("ok", J.Bool true) ]
 
-let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs =
+let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs
+    ~rejected ~replayed ~shard_restarts ~evictions ~corrupt =
   J.Obj
     [
       ("jobs", J.Int jobs);
@@ -56,6 +108,11 @@ let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs =
       ("coalesced", J.Int coalesced);
       ("faults_simulated", J.Int faults_simulated);
       ("shard_runs", J.Int shard_runs);
+      ("rejected", J.Int rejected);
+      ("replayed", J.Int replayed);
+      ("shard_restarts", J.Int shard_restarts);
+      ("evictions", J.Int evictions);
+      ("corrupt", J.Int corrupt);
     ]
 
 let send oc json =
@@ -63,11 +120,46 @@ let send oc json =
   output_char oc '\n';
   flush oc
 
-let rec recv ic =
-  match input_line ic with
-  | exception End_of_file -> Ok None
-  | line ->
-    if String.trim line = "" then recv ic
+(* Read one line of at most [limit_bytes], without trusting
+   [input_line] to bound anything: a hostile or broken client must not
+   be able to balloon the daemon's memory before the parser even sees
+   the bytes. *)
+let bounded_line ic limit =
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then Ok None else Ok (Some (Buffer.contents buf))
+    | '\n' -> Ok (Some (Buffer.contents buf))
+    | c ->
+      if Buffer.length buf >= limit then
+        (* Drain the rest of the oversized line so a follow-up [recv]
+           starts at a line boundary, then report the typed error. *)
+        let rec drain () =
+          match input_char ic with
+          | exception End_of_file -> ()
+          | '\n' -> ()
+          | _ -> drain ()
+        in
+        begin
+          drain ();
+          Error (Printf.sprintf "request exceeds %d bytes" limit)
+        end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+  in
+  loop ()
+
+let default_limit_bytes = 64 * 1024 * 1024
+
+let rec recv ?(limit_bytes = default_limit_bytes) ic =
+  match bounded_line ic limit_bytes with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some line) ->
+    if String.trim line = "" then recv ~limit_bytes ic
     else begin
       match J.of_string line with
       | Ok json -> Ok (Some json)

@@ -3,21 +3,29 @@
 
     A client writes one request object per line; the daemon answers a
     [Submit] with a stream of {!Anafault.Campaign.event} objects (one
-    per line, ending in a ["finished"] or ["failed"] event), a [Stats]
-    with one counters object, and [Ping]/[Shutdown] with one
+    per line, ending in a ["finished"] or ["failed"] event) - or a
+    single ["rejected"] object when backpressure turns the job away - a
+    [Stats] with one counters object, and [Ping]/[Shutdown] with one
     acknowledgement object.  The connection stays open for further
     requests; either side closing it ends the session.
 
     Requests:
     {v
-    {"cmd": "submit", "spec": { ...campaign spec... }}
+    {"cmd": "submit", "spec": { ...campaign spec... }, "client": "ci"}
     {"cmd": "stats"}
     {"cmd": "ping"}
     {"cmd": "shutdown"}
-    v} *)
+    v}
+
+    Malformed input - lines that are not JSON, objects without a known
+    [cmd], oversized requests - yields typed decode errors, never
+    exceptions; the daemon answers with a ["failed"] event and keeps
+    serving. *)
 
 type request =
-  | Submit of Anafault.Campaign.spec
+  | Submit of { spec : Anafault.Campaign.spec; client : string option }
+      (** [client] identifies the submitter for quota accounting;
+          [None] pools into the anonymous quota bucket *)
   | Stats
   | Ping
   | Shutdown
@@ -25,6 +33,29 @@ type request =
 val request_to_json : request -> Obs.Json.t
 
 val request_of_json : Obs.Json.t -> (request, string) result
+
+(** {1 Backpressure}
+
+    Why a submission was turned away at the door.  The daemon answers
+    exactly one ["rejected"] object and is ready for the next request;
+    no events stream.  [Queue_full] is transient - a well-behaved
+    client backs off and retries; [Quota_exceeded] is per-client and
+    persists until that client's jobs drain. *)
+
+type reject_reason = Queue_full | Quota_exceeded
+
+val reject_reason_to_string : reject_reason -> string
+
+val reject_reason_of_string : string -> (reject_reason, string) result
+
+(** [{"event":"rejected","reason":...,"message":...}] *)
+val rejected_to_json : reason:reject_reason -> message:string -> Obs.Json.t
+
+(** [Ok (Some _)] for a rejection object, [Ok None] for anything else
+    (fall through to the event codec), [Error] for a malformed
+    rejection. *)
+val rejected_of_json :
+  Obs.Json.t -> ((reject_reason * string) option, string) result
 
 (** The one-object answers to non-submit requests. *)
 val ok : Obs.Json.t
@@ -36,6 +67,11 @@ val stats_to_json :
   coalesced:int ->
   faults_simulated:int ->
   shard_runs:int ->
+  rejected:int ->
+  replayed:int ->
+  shard_restarts:int ->
+  evictions:int ->
+  corrupt:int ->
   Obs.Json.t
 
 (** {1 Line transport} *)
@@ -43,6 +79,13 @@ val stats_to_json :
 (** [send oc json] writes one JSON line and flushes. *)
 val send : out_channel -> Obs.Json.t -> unit
 
+(** The default {!recv} request bound: 64 MiB, comfortably above any
+    real campaign spec. *)
+val default_limit_bytes : int
+
 (** [recv ic] reads one line and parses it; [Ok None] at end of
-    stream.  Blank lines are skipped. *)
-val recv : in_channel -> (Obs.Json.t option, string) result
+    stream.  Blank lines are skipped.  A line longer than
+    [limit_bytes] is drained and reported as a typed error, leaving
+    the channel at the next line boundary. *)
+val recv :
+  ?limit_bytes:int -> in_channel -> (Obs.Json.t option, string) result

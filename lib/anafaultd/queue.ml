@@ -1,0 +1,206 @@
+(* The persistent job queue: a write-ahead journal of submissions, so
+   queued work survives kill -9.
+
+   One JSONL file, append-only between compactions:
+
+     {"queue":"anafaultd","version":1}
+     {"op":"push","fingerprint":"3f2a...","client":"ci","spec":{...}}
+     {"op":"done","fingerprint":"3f2a..."}
+
+   A [push] is appended (and fsynced) before the submission is
+   acknowledged; a [done] is appended when the job leaves the system
+   (finished, failed, or served to nobody).  Replay is push minus done
+   in arrival order, so a daemon restarted over the same work directory
+   re-enqueues exactly the jobs that were queued or running when it
+   died - the running one resumes from its campaign journal.  A crash
+   can tear at most the final line, which replay skips: a torn push was
+   never acknowledged, a torn done re-runs a completed job into a
+   cache hit.  Duplicate pushes of one fingerprint collapse.
+
+   Compaction (at open, and after enough dead records accumulate)
+   rewrites the file as header + pending pushes via tmp + fsync +
+   rename, so the journal's size tracks the queue depth, not the
+   daemon's lifetime. *)
+
+module Campaign = Anafault.Campaign
+module J = Obs.Json
+
+let ( let* ) = Result.bind
+
+type entry = { fingerprint : string; client : string; spec : Campaign.spec }
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  mutable oc : out_channel;
+  (* The queue's live image, in arrival order (newest last): what a
+     compaction writes and [mark_done] filters. *)
+  mutable entries : entry list;
+  mutable dead : int; (* done records since the last compaction *)
+}
+
+(* Dead records tolerated before [mark_done] compacts in place. *)
+let compact_after = 128
+
+let header = J.Obj [ ("queue", J.String "anafaultd"); ("version", J.Int 1) ]
+
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let entry_to_json e =
+  J.Obj
+    [
+      ("op", J.String "push");
+      ("fingerprint", J.String e.fingerprint);
+      ("client", J.String e.client);
+      ("spec", Campaign.spec_to_json e.spec);
+    ]
+
+let done_to_json fp =
+  J.Obj [ ("op", J.String "done"); ("fingerprint", J.String fp) ]
+
+let entry_of_fields fields =
+  let str name =
+    match List.assoc_opt name fields with
+    | Some (J.String s) -> Ok s
+    | _ -> Error ("push record: want a " ^ name ^ " string")
+  in
+  let* fingerprint = str "fingerprint" in
+  let* client = str "client" in
+  match List.assoc_opt "spec" fields with
+  | None -> Error "push record: missing spec"
+  | Some spec_json ->
+    let* spec = Campaign.spec_of_json spec_json in
+    Ok { fingerprint; client; spec }
+
+(* Replay an existing journal into the live image.  Unparseable lines -
+   the torn tail of a crashed append, at worst - are skipped, as are
+   records damaged beyond reading; losing a push loses only work that
+   was never acknowledged durable. *)
+let replay path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let entries = ref [] (* newest first *) in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      (if String.trim line <> "" then
+         match J.of_string line with
+         | Error _ -> ()
+         | Ok (J.Obj fields) -> begin
+           match List.assoc_opt "op" fields with
+           | Some (J.String "push") -> begin
+             match entry_of_fields fields with
+             | Error _ -> ()
+             | Ok e ->
+               if
+                 not
+                   (List.exists
+                      (fun e' -> String.equal e'.fingerprint e.fingerprint)
+                      !entries)
+               then entries := e :: !entries
+           end
+           | Some (J.String "done") -> begin
+             match List.assoc_opt "fingerprint" fields with
+             | Some (J.String fp) ->
+               entries :=
+                 List.filter
+                   (fun e -> not (String.equal e.fingerprint fp))
+                   !entries
+             | _ -> ()
+           end
+           | _ -> () (* the header line, or an unknown future op *)
+         end
+         | Ok _ -> ());
+      loop ()
+  in
+  loop ();
+  List.rev !entries
+
+let write_line oc json =
+  output_string oc (J.to_string json);
+  output_char oc '\n'
+
+(* Rewrite the journal as header + pending pushes, atomically. *)
+let compact_to path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     write_line oc header;
+     List.iter (fun e -> write_line oc (entry_to_json e)) entries;
+     fsync_channel oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let open_ ~path =
+  match
+    let entries = if Sys.file_exists path then replay path else [] in
+    compact_to path entries;
+    let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+    ({ path; lock = Mutex.create (); oc; entries; dead = 0 }, entries)
+  with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (path ^ ": " ^ msg)
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (path ^ ": " ^ Unix.error_message err)
+
+let push t entry =
+  Mutex.protect t.lock @@ fun () ->
+  if
+    List.exists
+      (fun e -> String.equal e.fingerprint entry.fingerprint)
+      t.entries
+  then Ok () (* already pending: the twin coalesces, nothing to journal *)
+  else begin
+    match
+      Obs.Failpoint.hit "queue.append";
+      write_line t.oc (entry_to_json entry);
+      fsync_channel t.oc;
+      Obs.Failpoint.hit "queue.appended"
+    with
+    | () ->
+      t.entries <- t.entries @ [ entry ];
+      Ok ()
+    | exception Sys_error msg -> Error ("queue journal: " ^ msg)
+  end
+
+let mark_done t fp =
+  Mutex.protect t.lock @@ fun () ->
+  if List.exists (fun e -> String.equal e.fingerprint fp) t.entries then begin
+    t.entries <-
+      List.filter (fun e -> not (String.equal e.fingerprint fp)) t.entries;
+    t.dead <- t.dead + 1;
+    try
+      if t.dead >= compact_after then begin
+        close_out_noerr t.oc;
+        compact_to t.path t.entries;
+        t.oc <- open_out_gen [ Open_wronly; Open_append ] 0o644 t.path;
+        t.dead <- 0
+      end
+      else begin
+        write_line t.oc (done_to_json fp);
+        fsync_channel t.oc
+      end
+    with Sys_error _ -> ()
+    (* a failed done record costs one re-run into a cache hit at the
+       next restart, never correctness *)
+  end
+
+let pending t = Mutex.protect t.lock @@ fun () -> List.length t.entries
+
+let path t = t.path
+
+let close t = Mutex.protect t.lock @@ fun () -> close_out_noerr t.oc

@@ -4,17 +4,25 @@
    scheduler thread):
 
      accept loop ──▶ handler thread per connection
-                        │  submit: fingerprint, cache probe, enqueue
+                        │  submit: fingerprint, cache probe, admission
                         ▼
                     job queue ──▶ scheduler thread
-                                     │ in-process: Campaign.run_local
-                                     │ sharded:   anafault --shard I/N × N
-                                     ▼
-                                  broadcast events, store cache entry
+                    (WAL-backed)    │ in-process: Campaign.run_local
+                                    │ sharded:   anafault --shard I/N × N
+                                    ▼             (supervised, respawned)
+                                 broadcast events, store cache entry
 
    Identical in-flight submissions coalesce: the second client
    subscribes to the running job instead of enqueuing a duplicate, so
-   repeated work is deduped even before it reaches the cache. *)
+   repeated work is deduped even before it reaches the cache.
+
+   Every accepted job is journalled to a write-ahead queue (Queue)
+   before the client hears "accepted", so a daemon killed -9 replays
+   its queue at the next start and finishes the work with no client
+   attached - the results land in the cache, where the resubmitting
+   client finds them.  Admission is bounded: a full queue or an
+   exhausted per-client quota answers with a typed rejection instead
+   of unbounded buffering. *)
 
 module Campaign = Anafault.Campaign
 module Journal = Anafault.Journal
@@ -24,7 +32,11 @@ type config = {
   socket_path : string;
   work_dir : string;
   cache_dir : string option;
+  cache_budget : int;
+  queue_limit : int;
+  client_quota : int;
   shards : int;
+  shard_retries : int;
   worker_exe : string option;
   obs : Obs.sink;
   verbose : bool;
@@ -35,7 +47,11 @@ let default_config ~socket_path ~work_dir =
     socket_path;
     work_dir;
     cache_dir = None;
+    cache_budget = 0;
+    queue_limit = 0;
+    client_quota = 0;
     shards = 1;
+    shard_retries = 2;
     worker_exe = None;
     obs = Obs.null;
     verbose = false;
@@ -48,22 +64,27 @@ type sub = { sout : out_channel; swrite : Mutex.t }
 type job = {
   spec : Campaign.spec;
   compiled : Campaign.compiled;
+  client : string; (* quota bucket; "" = anonymous *)
   jlock : Mutex.t;
   jcond : Condition.t;
   mutable subs : sub list;
   mutable finished : bool;
+  mutable retired : bool; (* under qlock; slot and quota already freed *)
 }
 
 type t = {
   cfg : config;
   cache : Cache.t;
+  wal : Queue.t;
   listen_fd : Unix.file_descr;
-  queue : job Queue.t;
+  queue : job Stdlib.Queue.t;
   qlock : Mutex.t;
   qcond : Condition.t;
   (* fingerprint -> queued-or-running job; entries leave only after the
      job finished, so late twins always coalesce. *)
   inflight : (string, job) Hashtbl.t;
+  (* client -> jobs currently queued or running on its behalf *)
+  quota : (string, int) Hashtbl.t;
   mutable stopping : bool;
   slock : Mutex.t;
   mutable jobs : int;
@@ -71,6 +92,9 @@ type t = {
   mutable coalesced : int;
   mutable faults_simulated : int;
   mutable shard_runs : int;
+  mutable rejected : int;
+  mutable replayed : int;
+  mutable shard_restarts : int;
 }
 
 let log t fmt =
@@ -101,6 +125,34 @@ let finish job =
   Mutex.protect job.jlock (fun () ->
       job.finished <- true;
       Condition.broadcast job.jcond)
+
+(* A job leaving the system: free its inflight slot and quota and
+   retire its WAL record.  Idempotent (the scheduler's catch-all may
+   run it after [execute] already has).  Callers retire {e before} the
+   terminal broadcast, so a client that reads [Finished] and instantly
+   resubmits can never subscribe to a job that has already spoken its
+   last event - it hits the cache or starts fresh.  [finish] (waking
+   the connection handlers parked on [jcond]) is a separate step,
+   called {e after} the terminal event went out. *)
+let retire t job =
+  let fp = job.compiled.Campaign.fingerprint in
+  let fresh =
+    Mutex.protect t.qlock (fun () ->
+        if job.retired then false
+        else begin
+          job.retired <- true;
+          (match Hashtbl.find_opt t.inflight fp with
+          | Some j when j == job -> Hashtbl.remove t.inflight fp
+          | Some _ | None -> ());
+          (match Hashtbl.find_opt t.quota job.client with
+          | Some used when used > 1 ->
+            Hashtbl.replace t.quota job.client (used - 1)
+          | Some _ -> Hashtbl.remove t.quota job.client
+          | None -> ());
+          true
+        end)
+  in
+  if fresh then Queue.mark_done t.wal fp
 
 (* --- Job execution ----------------------------------------------------- *)
 
@@ -146,7 +198,7 @@ let run_in_process t job =
       let simulated = total - Journal.restored_count journal in
       Mutex.protect t.slock (fun () ->
           t.faults_simulated <- t.faults_simulated + simulated);
-      Ok result)
+      Ok (result, `Full))
 
 let wait_child exe pid =
   match snd (Unix.waitpid [] pid) with
@@ -159,7 +211,13 @@ let wait_child exe pid =
    journalling its slice under whole-campaign indices, then merge the
    shard journals into the campaign journal and rebuild the result from
    it - no waveform ever crosses a process boundary, only journal
-   lines. *)
+   lines.
+
+   Each child is supervised: one that dies is respawned with [--resume]
+   (salvaging its own partial journal) up to [shard_retries] extra
+   lives.  A shard that stays dead degrades the campaign instead of
+   failing it - its journalled results are salvaged by a lenient merge
+   and the unsalvaged faults surface as typed [Crashed] failures. *)
 let run_sharded t job exe shards =
   let compiled = job.compiled in
   let fp = compiled.Campaign.fingerprint in
@@ -174,47 +232,103 @@ let run_sharded t job exe shards =
         Filename.concat t.cfg.work_dir (Printf.sprintf "%s.shard%d.journal" fp i))
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
-  let pids =
-    List.mapi
-      (fun i shard_journal ->
-        let argv =
-          [|
-            exe;
-            "--spec";
-            spec_path;
-            "--shard";
-            Campaign.shard_to_string (i, shards);
-            "--journal";
-            shard_journal;
-          |]
-        in
-        Unix.create_process exe argv devnull devnull devnull)
-      shard_paths
+  Fun.protect ~finally:(fun () -> try Unix.close devnull with _ -> ())
+  @@ fun () ->
+  let spawn i shard_journal ~resume =
+    Obs.Failpoint.hit "shard.spawn";
+    let argv =
+      [ exe; "--spec"; spec_path; "--shard"; Campaign.shard_to_string (i, shards);
+        "--journal"; shard_journal ]
+      @ (if resume then [ "--resume" ] else [])
+    in
+    Unix.create_process exe (Array.of_list argv) devnull devnull devnull
   in
-  let statuses = List.map (wait_child exe) pids in
-  Unix.close devnull;
+  let pids = List.mapi (fun i p -> spawn i p ~resume:false) shard_paths in
   Mutex.protect t.slock (fun () -> t.shard_runs <- t.shard_runs + shards);
-  match List.find_opt Result.is_error statuses with
-  | Some (Error msg) -> Error ("shard worker: " ^ msg)
-  | Some (Ok ()) | None -> begin
+  (* Supervise each child to completion or to the end of its retry
+     budget.  The children all run concurrently; only the waiting is
+     sequential. *)
+  let statuses =
+    List.mapi
+      (fun i pid0 ->
+        let shard_journal = List.nth shard_paths i in
+        let rec supervise pid attempt =
+          match wait_child exe pid with
+          | Ok () -> Ok ()
+          | Error msg ->
+            if attempt <= t.cfg.shard_retries then begin
+              log t "job %s: shard %d died (%s), restart %d/%d" fp i msg
+                attempt t.cfg.shard_retries;
+              broadcast job (Campaign.Shard_restarted { shard = i; attempt });
+              Mutex.protect t.slock (fun () ->
+                  t.shard_restarts <- t.shard_restarts + 1;
+                  t.shard_runs <- t.shard_runs + 1);
+              Obs.count t.cfg.obs "daemon.shard_restarts" 1
+                ~attrs:[ ("job", Obs.Str fp); ("shard", Obs.Int i) ];
+              match spawn i shard_journal ~resume:true with
+              | pid' -> supervise pid' (attempt + 1)
+              | exception _ -> Error msg
+            end
+            else Error msg
+        in
+        supervise pid0 1)
+      pids
+  in
+  let lost_shards =
+    List.mapi (fun i s -> (i, s)) statuses
+    |> List.filter_map (fun (i, s) ->
+           match s with Error msg -> Some (i, msg) | Ok () -> None)
+  in
+  let lenient = lost_shards <> [] in
+  match
+    Journal.merge ~lenient ~out:(journal_path t fp) ~fingerprint:fp ~faults
+      shard_paths
+  with
+  | Error msg -> Error ("journal merge: " ^ msg)
+  | Ok merged -> begin
+    Mutex.protect t.slock (fun () ->
+        t.faults_simulated <- t.faults_simulated + merged);
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) shard_paths;
     match
-      Journal.merge ~out:(journal_path t fp) ~fingerprint:fp ~faults
-        shard_paths
+      Journal.start ~path:(journal_path t fp) ~fingerprint:fp ~resume:true
+        ~faults
     with
-    | Error msg -> Error ("journal merge: " ^ msg)
-    | Ok merged -> begin
-      Mutex.protect t.slock (fun () ->
-          t.faults_simulated <- t.faults_simulated + merged);
-      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) shard_paths;
-      match
-        Journal.start ~path:(journal_path t fp) ~fingerprint:fp ~resume:true
-          ~faults
-      with
-      | Error msg -> Error ("merged journal: " ^ msg)
-      | Ok journal ->
-        Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
-        Campaign.result_of_journal compiled journal
-    end
+    | Error msg -> Error ("merged journal: " ^ msg)
+    | Ok journal ->
+      Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
+      if not lenient then
+        Result.map (fun r -> (r, `Full)) (Campaign.result_of_journal compiled journal)
+      else begin
+        (* Tell each waiting client what a dead shard cost before the
+           degraded result arrives. *)
+        let total = Array.length faults in
+        List.iter
+          (fun (i, _msg) ->
+            let owned = Campaign.shard_indices ~shard:(i, shards) ~total in
+            let salvaged =
+              List.length
+                (List.filter
+                   (fun idx -> Journal.find journal idx faults.(idx) <> None)
+                   owned)
+            in
+            let lost = List.length owned - salvaged in
+            log t "job %s: shard %d lost for good (%d salvaged, %d lost)" fp i
+              salvaged lost;
+            broadcast job (Campaign.Shard_lost { shard = i; salvaged; lost }))
+          lost_shards;
+        let fill idx fault =
+          let shard = idx mod shards in
+          let detail =
+            match List.assoc_opt shard lost_shards with
+            | Some msg -> Printf.sprintf "shard %d lost: %s" shard msg
+            | None -> Printf.sprintf "shard %d lost" shard
+          in
+          Campaign.lost_result ~detail fault
+        in
+        Result.map
+          (fun r -> (r, `Degraded))
+          (Campaign.result_of_journal ~fill compiled journal)
+      end
   end
 
 let execute t job =
@@ -224,6 +338,7 @@ let execute t job =
   Obs.span t.cfg.obs "daemon.job"
     ~attrs:[ ("job", Obs.Str fp); ("faults", Obs.Int total) ]
   @@ fun _ ->
+  Obs.Failpoint.hit "job.run";
   let outcome =
     match (t.cfg.worker_exe, t.cfg.shards) with
     | Some exe, shards when shards > 1 && total >= shards ->
@@ -231,18 +346,24 @@ let execute t job =
     | _ -> run_in_process t job
   in
   (match outcome with
-  | Ok result ->
-    Cache.store t.cache fp (Campaign.result_to_json result);
+  | Ok (result, completeness) ->
+    (* A degraded result (dead shard, typed Crashed stand-ins) must not
+       be cached: a resubmission deserves a fresh attempt at the lost
+       faults, not the hole served back forever. *)
+    if completeness = `Full then
+      Cache.store t.cache fp (Campaign.result_to_json result);
     Obs.count t.cfg.obs "daemon.jobs_done" 1 ~attrs:[ ("job", Obs.Str fp) ];
+    (* Retire before the terminal broadcast: a subscriber that reads
+       [Finished] and instantly resubmits must find the slot free (and
+       the cache stored above), never a job with no more to say. *)
+    retire t job;
     broadcast job (Campaign.Finished result);
     log t "job %s: done (%d results)" fp result.Campaign.total
   | Error message ->
     Obs.count t.cfg.obs "daemon.jobs_failed" 1 ~attrs:[ ("job", Obs.Str fp) ];
+    retire t job;
     broadcast job (Campaign.Failed { message });
     log t "job %s: failed: %s" fp message);
-  (* Only now may a twin submission start a fresh job (it will hit the
-     cache instead when we succeeded). *)
-  Mutex.protect t.qlock (fun () -> Hashtbl.remove t.inflight fp);
   finish job
 
 let scheduler t =
@@ -250,7 +371,8 @@ let scheduler t =
     let next =
       Mutex.protect t.qlock @@ fun () ->
       let rec wait () =
-        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        if not (Stdlib.Queue.is_empty t.queue) then
+          Some (Stdlib.Queue.pop t.queue)
         else if t.stopping then None
         else begin
           Condition.wait t.qcond t.qlock;
@@ -264,10 +386,9 @@ let scheduler t =
     | Some job ->
       (try execute t job
        with e ->
+         retire t job;
          broadcast job
            (Campaign.Failed { message = "daemon: " ^ Printexc.to_string e });
-         Mutex.protect t.qlock (fun () ->
-             Hashtbl.remove t.inflight job.compiled.Campaign.fingerprint);
          finish job);
       loop ()
   in
@@ -279,13 +400,21 @@ let stats_json t =
   Mutex.protect t.slock @@ fun () ->
   Protocol.stats_to_json ~jobs:t.jobs ~cache_hits:t.cache_hits
     ~coalesced:t.coalesced ~faults_simulated:t.faults_simulated
-    ~shard_runs:t.shard_runs
+    ~shard_runs:t.shard_runs ~rejected:t.rejected ~replayed:t.replayed
+    ~shard_restarts:t.shard_restarts ~evictions:(Cache.evictions t.cache)
+    ~corrupt:(Cache.corrupt t.cache)
 
 let send_event sub ev =
   Mutex.protect sub.swrite (fun () ->
       Protocol.send sub.sout (Campaign.event_to_json ev))
 
-let handle_submit t sub spec =
+(* What admission decided; computed under qlock, answered outside it. *)
+type admitted =
+  | Stopping
+  | Turned_away of Protocol.reject_reason * string
+  | Admitted of job (* subscribed: wait for its events *)
+
+let handle_submit t sub spec client =
   (* Compile once to learn the fingerprint, then re-scope the config's
      telemetry sink so every event of this job carries it. *)
   match Campaign.compile ~obs:t.cfg.obs spec with
@@ -300,8 +429,7 @@ let handle_submit t sub spec =
       }
     in
     let faults = Array.of_list compiled.Campaign.faults in
-    send_event sub
-      (Campaign.Accepted { fingerprint = fp; total = Array.length faults });
+    let total = Array.length faults in
     let cached =
       match Cache.find t.cache fp with
       | None -> None
@@ -316,43 +444,99 @@ let handle_submit t sub spec =
       Mutex.protect t.slock (fun () -> t.cache_hits <- t.cache_hits + 1);
       Obs.count t.cfg.obs "daemon.cache_hit" 1 ~attrs:[ ("job", Obs.Str fp) ];
       log t "job %s: cache hit" fp;
+      send_event sub (Campaign.Accepted { fingerprint = fp; total });
       send_event sub (Campaign.Cache_hit { fingerprint = fp });
       send_event sub (Campaign.Finished result)
     | None -> begin
-      let job =
-        Mutex.protect t.qlock @@ fun () ->
-        if t.stopping then None (* the scheduler may already be gone *)
-        else begin
-          match Hashtbl.find_opt t.inflight fp with
-          | Some job ->
-            (* Same campaign already queued or running: subscribe. *)
-            Mutex.protect job.jlock (fun () -> job.subs <- sub :: job.subs);
-            Mutex.protect t.slock (fun () -> t.coalesced <- t.coalesced + 1);
-            Obs.count t.cfg.obs "daemon.coalesced" 1
-              ~attrs:[ ("job", Obs.Str fp) ];
-            Some job
-          | None ->
-            let job =
-              {
-                spec;
-                compiled;
-                jlock = Mutex.create ();
-                jcond = Condition.create ();
-                subs = [ sub ];
-                finished = false;
-              }
-            in
-            Hashtbl.replace t.inflight fp job;
-            Queue.push job t.queue;
-            Mutex.protect t.slock (fun () -> t.jobs <- t.jobs + 1);
-            Condition.signal t.qcond;
-            Some job
-        end
+      let bucket = Option.value client ~default:"" in
+      (* Hold this connection's write lock across admission so the
+         scheduler cannot slip a job event out before our Accepted
+         line - the first thing a submitter reads is its verdict. *)
+      let admitted =
+        Mutex.protect sub.swrite @@ fun () ->
+        let verdict =
+          Mutex.protect t.qlock @@ fun () ->
+          if t.stopping then Stopping
+          else begin
+            match Hashtbl.find_opt t.inflight fp with
+            | Some job ->
+              (* Same campaign already queued or running: subscribe. *)
+              Mutex.protect job.jlock (fun () -> job.subs <- sub :: job.subs);
+              Mutex.protect t.slock (fun () -> t.coalesced <- t.coalesced + 1);
+              Obs.count t.cfg.obs "daemon.coalesced" 1
+                ~attrs:[ ("job", Obs.Str fp) ];
+              Admitted job
+            | None ->
+              let depth = Hashtbl.length t.inflight in
+              let used =
+                Option.value (Hashtbl.find_opt t.quota bucket) ~default:0
+              in
+              if t.cfg.queue_limit > 0 && depth >= t.cfg.queue_limit then
+                Turned_away
+                  ( Protocol.Queue_full,
+                    Printf.sprintf "queue limit %d reached, try again later"
+                      t.cfg.queue_limit )
+              else if t.cfg.client_quota > 0 && used >= t.cfg.client_quota
+              then
+                Turned_away
+                  ( Protocol.Quota_exceeded,
+                    Printf.sprintf "client quota %d reached" t.cfg.client_quota
+                  )
+              else begin
+                match
+                  Queue.push t.wal { Queue.fingerprint = fp; client = bucket; spec }
+                with
+                | Error message ->
+                  (* The WAL is the acceptance contract; a submission we
+                     cannot make durable is not accepted. *)
+                  Turned_away (Protocol.Queue_full, "queue journal: " ^ message)
+                | Ok () ->
+                  let job =
+                    {
+                      spec;
+                      compiled;
+                      client = bucket;
+                      jlock = Mutex.create ();
+                      jcond = Condition.create ();
+                      subs = [ sub ];
+                      finished = false;
+                      retired = false;
+                    }
+                  in
+                  Hashtbl.replace t.inflight fp job;
+                  Hashtbl.replace t.quota bucket (used + 1);
+                  Stdlib.Queue.push job t.queue;
+                  Mutex.protect t.slock (fun () -> t.jobs <- t.jobs + 1);
+                  Condition.signal t.qcond;
+                  Admitted job
+              end
+          end
+        in
+        (match verdict with
+        | Stopping ->
+          Protocol.send sub.sout
+            (Campaign.event_to_json
+               (Campaign.Failed { message = "daemon is shutting down" }))
+        | Turned_away (reason, message) ->
+          Mutex.protect t.slock (fun () -> t.rejected <- t.rejected + 1);
+          Obs.count t.cfg.obs "daemon.rejected" 1
+            ~attrs:
+              [
+                ("job", Obs.Str fp);
+                ("reason", Obs.Str (Protocol.reject_reason_to_string reason));
+              ];
+          log t "job %s: rejected (%s)" fp
+            (Protocol.reject_reason_to_string reason);
+          Protocol.send sub.sout (Protocol.rejected_to_json ~reason ~message)
+        | Admitted _ ->
+          Protocol.send sub.sout
+            (Campaign.event_to_json
+               (Campaign.Accepted { fingerprint = fp; total })));
+        verdict
       in
-      match job with
-      | None ->
-        send_event sub (Campaign.Failed { message = "daemon is shutting down" })
-      | Some job ->
+      match admitted with
+      | Stopping | Turned_away _ -> ()
+      | Admitted job ->
         (* Hold the connection until the job finished; the scheduler
            streams the events. *)
         Mutex.protect job.jlock (fun () ->
@@ -383,14 +567,20 @@ let handle_client t fd =
   let sub = { sout = oc; swrite = Mutex.create () } in
   let rec loop () =
     match Protocol.recv ic with
-    | Ok None | Error _ -> ()
+    | Ok None -> ()
+    | Error message ->
+      (* Malformed or oversized line: answer with a typed failure and
+         keep serving - a confused client must not take the session
+         (let alone the daemon) down. *)
+      send_event sub (Campaign.Failed { message });
+      loop ()
     | Ok (Some json) -> begin
       match Protocol.request_of_json json with
       | Error message ->
         send_event sub (Campaign.Failed { message });
         loop ()
-      | Ok (Protocol.Submit spec) ->
-        handle_submit t sub spec;
+      | Ok (Protocol.Submit { spec; client }) ->
+        handle_submit t sub spec client;
         loop ()
       | Ok Protocol.Stats ->
         Mutex.protect sub.swrite (fun () -> Protocol.send oc (stats_json t));
@@ -422,17 +612,76 @@ let ensure_dir dir =
 
 let ( let* ) = Result.bind
 
+(* Turn the WAL's surviving entries back into queued jobs.  An entry
+   that no longer compiles (or whose fingerprint drifted - a spec codec
+   change between daemon versions) is retired as done: it was never
+   acknowledged complete, but there is nothing left to run for it. *)
+let replay_wal t entries =
+  List.iter
+    (fun (e : Queue.entry) ->
+      match Campaign.compile ~obs:t.cfg.obs e.Queue.spec with
+      | Error msg ->
+        log t "replay %s: dropped (%s)" e.Queue.fingerprint msg;
+        Queue.mark_done t.wal e.Queue.fingerprint
+      | Ok compiled ->
+        let fp = compiled.Campaign.fingerprint in
+        if not (String.equal fp e.Queue.fingerprint) then begin
+          log t "replay %s: fingerprint drifted to %s, dropped"
+            e.Queue.fingerprint fp;
+          Queue.mark_done t.wal e.Queue.fingerprint
+        end
+        else begin
+          let obs = Obs.tagged t.cfg.obs [ ("job", Obs.Str fp) ] in
+          let compiled =
+            {
+              compiled with
+              Campaign.config =
+                { compiled.Campaign.config with Anafault.Simulate.obs };
+            }
+          in
+          let job =
+            {
+              spec = e.Queue.spec;
+              compiled;
+              client = e.Queue.client;
+              jlock = Mutex.create ();
+              jcond = Condition.create ();
+              subs = [];
+              finished = false;
+              retired = false;
+            }
+          in
+          Mutex.protect t.qlock (fun () ->
+              Hashtbl.replace t.inflight fp job;
+              let used =
+                Option.value (Hashtbl.find_opt t.quota job.client) ~default:0
+              in
+              Hashtbl.replace t.quota job.client (used + 1);
+              Stdlib.Queue.push job t.queue);
+          Mutex.protect t.slock (fun () ->
+              t.jobs <- t.jobs + 1;
+              t.replayed <- t.replayed + 1);
+          Obs.count t.cfg.obs "daemon.replayed" 1 ~attrs:[ ("job", Obs.Str fp) ];
+          log t "replay %s: re-enqueued (%d faults)" fp
+            (List.length compiled.Campaign.faults)
+        end)
+    entries
+
 let run cfg =
   let* () = ensure_dir cfg.work_dir in
   let cache_dir =
     Option.value cfg.cache_dir ~default:(Filename.concat cfg.work_dir "cache")
   in
-  let* cache = Cache.create ~dir:cache_dir in
+  let* cache =
+    Cache.create ~budget_bytes:cfg.cache_budget ~obs:cfg.obs ~dir:cache_dir ()
+  in
+  let* wal, pending = Queue.open_ ~path:(Filename.concat cfg.work_dir "queue.wal") in
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path) with
   | exception Unix.Unix_error (err, _, _) ->
     Unix.close listen_fd;
+    Queue.close wal;
     Error (cfg.socket_path ^ ": " ^ Unix.error_message err)
   | () ->
     Unix.listen listen_fd 16;
@@ -444,11 +693,13 @@ let run cfg =
       {
         cfg;
         cache;
+        wal;
         listen_fd;
-        queue = Queue.create ();
+        queue = Stdlib.Queue.create ();
         qlock = Mutex.create ();
         qcond = Condition.create ();
         inflight = Hashtbl.create 8;
+        quota = Hashtbl.create 8;
         stopping = false;
         slock = Mutex.create ();
         jobs = 0;
@@ -456,10 +707,17 @@ let run cfg =
         coalesced = 0;
         faults_simulated = 0;
         shard_runs = 0;
+        rejected = 0;
+        replayed = 0;
+        shard_restarts = 0;
       }
     in
     log t "listening on %s (cache %s, shards %d)" cfg.socket_path cache_dir
       cfg.shards;
+    (* Re-enqueue what a previous life left queued or running, before
+       any client connects: replayed work and fresh work share one
+       FIFO. *)
+    replay_wal t pending;
     let scheduler_thread = Thread.create scheduler t in
     let handlers = ref [] in
     let rec accept_loop () =
@@ -483,6 +741,7 @@ let run cfg =
         t.stopping <- true;
         Condition.broadcast t.qcond);
     Thread.join scheduler_thread;
+    Queue.close t.wal;
     (try Sys.remove cfg.socket_path with Sys_error _ -> ());
     Option.iter (Sys.set_signal Sys.sigpipe) previous_sigpipe;
     log t "stopped";

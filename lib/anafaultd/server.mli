@@ -11,19 +11,43 @@
     instead of enqueuing a duplicate.  Every job's telemetry is scoped
     with a [job] attribute carrying its fingerprint ({!Obs.tagged}).
 
-    Jobs persist through the campaign journal: an in-process job
-    journals to [<work_dir>/<fingerprint>.journal] (resuming it if a
-    previous daemon died mid-campaign), and with [shards > 1] the job
-    is split across [anafault --shard I/N] child processes whose
-    per-shard journals are merged ({!Anafault.Journal.merge}) into the
-    same campaign journal the in-process path writes. *)
+    Crash-safety: every accepted job is recorded in a write-ahead
+    queue journal ([<work_dir>/queue.wal], {!Queue}) {e before} the
+    client hears "accepted", and the campaign itself journals to
+    [<work_dir>/<fingerprint>.journal].  A daemon killed -9 therefore
+    restarts into the same queue: pending jobs re-enqueue, the one
+    that was running resumes from its campaign journal, and finished
+    results wait in the cache for the resubmitting client.
+
+    Backpressure: with [queue_limit] set, a submission past the bound
+    answers with a typed [queue_full] rejection; with [client_quota]
+    set, each client (the [client] string of the submit request) is
+    capped at that many queued-or-running jobs, beyond which it gets
+    [quota_exceeded].  Coalescing submissions are never rejected.
+
+    Sharding ([shards > 1]) splits each job across [anafault --shard]
+    child processes whose per-shard journals are merged
+    ({!Anafault.Journal.merge}) into the same campaign journal the
+    in-process path writes.  Children are supervised: a dead child is
+    respawned with [--resume] up to [shard_retries] extra lives; one
+    that stays dead degrades the campaign - its journal is salvaged
+    leniently and the unsalvaged faults surface as typed [Crashed]
+    failures in the result (which is then {e not} cached). *)
 
 type config = {
   socket_path : string;  (** Unix-domain socket to listen on *)
-  work_dir : string;  (** journals, shard specs, and the default cache *)
+  work_dir : string;  (** journals, shard specs, queue WAL, default cache *)
   cache_dir : string option;  (** result cache root; [None]: work_dir/cache *)
+  cache_budget : int;  (** cache byte budget; 0 = unbounded ({!Cache}) *)
+  queue_limit : int;
+      (** max queued-or-running jobs before [queue_full]; 0 = unbounded *)
+  client_quota : int;
+      (** max queued-or-running jobs per client before [quota_exceeded];
+          0 = unbounded *)
   shards : int;
       (** > 1: split each job across this many worker processes *)
+  shard_retries : int;
+      (** extra lives per shard child before its slice degrades *)
   worker_exe : string option;
       (** the [anafault] binary used for [--shard] children; required
           when [shards > 1] *)
@@ -31,10 +55,13 @@ type config = {
   verbose : bool;  (** log accepts, jobs and cache traffic to stderr *)
 }
 
+(** Unbounded queue, quota and cache; 1 shard with 2 retries. *)
 val default_config : socket_path:string -> work_dir:string -> config
 
-(** [run config] binds the socket and serves until a client sends a
-    [shutdown] request.  Returns [Error] when the socket cannot be
-    bound or the work directory cannot be created.  SIGPIPE is ignored
-    for the lifetime of the call (clients may vanish mid-stream). *)
+(** [run config] binds the socket, replays the queue WAL, and serves
+    until a client sends a [shutdown] request.  Returns [Error] when
+    the socket cannot be bound or the work directory, cache or WAL
+    cannot be opened.  SIGPIPE is ignored for the lifetime of the call
+    (clients may vanish mid-stream).  Malformed requests answer with
+    typed ["failed"] events; they never end the serve loop. *)
 val run : config -> (unit, string) result

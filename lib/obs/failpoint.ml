@@ -1,0 +1,184 @@
+(* Deterministic fault injection for the fault-injection tool itself.
+   A failpoint is a named site compiled into a crash path (cache
+   writes, queue appends, journal records, shard spawns); arming one -
+   programmatically or through ANAFAULT_FAILPOINTS - makes that site
+   misbehave on cue, so tests and smoke scripts can force every
+   recovery path instead of waiting for the power to fail.
+
+   Sudden death is Unix._exit: no at_exit, no channel flushing, the
+   closest a process can come to kill -9 from the inside.  The crash
+   action optionally carries a cookie path so a respawned process (a
+   supervised shard child, which inherits the same environment) crashes
+   only on its first life. *)
+
+type action =
+  | Crash of string option
+      (* sudden death; [Some cookie]: only when [cookie] does not exist
+         yet (it is created just before dying) *)
+  | Fail (* raise [Injected] - a typed, catchable error *)
+  | Delay of float (* sleep this many seconds, then continue *)
+  | Torn of float (* write sites: commit only this fraction of the bytes *)
+
+exception Injected of string
+
+type point = {
+  action : action;
+  mutable countdown : int; (* fires when a hit brings this to 0 *)
+  mutable spent : bool;
+}
+
+(* One process-global registry; the mutex keeps arming and hitting
+   coherent across the daemon's handler/scheduler threads.  The hit
+   path takes the lock only when at least one point is armed, so an
+   unarmed binary pays one mutable read per site. *)
+let points : (string, point) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+let armed = ref false
+
+let reset () =
+  Mutex.protect lock @@ fun () ->
+  Hashtbl.reset points;
+  armed := false
+
+let arm ?(after = 1) name action =
+  Mutex.protect lock @@ fun () ->
+  Hashtbl.replace points name { action; countdown = max 1 after; spent = false };
+  armed := true
+
+let die () = Unix._exit 70
+
+let crash cookie =
+  match cookie with
+  | None -> die ()
+  | Some path ->
+    if not (Sys.file_exists path) then begin
+      (* Touch the cookie first so the next life of this process (a
+         supervisor's respawn) sails past the point. *)
+      (try close_out (open_out path) with Sys_error _ -> ());
+      die ()
+    end
+
+(* [take name] returns the action to perform now, if any, consuming the
+   point's charge.  Delay points stay armed (every hit delays); the
+   destructive actions are one-shot per process. *)
+let take name =
+  if not !armed then None
+  else
+    Mutex.protect lock @@ fun () ->
+    match Hashtbl.find_opt points name with
+    | None -> None
+    | Some p ->
+      if p.spent then None
+      else begin
+        p.countdown <- p.countdown - 1;
+        if p.countdown > 0 then None
+        else begin
+          (match p.action with Delay _ -> p.countdown <- 1 | _ -> p.spent <- true);
+          Some p.action
+        end
+      end
+
+let hit name =
+  match take name with
+  | None | Some (Torn _) -> ()
+  | Some (Crash cookie) -> crash cookie
+  | Some Fail -> raise (Injected name)
+  | Some (Delay s) -> Unix.sleepf s
+
+let cut name payload =
+  match take name with
+  | Some (Torn frac) ->
+    let n = String.length payload in
+    let keep = max 0 (min (n - 1) (int_of_float (frac *. float_of_int n))) in
+    Some (String.sub payload 0 keep)
+  | Some (Crash cookie) ->
+    crash cookie;
+    None
+  | Some Fail -> raise (Injected name)
+  | Some (Delay s) ->
+    Unix.sleepf s;
+    None
+  | None -> None
+
+let active name =
+  if not !armed then false
+  else
+    Mutex.protect lock @@ fun () ->
+    match Hashtbl.find_opt points name with
+    | Some p -> not p.spent
+    | None -> false
+
+(* --- The spec language -------------------------------------------------
+
+   SPEC    ::= point ( "," point )*
+   point   ::= NAME "=" action [ "@" COUNT ]
+   action  ::= "crash" [ ":" COOKIE ] | "fail" | "delay" ":" SECONDS
+             | "torn" ":" FRACTION
+
+   e.g.  journal.record=crash@3,cache.store=torn:0.5,shard.0.run=fail *)
+
+let split_once ch s =
+  match String.index_opt s ch with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_point spec =
+  let name, rhs = split_once '=' spec in
+  match rhs with
+  | None | Some "" -> Error (Printf.sprintf "failpoint %S: want NAME=ACTION" spec)
+  | Some rhs ->
+    if String.trim name = "" then
+      Error (Printf.sprintf "failpoint %S: empty name" spec)
+    else begin
+      let rhs, after =
+        match String.rindex_opt rhs '@' with
+        | None -> (rhs, Ok 1)
+        | Some i -> begin
+          let count = String.sub rhs (i + 1) (String.length rhs - i - 1) in
+          match int_of_string_opt count with
+          | Some n when n >= 1 -> (String.sub rhs 0 i, Ok n)
+          | _ ->
+            (rhs, Error (Printf.sprintf "failpoint %S: bad hit count %S" spec count))
+        end
+      in
+      match after with
+      | Error _ as e -> e
+      | Ok after -> begin
+        let action, arg = split_once ':' rhs in
+        let num what =
+          match Option.bind arg float_of_string_opt with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "failpoint %S: %s wants a number" spec what)
+        in
+        let act =
+          match action with
+          | "crash" -> Ok (Crash arg)
+          | "fail" -> Ok Fail
+          | "delay" -> Result.map (fun s -> Delay s) (num "delay")
+          | "torn" -> Result.map (fun f -> Torn f) (num "torn")
+          | other -> Error (Printf.sprintf "failpoint %S: unknown action %S" spec other)
+        in
+        Result.map (fun act -> (String.trim name, after, act)) act
+      end
+    end
+
+let configure spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc entry ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> Result.map (fun (n, after, act) -> arm ~after n act) (parse_point entry))
+    (Ok ()) entries
+
+let env_var = "ANAFAULT_FAILPOINTS"
+
+let load_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Ok ()
+  | Some spec -> configure spec

@@ -1,3 +1,5 @@
+module Failpoint = Failpoint
+
 type value = Bool of bool | Int of int | Float of float | Str of string
 
 type attrs = (string * value) list

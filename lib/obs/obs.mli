@@ -21,6 +21,13 @@
     durations as differences of that clock, so they are robust to
     everything short of the system clock stepping mid-span. *)
 
+(** {1 Fault injection}
+
+    Deterministic failpoints ({!Failpoint.arm}, [ANAFAULT_FAILPOINTS])
+    compiled into the tree's crash paths; see {!Failpoint}. *)
+
+module Failpoint : module type of Failpoint
+
 (** {1 Events} *)
 
 (** Attribute values attached to events. *)

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# The restart smoke check (dune build @restart-smoke):
+#
+#   1. start anafaultd with a failpoint that kills the process (hard
+#      Unix._exit, nothing flushed) as it journals the third fault of
+#      its first job,
+#   2. submit the demo campaign: the daemon must die mid-job, the
+#      client must report the lost connection and fail,
+#   3. restart the daemon over the same work directory with the
+#      failpoint gone: the write-ahead queue must replay the job and
+#      the campaign journal must salvage the two durable faults,
+#   4. resubmit the same campaign (answered by the replayed job or its
+#      cache entry) and a second, distinct campaign; diff both CSVs
+#      against serial in-process references,
+#   5. require the counters to prove the salvage: one replayed job,
+#      and 4 + 5 = 9 simulated faults where a from-scratch rerun of
+#      both campaigns would have cost 11,
+#   6. resubmit the distinct campaign and require a cache hit, then
+#      shut the daemon down cleanly.
+#
+# The socket lives under mktemp -d, NOT the _build tree: sun_path caps
+# Unix-socket paths at ~108 characters and sandbox build paths blow
+# straight through that.
+set -eu
+
+anafaultd=$(realpath "$1")
+anafault=$(realpath "$2")
+circuit=$(realpath "$3")
+faults=$(realpath "$4")
+reference6=$(realpath "$5")
+reference5=$(realpath "$6")
+
+tmp=$(mktemp -d)
+daemon_pid=
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+socket="$tmp/d.sock"
+
+wait_for_socket() {
+  for _ in $(seq 100); do
+    [ -S "$socket" ] && return 0
+    sleep 0.05
+  done
+  echo "daemon never bound $socket" >&2
+  exit 1
+}
+
+submit() { # submit LIMIT CSV [extra flags...]
+  local limit=$1 csv=$2
+  shift 2
+  "$anafault" "$circuit" --faults "$faults" --observe 11 --limit "$limit" \
+    --remote "$socket" --csv "$csv" "$@"
+}
+
+# --- First life: the daemon dies journalling fault 3 of 6. -----------
+ANAFAULT_FAILPOINTS="journal.record=crash@3" \
+  "$anafaultd" --socket "$socket" --work-dir "$tmp/work" \
+  >"$tmp/daemon1.log" 2>&1 &
+daemon_pid=$!
+wait_for_socket
+
+if submit 6 "$tmp/lost.csv" --remote-retries 0 >"$tmp/lost.out" 2>&1; then
+  echo "the submission survived a daemon crash it should not have:" >&2
+  cat "$tmp/lost.out" >&2
+  exit 1
+fi
+
+wait "$daemon_pid" && daemon_status=0 || daemon_status=$?
+daemon_pid=
+[ "$daemon_status" -eq 70 ] \
+  || { echo "expected the failpoint's _exit 70, got $daemon_status" >&2
+       cat "$tmp/daemon1.log" >&2; exit 1; }
+grep -q '"op":"push"' "$tmp/work/queue.wal" \
+  || { echo "the accepted job never reached the queue WAL" >&2; exit 1; }
+
+# --- Second life: same work dir, no failpoints. ----------------------
+"$anafaultd" --socket "$socket" --work-dir "$tmp/work" \
+  >"$tmp/daemon2.log" 2>&1 &
+daemon_pid=$!
+wait_for_socket
+
+# The resubmission coalesces with the replayed job or finds its cache
+# entry - either way the answer matches the uninterrupted reference.
+submit 6 "$tmp/replayed.csv" >"$tmp/replayed.out" 2>&1
+diff -u "$reference6" "$tmp/replayed.csv"
+
+# A second, distinct campaign exercises the restarted daemon end to end.
+submit 5 "$tmp/other.csv" >"$tmp/other.out" 2>&1
+diff -u "$reference5" "$tmp/other.csv"
+
+"$anafault" --remote-stats "$socket" >"$tmp/stats.json"
+grep -q '"replayed":1' "$tmp/stats.json" \
+  || { echo "expected one replayed job: $(cat "$tmp/stats.json")" >&2; exit 1; }
+# 2 of the 6 faults were journalled before the crash, so the restart
+# simulates only 4; the distinct 5-fault campaign adds 5.
+grep -q '"faults_simulated":9' "$tmp/stats.json" \
+  || { echo "the journalled faults were not salvaged: $(cat "$tmp/stats.json")" >&2
+       exit 1; }
+
+submit 5 "$tmp/other2.csv" >"$tmp/other2.out" 2>&1
+grep -q "served from the result cache" "$tmp/other2.out" \
+  || { echo "resubmission missed the cache:" >&2; cat "$tmp/other2.out" >&2
+       exit 1; }
+diff -u "$tmp/other.csv" "$tmp/other2.csv"
+
+"$anafault" --remote-shutdown "$socket" >/dev/null
+wait "$daemon_pid"
+daemon_pid=
+echo "restart smoke ok"

@@ -116,7 +116,13 @@ let codec_tests =
               ok "request_of_json" (Protocol.request_of_json (Protocol.request_to_json req))
             in
             check_bool "equal" true (back = req))
-          [ Protocol.Submit spec; Protocol.Stats; Protocol.Ping; Protocol.Shutdown ]);
+          [
+            Protocol.Submit { spec; client = None };
+            Protocol.Submit { spec; client = Some "ci" };
+            Protocol.Stats;
+            Protocol.Ping;
+            Protocol.Shutdown;
+          ]);
     Alcotest.test_case "event round-trips" `Quick (fun () ->
         let faults = fault_array () in
         List.iter
@@ -130,6 +136,8 @@ let codec_tests =
             Campaign.Progress { completed = 1; total = 3 };
             Campaign.Cache_hit { fingerprint = "abc123" };
             Campaign.Sharded { shards = 4 };
+            Campaign.Shard_restarted { shard = 2; attempt = 1 };
+            Campaign.Shard_lost { shard = 2; salvaged = 5; lost = 3 };
             Campaign.Failed { message = "no such node" };
           ]);
     Alcotest.test_case "campaign result round-trips" `Quick (fun () ->
@@ -329,6 +337,366 @@ let shard_tests =
           [ 1; 2; 4 ]);
   ]
 
+(* --- Failpoints --------------------------------------------------------- *)
+
+module Failpoint = Obs.Failpoint
+
+let failpoint_tests =
+  let with_reset f () =
+    Failpoint.reset ();
+    Fun.protect ~finally:Failpoint.reset f
+  in
+  [
+    Alcotest.test_case "fail fires once" `Quick
+      (with_reset (fun () ->
+           Failpoint.arm "t.fail" Failpoint.Fail;
+           check_bool "armed" true (Failpoint.active "t.fail");
+           (match Failpoint.hit "t.fail" with
+           | () -> Alcotest.fail "expected Injected"
+           | exception Failpoint.Injected name ->
+             check_string "payload is the site name" "t.fail" name);
+           check_bool "spent" false (Failpoint.active "t.fail");
+           Failpoint.hit "t.fail" (* one-shot: second hit is a no-op *)));
+    Alcotest.test_case "@N fires on the Nth hit" `Quick
+      (with_reset (fun () ->
+           Failpoint.arm ~after:3 "t.third" Failpoint.Fail;
+           Failpoint.hit "t.third";
+           Failpoint.hit "t.third";
+           match Failpoint.hit "t.third" with
+           | () -> Alcotest.fail "expected Injected on hit 3"
+           | exception Failpoint.Injected _ -> ()));
+    Alcotest.test_case "unarmed sites are free" `Quick
+      (with_reset (fun () ->
+           Failpoint.hit "t.nothing";
+           check_bool "cut passes through" true
+             (Failpoint.cut "t.nothing" "payload" = None)));
+    Alcotest.test_case "torn cuts the payload once" `Quick
+      (with_reset (fun () ->
+           Failpoint.arm "t.torn" (Failpoint.Torn 0.5);
+           (match Failpoint.cut "t.torn" "abcdefgh" with
+           | Some prefix -> check_string "half the bytes" "abcd" prefix
+           | None -> Alcotest.fail "expected a torn prefix");
+           check_bool "one-shot" true (Failpoint.cut "t.torn" "abcdefgh" = None)));
+    Alcotest.test_case "delay stays armed" `Quick
+      (with_reset (fun () ->
+           Failpoint.arm "t.delay" (Failpoint.Delay 0.0);
+           Failpoint.hit "t.delay";
+           Failpoint.hit "t.delay";
+           check_bool "still armed" true (Failpoint.active "t.delay")));
+    Alcotest.test_case "spec language parses" `Quick
+      (with_reset (fun () ->
+           ignore
+             (ok "configure"
+                (Failpoint.configure
+                   "a.one=fail, b.two=delay:0.5@3 ,c.three=torn:0.25,d.four=crash:/tmp/cookie"));
+           List.iter
+             (fun n -> check_bool n true (Failpoint.active n))
+             [ "a.one"; "b.two"; "c.three"; "d.four" ]));
+    Alcotest.test_case "spec language rejects junk" `Quick
+      (with_reset (fun () ->
+           List.iter
+             (fun bad ->
+               check_bool bad true (Result.is_error (Failpoint.configure bad)))
+             [ "noequals"; "x=explode"; "x=torn:lots"; "x=fail@zero"; "=fail" ]));
+    Alcotest.test_case "load_env arms from the environment" `Quick
+      (with_reset (fun () ->
+           Unix.putenv Failpoint.env_var "t.env=fail";
+           Fun.protect ~finally:(fun () -> Unix.putenv Failpoint.env_var "")
+           @@ fun () ->
+           ignore (ok "load_env" (Failpoint.load_env ()));
+           check_bool "armed" true (Failpoint.active "t.env")));
+    Alcotest.test_case "load_env is a no-op when unset" `Quick
+      (with_reset (fun () ->
+           Unix.putenv Failpoint.env_var "";
+           ignore (ok "load_env" (Failpoint.load_env ()));
+           check_bool "nothing armed" false (Failpoint.active "t.env")));
+  ]
+
+(* --- The write-ahead job queue ------------------------------------------ *)
+
+module Wal = Anafaultd.Queue
+
+let temp_dir () =
+  let dir = Filename.temp_file "anaf" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let wal_entry fp = { Wal.fingerprint = fp; client = "ci"; spec }
+
+let wal_tests =
+  [
+    Alcotest.test_case "pushes survive a reopen, done retires" `Quick (fun () ->
+        let path = Filename.concat (temp_dir ()) "queue.wal" in
+        let wal, pending = ok "open" (Wal.open_ ~path) in
+        check_int "fresh queue is empty" 0 (List.length pending);
+        ok "push a" (Wal.push wal (wal_entry "aaa"));
+        ok "push b" (Wal.push wal (wal_entry "bbb"));
+        check_int "two pending" 2 (Wal.pending wal);
+        Wal.close wal;
+        (* The reopen is the kill -9 restart: both jobs come back, in
+           arrival order. *)
+        let wal, pending = ok "reopen" (Wal.open_ ~path) in
+        check_bool "replayed in order" true
+          (List.map (fun (e : Wal.entry) -> e.Wal.fingerprint) pending
+          = [ "aaa"; "bbb" ]);
+        Wal.mark_done wal "aaa";
+        Wal.close wal;
+        let wal, pending = ok "reopen 2" (Wal.open_ ~path) in
+        check_bool "only b left" true
+          (List.map (fun (e : Wal.entry) -> e.Wal.fingerprint) pending
+          = [ "bbb" ]);
+        Wal.close wal);
+    Alcotest.test_case "duplicate pushes collapse" `Quick (fun () ->
+        let path = Filename.concat (temp_dir ()) "queue.wal" in
+        let wal, _ = ok "open" (Wal.open_ ~path) in
+        ok "push" (Wal.push wal (wal_entry "aaa"));
+        ok "push twin" (Wal.push wal (wal_entry "aaa"));
+        check_int "one pending" 1 (Wal.pending wal);
+        Wal.close wal;
+        let wal, pending = ok "reopen" (Wal.open_ ~path) in
+        check_int "still one" 1 (List.length pending);
+        Wal.close wal);
+    Alcotest.test_case "a torn tail is skipped, not fatal" `Quick (fun () ->
+        let path = Filename.concat (temp_dir ()) "queue.wal" in
+        let wal, _ = ok "open" (Wal.open_ ~path) in
+        ok "push" (Wal.push wal (wal_entry "aaa"));
+        Wal.close wal;
+        (* The crash tore the last append mid-line. *)
+        let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+        output_string oc "{\"op\":\"push\",\"fingerprint\":\"bb";
+        close_out oc;
+        let wal, pending = ok "reopen" (Wal.open_ ~path) in
+        check_bool "intact push survives, torn one vanishes" true
+          (List.map (fun (e : Wal.entry) -> e.Wal.fingerprint) pending
+          = [ "aaa" ]);
+        Wal.close wal);
+    Alcotest.test_case "reopen compacts done records away" `Quick (fun () ->
+        let path = Filename.concat (temp_dir ()) "queue.wal" in
+        let wal, _ = ok "open" (Wal.open_ ~path) in
+        ok "push a" (Wal.push wal (wal_entry "aaa"));
+        ok "push b" (Wal.push wal (wal_entry "bbb"));
+        Wal.mark_done wal "aaa";
+        Wal.close wal;
+        let wal, _ = ok "reopen" (Wal.open_ ~path) in
+        Wal.close wal;
+        let lines =
+          In_channel.with_open_text path @@ fun ic ->
+          In_channel.input_lines ic
+        in
+        (* header + the one live push: the file tracks queue depth, not
+           daemon lifetime *)
+        check_int "compacted to header + 1 push" 2 (List.length lines));
+    Alcotest.test_case "queue.append failpoint reaches the caller" `Quick
+      (fun () ->
+        let path = Filename.concat (temp_dir ()) "queue.wal" in
+        let wal, _ = ok "open" (Wal.open_ ~path) in
+        Failpoint.reset ();
+        Fun.protect ~finally:Failpoint.reset @@ fun () ->
+        Failpoint.arm "queue.append" Failpoint.Fail;
+        (match Wal.push wal (wal_entry "aaa") with
+        | exception Failpoint.Injected _ -> ()
+        | Ok () -> Alcotest.fail "expected the failpoint to fire"
+        | Error _ -> Alcotest.fail "expected the failpoint, not an IO error");
+        (* The failed append journalled nothing. *)
+        ok "push after" (Wal.push wal (wal_entry "aaa"));
+        check_int "one pending" 1 (Wal.pending wal);
+        Wal.close wal);
+  ]
+
+(* --- The result cache ---------------------------------------------------- *)
+
+module Cache = Anafaultd.Cache
+
+let cache_value n = J.Obj [ ("data", J.String (String.make n 'x')) ]
+
+(* Bytes of the *.json entries on disk - what the budget bounds. *)
+let cache_dir_bytes dir =
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name ".json" then
+        acc + (Unix.stat (Filename.concat dir name)).Unix.st_size
+      else acc)
+    0 (Sys.readdir dir)
+
+let cache_tests =
+  [
+    Alcotest.test_case "store / find round trip" `Quick (fun () ->
+        let c = ok "create" (Cache.create ~dir:(temp_dir ()) ()) in
+        Cache.store c "aa" (cache_value 10);
+        check_bool "found" true (Cache.find c "aa" = Some (cache_value 10));
+        check_bool "miss" true (Cache.find c "bb" = None);
+        check_int "one store" 1 (Cache.stores c);
+        check_int "one hit" 1 (Cache.hits c);
+        check_int "one miss" 1 (Cache.misses c));
+    Alcotest.test_case "keys that could escape the directory are refused"
+      `Quick (fun () ->
+        let dir = temp_dir () in
+        let c = ok "create" (Cache.create ~dir ()) in
+        Cache.store c "../evil" (cache_value 10);
+        check_bool "not stored" true (Cache.find c "../evil" = None);
+        check_int "nothing on disk" 0 (Array.length (Sys.readdir dir)));
+    Alcotest.test_case "LRU eviction keeps the directory under budget" `Quick
+      (fun () ->
+        (* Measure one entry, then budget for two. *)
+        let probe = ok "create" (Cache.create ~dir:(temp_dir ()) ()) in
+        Cache.store probe "aa" (cache_value 100);
+        let entry = Cache.total_bytes probe in
+        check_bool "probe stored" true (entry > 100);
+        let budget = (2 * entry) + 4 in
+        let dir = temp_dir () in
+        let c = ok "create" (Cache.create ~budget_bytes:budget ~dir ()) in
+        Cache.store c "aa" (cache_value 100);
+        Cache.store c "bb" (cache_value 100);
+        check_int "both fit" 0 (Cache.evictions c);
+        (* Touch aa so bb is the least recently used... *)
+        check_bool "aa hits" true (Cache.find c "aa" <> None);
+        Cache.store c "cc" (cache_value 100);
+        (* ...and gets evicted when cc arrives. *)
+        check_int "one eviction" 1 (Cache.evictions c);
+        check_bool "bb evicted" true (Cache.find c "bb" = None);
+        check_bool "aa kept" true (Cache.find c "aa" <> None);
+        check_bool "cc kept" true (Cache.find c "cc" <> None);
+        check_bool "accounting under budget" true (Cache.total_bytes c <= budget);
+        check_bool "directory under budget" true (cache_dir_bytes dir <= budget));
+    Alcotest.test_case "mtime seeds LRU order across a reopen" `Quick (fun () ->
+        let dir = temp_dir () in
+        let c = ok "create" (Cache.create ~dir ()) in
+        Cache.store c "aa" (cache_value 100);
+        let entry = Cache.total_bytes c in
+        Unix.sleepf 0.02;
+        Cache.store c "bb" (cache_value 100);
+        (* Reopen with room for only one entry: the older file goes. *)
+        let c = ok "reopen" (Cache.create ~budget_bytes:(entry + 4) ~dir ()) in
+        Cache.store c "cc" (cache_value 100);
+        check_bool "oldest evicted first" true (Cache.find c "aa" = None);
+        check_bool "newest entry kept" true (Cache.find c "cc" <> None));
+    Alcotest.test_case "an entry larger than the budget is not stored" `Quick
+      (fun () ->
+        let dir = temp_dir () in
+        let c = ok "create" (Cache.create ~budget_bytes:64 ~dir ()) in
+        Cache.store c "aa" (cache_value 1000);
+        check_bool "skipped" true (Cache.find c "aa" = None);
+        check_int "nothing on disk" 0 (cache_dir_bytes dir));
+    Alcotest.test_case "a corrupt entry is quarantined, not fatal" `Quick
+      (fun () ->
+        let dir = temp_dir () in
+        let c = ok "create" (Cache.create ~dir ()) in
+        Cache.store c "aa" (cache_value 100);
+        (* Bit rot: the file no longer matches its checksum header. *)
+        let path = Filename.concat dir "aa.json" in
+        let oc = open_out path in
+        output_string oc "garbage that is not an entry\n";
+        close_out oc;
+        check_bool "served as a miss" true (Cache.find c "aa" = None);
+        check_int "counted" 1 (Cache.corrupt c);
+        check_bool "set aside for post-mortems" true
+          (Sys.file_exists (path ^ ".corrupt"));
+        (* The slot is reusable. *)
+        Cache.store c "aa" (cache_value 50);
+        check_bool "healthy again" true (Cache.find c "aa" = Some (cache_value 50)));
+    Alcotest.test_case "a torn write (failpoint) quarantines on read" `Quick
+      (fun () ->
+        Failpoint.reset ();
+        Fun.protect ~finally:Failpoint.reset @@ fun () ->
+        let dir = temp_dir () in
+        let c = ok "create" (Cache.create ~dir ()) in
+        Failpoint.arm "cache.store.torn" (Failpoint.Torn 0.5);
+        Cache.store c "aa" (cache_value 100);
+        (* The torn entry was committed; validation catches it. *)
+        check_bool "torn entry is a miss" true (Cache.find c "aa" = None);
+        check_int "quarantined" 1 (Cache.corrupt c);
+        (* The failpoint is one-shot: the retry stores a good entry. *)
+        Cache.store c "aa" (cache_value 100);
+        check_bool "second store is durable" true
+          (Cache.find c "aa" = Some (cache_value 100)));
+  ]
+
+(* --- Protocol robustness ------------------------------------------------- *)
+
+let channel_of_string s =
+  let path = Filename.temp_file "proto" ".ndjson" in
+  Out_channel.with_open_bin path (fun oc -> output_string oc s);
+  open_in_bin path
+
+let protocol_tests =
+  [
+    Alcotest.test_case "malformed line: typed error, stream continues" `Quick
+      (fun () ->
+        let ic = channel_of_string "this is not json\n{\"cmd\":\"ping\"}\n" in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        (match Protocol.recv ic with
+        | Error msg ->
+          check_bool "names the problem" true
+            (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "expected a decode error");
+        (* The channel sits at the next line boundary. *)
+        match ok "recv after error" (Protocol.recv ic) with
+        | Some json ->
+          check_bool "ping decodes" true
+            (ok "request" (Protocol.request_of_json json) = Protocol.Ping)
+        | None -> Alcotest.fail "stream ended early");
+    Alcotest.test_case "truncated NDJSON at EOF is a typed error" `Quick
+      (fun () ->
+        let ic = channel_of_string "{\"cmd\":\"sub" in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        match Protocol.recv ic with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected a decode error");
+    Alcotest.test_case "oversized request: typed error, line drained" `Quick
+      (fun () ->
+        let ic =
+          channel_of_string (String.make 100 'a' ^ "\n{\"cmd\":\"ping\"}\n")
+        in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        (match Protocol.recv ~limit_bytes:32 ic with
+        | Error msg ->
+          check_bool "says oversized" true
+            (String.length msg > 0
+            && String.sub msg (String.length msg - 5) 5 = "bytes")
+        | Ok _ -> Alcotest.fail "expected the size bound to trip");
+        match ok "recv after oversize" (Protocol.recv ~limit_bytes:32 ic) with
+        | Some json ->
+          check_bool "next line intact" true
+            (ok "request" (Protocol.request_of_json json) = Protocol.Ping)
+        | None -> Alcotest.fail "stream ended early");
+    Alcotest.test_case "unknown and ill-shaped requests are typed errors"
+      `Quick (fun () ->
+        check_bool "unknown cmd" true
+          (Result.is_error
+             (Protocol.request_of_json (J.Obj [ ("cmd", J.String "fly") ])));
+        check_bool "non-object" true
+          (Result.is_error (Protocol.request_of_json (J.String "ping")));
+        check_bool "missing spec" true
+          (Result.is_error
+             (Protocol.request_of_json (J.Obj [ ("cmd", J.String "submit") ])));
+        check_bool "ill-typed client" true
+          (Result.is_error
+             (Protocol.request_of_json
+                (J.Obj
+                   [
+                     ("cmd", J.String "submit");
+                     ("spec", Campaign.spec_to_json spec);
+                     ("client", J.Int 7);
+                   ]))));
+    Alcotest.test_case "rejection codec round-trips" `Quick (fun () ->
+        List.iter
+          (fun reason ->
+            let json = Protocol.rejected_to_json ~reason ~message:"full up" in
+            match ok "rejected_of_json" (Protocol.rejected_of_json json) with
+            | Some (back, msg) ->
+              check_bool "reason" true (back = reason);
+              check_string "message" "full up" msg
+            | None -> Alcotest.fail "rejection not recognised")
+          [ Protocol.Queue_full; Protocol.Quota_exceeded ];
+        (* Non-rejections fall through for the event codec. *)
+        check_bool "event is not a rejection" true
+          (ok "fall through"
+             (Protocol.rejected_of_json
+                (Campaign.event_to_json (Campaign.Sharded { shards = 2 })))
+          = None));
+  ]
+
 (* --- The daemon, in process -------------------------------------------- *)
 
 let daemon_socket_dir () =
@@ -362,13 +730,13 @@ let drain_events ~faults ic =
   in
   loop []
 
-let submit_and_wait ~faults path =
+let submit_and_wait ?client ?(spec = spec) ~faults path =
   let fd = connect path in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  Protocol.send oc (Protocol.request_to_json (Protocol.Submit spec));
+  Protocol.send oc (Protocol.request_to_json (Protocol.Submit { spec; client }));
   drain_events ~faults ic
 
 let one_shot path request =
@@ -381,6 +749,76 @@ let one_shot path request =
   match ok "recv" (Protocol.recv ic) with
   | Some json -> json
   | None -> Alcotest.fail "daemon closed the connection without replying"
+
+(* A second campaign with its own fingerprint (two faults instead of
+   three), for tests that need distinct jobs in flight. *)
+let spec2 =
+  {
+    spec with
+    Campaign.faults =
+      Faults.Fault_list.to_string (List.filteri (fun i _ -> i < 2) fixture_faults);
+  }
+
+let fault_array2 () =
+  Array.of_list (ok "compile spec2" (Campaign.compile spec2)).Campaign.faults
+
+let spec3 =
+  {
+    spec with
+    Campaign.faults =
+      Faults.Fault_list.to_string (List.filteri (fun i _ -> i < 1) fixture_faults);
+  }
+
+let submit_expect_rejected ?client ~spec path =
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Protocol.send oc (Protocol.request_to_json (Protocol.Submit { spec; client }));
+  match ok "recv" (Protocol.recv ic) with
+  | None -> Alcotest.fail "daemon closed without replying"
+  | Some json -> begin
+    match ok "rejected" (Protocol.rejected_of_json json) with
+    | Some (reason, _message) -> reason
+    | None -> Alcotest.failf "expected a rejection, got %s" (J.to_string json)
+  end
+
+let stat_int json name =
+  match json with
+  | J.Obj fields -> begin
+    match List.assoc_opt name fields with Some (J.Int n) -> n | _ -> -1
+  end
+  | _ -> -1
+
+let rec poll ?(tries = 400) what f =
+  if tries = 0 then Alcotest.failf "timed out waiting for %s" what
+  else if f () then ()
+  else begin
+    Thread.delay 0.05;
+    poll ~tries:(tries - 1) what f
+  end
+
+let finished_of events =
+  match
+    List.filter_map (function Campaign.Finished r -> Some r | _ -> None) events
+  with
+  | [ r ] -> r
+  | _ -> Alcotest.fail "expected exactly one Finished event"
+
+(* Where dune built the anafault CLI, relative to the test's cwd (the
+   dune stanza depends on it). *)
+let anafault_exe () =
+  let candidates =
+    [
+      "../bin/anafault_main.exe";
+      Filename.concat (Filename.dirname Sys.executable_name)
+        "../bin/anafault_main.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> exe
+  | None -> Alcotest.fail "anafault binary not built next to the tests"
 
 let daemon_tests =
   [
@@ -432,6 +870,261 @@ let daemon_tests =
         | J.Obj [ ("ok", J.Bool true) ] -> ()
         | _ -> Alcotest.fail "shutdown: expected ok");
         Thread.join server);
+    Alcotest.test_case "malformed wire input never kills the session" `Slow
+      (fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let cfg =
+          Anafaultd.Server.default_config ~socket_path
+            ~work_dir:(Filename.concat dir "work")
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let faults = fault_array () in
+        let fd = connect socket_path in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            let expect_failed what line =
+              output_string oc line;
+              output_char oc '\n';
+              flush oc;
+              match ok "recv" (Protocol.recv ic) with
+              | None -> Alcotest.failf "%s: daemon closed the session" what
+              | Some json -> begin
+                match ok "event" (Campaign.event_of_json ~faults json) with
+                | Campaign.Failed _ -> ()
+                | _ -> Alcotest.failf "%s: expected a typed failed event" what
+              end
+            in
+            (* Garbage, an unknown command, a wrong shape: each answers
+               with a typed failure and the session keeps serving. *)
+            expect_failed "not json" "}{ this is not json";
+            expect_failed "unknown cmd" "{\"cmd\":\"levitate\"}";
+            expect_failed "non-object" "\"ping\"";
+            expect_failed "missing spec" "{\"cmd\":\"submit\"}";
+            (* ...as the follow-up valid requests prove. *)
+            Protocol.send oc (Protocol.request_to_json Protocol.Ping);
+            (match ok "recv" (Protocol.recv ic) with
+            | Some (J.Obj [ ("ok", J.Bool true) ]) -> ()
+            | _ -> Alcotest.fail "ping after garbage: expected ok");
+            Protocol.send oc
+              (Protocol.request_to_json (Protocol.Submit { spec; client = None }));
+            let result = finished_of (drain_events ~faults ic) in
+            check_int "campaign still runs" 3
+              (List.length result.Campaign.results));
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "full queue and spent quota reject with types" `Slow
+      (fun () ->
+        Obs.Failpoint.reset ();
+        Fun.protect ~finally:Obs.Failpoint.reset @@ fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let cfg =
+          {
+            (Anafaultd.Server.default_config ~socket_path
+               ~work_dir:(Filename.concat dir "work"))
+            with
+            Anafaultd.Server.queue_limit = 2;
+            client_quota = 1;
+          }
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        (* Hold each job in the scheduler for a beat so the queue stays
+           occupied while we probe the admission rules (Delay re-arms on
+           every hit). *)
+        Obs.Failpoint.arm "job.run" (Obs.Failpoint.Delay 1.0);
+        let first =
+          Thread.create
+            (fun () ->
+              ignore (submit_and_wait ~client:"ci" ~faults:(fault_array ())
+                        socket_path))
+            ()
+        in
+        poll "the first job to be admitted" (fun () ->
+            stat_int (one_shot socket_path Protocol.Stats) "jobs" >= 1);
+        (* Client ci already holds its one slot: a second, distinct
+           campaign from the same client is quota_exceeded (the queue
+           itself still has room). *)
+        check_bool "quota_exceeded" true
+          (submit_expect_rejected ~client:"ci" ~spec:spec2 socket_path
+          = Protocol.Quota_exceeded);
+        (* Another client is welcome to the remaining queue slot... *)
+        let second =
+          Thread.create
+            (fun () ->
+              ignore (submit_and_wait ~client:"bob" ~spec:spec2
+                        ~faults:(fault_array2 ()) socket_path))
+            ()
+        in
+        poll "the second job to be admitted" (fun () ->
+            stat_int (one_shot socket_path Protocol.Stats) "jobs" >= 2);
+        (* ...which fills the queue: a third fingerprint - whoever
+           submits it - is queue_full. *)
+        check_bool "queue_full" true
+          (submit_expect_rejected ~spec:spec3 socket_path = Protocol.Queue_full);
+        Thread.join first;
+        Thread.join second;
+        (* Rejections are counted. *)
+        check_bool "rejected stat" true
+          (stat_int (one_shot socket_path Protocol.Stats) "rejected" >= 2);
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "queued jobs survive a restart (WAL replay)" `Slow
+      (fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let work_dir = Filename.concat dir "work" in
+        Unix.mkdir work_dir 0o755;
+        (* The previous daemon life accepted this job and was killed
+           before running it: all that remains is its WAL record. *)
+        let fingerprint = (compile ()).Campaign.fingerprint in
+        let wal, pending =
+          ok "open wal" (Wal.open_ ~path:(Filename.concat work_dir "queue.wal"))
+        in
+        check_int "fresh wal" 0 (List.length pending);
+        ok "push" (Wal.push wal { Wal.fingerprint; client = "ci"; spec });
+        Wal.close wal;
+        let cfg =
+          Anafaultd.Server.default_config ~socket_path ~work_dir
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let faults = fault_array () in
+        (* The restarted daemon finishes the job with no client attached. *)
+        poll "the replayed job to finish" (fun () ->
+            let stats = one_shot socket_path Protocol.Stats in
+            stat_int stats "replayed" = 1
+            && stat_int stats "faults_simulated" = 3);
+        (* The resubmitting client is served from the cache. *)
+        let events = submit_and_wait ~faults socket_path in
+        check_bool "cache hit" true
+          (List.exists
+             (function Campaign.Cache_hit _ -> true | _ -> false)
+             events);
+        check_bool "result is cached" true (finished_of events).Campaign.cached;
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "a crashed shard child is restarted and resumes" `Slow
+      (fun () ->
+        let exe = anafault_exe () in
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        (* Shard 0's first life dies suddenly (Unix._exit, nothing
+           flushed); the cookie makes its respawn - which inherits the
+           same environment - sail through. *)
+        let cookie = Filename.concat dir "crash.cookie" in
+        Unix.putenv Obs.Failpoint.env_var
+          (Printf.sprintf "shard.0.run=crash:%s" cookie);
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv Obs.Failpoint.env_var "")
+        @@ fun () ->
+        let cfg =
+          {
+            (Anafaultd.Server.default_config ~socket_path
+               ~work_dir:(Filename.concat dir "work"))
+            with
+            Anafaultd.Server.shards = 2;
+            shard_retries = 2;
+            worker_exe = Some exe;
+          }
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let faults = fault_array () in
+        let events = submit_and_wait ~faults socket_path in
+        check_bool "the restart was announced" true
+          (List.exists
+             (function Campaign.Shard_restarted _ -> true | _ -> false)
+             events);
+        check_bool "the crash cookie was planted" true (Sys.file_exists cookie);
+        let result = finished_of events in
+        check_int "all faults accounted for" 3
+          (List.length result.Campaign.results);
+        check_bool "no fault marked crashed" true
+          (List.for_all
+             (fun (r : Anafault.Outcome.fault_result) ->
+               match r.Anafault.Outcome.outcome with
+               | Anafault.Outcome.Sim_failed (Anafault.Outcome.Crashed _) ->
+                 false
+               | _ -> true)
+             result.Campaign.results);
+        (* The supervised run produced the same detection table as an
+           undisturbed local one. *)
+        let local = Campaign.run_local (compile ()) in
+        check_string "matches the local run"
+          (Anafault.Report.csv_of_results local.Campaign.result.Campaign.results)
+          (Anafault.Report.csv_of_results result.Campaign.results);
+        check_bool "restart counted" true
+          (stat_int (one_shot socket_path Protocol.Stats) "shard_restarts" >= 1);
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "a shard dead past its budget degrades, uncached" `Slow
+      (fun () ->
+        let exe = anafault_exe () in
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        (* No cookie and no retries: shard 1 dies on every life. *)
+        Unix.putenv Obs.Failpoint.env_var "shard.1.run=crash";
+        let cfg =
+          {
+            (Anafaultd.Server.default_config ~socket_path
+               ~work_dir:(Filename.concat dir "work"))
+            with
+            Anafaultd.Server.shards = 2;
+            shard_retries = 0;
+            worker_exe = Some exe;
+          }
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let faults = fault_array () in
+        let events = submit_and_wait ~faults socket_path in
+        Unix.putenv Obs.Failpoint.env_var "";
+        (* Shard 1 owns fault index 1 of 0..2: one fault lost, none
+           salvaged (the child dies before simulating anything). *)
+        (match
+           List.filter_map
+             (function
+               | Campaign.Shard_lost { shard; salvaged; lost } ->
+                 Some (shard, salvaged, lost)
+               | _ -> None)
+             events
+         with
+        | [ (shard, salvaged, lost) ] ->
+          check_int "the dead shard" 1 shard;
+          check_int "nothing salvaged" 0 salvaged;
+          check_int "one fault lost" 1 lost
+        | _ -> Alcotest.fail "expected exactly one Shard_lost event");
+        let result = finished_of events in
+        check_int "result stays total" 3 (List.length result.Campaign.results);
+        let crashed =
+          List.filter
+            (fun (r : Anafault.Outcome.fault_result) ->
+              match r.Anafault.Outcome.outcome with
+              | Anafault.Outcome.Sim_failed (Anafault.Outcome.Crashed _) -> true
+              | _ -> false)
+            result.Campaign.results
+        in
+        check_int "the lost slice carries typed crashes" 1 (List.length crashed);
+        (* A degraded result is never cached: with the failpoint gone,
+           resubmission re-simulates and completes fully. *)
+        let events2 = submit_and_wait ~faults socket_path in
+        check_bool "no cache hit for the degraded result" true
+          (not
+             (List.exists
+                (function Campaign.Cache_hit _ -> true | _ -> false)
+                events2));
+        let result2 = finished_of events2 in
+        check_bool "full result after the retry" true
+          (List.for_all
+             (fun (r : Anafault.Outcome.fault_result) ->
+               match r.Anafault.Outcome.outcome with
+               | Anafault.Outcome.Sim_failed (Anafault.Outcome.Crashed _) ->
+                 false
+               | _ -> true)
+             result2.Campaign.results);
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
   ]
 
 let suites =
@@ -441,5 +1134,9 @@ let suites =
     ("campaign compile", compile_tests);
     ("failure codec", failure_tests);
     ("campaign sharding", shard_tests);
+    ("failpoints", failpoint_tests);
+    ("queue wal", wal_tests);
+    ("result cache", cache_tests);
+    ("protocol robustness", protocol_tests);
     ("anafaultd", daemon_tests);
   ]
