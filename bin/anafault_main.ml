@@ -38,11 +38,20 @@
    mode anafaultd farms sharded jobs to (--resume salvages a previous
    life's shard journal).
 
+   Cancellation: Ctrl-C during a --remote submission sends a cancel
+   request for the accepted fingerprint before exiting, so the daemon
+   stops simulating instead of finishing an orphaned job; --cancel FP
+   (with --remote) cancels someone else's queued-or-running job by
+   fingerprint; --deadline S attaches a wall-clock budget the daemon
+   enforces from acceptance.  A cancelled campaign exits 3 - its
+   journal keeps every completed fault, and resubmitting the identical
+   campaign resumes exactly where the stop landed.
+
    Exit codes: 0 success; 1 usage errors, a failed nominal simulation,
    or a campaign in which every fault failed; 3 a campaign stopped by
-   --abort-after (the journal keeps what completed); 4 one or more
-   worker domains died (their claimed faults carry typed failures in
-   the report). *)
+   --abort-after or by a cancellation (the journal keeps what
+   completed); 4 one or more worker domains died (their claimed faults
+   carry typed failures in the report). *)
 
 module Campaign = Anafault.Campaign
 module Protocol = Anafaultd.Protocol
@@ -138,9 +147,32 @@ let code_of_results (results : Anafault.Outcome.fault_result list) =
    (the daemon coalesces with the still-running job, or answers from
    the cache when it finished while we were away).  A quota_exceeded
    rejection or a typed campaign failure is terminal. *)
-let run_remote opts socket_path (spec : Campaign.spec) csv_file =
+let run_remote opts socket_path (spec : Campaign.spec) csv_file deadline =
   ignore_sigpipe ();
   let faults = Array.of_list (Faults.Fault_list.of_string spec.Campaign.faults) in
+  (* Ctrl-C sends a cancel for the accepted fingerprint on a fresh
+     connection before exiting: the daemon stops simulating instead of
+     finishing a job nobody is waiting for. *)
+  let accepted = ref None in
+  let cancel_and_exit _ =
+    (match !accepted with
+    | None -> ()
+    | Some fp -> begin
+      Format.eprintf "@.interrupted: cancelling %s@." fp;
+      match connect socket_path with
+      | Error _ -> ()
+      | Ok fd ->
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           Protocol.send oc
+             (Protocol.request_to_json (Protocol.Cancel { fingerprint = fp }))
+         with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    end);
+    exit 130
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle cancel_and_exit)
+   with Invalid_argument _ -> ());
   let attempt () =
     match connect ~timeout:opts.timeout socket_path with
     | Error msg -> `Retry msg
@@ -164,6 +196,7 @@ let run_remote opts socket_path (spec : Campaign.spec) csv_file =
             match Campaign.event_of_json ~faults json with
             | Error msg -> `Done (fail "%s" msg)
             | Ok (Campaign.Accepted { fingerprint; total }) ->
+              accepted := Some fingerprint;
               Format.printf "accepted as %s (%d faults)@." fingerprint total;
               stream ()
             | Ok (Campaign.Progress { completed; total }) ->
@@ -183,6 +216,12 @@ let run_remote opts socket_path (spec : Campaign.spec) csv_file =
             | Ok (Campaign.Cache_hit _) ->
               Format.printf "served from the result cache (no simulation run)@.";
               stream ()
+            | Ok (Campaign.Cancelled { fingerprint; reason; salvaged }) ->
+              Format.eprintf
+                "campaign %s cancelled (%s): %d results salvaged in the \
+                 daemon's journal; resubmit to resume@."
+                fingerprint reason salvaged;
+              `Done 3
             | Ok (Campaign.Failed { message }) -> `Done (fail "%s" message)
             | Ok (Campaign.Finished result) ->
               Format.printf "%a@." Anafault.Report.pp_results
@@ -201,7 +240,8 @@ let run_remote opts socket_path (spec : Campaign.spec) csv_file =
       (match
          Protocol.send oc
            (Protocol.request_to_json
-              (Protocol.Submit { spec; client = opts.client }));
+              (Protocol.Submit
+                 { spec; client = opts.client; deadline_s = deadline }));
          stream ()
        with
       | verdict -> verdict
@@ -230,11 +270,27 @@ let run_shard_worker spec shard journal_path resume =
   match Campaign.compile spec with
   | Error msg -> fail "%s" msg
   | Ok compiled -> begin
+    (* SIGTERM is the daemon's drain request: fire the cancel token so
+       the engine stops at its next Newton poll and exit cleanly - the
+       journal keeps every completed fault, in-flight ones are dropped
+       (never journalled) for the resubmission to re-run. *)
+    let token = Cancel.create () in
+    (try
+       Sys.set_signal Sys.sigterm
+         (Sys.Signal_handle (fun _ -> Cancel.cancel token Cancel.User_cancel))
+     with Invalid_argument _ -> ());
+    let compiled = Campaign.with_cancel compiled token in
     match Campaign.run_shard ~resume ~journal_path ~shard compiled with
-    | Error msg -> fail "shard %s: %s" (Campaign.shard_to_string shard) msg
+    | Error msg ->
+      if Cancel.cancelled token then begin
+        Format.eprintf "shard %s: cancelled@." (Campaign.shard_to_string shard);
+        0
+      end
+      else fail "shard %s: %s" (Campaign.shard_to_string shard) msg
     | Ok simulated ->
-      Format.eprintf "shard %s: %d faults simulated@."
-        (Campaign.shard_to_string shard) simulated;
+      Format.eprintf "shard %s: %d faults simulated%s@."
+        (Campaign.shard_to_string shard) simulated
+        (if Cancel.cancelled token then " (cancelled mid-slice)" else "");
       0
   end
 
@@ -393,7 +449,7 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
     domains batch limit csv_file plot trace metrics journal_path resume
     retries_spec budget_iters budget_steps budget_seconds abort_after remote
     remote_retries remote_backoff remote_timeout client_name remote_stats
-    remote_shutdown spec_file shard_spec =
+    remote_shutdown spec_file shard_spec deadline cancel_fp =
   (match Obs.Failpoint.load_env () with
   | Ok () -> ()
   | Error msg -> Format.eprintf "warning: failpoints: %s@." msg);
@@ -407,10 +463,16 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
     }
   in
   let timeout = if remote_timeout > 0.0 then Some remote_timeout else None in
-  match (remote_stats, remote_shutdown) with
-  | Some socket, _ -> remote_request ?timeout socket Protocol.Stats
-  | None, Some socket -> remote_request ?timeout socket Protocol.Shutdown
-  | None, None -> begin
+  match (remote_stats, remote_shutdown, cancel_fp) with
+  | Some socket, _, _ -> remote_request ?timeout socket Protocol.Stats
+  | None, Some socket, _ -> remote_request ?timeout socket Protocol.Shutdown
+  | None, None, Some fingerprint -> begin
+    match remote with
+    | None -> fail "--cancel requires --remote SOCKET"
+    | Some socket ->
+      remote_request ?timeout socket (Protocol.Cancel { fingerprint })
+  end
+  | None, None, None -> begin
     let spec =
       match (spec_file, input) with
       | Some path, _ -> Some (load_spec path)
@@ -436,7 +498,7 @@ let run input fault_file universe observe model_name solver_name tol_v tol_t
       end
       | None -> begin
         match remote with
-        | Some socket -> run_remote remote_opts socket spec csv_file
+        | Some socket -> run_remote remote_opts socket spec csv_file deadline
         | None ->
           let observe_spec =
             if spec_file <> None then `Spec else `Model model_name
@@ -601,6 +663,21 @@ let shard_spec =
                  modulo N, journalling them under whole-campaign indices \
                  (requires --spec and --journal; used by anafaultd).")
 
+let deadline =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"S"
+           ~doc:"Wall-clock budget in seconds for a --remote submission, \
+                 enforced by the daemon from acceptance (it may cap it \
+                 further with its --job-deadline); an expired deadline \
+                 cancels the job, salvaging every completed fault.")
+
+let cancel_fp =
+  Arg.(value & opt (some string) None
+       & info [ "cancel" ] ~docv:"FINGERPRINT"
+           ~doc:"Cancel the daemon's queued-or-running job with this campaign \
+                 fingerprint (requires --remote SOCKET) and exit; prints the \
+                 daemon's acknowledgement.")
+
 let cmd =
   let doc = "automatic analogue fault simulation (AnaFAULT)" in
   Cmd.v
@@ -611,6 +688,6 @@ let cmd =
       $ trace $ metrics $ journal_path $ resume $ retries_spec $ budget_iters
       $ budget_steps $ budget_seconds $ abort_after $ remote $ remote_retries
       $ remote_backoff $ remote_timeout $ client_name $ remote_stats
-      $ remote_shutdown $ spec_file $ shard_spec)
+      $ remote_shutdown $ spec_file $ shard_spec $ deadline $ cancel_fp)
 
 let () = exit (Cmd.eval' cmd)

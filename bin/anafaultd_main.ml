@@ -3,7 +3,7 @@
      dune exec bin/anafaultd_main.exe -- --socket PATH [--work-dir DIR]
          [--cache-dir DIR] [--cache-budget BYTES] [--queue-limit N]
          [--quota N] [--shards N [--worker-exe ANAFAULT]]
-         [--shard-retries N] [--verbose]
+         [--shard-retries N] [--job-deadline S] [--grace S] [--verbose]
 
    Accepts campaign jobs over newline-delimited JSON on a Unix-domain
    socket (submit / stats / ping / shutdown), runs them through the
@@ -42,7 +42,7 @@ let size_conv =
     (parse_size, fun ppf n -> Format.fprintf ppf "%d" n)
 
 let run socket_path work_dir cache_dir cache_budget queue_limit client_quota
-    shards shard_retries worker_exe verbose =
+    shards shard_retries worker_exe job_deadline grace verbose =
   (match Obs.Failpoint.load_env () with
   | Ok () -> ()
   | Error msg -> Format.eprintf "warning: failpoints: %s@." msg);
@@ -75,6 +75,8 @@ let run socket_path work_dir cache_dir cache_budget queue_limit client_quota
         shards;
         shard_retries;
         worker_exe;
+        job_deadline;
+        grace;
         verbose;
       }
     in
@@ -142,6 +144,20 @@ let worker_exe =
            ~doc:"The anafault binary used for --shard children; defaults to \
                  the one built next to anafaultd.")
 
+let job_deadline =
+  Arg.(value & opt (some float) None
+       & info [ "job-deadline" ] ~docv:"S"
+           ~doc:"Cancel any job still queued or running $(docv) seconds after \
+                 its acceptance, salvaging every journalled fault; also caps \
+                 each submission's own deadline_s.  Unset = no cap.")
+
+let grace =
+  Arg.(value & opt float 2.0
+       & info [ "grace" ] ~docv:"S"
+           ~doc:"Seconds an orphaned job (every subscriber gone) may keep \
+                 running before it is cancelled, and seconds a SIGTERMed \
+                 shard child may drain before SIGKILL.")
+
 let verbose =
   Arg.(value & flag
        & info [ "verbose" ] ~doc:"Log jobs and cache traffic to stderr.")
@@ -153,6 +169,6 @@ let cmd =
     Term.(
       const run $ socket_path $ work_dir $ cache_dir $ cache_budget
       $ queue_limit $ client_quota $ shards $ shard_retries $ worker_exe
-      $ verbose)
+      $ job_deadline $ grace $ verbose)
 
 let () = exit (Cmd.eval' cmd)

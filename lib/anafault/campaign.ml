@@ -187,6 +187,9 @@ let sim_options_of_json json =
       integration;
       budget;
       solver;
+      (* Run-state, never serialised: the submitting side's token is
+         meaningless in another process. *)
+      cancel = Cancel.never;
     }
 
 let retries_of_spec spec =
@@ -387,6 +390,20 @@ let compile ?(obs = Obs.null) spec =
     end
   end
 
+(* Attach a cancel token to a compiled campaign.  Pure run-state: the
+   fingerprint was computed before and ignores it, so a cancellable run
+   shares journals and cache entries with an uncancellable one. *)
+let with_cancel compiled cancel =
+  {
+    compiled with
+    config =
+      {
+        compiled.config with
+        Simulate.sim_options =
+          { compiled.config.Simulate.sim_options with Sim.Engine.cancel };
+      };
+  }
+
 (* --- Results ----------------------------------------------------------- *)
 
 type result = {
@@ -510,6 +527,17 @@ let lost_result ~detail fault =
     cpu_seconds = 0.0;
   }
 
+(* The stand-in for a fault a cancellation stopped before it simulated.
+   Never journalled, so an identical resubmission re-runs exactly these. *)
+let cancelled_result ~detail fault =
+  {
+    Outcome.fault;
+    outcome = Outcome.Sim_failed (Outcome.Cancelled detail);
+    attempts = [];
+    stats = Simulate.zero_stats;
+    cpu_seconds = 0.0;
+  }
+
 (* --- Events ------------------------------------------------------------ *)
 
 type event =
@@ -519,6 +547,7 @@ type event =
   | Sharded of { shards : int }
   | Shard_restarted of { shard : int; attempt : int }
   | Shard_lost of { shard : int; salvaged : int; lost : int }
+  | Cancelled of { fingerprint : string; reason : string; salvaged : int }
   | Finished of result
   | Failed of { message : string }
 
@@ -557,6 +586,14 @@ let event_to_json = function
         ("salvaged", J.Int salvaged);
         ("lost", J.Int lost);
       ]
+  | Cancelled { fingerprint; reason; salvaged } ->
+    J.Obj
+      [
+        ("event", J.String "cancelled");
+        ("fingerprint", J.String fingerprint);
+        ("reason", J.String reason);
+        ("salvaged", J.Int salvaged);
+      ]
   | Finished result ->
     J.Obj [ ("event", J.String "finished"); ("result", result_to_json result) ]
   | Failed { message } ->
@@ -589,6 +626,11 @@ let event_of_json ~faults json =
     let* salvaged = require fields "salvaged" as_int in
     let* lost = require fields "lost" as_int in
     Ok (Shard_lost { shard; salvaged; lost })
+  | "cancelled" ->
+    let* fingerprint = require fields "fingerprint" as_str in
+    let* reason = require fields "reason" as_str in
+    let* salvaged = get fields "salvaged" ~default:0 as_int in
+    Ok (Cancelled { fingerprint; reason; salvaged })
   | "finished" ->
     let* result = require fields "result" (result_of_json ~faults) in
     Ok (Finished result)

@@ -113,6 +113,12 @@ type compiled = {
     exist in the circuit.  [obs] becomes the campaign's telemetry sink. *)
 val compile : ?obs:Obs.sink -> spec -> (compiled, string) result
 
+(** [with_cancel compiled token] threads a cooperative cancel token
+    into the compiled campaign's engine options.  Run-state only: the
+    fingerprint (already computed) ignores it, so cancellable and
+    uncancellable runs share journals and cache entries. *)
+val with_cancel : compiled -> Cancel.t -> compiled
+
 (** {1 Results} *)
 
 type result = {
@@ -156,6 +162,12 @@ val result_of_journal :
     line survived for: [Sim_failed (Crashed detail)], zero stats. *)
 val lost_result : detail:string -> Faults.Fault.t -> Outcome.fault_result
 
+(** [cancelled_result ~detail fault] is the stand-in for a fault a
+    cancellation stopped before it simulated: [Sim_failed (Cancelled
+    detail)], zero stats.  Never journalled, so an identical
+    resubmission re-runs exactly these faults. *)
+val cancelled_result : detail:string -> Faults.Fault.t -> Outcome.fault_result
+
 (** {1 Events}
 
     The typed progress stream a campaign emits while it runs - what the
@@ -175,6 +187,11 @@ type event =
       (** a shard stayed dead through its retry budget: [salvaged]
           results were recovered from its journal, [lost] faults carry
           typed [Crashed] failures in the result that follows *)
+  | Cancelled of { fingerprint : string; reason : string; salvaged : int }
+      (** the job was cancelled (request, deadline, or orphaned);
+          [salvaged] results reached the campaign journal before the
+          stop and will be skipped by an identical resubmission.  A
+          terminal event: nothing follows it *)
   | Finished of result
   | Failed of { message : string }
 

@@ -99,9 +99,18 @@ let analyse ~tolerance ~signal ~nominal ~faulty =
       Error "faulty waveform is empty"
     else begin
       let s = sample ~signal ~nominal ~faulty in
-      match detection_index ~tolerance s with
-      | Some i -> Ok (Some times.(i))
-      | None -> Ok None
+      (* Threshold comparisons are silently false on NaN and saturate on
+         infinities, so a diverged response must fail typed here rather
+         than tabulate as undetected. *)
+      if not (Array.for_all Float.is_finite s.nom) then
+        Error "nominal response contains non-finite samples"
+      else if not (Array.for_all Float.is_finite s.flt) then
+        Error "faulty response contains non-finite samples"
+      else begin
+        match detection_index ~tolerance s with
+        | Some i -> Ok (Some times.(i))
+        | None -> Ok None
+      end
     end
   end
 
@@ -139,6 +148,8 @@ module Incremental = struct
     else begin
       let dt = (times.(n - 1) -. times.(0)) /. float_of_int (n - 1) in
       if dt <= 0.0 then Error "nominal time grid is degenerate (dt <= 0)"
+      else if not (Array.for_all Float.is_finite nom) then
+        Error "nominal response contains non-finite samples"
       else begin
         let k = max 1 (int_of_float (Float.round (tolerance.tol_t /. dt))) in
         let nom_prefix = Array.make (n + 1) 0.0 in

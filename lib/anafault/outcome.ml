@@ -8,6 +8,7 @@ type failure =
   | Singular_matrix of string
   | Bad_injection of string
   | Budget_exceeded of string
+  | Cancelled of string
   | Crashed of string
 
 let failure_kind = function
@@ -16,6 +17,7 @@ let failure_kind = function
   | Singular_matrix _ -> "singular_matrix"
   | Bad_injection _ -> "bad_injection"
   | Budget_exceeded _ -> "budget_exceeded"
+  | Cancelled _ -> "cancelled"
   | Crashed _ -> "crashed"
 
 let failure_detail = function
@@ -24,6 +26,7 @@ let failure_detail = function
   | Singular_matrix d
   | Bad_injection d
   | Budget_exceeded d
+  | Cancelled d
   | Crashed d ->
     d
 
@@ -42,6 +45,7 @@ let failure_of_kind kind detail =
   | "singular_matrix" -> Ok (Singular_matrix detail)
   | "bad_injection" -> Ok (Bad_injection detail)
   | "budget_exceeded" -> Ok (Budget_exceeded detail)
+  | "cancelled" -> Ok (Cancelled detail)
   | "crashed" -> Ok (Crashed detail)
   | other -> Error ("unknown failure kind " ^ other)
 
@@ -64,21 +68,26 @@ let of_engine_error (err : Sim.Engine.error) detail =
   | Sim.Engine.Tran_step_underflow -> Tran_step_underflow detail
   | Sim.Engine.Singular_matrix -> Singular_matrix detail
   | Sim.Engine.Budget_exceeded -> Budget_exceeded detail
+  | Sim.Engine.Cancelled -> Cancelled detail
 
 (* Only kernel convergence failures are worth re-attempting: a bad
-   injection stays bad, a budget trip was deliberate, and a crash is a
-   bug report, not a tolerance problem. *)
+   injection stays bad, a budget trip was deliberate, a cancellation
+   must stop the ladder dead, and a crash is a bug report, not a
+   tolerance problem. *)
 let retryable = function
   | Dc_no_convergence _ | Tran_step_underflow _ | Singular_matrix _ -> true
-  | Bad_injection _ | Budget_exceeded _ | Crashed _ -> false
+  | Bad_injection _ | Budget_exceeded _ | Cancelled _ | Crashed _ -> false
 
 (* A failure that may have corrupted or bypassed shared session state;
    the campaign loops quarantine the session (rebuild it) before the
-   next fault.  Bad injections raise before any device is patched. *)
+   next fault.  Bad injections raise before any device is patched.  A
+   cancellation aborts mid-solve, leaving device state half-updated,
+   so it poisons too - moot in practice, since a cancelled campaign
+   stops simulating. *)
 let poisons_session = function
   | Bad_injection _ -> false
   | Dc_no_convergence _ | Tran_step_underflow _ | Singular_matrix _
-  | Budget_exceeded _ | Crashed _ ->
+  | Budget_exceeded _ | Cancelled _ | Crashed _ ->
     true
 
 type strategy =

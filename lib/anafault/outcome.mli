@@ -17,6 +17,9 @@ type failure =
       (** the fault references a device/terminal the circuit lacks *)
   | Budget_exceeded of string
       (** the per-fault work budget ({!Sim.Engine.budget}) tripped *)
+  | Cancelled of string
+      (** the campaign's cancel token fired while this fault was being
+          simulated; never journalled, so a resume re-runs it *)
   | Crashed of string
       (** an exception the simulation paths do not map; the payload is
           [Printexc.to_string] of it *)

@@ -87,8 +87,12 @@ let worker ~config ~circuit ~nominal ~faults ~batch ~next ~results ~journal
   | session ->
     let sess = ref session in
     let bw = max 1 batch in
+    let cancel = config.Simulate.sim_options.Sim.Engine.cancel in
     let rec steal () =
-      if not (Atomic.get stop) then begin
+      (* A cancelled token stops the domain claiming new chunks; the
+         chunk in flight drains through the engine's own polls, so the
+         domain exits cleanly instead of via an abort exception. *)
+      if (not (Atomic.get stop)) && not (Cancel.cancelled cancel) then begin
         let t_steal = Unix.gettimeofday () in
         let i0 = Atomic.fetch_and_add next bw in
         let dt = Unix.gettimeofday () -. t_steal in
@@ -123,7 +127,13 @@ let worker ~config ~circuit ~nominal ~faults ~batch ~next ~results ~journal
               List.iter2
                 (fun (i, _) r ->
                   results.(i) <- Some r;
-                  Option.iter (fun j -> Journal.record j i r) journal;
+                  (* Cancelled results never reach the journal: resume
+                     must re-run exactly the interrupted faults. *)
+                  (match r.Simulate.outcome with
+                  | Simulate.Sim_failed (Simulate.Cancelled _) -> ()
+                  | Simulate.Sim_failed _ | Simulate.Detected _
+                  | Simulate.Undetected ->
+                    Option.iter (fun j -> Journal.record j i r) journal);
                   (match r.Simulate.outcome with
                   | Simulate.Sim_failed failure
                     when Outcome.poisons_session failure ->
@@ -231,6 +241,15 @@ let run_with_stats ?progress ?journal ?(clamp = true) ?batch ~domains config
            the caller one final (total, total) call once everyone
            joined. *)
         (match progress with Some f when n > 0 -> f n n | Some _ | None -> ()));
+      let unclaimed_failure =
+        (* Holes after the join are typed by why the run stopped early:
+           a cancelled campaign leaves [Cancelled] faults (which resume
+           re-runs), an all-domains-dead run leaves [Crashed] ones. *)
+        match Cancel.get config.Simulate.sim_options.Sim.Engine.cancel with
+        | Some reason ->
+          Simulate.Cancelled (Cancel.reason_to_string reason)
+        | None -> Simulate.Crashed "no domain simulated this fault"
+      in
       let results =
         Array.to_list
           (Array.mapi
@@ -238,13 +257,9 @@ let run_with_stats ?progress ?journal ?(clamp = true) ?batch ~domains config
                match r with
                | Some r -> r
                | None ->
-                 (* Only reachable if every domain died before stealing
-                    index i. *)
                  {
                    Simulate.fault = faults_arr.(i);
-                   outcome =
-                     Simulate.Sim_failed
-                       (Simulate.Crashed "no domain simulated this fault");
+                   outcome = Simulate.Sim_failed unclaimed_failure;
                    attempts = [];
                    stats = Simulate.zero_stats;
                    cpu_seconds = 0.0;

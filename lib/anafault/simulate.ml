@@ -50,6 +50,7 @@ type failure = Outcome.failure =
   | Singular_matrix of string
   | Bad_injection of string
   | Budget_exceeded of string
+  | Cancelled of string
   | Crashed of string
 
 type outcome = Outcome.outcome =
@@ -345,12 +346,24 @@ let run_batch config sess ~nominal faults =
       let variants = Array.of_list (List.rev !circuits) in
       let dets = Array.of_list (List.rev !detectors) in
       let drop_at = Array.make (Array.length variants) (-1) in
+      (* The incremental detector's threshold comparisons are silently
+         false on NaN, so a diverged variant could walk the whole grid
+         and tabulate as undetected.  A non-finite sample retires the
+         variant to the serial path, whose [Detect.analyse] reports the
+         poison as a typed failure. *)
+      let non_finite = Array.make (Array.length variants) false in
       let probe ~variant ~grid_index:_ ~value =
-        match Detect.Incremental.feed dets.(variant) value with
-        | Detect.Incremental.Pending | Detect.Incremental.Clear -> `Continue
-        | Detect.Incremental.Detected i ->
-          drop_at.(variant) <- i;
+        if not (Float.is_finite value) then begin
+          non_finite.(variant) <- true;
           `Drop
+        end
+        else begin
+          match Detect.Incremental.feed dets.(variant) value with
+          | Detect.Incremental.Pending | Detect.Incremental.Clear -> `Continue
+          | Detect.Incremental.Detected i ->
+            drop_at.(variant) <- i;
+            `Drop
+        end
       in
       (if Array.length variants > 0 then begin
          let { Netlist.Parser.tstep; tstop; uic } = config.tran in
@@ -379,8 +392,14 @@ let run_batch config sess ~nominal faults =
                let faulty = Sim.Waveform.resample wf ~n:config.samples in
                results.(i) <- Some (settle (detect_outcome config ~nominal ~faulty) stats)
              | Sim.Engine.Session.Batch_dropped { stats; _ } ->
-               Obs.count config.obs "batch.drops" 1;
-               results.(i) <- Some (settle (Detected grid.(drop_at.(v))) stats)
+               if non_finite.(v) then
+                 (* Dropped for poison, not detection: the serial rerun
+                    classifies it (Detect.analyse's finiteness guard). *)
+                 results.(i) <- Some (fallback fault)
+               else begin
+                 Obs.count config.obs "batch.drops" 1;
+                 results.(i) <- Some (settle (Detected grid.(drop_at.(v))) stats)
+               end
              | Sim.Engine.Session.Batch_failed _
              | Sim.Engine.Session.Batch_overflow _ ->
                results.(i) <- Some (fallback fault))
@@ -469,10 +488,30 @@ let run ?progress ?journal config circuit faults =
                 r
               | None ->
                 let r =
-                  guard fault (fun () ->
-                      run_one_in config !sess ~nominal:nominal_wf fault)
+                  (* A cancelled campaign stops simulating: faults the
+                     token beat to the start line settle as typed
+                     [Cancelled] without paying session setup. *)
+                  match Cancel.get config.sim_options.Sim.Engine.cancel with
+                  | Some reason ->
+                    {
+                      fault;
+                      outcome =
+                        Sim_failed (Cancelled (Cancel.reason_to_string reason));
+                      attempts = [];
+                      stats = zero_stats;
+                      cpu_seconds = 0.0;
+                    }
+                  | None ->
+                    guard fault (fun () ->
+                        run_one_in config !sess ~nominal:nominal_wf fault)
                 in
-                Option.iter (fun j -> Journal.record j i r) journal;
+                (* Cancelled results are never journalled: the next
+                   --resume of the same campaign must re-run exactly
+                   the faults cancellation interrupted. *)
+                (match r.outcome with
+                | Sim_failed (Cancelled _) -> ()
+                | Sim_failed _ | Detected _ | Undetected ->
+                  Option.iter (fun j -> Journal.record j i r) journal);
                 (* Quarantine: a kernel failure may leave device state or
                    an unfinished overlay behind; rebuilding the session
                    guarantees the next fault starts clean. *)

@@ -91,6 +91,7 @@ type failure = Outcome.failure =
   | Singular_matrix of string
   | Bad_injection of string
   | Budget_exceeded of string
+  | Cancelled of string
   | Crashed of string
 
 type outcome = Outcome.outcome =

@@ -8,20 +8,33 @@ module J = Obs.Json
 let ( let* ) = Result.bind
 
 type request =
-  | Submit of { spec : Anafault.Campaign.spec; client : string option }
+  | Submit of {
+      spec : Anafault.Campaign.spec;
+      client : string option;
+      deadline_s : float option;
+          (* wall-clock budget for the whole job, measured from
+             acceptance; the server may cap it with --job-deadline *)
+    }
+  | Cancel of { fingerprint : string }
   | Stats
   | Ping
   | Shutdown
 
 let request_to_json = function
-  | Submit { spec; client } ->
+  | Submit { spec; client; deadline_s } ->
     J.Obj
       (("cmd", J.String "submit")
        :: ("spec", Anafault.Campaign.spec_to_json spec)
        ::
-       (match client with
+       ((match client with
+        | None -> []
+        | Some c -> [ ("client", J.String c) ])
+       @
+       match deadline_s with
        | None -> []
-       | Some c -> [ ("client", J.String c) ]))
+       | Some d -> [ ("deadline_s", J.Float d) ]))
+  | Cancel { fingerprint } ->
+    J.Obj [ ("cmd", J.String "cancel"); ("fingerprint", J.String fingerprint) ]
   | Stats -> J.Obj [ ("cmd", J.String "stats") ]
   | Ping -> J.Obj [ ("cmd", J.String "ping") ]
   | Shutdown -> J.Obj [ ("cmd", J.String "shutdown") ]
@@ -47,7 +60,19 @@ let request_of_json json =
         | Some (J.String c) -> Ok (Some c)
         | Some _ -> Error "submit: client must be a string"
       in
-      Ok (Submit { spec; client })
+      let* deadline_s =
+        match List.assoc_opt "deadline_s" fields with
+        | None -> Ok None
+        | Some (J.Float d) when d > 0.0 -> Ok (Some d)
+        | Some (J.Int d) when d > 0 -> Ok (Some (float_of_int d))
+        | Some _ -> Error "submit: deadline_s must be a positive number"
+      in
+      Ok (Submit { spec; client; deadline_s })
+  end
+  | "cancel" -> begin
+    match List.assoc_opt "fingerprint" fields with
+    | Some (J.String fingerprint) -> Ok (Cancel { fingerprint })
+    | Some _ | None -> Error "cancel: want a fingerprint string"
   end
   | "stats" -> Ok Stats
   | "ping" -> Ok Ping
@@ -100,7 +125,7 @@ let rejected_of_json json =
 let ok = J.Obj [ ("ok", J.Bool true) ]
 
 let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs
-    ~rejected ~replayed ~shard_restarts ~evictions ~corrupt =
+    ~rejected ~replayed ~shard_restarts ~evictions ~corrupt ~cancelled =
   J.Obj
     [
       ("jobs", J.Int jobs);
@@ -113,6 +138,7 @@ let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs
       ("shard_restarts", J.Int shard_restarts);
       ("evictions", J.Int evictions);
       ("corrupt", J.Int corrupt);
+      ("cancelled", J.Int cancelled);
     ]
 
 let send oc json =

@@ -11,11 +11,19 @@
 
     Requests:
     {v
-    {"cmd": "submit", "spec": { ...campaign spec... }, "client": "ci"}
+    {"cmd": "submit", "spec": { ...campaign spec... }, "client": "ci",
+     "deadline_s": 30.0}
+    {"cmd": "cancel", "fingerprint": "..."}
     {"cmd": "stats"}
     {"cmd": "ping"}
     {"cmd": "shutdown"}
     v}
+
+    A [Cancel] names the job by its campaign fingerprint (the one the
+    ["accepted"] event reported).  It is answered with one [ok] object
+    carrying a ["cancelled": true/false] field - [false] when no such
+    job is queued or running - while the job's own subscribers see a
+    terminal ["cancelled"] event on their streams.
 
     Malformed input - lines that are not JSON, objects without a known
     [cmd], oversized requests - yields typed decode errors, never
@@ -23,9 +31,19 @@
     serving. *)
 
 type request =
-  | Submit of { spec : Anafault.Campaign.spec; client : string option }
-      (** [client] identifies the submitter for quota accounting;
-          [None] pools into the anonymous quota bucket *)
+  | Submit of {
+      spec : Anafault.Campaign.spec;
+      client : string option;
+      deadline_s : float option;
+    }
+      (** [client] identifies the submitter for quota accounting
+          ([None] pools into the anonymous bucket); [deadline_s] is a
+          wall-clock budget for the whole job measured from acceptance
+          (the server may cap it further with its --job-deadline) *)
+  | Cancel of { fingerprint : string }
+      (** stop the queued-or-running job with this campaign
+          fingerprint; its subscribers receive a terminal
+          ["cancelled"] event *)
   | Stats
   | Ping
   | Shutdown
@@ -72,6 +90,7 @@ val stats_to_json :
   shard_restarts:int ->
   evictions:int ->
   corrupt:int ->
+  cancelled:int ->
   Obs.Json.t
 
 (** {1 Line transport} *)

@@ -38,6 +38,13 @@ type config = {
   shards : int;
   shard_retries : int;
   worker_exe : string option;
+  job_deadline : float option;
+      (* server-side cap on any job's wall clock, from acceptance;
+         tightens (never loosens) a submit's own deadline_s *)
+  grace : float;
+      (* seconds: how long an orphaned job may outlive its last
+         subscriber, and how long a SIGTERMed shard child may drain
+         before SIGKILL *)
   obs : Obs.sink;
   verbose : bool;
 }
@@ -53,6 +60,8 @@ let default_config ~socket_path ~work_dir =
     shards = 1;
     shard_retries = 2;
     worker_exe = None;
+    job_deadline = None;
+    grace = 2.0;
     obs = Obs.null;
     verbose = false;
   }
@@ -65,9 +74,14 @@ type job = {
   spec : Campaign.spec;
   compiled : Campaign.compiled;
   client : string; (* quota bucket; "" = anonymous *)
+  token : Cancel.t; (* also threaded into [compiled]'s engine options *)
+  deadline_at : float option; (* absolute wall clock; monitor enforces *)
+  deadline_total : float; (* the budget behind [deadline_at], for the reason *)
+  replayed : bool; (* WAL replays have no subscribers by design *)
   jlock : Mutex.t;
   jcond : Condition.t;
   mutable subs : sub list;
+  mutable orphaned_at : float option; (* monitor-private: subs first seen [] *)
   mutable finished : bool;
   mutable retired : bool; (* under qlock; slot and quota already freed *)
 }
@@ -95,6 +109,7 @@ type t = {
   mutable rejected : int;
   mutable replayed : int;
   mutable shard_restarts : int;
+  mutable cancelled : int;
 }
 
 let log t fmt =
@@ -195,13 +210,24 @@ let run_in_process t job =
         (Printf.sprintf "nominal simulation failed (%s): %s"
            (Sim.Engine.error_to_string err) detail)
     | { Campaign.result; _ } ->
-      let simulated = total - Journal.restored_count journal in
+      (* Count only what actually simulated this life: restored results
+         were a previous life's work, Cancelled stand-ins never ran. *)
+      let completed =
+        List.length
+          (List.filter
+             (fun (r : Anafault.Outcome.fault_result) ->
+               match r.Anafault.Outcome.outcome with
+               | Anafault.Outcome.Sim_failed (Anafault.Outcome.Cancelled _) ->
+                 false
+               | _ -> true)
+             result.Campaign.results)
+      in
+      let simulated = max 0 (completed - Journal.restored_count journal) in
       Mutex.protect t.slock (fun () ->
           t.faults_simulated <- t.faults_simulated + simulated);
       Ok (result, `Full))
 
-let wait_child exe pid =
-  match snd (Unix.waitpid [] pid) with
+let status_error exe = function
   | Unix.WEXITED 0 -> Ok ()
   | Unix.WEXITED n -> Error (Printf.sprintf "%s exited with %d" exe n)
   | Unix.WSIGNALED n -> Error (Printf.sprintf "%s killed by signal %d" exe n)
@@ -243,43 +269,117 @@ let run_sharded t job exe shards =
     in
     Unix.create_process exe (Array.of_list argv) devnull devnull devnull
   in
-  let pids = List.mapi (fun i p -> spawn i p ~resume:false) shard_paths in
+  let journals = Array.of_list shard_paths in
+  let pids = Array.of_list (List.mapi (fun i p -> spawn i p ~resume:false) shard_paths) in
   Mutex.protect t.slock (fun () -> t.shard_runs <- t.shard_runs + shards);
-  (* Supervise each child to completion or to the end of its retry
-     budget.  The children all run concurrently; only the waiting is
-     sequential. *)
-  let statuses =
-    List.mapi
-      (fun i pid0 ->
-        let shard_journal = List.nth shard_paths i in
-        let rec supervise pid attempt =
-          match wait_child exe pid with
-          | Ok () -> Ok ()
-          | Error msg ->
-            if attempt <= t.cfg.shard_retries then begin
-              log t "job %s: shard %d died (%s), restart %d/%d" fp i msg
-                attempt t.cfg.shard_retries;
-              broadcast job (Campaign.Shard_restarted { shard = i; attempt });
-              Mutex.protect t.slock (fun () ->
-                  t.shard_restarts <- t.shard_restarts + 1;
-                  t.shard_runs <- t.shard_runs + 1);
-              Obs.count t.cfg.obs "daemon.shard_restarts" 1
-                ~attrs:[ ("job", Obs.Str fp); ("shard", Obs.Int i) ];
-              match spawn i shard_journal ~resume:true with
-              | pid' -> supervise pid' (attempt + 1)
-              | exception _ -> Error msg
-            end
-            else Error msg
-        in
-        supervise pid0 1)
+  (* Supervise the children by polling (WNOHANG), never by a blocking
+     wait: a cancel must be able to interrupt the supervision within a
+     tick.  A child that dies uncancelled is respawned with [--resume]
+     up to its retry budget; on cancellation every live child gets
+     SIGTERM (a drain request - the worker cancels its own token and
+     exits cleanly), then SIGKILL for any straggler once the grace
+     period runs out. *)
+  let attempts = Array.make shards 1 in
+  let statuses = Array.make shards (Ok ()) in
+  let live = Array.make shards true in
+  let any_live () = Array.exists Fun.id live in
+  let kill_all signal =
+    Array.iteri
+      (fun i pid ->
+        if live.(i) then
+          try Unix.kill pid signal with Unix.Unix_error _ -> ())
       pids
   in
+  let reap_all ~blocking =
+    Array.iteri
+      (fun i pid ->
+        if live.(i) then
+          match
+            Unix.waitpid (if blocking then [] else [ Unix.WNOHANG ]) pid
+          with
+          | 0, _ -> ()
+          | _, status ->
+            live.(i) <- false;
+            statuses.(i) <- status_error exe status
+          | exception Unix.Unix_error _ -> live.(i) <- false)
+      pids
+  in
+  let escalate () =
+    Obs.Failpoint.hit "cancel.sigterm";
+    log t "job %s: stopping %d shard children" fp shards;
+    kill_all Sys.sigterm;
+    let deadline = Unix.gettimeofday () +. t.cfg.grace in
+    let rec drain () =
+      reap_all ~blocking:false;
+      if any_live () then begin
+        if Unix.gettimeofday () > deadline then begin
+          kill_all Sys.sigkill;
+          reap_all ~blocking:true
+        end
+        else begin
+          Thread.delay 0.02;
+          drain ()
+        end
+      end
+    in
+    drain ()
+  in
+  let rec supervise () =
+    if Cancel.cancelled job.token then escalate ()
+    else begin
+      Array.iteri
+        (fun i pid ->
+          if live.(i) then
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> ()
+            | exception Unix.Unix_error _ -> live.(i) <- false
+            | _, status -> begin
+              match status_error exe status with
+              | Ok () -> live.(i) <- false
+              | Error msg ->
+                if attempts.(i) <= t.cfg.shard_retries then begin
+                  log t "job %s: shard %d died (%s), restart %d/%d" fp i msg
+                    attempts.(i) t.cfg.shard_retries;
+                  broadcast job
+                    (Campaign.Shard_restarted
+                       { shard = i; attempt = attempts.(i) });
+                  Mutex.protect t.slock (fun () ->
+                      t.shard_restarts <- t.shard_restarts + 1;
+                      t.shard_runs <- t.shard_runs + 1);
+                  Obs.count t.cfg.obs "daemon.shard_restarts" 1
+                    ~attrs:[ ("job", Obs.Str fp); ("shard", Obs.Int i) ];
+                  match spawn i journals.(i) ~resume:true with
+                  | pid' ->
+                    pids.(i) <- pid';
+                    attempts.(i) <- attempts.(i) + 1
+                  | exception _ ->
+                    live.(i) <- false;
+                    statuses.(i) <- Error msg
+                end
+                else begin
+                  live.(i) <- false;
+                  statuses.(i) <- Error msg
+                end
+            end)
+        pids;
+      if any_live () then begin
+        Thread.delay 0.05;
+        supervise ()
+      end
+    end
+  in
+  supervise ();
   let lost_shards =
-    List.mapi (fun i s -> (i, s)) statuses
+    Array.to_list statuses
+    |> List.mapi (fun i s -> (i, s))
     |> List.filter_map (fun (i, s) ->
            match s with Error msg -> Some (i, msg) | Ok () -> None)
   in
-  let lenient = lost_shards <> [] in
+  let cancelled_reason = Cancel.get job.token in
+  if cancelled_reason <> None then Obs.Failpoint.hit "cancel.salvage";
+  (* A cancelled campaign merges leniently even if every child drained
+     cleanly: the shard journals are partial by design. *)
+  let lenient = lost_shards <> [] || cancelled_reason <> None in
   match
     Journal.merge ~lenient ~out:(journal_path t fp) ~fingerprint:fp ~faults
       shard_paths
@@ -294,8 +394,20 @@ let run_sharded t job exe shards =
         ~faults
     with
     | Error msg -> Error ("merged journal: " ^ msg)
-    | Ok journal ->
+    | Ok journal -> begin
       Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
+      match cancelled_reason with
+      | Some reason ->
+        (* Salvage: everything journalled before the stop is kept;
+           every unsimulated fault carries a typed Cancelled stand-in
+           (never cached - execute broadcasts Cancelled, not
+           Finished). *)
+        let detail = Cancel.reason_to_string reason in
+        let fill _idx fault = Campaign.cancelled_result ~detail fault in
+        Result.map
+          (fun r -> (r, `Degraded))
+          (Campaign.result_of_journal ~fill compiled journal)
+      | None ->
       if not lenient then
         Result.map (fun r -> (r, `Full)) (Campaign.result_of_journal compiled journal)
       else begin
@@ -329,7 +441,32 @@ let run_sharded t job exe shards =
           (fun r -> (r, `Degraded))
           (Campaign.result_of_journal ~fill compiled journal)
       end
+    end
   end
+
+(* How many results a cancelled campaign salvaged: everything in the
+   result that is not a Cancelled stand-in reached the journal before
+   the stop, so an identical resubmission will skip it. *)
+let salvaged_of (result : Campaign.result) =
+  List.length
+    (List.filter
+       (fun (r : Anafault.Outcome.fault_result) ->
+         match r.Anafault.Outcome.outcome with
+         | Anafault.Outcome.Sim_failed (Anafault.Outcome.Cancelled _) -> false
+         | _ -> true)
+       result.Campaign.results)
+
+(* The cancelled terminal: never cached, retired before the broadcast
+   (like every terminal), so the identical resubmission a client sends
+   next misses the cache and resumes the campaign journal. *)
+let conclude_cancelled t job reason ~salvaged =
+  let fp = job.compiled.Campaign.fingerprint in
+  let reason = Cancel.reason_to_string reason in
+  Mutex.protect t.slock (fun () -> t.cancelled <- t.cancelled + 1);
+  Obs.count t.cfg.obs "daemon.jobs_cancelled" 1 ~attrs:[ ("job", Obs.Str fp) ];
+  retire t job;
+  broadcast job (Campaign.Cancelled { fingerprint = fp; reason; salvaged });
+  log t "job %s: cancelled (%s, %d salvaged)" fp reason salvaged
 
 let execute t job =
   let fp = job.compiled.Campaign.fingerprint in
@@ -339,31 +476,40 @@ let execute t job =
     ~attrs:[ ("job", Obs.Str fp); ("faults", Obs.Int total) ]
   @@ fun _ ->
   Obs.Failpoint.hit "job.run";
-  let outcome =
-    match (t.cfg.worker_exe, t.cfg.shards) with
-    | Some exe, shards when shards > 1 && total >= shards ->
-      run_sharded t job exe shards
-    | _ -> run_in_process t job
-  in
-  (match outcome with
-  | Ok (result, completeness) ->
-    (* A degraded result (dead shard, typed Crashed stand-ins) must not
-       be cached: a resubmission deserves a fresh attempt at the lost
-       faults, not the hole served back forever. *)
-    if completeness = `Full then
-      Cache.store t.cache fp (Campaign.result_to_json result);
-    Obs.count t.cfg.obs "daemon.jobs_done" 1 ~attrs:[ ("job", Obs.Str fp) ];
-    (* Retire before the terminal broadcast: a subscriber that reads
-       [Finished] and instantly resubmits must find the slot free (and
-       the cache stored above), never a job with no more to say. *)
-    retire t job;
-    broadcast job (Campaign.Finished result);
-    log t "job %s: done (%d results)" fp result.Campaign.total
-  | Error message ->
-    Obs.count t.cfg.obs "daemon.jobs_failed" 1 ~attrs:[ ("job", Obs.Str fp) ];
-    retire t job;
-    broadcast job (Campaign.Failed { message });
-    log t "job %s: failed: %s" fp message);
+  (match Cancel.get job.token with
+  | Some reason ->
+    (* Cancelled while still queued: nothing ran this life, so nothing
+       new to salvage (an earlier life's journal survives untouched). *)
+    conclude_cancelled t job reason ~salvaged:0
+  | None ->
+    let outcome =
+      match (t.cfg.worker_exe, t.cfg.shards) with
+      | Some exe, shards when shards > 1 && total >= shards ->
+        run_sharded t job exe shards
+      | _ -> run_in_process t job
+    in
+    (match (Cancel.get job.token, outcome) with
+    | Some reason, Ok (result, _) ->
+      conclude_cancelled t job reason ~salvaged:(salvaged_of result)
+    | Some reason, Error _ -> conclude_cancelled t job reason ~salvaged:0
+    | None, Ok (result, completeness) ->
+      (* A degraded result (dead shard, typed Crashed stand-ins) must not
+         be cached: a resubmission deserves a fresh attempt at the lost
+         faults, not the hole served back forever. *)
+      if completeness = `Full then
+        Cache.store t.cache fp (Campaign.result_to_json result);
+      Obs.count t.cfg.obs "daemon.jobs_done" 1 ~attrs:[ ("job", Obs.Str fp) ];
+      (* Retire before the terminal broadcast: a subscriber that reads
+         [Finished] and instantly resubmits must find the slot free (and
+         the cache stored above), never a job with no more to say. *)
+      retire t job;
+      broadcast job (Campaign.Finished result);
+      log t "job %s: done (%d results)" fp result.Campaign.total
+    | None, Error message ->
+      Obs.count t.cfg.obs "daemon.jobs_failed" 1 ~attrs:[ ("job", Obs.Str fp) ];
+      retire t job;
+      broadcast job (Campaign.Failed { message });
+      log t "job %s: failed: %s" fp message));
   finish job
 
 let scheduler t =
@@ -402,11 +548,80 @@ let stats_json t =
     ~coalesced:t.coalesced ~faults_simulated:t.faults_simulated
     ~shard_runs:t.shard_runs ~rejected:t.rejected ~replayed:t.replayed
     ~shard_restarts:t.shard_restarts ~evictions:(Cache.evictions t.cache)
-    ~corrupt:(Cache.corrupt t.cache)
+    ~corrupt:(Cache.corrupt t.cache) ~cancelled:t.cancelled
 
 let send_event sub ev =
   Mutex.protect sub.swrite (fun () ->
       Protocol.send sub.sout (Campaign.event_to_json ev))
+
+(* The effective wall-clock budget of a job: the tighter of the
+   client's deadline_s and the server's --job-deadline cap. *)
+let effective_deadline t deadline_s =
+  match (deadline_s, t.cfg.job_deadline) with
+  | None, None -> None
+  | (Some _ as d), None | None, (Some _ as d) -> d
+  | Some a, Some b -> Some (Float.min a b)
+
+(* A cancel request: fire the token and tombstone the WAL record right
+   away, so a daemon killed -9 between acknowledging the cancel and the
+   job actually stopping does not resurrect the job at its next start.
+   [retire]'s own [mark_done] later is a no-op on the dead entry. *)
+let handle_cancel t fingerprint =
+  match
+    Mutex.protect t.qlock (fun () -> Hashtbl.find_opt t.inflight fingerprint)
+  with
+  | None -> false
+  | Some job ->
+    Cancel.cancel job.token Cancel.User_cancel;
+    Queue.mark_done t.wal fingerprint;
+    (* Fires once the tombstone is durable: a crash here must NOT
+       resurrect the job at the next start. *)
+    Obs.Failpoint.hit "cancel.tombstone";
+    log t "job %s: cancel requested" fingerprint;
+    true
+
+(* Deadline and orphan enforcement.  The tick only reads job state and
+   fires cancel tokens; the scheduler, the engine's Newton loop and the
+   shard supervisor all notice the token at their next poll.
+   Orphanhood is observed through broadcast failures (a dead subscriber
+   is dropped by the first write that fails), so a vanished client is
+   detected once events flow; WAL-replayed jobs have no subscribers by
+   design and are exempt.  A job whose campaign was submitted by
+   several coalesced clients stays alive while any of them remains. *)
+let monitor t =
+  let rec loop () =
+    if not (Mutex.protect t.qlock (fun () -> t.stopping)) then begin
+      let now = Unix.gettimeofday () in
+      let jobs =
+        Mutex.protect t.qlock (fun () ->
+            Hashtbl.fold (fun _ j acc -> j :: acc) t.inflight [])
+      in
+      List.iter
+        (fun job ->
+          (match job.deadline_at with
+          | Some at when now > at ->
+            Cancel.cancel job.token (Cancel.Deadline job.deadline_total)
+          | Some _ | None -> ());
+          if not job.replayed then begin
+            let orphaned =
+              Mutex.protect job.jlock (fun () ->
+                  job.subs = [] && not job.finished)
+            in
+            if not orphaned then job.orphaned_at <- None
+            else begin
+              match job.orphaned_at with
+              | None -> job.orphaned_at <- Some now
+              | Some since when now -. since > t.cfg.grace ->
+                Cancel.cancel job.token Cancel.Client_gone
+              | Some _ -> ()
+            end
+          end)
+        jobs;
+      Thread.delay 0.1;
+      loop ()
+    end
+  in
+  loop ()
 
 (* What admission decided; computed under qlock, answered outside it. *)
 type admitted =
@@ -414,7 +629,7 @@ type admitted =
   | Turned_away of Protocol.reject_reason * string
   | Admitted of job (* subscribed: wait for its events *)
 
-let handle_submit t sub spec client =
+let handle_submit t sub spec client deadline_s =
   (* Compile once to learn the fingerprint, then re-scope the config's
      telemetry sink so every event of this job carries it. *)
   match Campaign.compile ~obs:t.cfg.obs spec with
@@ -491,14 +706,22 @@ let handle_submit t sub spec client =
                      cannot make durable is not accepted. *)
                   Turned_away (Protocol.Queue_full, "queue journal: " ^ message)
                 | Ok () ->
+                  let token = Cancel.create () in
+                  let budget = effective_deadline t deadline_s in
                   let job =
                     {
                       spec;
-                      compiled;
+                      compiled = Campaign.with_cancel compiled token;
                       client = bucket;
+                      token;
+                      deadline_at =
+                        Option.map (fun d -> Unix.gettimeofday () +. d) budget;
+                      deadline_total = Option.value budget ~default:0.0;
+                      replayed = false;
                       jlock = Mutex.create ();
                       jcond = Condition.create ();
                       subs = [ sub ];
+                      orphaned_at = None;
                       finished = false;
                       retired = false;
                     }
@@ -579,8 +802,14 @@ let handle_client t fd =
       | Error message ->
         send_event sub (Campaign.Failed { message });
         loop ()
-      | Ok (Protocol.Submit { spec; client }) ->
-        handle_submit t sub spec client;
+      | Ok (Protocol.Submit { spec; client; deadline_s }) ->
+        handle_submit t sub spec client deadline_s;
+        loop ()
+      | Ok (Protocol.Cancel { fingerprint }) ->
+        let cancelled = handle_cancel t fingerprint in
+        Mutex.protect sub.swrite (fun () ->
+            Protocol.send oc
+              (J.Obj [ ("ok", J.Bool true); ("cancelled", J.Bool cancelled) ]));
         loop ()
       | Ok Protocol.Stats ->
         Mutex.protect sub.swrite (fun () -> Protocol.send oc (stats_json t));
@@ -639,14 +868,24 @@ let replay_wal t entries =
                 { compiled.Campaign.config with Anafault.Simulate.obs };
             }
           in
+          (* The WAL does not persist a submit's deadline_s; a replayed
+             job is capped by the server's own --job-deadline only. *)
+          let token = Cancel.create () in
+          let budget = t.cfg.job_deadline in
           let job =
             {
               spec = e.Queue.spec;
-              compiled;
+              compiled = Campaign.with_cancel compiled token;
               client = e.Queue.client;
+              token;
+              deadline_at =
+                Option.map (fun d -> Unix.gettimeofday () +. d) budget;
+              deadline_total = Option.value budget ~default:0.0;
+              replayed = true;
               jlock = Mutex.create ();
               jcond = Condition.create ();
               subs = [];
+              orphaned_at = None;
               finished = false;
               retired = false;
             }
@@ -710,6 +949,7 @@ let run cfg =
         rejected = 0;
         replayed = 0;
         shard_restarts = 0;
+        cancelled = 0;
       }
     in
     log t "listening on %s (cache %s, shards %d)" cfg.socket_path cache_dir
@@ -719,10 +959,28 @@ let run cfg =
        FIFO. *)
     replay_wal t pending;
     let scheduler_thread = Thread.create scheduler t in
+    let monitor_thread = Thread.create monitor t in
     let handlers = ref [] in
+    (* The accept loop must only end on a requested shutdown: any
+       transient errno - a signal (EINTR), a client that gave up mid
+       handshake (ECONNABORTED), descriptor exhaustion while handlers
+       are still draining (EMFILE/ENFILE) - is retried, the latter
+       after a short breath so connections can close. *)
     let rec accept_loop () =
       match Unix.accept t.listen_fd with
-      | exception Unix.Unix_error _ -> () (* shut down *)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        log t "accept: out of file descriptors, backing off";
+        Thread.delay 0.05;
+        accept_loop ()
+      | exception Unix.Unix_error (err, _, _) ->
+        if Mutex.protect t.qlock (fun () -> t.stopping) then () (* shut down *)
+        else begin
+          log t "accept: %s, retrying" (Unix.error_message err);
+          Thread.delay 0.05;
+          accept_loop ()
+        end
       | fd, _ ->
         if Mutex.protect t.qlock (fun () -> t.stopping) then
           (* The wake-up connection of request_shutdown, or a client
@@ -741,6 +999,7 @@ let run cfg =
         t.stopping <- true;
         Condition.broadcast t.qcond);
     Thread.join scheduler_thread;
+    Thread.join monitor_thread;
     Queue.close t.wal;
     (try Sys.remove cfg.socket_path with Sys_error _ -> ());
     Option.iter (Sys.set_signal Sys.sigpipe) previous_sigpipe;

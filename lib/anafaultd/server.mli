@@ -32,7 +32,20 @@
     respawned with [--resume] up to [shard_retries] extra lives; one
     that stays dead degrades the campaign - its journal is salvaged
     leniently and the unsalvaged faults surface as typed [Crashed]
-    failures in the result (which is then {e not} cached). *)
+    failures in the result (which is then {e not} cached).
+
+    Cancellation: a [cancel] request (or an expired deadline, or a job
+    orphaned by its last subscriber vanishing for longer than [grace])
+    fires the job's cooperative cancel token.  The engine's Newton
+    loop polls the token, so an in-process job stops within
+    milliseconds; shard children get SIGTERM (they drain and exit),
+    then SIGKILL after [grace].  Everything journalled before the stop
+    is salvaged; the job terminates with a ["cancelled"] event, is
+    never cached, and its WAL record is tombstoned at the moment the
+    cancel is acknowledged - an identical resubmission re-simulates
+    exactly the faults the stop interrupted.  Deadlines: a submit's
+    [deadline_s] is capped by the server-wide [job_deadline] and
+    enforced from acceptance, for queued and running jobs alike. *)
 
 type config = {
   socket_path : string;  (** Unix-domain socket to listen on *)
@@ -51,11 +64,19 @@ type config = {
   worker_exe : string option;
       (** the [anafault] binary used for [--shard] children; required
           when [shards > 1] *)
+  job_deadline : float option;
+      (** server-side cap (seconds) on any job's wall clock, measured
+          from acceptance; tightens - never loosens - a submit's own
+          [deadline_s].  [None]: no cap *)
+  grace : float;
+      (** seconds an orphaned job may outlive its last subscriber, and
+          seconds a SIGTERMed shard child may drain before SIGKILL *)
   obs : Obs.sink;  (** daemon telemetry (per-job scoped via {!Obs.tagged}) *)
   verbose : bool;  (** log accepts, jobs and cache traffic to stderr *)
 }
 
-(** Unbounded queue, quota and cache; 1 shard with 2 retries. *)
+(** Unbounded queue, quota and cache; 1 shard with 2 retries; no job
+    deadline; a 2 s grace. *)
 val default_config : socket_path:string -> work_dir:string -> config
 
 (** [run config] binds the socket, replays the queue WAL, and serves

@@ -1,0 +1,42 @@
+(* Cooperative cancellation tokens.
+
+   A token is one atomic cell shared by everyone interested in a unit
+   of work: the party that wants it stopped writes a reason, the code
+   doing the work polls.  Nothing blocks, nothing is signalled - the
+   hot loops (Newton iterations, transient steps) poll the atomic at
+   their natural checkpoints, which keeps the per-iteration cost of an
+   uncancelled token to a single atomic load.
+
+   First write wins: a token cancelled for a deadline and then again by
+   the user keeps the deadline reason, so the outcome recorded for the
+   work is the cause that actually stopped it.
+
+   [never] is the token of code that opted out: its [cancel] is a
+   no-op, so defaulting an options record to [never] cannot let one
+   campaign cancel another through a shared default cell. *)
+
+type reason =
+  | User_cancel
+  | Deadline of float  (** the wall-clock budget, in seconds *)
+  | Client_gone
+
+type t = { cell : reason option Atomic.t; real : bool }
+
+exception Cancelled of reason
+
+let create () = { cell = Atomic.make None; real = true }
+let never = { cell = Atomic.make None; real = false }
+
+let cancel t reason =
+  if t.real then ignore (Atomic.compare_and_set t.cell None (Some reason))
+
+let get t = Atomic.get t.cell
+let cancelled t = Atomic.get t.cell <> None
+
+let check t =
+  match Atomic.get t.cell with None -> () | Some reason -> raise (Cancelled reason)
+
+let reason_to_string = function
+  | User_cancel -> "cancelled by user"
+  | Deadline s -> Printf.sprintf "deadline exceeded (%gs)" s
+  | Client_gone -> "client disconnected"

@@ -1,0 +1,36 @@
+(** Cooperative cancellation tokens.
+
+    One atomic cell per unit of work: whoever wants the work stopped
+    writes a {!reason} once, the code doing the work polls wherever it
+    can stop safely.  Domain-safe (plain [Atomic]), never blocks, and
+    costs one atomic load per poll while uncancelled.
+
+    First write wins: later [cancel] calls on an already-cancelled
+    token do not overwrite the original reason. *)
+
+type reason =
+  | User_cancel  (** an explicit cancel request *)
+  | Deadline of float  (** the wall-clock budget that expired, seconds *)
+  | Client_gone  (** every subscriber of the work disconnected *)
+
+type t
+
+exception Cancelled of reason
+
+val create : unit -> t
+
+val never : t
+(** The inert token: never cancelled, and [cancel] on it is a no-op.
+    The right default for options records - a shared [never] cell
+    cannot leak one campaign's cancellation into another. *)
+
+val cancel : t -> reason -> unit
+(** Request cancellation.  Idempotent; the first reason sticks. *)
+
+val get : t -> reason option
+val cancelled : t -> bool
+
+val check : t -> unit
+(** Raise {!Cancelled} if the token is cancelled, else return. *)
+
+val reason_to_string : reason -> string

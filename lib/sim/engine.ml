@@ -22,6 +22,10 @@ type options = {
   integration : integration;
   budget : budget;
   solver : Solver.backend;
+  (* Pure run-state, not configuration: excluded from campaign
+     fingerprints so cancellable and uncancellable runs of the same
+     campaign share journals and cache entries. *)
+  cancel : Cancel.t;
 }
 
 let default_options =
@@ -35,6 +39,7 @@ let default_options =
     integration = Backward_euler;
     budget = unlimited;
     solver = Solver.Auto;
+    cancel = Cancel.never;
   }
 
 type error =
@@ -42,12 +47,14 @@ type error =
   | Tran_step_underflow
   | Singular_matrix
   | Budget_exceeded
+  | Cancelled
 
 let error_to_string = function
   | Dc_no_convergence -> "dc_no_convergence"
   | Tran_step_underflow -> "tran_step_underflow"
   | Singular_matrix -> "singular_matrix"
   | Budget_exceeded -> "budget_exceeded"
+  | Cancelled -> "cancelled"
 
 exception Sim_error of error * string
 
@@ -329,6 +336,12 @@ let newton ~gmin ~mode ctx v0 =
     end
   in
   let rec iterate k total =
+    (* The cancellation poll of the hottest loop: one atomic load per
+       Newton iteration, raising the typed error the moment somebody
+       cancelled - a stuck solve stops within one iteration. *)
+    (match Cancel.get opts.cancel with
+    | Some reason -> raise (Sim_error (Cancelled, Cancel.reason_to_string reason))
+    | None -> ());
     if k >= opts.max_iter then Error (`No_conv, total)
     else begin
       stamp ~opts ~gmin ~mode ~n:size sv ctx.devices v;
@@ -601,6 +614,10 @@ let stepper_exceeded st what =
            what st.t st.total_iters st.accepted st.rejected ))
 
 let stepper_check_budget st =
+  (match Cancel.get st.sctx.opts.cancel with
+  | Some reason ->
+    raise (Sim_error (Cancelled, Cancel.reason_to_string reason))
+  | None -> ());
   let budget = st.sctx.opts.budget in
   (match budget.max_newton_iterations with
   | Some cap when st.total_iters >= cap ->

@@ -41,6 +41,12 @@ type options = {
   solver : Solver.backend;
       (** linear-solver backend (default [Auto]: dense below
           {!Solver.auto_threshold} unknowns, sparse at or above it) *)
+  cancel : Cancel.t;
+      (** cooperative cancellation token polled once per Newton
+          iteration and once per proposed transient step (default
+          {!Cancel.never}); a cancelled token raises {!Sim_error} with
+          {!Cancelled}.  Run-state, not configuration: campaign
+          fingerprints ignore it *)
 }
 
 val default_options : options
@@ -60,6 +66,9 @@ type error =
           injected voltage-source loop) and no fallback found a solvable
           one; the detail string names the offending node or branch *)
   | Budget_exceeded  (** a limit of {!budget} tripped *)
+  | Cancelled
+      (** the options' {!Cancel.t} token was cancelled; the detail
+          string carries the {!Cancel.reason} *)
 
 (** Stable lower-snake tag of an {!error} (["dc_no_convergence"], ...),
     used in telemetry attributes and the campaign journal. *)

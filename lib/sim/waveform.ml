@@ -79,9 +79,15 @@ let resample t ~n =
   in
   make ~names:t.names ~samples:rows
 
-let signal_min t name = Array.fold_left min infinity (samples t name)
+(* Float.min/Float.max propagate NaN (the polymorphic min/max silently
+   drop it), so an extremum over a diverged trace reports the poison
+   instead of whatever finite sample happened to sort last. *)
+let signal_min t name = Array.fold_left Float.min infinity (samples t name)
 
-let signal_max t name = Array.fold_left max neg_infinity (samples t name)
+let signal_max t name = Array.fold_left Float.max neg_infinity (samples t name)
+
+let signal_finite t name =
+  Array.for_all Float.is_finite (samples t name)
 
 let to_rows t =
   List.init (length t) (fun i ->

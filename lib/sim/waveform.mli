@@ -36,8 +36,16 @@ val t_start : t -> float
 val t_stop : t -> float
 
 val signal_min : t -> string -> float
+(** NaN-propagating: a NaN sample poisons the extremum instead of being
+    silently dropped. *)
 
 val signal_max : t -> string -> float
+(** NaN-propagating, like {!signal_min}. *)
+
+val signal_finite : t -> string -> bool
+(** Whether every sample of the signal is finite (no NaN, no infinity).
+    The guard detection runs before trusting threshold comparisons,
+    which are silently false on NaN. *)
 
 (** [to_rows t] lists (time, values-in-name-order) for printing. *)
 val to_rows : t -> (float * float array) list

@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# The cancel smoke check (dune build @cancel-smoke), two legs:
+#
+# Leg 1 - cancel, then resume exactly:
+#   1. start anafaultd with journal.record=delay:0.3 so the 6-fault
+#      demo campaign is slow enough to cancel mid-flight,
+#   2. submit it in the background, wait for "progress: 2/6" (two
+#      faults journalled, the third in flight), and cancel the job by
+#      fingerprint from a second client; the reply must acknowledge
+#      "cancelled": true and the submitting client must exit 3 with a
+#      terminal cancelled event within a second,
+#   3. resubmit the identical campaign: it must NOT be a cache hit,
+#      must complete, and its CSV must match the uninterrupted serial
+#      reference byte for byte,
+#   4. require the counters to prove the exact resume: one cancelled
+#      job and faults_simulated == 6 in total - the journalled faults
+#      were salvaged and only the interrupted remainder re-simulated.
+#
+# Leg 2 - a cancel acknowledged is durable, even through a crash:
+#   5. fresh work dir, daemon armed with cancel.tombstone=crash: the
+#      process dies (hard _exit 70) immediately AFTER the cancel's WAL
+#      tombstone is made durable,
+#   6. cancel a running job - the daemon must die at the failpoint,
+#   7. restart over the same work dir: the cancelled job must NOT be
+#      replayed ("replayed":0 - the tombstone held), and resubmitting
+#      must salvage the journalled faults (1 <= faults_simulated <= 5)
+#      and still match the reference byte for byte.
+#
+# Sockets live under mktemp -d, NOT the _build tree: sun_path caps
+# Unix-socket paths at ~108 characters.
+set -eu
+
+anafaultd=$(realpath "$1")
+anafault=$(realpath "$2")
+circuit=$(realpath "$3")
+faults=$(realpath "$4")
+reference=$(realpath "$5")
+
+tmp=$(mktemp -d)
+daemon_pid=
+client_pid=
+cleanup() {
+  [ -n "$client_pid" ] && kill "$client_pid" 2>/dev/null || true
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+wait_for_socket() { # wait_for_socket SOCKET
+  for _ in $(seq 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  echo "daemon never bound $1" >&2
+  exit 1
+}
+
+wait_for_line() { # wait_for_line PATTERN FILE
+  for _ in $(seq 200); do
+    grep -q "$1" "$2" 2>/dev/null && return 0
+    sleep 0.05
+  done
+  echo "never saw '$1' in $2:" >&2
+  cat "$2" >&2
+  exit 1
+}
+
+submit() { # submit SOCKET [extra flags...]
+  local socket=$1
+  shift
+  "$anafault" "$circuit" --faults "$faults" --observe 11 --limit 6 \
+    --remote "$socket" "$@"
+}
+
+fingerprint_of() { # fingerprint_of FILE
+  sed -n 's/^accepted as \([^ ]*\) .*/\1/p' "$1" | head -n 1
+}
+
+# --- Leg 1: cancel mid-fault-3, resubmit, resume exactly. ------------
+socket="$tmp/d.sock"
+ANAFAULT_FAILPOINTS="journal.record=delay:0.3" \
+  "$anafaultd" --socket "$socket" --work-dir "$tmp/work" \
+  >"$tmp/daemon1.log" 2>&1 &
+daemon_pid=$!
+wait_for_socket "$socket"
+
+submit "$socket" >"$tmp/victim.out" 2>&1 &
+client_pid=$!
+wait_for_line "accepted as" "$tmp/victim.out"
+fp=$(fingerprint_of "$tmp/victim.out")
+[ -n "$fp" ] || { echo "no fingerprint in $(cat "$tmp/victim.out")" >&2; exit 1; }
+wait_for_line "progress: 2/6" "$tmp/victim.out"
+
+cancel_ns=$(date +%s%N)
+"$anafault" --cancel "$fp" --remote "$socket" >"$tmp/cancel.out"
+grep -q '"cancelled":true' "$tmp/cancel.out" \
+  || { echo "cancel not acknowledged: $(cat "$tmp/cancel.out")" >&2; exit 1; }
+
+wait "$client_pid" && client_status=0 || client_status=$?
+client_pid=
+done_ns=$(date +%s%N)
+[ "$client_status" -eq 3 ] \
+  || { echo "expected the cancelled client to exit 3, got $client_status:" >&2
+       cat "$tmp/victim.out" >&2; exit 1; }
+grep -q "cancelled (cancelled by user)" "$tmp/victim.out" \
+  || { echo "no cancelled event reached the client:" >&2
+       cat "$tmp/victim.out" >&2; exit 1; }
+latency_ms=$(( (done_ns - cancel_ns) / 1000000 ))
+[ "$latency_ms" -lt 1000 ] \
+  || { echo "cancel took ${latency_ms}ms (want < 1000ms)" >&2; exit 1; }
+
+# The identical resubmission resumes the journal: no cache entry (a
+# cancelled job is never cached), the remaining faults simulate, and
+# the answer matches the uninterrupted serial reference.
+submit "$socket" --csv "$tmp/resumed.csv" >"$tmp/resumed.out" 2>&1
+if grep -q "served from the result cache" "$tmp/resumed.out"; then
+  echo "a cancelled job leaked into the result cache:" >&2
+  cat "$tmp/resumed.out" >&2
+  exit 1
+fi
+diff -u "$reference" "$tmp/resumed.csv"
+
+"$anafault" --remote-stats "$socket" >"$tmp/stats1.json"
+grep -q '"cancelled":1' "$tmp/stats1.json" \
+  || { echo "expected one cancelled job: $(cat "$tmp/stats1.json")" >&2; exit 1; }
+# 2 faults before the cancel + 4 after the resume: anything else means
+# the journal was dropped (re-simulated) or over-trusted (skipped).
+grep -q '"faults_simulated":6' "$tmp/stats1.json" \
+  || { echo "resume was not exact: $(cat "$tmp/stats1.json")" >&2; exit 1; }
+
+"$anafault" --remote-shutdown "$socket" >/dev/null
+wait "$daemon_pid" || true
+daemon_pid=
+
+# --- Leg 2: crash as the cancel tombstone lands; it must hold. -------
+socket2="$tmp/d2.sock"
+ANAFAULT_FAILPOINTS="journal.record=delay:0.3,cancel.tombstone=crash" \
+  "$anafaultd" --socket "$socket2" --work-dir "$tmp/work2" \
+  >"$tmp/daemon2.log" 2>&1 &
+daemon_pid=$!
+wait_for_socket "$socket2"
+
+submit "$socket2" --remote-retries 0 >"$tmp/victim2.out" 2>&1 &
+client_pid=$!
+wait_for_line "accepted as" "$tmp/victim2.out"
+fp2=$(fingerprint_of "$tmp/victim2.out")
+wait_for_line "progress: 1/6" "$tmp/victim2.out"
+
+# The daemon dies at the failpoint before replying, so this client
+# fails; what matters is the tombstone it leaves behind.
+"$anafault" --cancel "$fp2" --remote "$socket2" >"$tmp/cancel2.out" 2>&1 || true
+
+wait "$daemon_pid" && daemon_status=0 || daemon_status=$?
+daemon_pid=
+[ "$daemon_status" -eq 70 ] \
+  || { echo "expected the failpoint's _exit 70, got $daemon_status" >&2
+       cat "$tmp/daemon2.log" >&2; exit 1; }
+wait "$client_pid" >/dev/null 2>&1 || true
+client_pid=
+
+# --- Second life: the tombstoned job must not rise again. ------------
+# The crashed daemon left a stale socket file behind; drop it so
+# wait_for_socket really waits for the new bind, and ping with retries
+# to cover the bind-to-listen window.
+rm -f "$socket2"
+"$anafaultd" --socket "$socket2" --work-dir "$tmp/work2" \
+  >"$tmp/daemon3.log" 2>&1 &
+daemon_pid=$!
+wait_for_socket "$socket2"
+for _ in $(seq 100); do
+  "$anafault" --remote-stats "$socket2" >"$tmp/stats2.json" 2>/dev/null && break
+  sleep 0.05
+done
+
+[ -s "$tmp/stats2.json" ] \
+  || { echo "restarted daemon never answered stats" >&2
+       cat "$tmp/daemon3.log" >&2; exit 1; }
+grep -q '"replayed":0' "$tmp/stats2.json" \
+  || { echo "a cancelled job replayed after restart: $(cat "$tmp/stats2.json")" >&2
+       exit 1; }
+
+submit "$socket2" --csv "$tmp/resumed2.csv" >"$tmp/resumed2.out" 2>&1
+diff -u "$reference" "$tmp/resumed2.csv"
+
+"$anafault" --remote-stats "$socket2" >"$tmp/stats3.json"
+sim=$(sed -n 's/.*"faults_simulated":\([0-9]*\).*/\1/p' "$tmp/stats3.json")
+[ -n "$sim" ] && [ "$sim" -ge 1 ] && [ "$sim" -le 5 ] \
+  || { echo "journalled faults were not salvaged across the crash: \
+$(cat "$tmp/stats3.json")" >&2; exit 1; }
+
+"$anafault" --remote-shutdown "$socket2" >/dev/null
+wait "$daemon_pid" || true
+daemon_pid=
+echo "cancel smoke ok"

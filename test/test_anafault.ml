@@ -131,6 +131,36 @@ let analyse_tests =
         expect_error "empty faulty"
           (Anafault.Detect.analyse ~tolerance:tol ~signal:"out" ~nominal
              ~faulty:(Sim.Waveform.make ~names:[| "out" |] ~samples:[])));
+    Alcotest.test_case "non-finite samples come back as typed errors" `Quick
+      (fun () ->
+        let nan_wave =
+          Sim.Waveform.make ~names:[| "out" |]
+            ~samples:
+              [ (0.0, [| 0.0 |]); (2.0e-6, [| Float.nan |]); (4.0e-6, [| 0.0 |]) ]
+        in
+        (match
+           Anafault.Detect.analyse ~tolerance:tol ~signal:"out"
+             ~nominal:nan_wave ~faulty:nominal
+         with
+        | Error msg ->
+          check_bool "names the nominal side" true
+            (msg = "nominal response contains non-finite samples")
+        | Ok _ -> Alcotest.fail "NaN nominal: expected Error");
+        (match
+           Anafault.Detect.analyse ~tolerance:tol ~signal:"out" ~nominal
+             ~faulty:nan_wave
+         with
+        | Error msg ->
+          check_bool "names the faulty side" true
+            (msg = "faulty response contains non-finite samples")
+        | Ok _ -> Alcotest.fail "NaN faulty: expected Error");
+        match
+          Anafault.Detect.Incremental.create ~tolerance:tol
+            ~times:[| 0.0; 1.0; 2.0 |] ~nom:[| 0.0; Float.infinity; 0.0 |]
+        with
+        | Error _ -> ()
+        | Ok _ ->
+          Alcotest.fail "Inf nominal: expected Error from Incremental.create");
     Alcotest.test_case "analyse keeps Not_found for a missing signal" `Quick
       (fun () ->
         match
@@ -518,6 +548,7 @@ let all_failures =
     Anafault.Outcome.Singular_matrix "c";
     Anafault.Outcome.Bad_injection "d";
     Anafault.Outcome.Budget_exceeded "e";
+    Anafault.Outcome.Cancelled "g";
     Anafault.Outcome.Crashed "f";
   ]
 
@@ -541,7 +572,7 @@ let taxonomy_tests =
           | Anafault.Outcome.Dc_no_convergence _ | Anafault.Outcome.Tran_step_underflow _
           | Anafault.Outcome.Singular_matrix _ -> true
           | Anafault.Outcome.Bad_injection _ | Anafault.Outcome.Budget_exceeded _
-          | Anafault.Outcome.Crashed _ -> false
+          | Anafault.Outcome.Cancelled _ | Anafault.Outcome.Crashed _ -> false
         in
         List.iter
           (fun f ->

@@ -117,8 +117,10 @@ let codec_tests =
             in
             check_bool "equal" true (back = req))
           [
-            Protocol.Submit { spec; client = None };
-            Protocol.Submit { spec; client = Some "ci" };
+            Protocol.Submit { spec; client = None; deadline_s = None };
+            Protocol.Submit { spec; client = Some "ci"; deadline_s = None };
+            Protocol.Submit { spec; client = Some "ci"; deadline_s = Some 30.0 };
+            Protocol.Cancel { fingerprint = "abc123" };
             Protocol.Stats;
             Protocol.Ping;
             Protocol.Shutdown;
@@ -138,6 +140,8 @@ let codec_tests =
             Campaign.Sharded { shards = 4 };
             Campaign.Shard_restarted { shard = 2; attempt = 1 };
             Campaign.Shard_lost { shard = 2; salvaged = 5; lost = 3 };
+            Campaign.Cancelled
+              { fingerprint = "abc123"; reason = "cancelled by user"; salvaged = 4 };
             Campaign.Failed { message = "no such node" };
           ]);
     Alcotest.test_case "campaign result round-trips" `Quick (fun () ->
@@ -724,19 +728,21 @@ let drain_events ~faults ic =
     | None -> Alcotest.fail "daemon closed the stream early"
     | Some json -> begin
       match ok "event" (Campaign.event_of_json ~faults json) with
-      | (Campaign.Finished _ | Campaign.Failed _) as ev -> List.rev (ev :: acc)
+      | (Campaign.Finished _ | Campaign.Failed _ | Campaign.Cancelled _) as ev
+        -> List.rev (ev :: acc)
       | ev -> loop (ev :: acc)
     end
   in
   loop []
 
-let submit_and_wait ?client ?(spec = spec) ~faults path =
+let submit_and_wait ?client ?deadline_s ?(spec = spec) ~faults path =
   let fd = connect path in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  Protocol.send oc (Protocol.request_to_json (Protocol.Submit { spec; client }));
+  Protocol.send oc
+    (Protocol.request_to_json (Protocol.Submit { spec; client; deadline_s }));
   drain_events ~faults ic
 
 let one_shot path request =
@@ -775,7 +781,9 @@ let submit_expect_rejected ?client ~spec path =
   @@ fun () ->
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  Protocol.send oc (Protocol.request_to_json (Protocol.Submit { spec; client }));
+  Protocol.send oc
+    (Protocol.request_to_json
+       (Protocol.Submit { spec; client; deadline_s = None }));
   match ok "recv" (Protocol.recv ic) with
   | None -> Alcotest.fail "daemon closed without replying"
   | Some json -> begin
@@ -910,7 +918,8 @@ let daemon_tests =
             | Some (J.Obj [ ("ok", J.Bool true) ]) -> ()
             | _ -> Alcotest.fail "ping after garbage: expected ok");
             Protocol.send oc
-              (Protocol.request_to_json (Protocol.Submit { spec; client = None }));
+              (Protocol.request_to_json
+                 (Protocol.Submit { spec; client = None; deadline_s = None }));
             let result = finished_of (drain_events ~faults ic) in
             check_int "campaign still runs" 3
               (List.length result.Campaign.results));
@@ -1127,6 +1136,319 @@ let daemon_tests =
         Thread.join server);
   ]
 
+(* --- Cancellation: token to wire --------------------------------------- *)
+
+let is_cancelled_result (r : Anafault.Outcome.fault_result) =
+  match r.Anafault.Outcome.outcome with
+  | Anafault.Outcome.Sim_failed (Anafault.Outcome.Cancelled _) -> true
+  | _ -> false
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+(* A serial-path spec (batch = 1) so the cancel lands at a
+   deterministic fault boundary. *)
+let serial_spec =
+  {
+    spec with
+    Campaign.options = { Campaign.default_options with Campaign.batch = 1 };
+  }
+
+let cancel_tests =
+  [
+    Alcotest.test_case "token: first reason wins; never is inert" `Quick
+      (fun () ->
+        let t = Cancel.create () in
+        check_bool "fresh token is live" false (Cancel.cancelled t);
+        Cancel.cancel t Cancel.User_cancel;
+        Cancel.cancel t (Cancel.Deadline 5.0);
+        check_bool "first reason wins" true
+          (Cancel.get t = Some Cancel.User_cancel);
+        check_bool "check raises the first reason" true
+          (match Cancel.check t with
+          | exception Cancel.Cancelled Cancel.User_cancel -> true
+          | exception Cancel.Cancelled _ -> false
+          | () -> false);
+        Cancel.cancel Cancel.never Cancel.User_cancel;
+        check_bool "never cannot be cancelled" false
+          (Cancel.cancelled Cancel.never);
+        check_string "reasons render" "deadline exceeded (5s)"
+          (Cancel.reason_to_string (Cancel.Deadline 5.0)));
+    Alcotest.test_case
+      "a cancelled local campaign journals only completed faults; the \
+       journal resumes the rest" `Slow (fun () ->
+        let compiled = ok "compile" (Campaign.compile serial_spec) in
+        let faults = Array.of_list compiled.Campaign.faults in
+        let path = temp_path ".journal" in
+        let token = Cancel.create () in
+        let journal =
+          ok "journal"
+            (Journal.start ~path ~fingerprint:compiled.Campaign.fingerprint
+               ~resume:false ~faults)
+        in
+        (* Fire the token the moment the first fault completes: the
+           serial loop then stamps every remaining fault Cancelled
+           without simulating it. *)
+        let progress completed _total =
+          if completed = 1 then Cancel.cancel token Cancel.User_cancel
+        in
+        let local =
+          Campaign.run_local ~progress ~journal
+            (Campaign.with_cancel compiled token)
+        in
+        Journal.close journal;
+        let results = local.Campaign.result.Campaign.results in
+        check_int "result stays total" 3 (List.length results);
+        check_int "two faults cancelled, unsimulated" 2
+          (List.length (List.filter is_cancelled_result results));
+        (* The journal holds exactly the one completed fault... *)
+        let journal2 =
+          ok "resume journal"
+            (Journal.start ~path ~fingerprint:compiled.Campaign.fingerprint
+               ~resume:true ~faults)
+        in
+        check_int "journal holds only the completed fault" 1
+          (Journal.restored_count journal2);
+        (* ...and an uncancelled resume simulates only the other two. *)
+        let local2 = Campaign.run_local ~journal:journal2 compiled in
+        Journal.close journal2;
+        let results2 = local2.Campaign.result.Campaign.results in
+        check_int "nothing cancelled on resume" 0
+          (List.length (List.filter is_cancelled_result results2));
+        check_int "complete result" 3 (List.length results2);
+        Sys.remove path);
+    Alcotest.test_case
+      "daemon: cancel a running job, salvage, exact resume on resubmit" `Slow
+      (fun () ->
+        Obs.Failpoint.reset ();
+        Fun.protect ~finally:Obs.Failpoint.reset @@ fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let cfg =
+          Anafaultd.Server.default_config ~socket_path
+            ~work_dir:(Filename.concat dir "work")
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let compiled = ok "compile" (Campaign.compile serial_spec) in
+        let fingerprint = compiled.Campaign.fingerprint in
+        let faults = Array.of_list compiled.Campaign.faults in
+        (* Pace the job so the cancel round-trip lands mid-campaign:
+           every journal record sleeps before returning. *)
+        Obs.Failpoint.arm "journal.record" (Obs.Failpoint.Delay 0.4);
+        let fd = connect socket_path in
+        let terminal =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Protocol.send oc
+            (Protocol.request_to_json
+               (Protocol.Submit
+                  { spec = serial_spec; client = None; deadline_s = None }));
+          (* Wait for the first completed fault, then cancel from a
+             second client. *)
+          let rec until_progress () =
+            match ok "recv" (Protocol.recv ic) with
+            | None -> Alcotest.fail "stream ended before progress"
+            | Some json -> begin
+              match ok "event" (Campaign.event_of_json ~faults json) with
+              | Campaign.Progress { completed; _ } when completed >= 1 -> ()
+              | Campaign.Finished _ | Campaign.Failed _ | Campaign.Cancelled _
+                ->
+                Alcotest.fail "campaign ended before it could be cancelled"
+              | _ -> until_progress ()
+            end
+          in
+          until_progress ();
+          (match one_shot socket_path (Protocol.Cancel { fingerprint }) with
+          | J.Obj fields ->
+            check_bool "cancel acknowledged" true
+              (List.assoc_opt "cancelled" fields = Some (J.Bool true))
+          | _ -> Alcotest.fail "cancel: expected an object");
+          (* The stream must end with a typed Cancelled event. *)
+          let rec last () =
+            match ok "recv" (Protocol.recv ic) with
+            | None -> Alcotest.fail "stream ended without a terminal event"
+            | Some json -> begin
+              match ok "event" (Campaign.event_of_json ~faults json) with
+              | Campaign.Cancelled { fingerprint = fp; reason; salvaged } ->
+                (fp, reason, salvaged)
+              | Campaign.Finished _ | Campaign.Failed _ ->
+                Alcotest.fail "expected a Cancelled terminal event"
+              | _ -> last ()
+            end
+          in
+          last ()
+        in
+        let fp, reason, salvaged = terminal in
+        check_string "event names the job" fingerprint fp;
+        check_bool "user reason" true (contains ~needle:"user" reason);
+        check_bool "salvaged at least the completed fault" true (salvaged >= 1);
+        check_bool "salvaged fewer than all" true (salvaged < 3);
+        (* Cancelling a finished (or unknown) fingerprint is a no-op. *)
+        (match one_shot socket_path (Protocol.Cancel { fingerprint }) with
+        | J.Obj fields ->
+          check_bool "no job to cancel" true
+            (List.assoc_opt "cancelled" fields = Some (J.Bool false))
+        | _ -> Alcotest.fail "cancel: expected an object");
+        (* Resubmit un-paced: never served from the cache, and only the
+           un-salvaged faults simulate (the campaign journal resumes). *)
+        Obs.Failpoint.reset ();
+        let events = submit_and_wait ~spec:serial_spec ~faults socket_path in
+        check_bool "no cache hit after a cancel" true
+          (not
+             (List.exists
+                (function Campaign.Cache_hit _ -> true | _ -> false)
+                events));
+        let result = finished_of events in
+        check_int "complete result" 3 (List.length result.Campaign.results);
+        check_int "nothing cancelled on resume" 0
+          (List.length
+             (List.filter is_cancelled_result result.Campaign.results));
+        let stats = one_shot socket_path Protocol.Stats in
+        check_int "one cancellation counted" 1 (stat_int stats "cancelled");
+        check_int "each fault simulated exactly once across both runs" 3
+          (stat_int stats "faults_simulated");
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "daemon: deadline_s expires a running job" `Slow
+      (fun () ->
+        Obs.Failpoint.reset ();
+        Fun.protect ~finally:Obs.Failpoint.reset @@ fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let cfg =
+          {
+            (Anafaultd.Server.default_config ~socket_path
+               ~work_dir:(Filename.concat dir "work"))
+            with
+            (* The server cap is looser than the submit's own deadline:
+               the tighter one must win. *)
+            Anafaultd.Server.job_deadline = Some 30.0;
+          }
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let faults =
+          Array.of_list
+            (ok "compile" (Campaign.compile serial_spec)).Campaign.faults
+        in
+        Obs.Failpoint.arm "journal.record" (Obs.Failpoint.Delay 0.4);
+        let events =
+          submit_and_wait ~spec:serial_spec ~deadline_s:0.5 ~faults socket_path
+        in
+        (match List.rev events with
+        | Campaign.Cancelled { reason; _ } :: _ ->
+          check_bool "deadline reason" true (contains ~needle:"deadline" reason)
+        | _ -> Alcotest.fail "expected the stream to end with Cancelled");
+        Obs.Failpoint.reset ();
+        check_int "cancellation counted" 1
+          (stat_int (one_shot socket_path Protocol.Stats) "cancelled");
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "daemon: cancelling a sharded job stops the children"
+      `Slow (fun () ->
+        let exe = anafault_exe () in
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        (* Pace the shard children (they inherit the environment); the
+           in-process daemon never loads it. *)
+        Unix.putenv Obs.Failpoint.env_var "journal.record=delay:0.4";
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv Obs.Failpoint.env_var "")
+        @@ fun () ->
+        let cfg =
+          {
+            (Anafaultd.Server.default_config ~socket_path
+               ~work_dir:(Filename.concat dir "work"))
+            with
+            Anafaultd.Server.shards = 2;
+            shard_retries = 2;
+            worker_exe = Some exe;
+            grace = 1.0;
+          }
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        let compiled = ok "compile" (Campaign.compile serial_spec) in
+        let fingerprint = compiled.Campaign.fingerprint in
+        let faults = Array.of_list compiled.Campaign.faults in
+        let fd = connect socket_path in
+        let salvaged_count =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Protocol.send oc
+            (Protocol.request_to_json
+               (Protocol.Submit
+                  { spec = serial_spec; client = None; deadline_s = None }));
+          let rec until_sharded () =
+            match ok "recv" (Protocol.recv ic) with
+            | None -> Alcotest.fail "stream ended before sharding"
+            | Some json -> begin
+              match ok "event" (Campaign.event_of_json ~faults json) with
+              | Campaign.Sharded _ -> ()
+              | Campaign.Finished _ | Campaign.Failed _ | Campaign.Cancelled _
+                ->
+                Alcotest.fail "campaign ended before it could be cancelled"
+              | _ -> until_sharded ()
+            end
+          in
+          until_sharded ();
+          (* Let the children get into their paced slices, then cancel. *)
+          Thread.delay 0.2;
+          (match one_shot socket_path (Protocol.Cancel { fingerprint }) with
+          | J.Obj fields ->
+            check_bool "cancel acknowledged" true
+              (List.assoc_opt "cancelled" fields = Some (J.Bool true))
+          | _ -> Alcotest.fail "cancel: expected an object");
+          let rec last () =
+            match ok "recv" (Protocol.recv ic) with
+            | None -> Alcotest.fail "stream ended without a terminal event"
+            | Some json -> begin
+              match ok "event" (Campaign.event_of_json ~faults json) with
+              | Campaign.Cancelled { salvaged; _ } -> salvaged
+              | Campaign.Finished _ | Campaign.Failed _ ->
+                Alcotest.fail "expected a Cancelled terminal event"
+              | _ -> last ()
+            end
+          in
+          last ()
+        in
+        check_bool "salvage never exceeds the campaign" true
+          (salvaged_count <= 3);
+        (* With the pacing gone, the identical resubmission completes
+           fully - the cancelled attempt was never cached. *)
+        Unix.putenv Obs.Failpoint.env_var "";
+        let events = submit_and_wait ~spec:serial_spec ~faults socket_path in
+        check_bool "no cache hit after a cancel" true
+          (not
+             (List.exists
+                (function Campaign.Cache_hit _ -> true | _ -> false)
+                events));
+        let result = finished_of events in
+        check_int "complete result" 3 (List.length result.Campaign.results);
+        check_bool "no fault left cancelled or crashed" true
+          (List.for_all
+             (fun (r : Anafault.Outcome.fault_result) ->
+               match r.Anafault.Outcome.outcome with
+               | Anafault.Outcome.Sim_failed
+                   (Anafault.Outcome.Cancelled _ | Anafault.Outcome.Crashed _)
+                 ->
+                 false
+               | _ -> true)
+             result.Campaign.results);
+        check_int "one cancellation counted" 1
+          (stat_int (one_shot socket_path Protocol.Stats) "cancelled");
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+  ]
+
 let suites =
   [
     ("campaign codecs", codec_tests);
@@ -1138,5 +1460,6 @@ let suites =
     ("queue wal", wal_tests);
     ("result cache", cache_tests);
     ("protocol robustness", protocol_tests);
+    ("cancellation", cancel_tests);
     ("anafaultd", daemon_tests);
   ]

@@ -136,6 +136,26 @@ let waveform_tests =
     Alcotest.test_case "min max" `Quick (fun () ->
         checkf 1e-12 "min" 0.0 (Sim.Waveform.signal_min wf "b");
         checkf 1e-12 "max" 1.0 (Sim.Waveform.signal_max wf "b"));
+    Alcotest.test_case "min max propagate NaN" `Quick (fun () ->
+        let bad =
+          Sim.Waveform.make ~names:[| "a" |]
+            ~samples:[ (0.0, [| 1.0 |]); (1.0, [| Float.nan |]); (2.0, [| 3.0 |]) ]
+        in
+        Alcotest.(check bool) "min is nan" true
+          (Float.is_nan (Sim.Waveform.signal_min bad "a"));
+        Alcotest.(check bool) "max is nan" true
+          (Float.is_nan (Sim.Waveform.signal_max bad "a"));
+        Alcotest.(check bool) "finite flags nan" false
+          (Sim.Waveform.signal_finite bad "a"));
+    Alcotest.test_case "signal_finite" `Quick (fun () ->
+        Alcotest.(check bool) "clean data is finite" true
+          (Sim.Waveform.signal_finite wf "b");
+        let inf =
+          Sim.Waveform.make ~names:[| "a" |]
+            ~samples:[ (0.0, [| 1.0 |]); (1.0, [| Float.infinity |]) ]
+        in
+        Alcotest.(check bool) "inf flagged" false
+          (Sim.Waveform.signal_finite inf "a"));
     Alcotest.test_case "rejects ragged rows" `Quick (fun () ->
         match Sim.Waveform.make ~names:[| "a" |] ~samples:[ (0.0, [| 1.0; 2.0 |]) ] with
         | exception Invalid_argument _ -> ()
