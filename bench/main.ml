@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- obs     # only the telemetry-overhead experiment
      dune exec bench/main.exe -- solver  # only the solver-backend crossover
      dune exec bench/main.exe -- batch-faults  # only the lock-step batch-width crossover
+     dune exec bench/main.exe -- lift    # only the staged-pipeline scaling experiment
 *)
 
 let () =
@@ -18,6 +19,7 @@ let () =
   in
   let obs_only = Array.exists (String.equal "obs") Sys.argv in
   let solver_only = Array.exists (String.equal "solver") Sys.argv in
+  let lift_only = Array.exists (String.equal "lift") Sys.argv in
   Printf.printf
     "Reproduction harness: Sebeke/Teixeira/Ohletz, DATE 1995\n\
      'Automatic Fault Extraction and Simulation of Layout Realistic Faults\n\
@@ -42,6 +44,11 @@ let () =
     Helpers.banner "Done";
     exit 0
   end;
+  if lift_only then begin
+    Exp_lift.run ();
+    Helpers.banner "Done";
+    exit 0
+  end;
   Exp_tab1.run ();
   Exp_counts.run ();
   Exp_l2rfm.run ();
@@ -57,6 +64,7 @@ let () =
     Exp_obs.run ();
     Exp_solver.run ();
     Exp_batch_faults.run ();
+    Exp_lift.run ();
     Micro.run ()
   end;
   Helpers.banner "Done"

@@ -3,13 +3,19 @@
      dune exec bin/anafaultd_main.exe -- --socket PATH [--work-dir DIR]
          [--cache-dir DIR] [--cache-budget BYTES] [--queue-limit N]
          [--quota N] [--shards N [--worker-exe ANAFAULT]]
-         [--shard-retries N] [--job-deadline S] [--grace S] [--verbose]
+         [--shard-retries N] [--lift-domains N]
+         [--job-deadline S] [--grace S] [--verbose]
 
    Accepts campaign jobs over newline-delimited JSON on a Unix-domain
-   socket (submit / stats / ping / shutdown), runs them through the
-   shared Campaign machinery, streams typed progress events back, and
-   answers repeat submissions of the same campaign fingerprint from a
-   content-addressed result cache.  Accepted jobs are journalled to a
+   socket (submit / extract / stats / ping / shutdown), runs them
+   through the shared Campaign machinery, streams typed progress events
+   back, and answers repeat submissions of the same campaign
+   fingerprint from a content-addressed result cache.  An extract
+   request runs the staged LIFT pipeline over a shipped layout
+   (--lift-domains sets the per-tile fan-out, stage artefacts persist
+   under <work-dir>/lift-stages), caches the ranked fault list under
+   its lift- fingerprint, and can chain the extracted list straight
+   into an attached simulation spec.  Accepted jobs are journalled to a
    write-ahead queue first, so a daemon killed -9 replays and finishes
    them at the next start.  With --shards N > 1 each job is split
    across N `anafault --shard` worker processes whose journals are
@@ -42,7 +48,7 @@ let size_conv =
     (parse_size, fun ppf n -> Format.fprintf ppf "%d" n)
 
 let run socket_path work_dir cache_dir cache_budget queue_limit client_quota
-    shards shard_retries worker_exe job_deadline grace verbose =
+    shards shard_retries worker_exe lift_domains job_deadline grace verbose =
   (match Obs.Failpoint.load_env () with
   | Ok () -> ()
   | Error msg -> Format.eprintf "warning: failpoints: %s@." msg);
@@ -75,6 +81,7 @@ let run socket_path work_dir cache_dir cache_budget queue_limit client_quota
         shards;
         shard_retries;
         worker_exe;
+        lift_domains;
         job_deadline;
         grace;
         verbose;
@@ -144,6 +151,12 @@ let worker_exe =
            ~doc:"The anafault binary used for --shard children; defaults to \
                  the one built next to anafaultd.")
 
+let lift_domains =
+  Arg.(value & opt int 1
+       & info [ "lift-domains" ] ~docv:"N"
+           ~doc:"Worker domains for the per-tile stages of extract requests' \
+                 staged LIFT pipeline (1 = serial).")
+
 let job_deadline =
   Arg.(value & opt (some float) None
        & info [ "job-deadline" ] ~docv:"S"
@@ -169,6 +182,6 @@ let cmd =
     Term.(
       const run $ socket_path $ work_dir $ cache_dir $ cache_budget
       $ queue_limit $ client_quota $ shards $ shard_retries $ worker_exe
-      $ job_deadline $ grace $ verbose)
+      $ lift_domains $ job_deadline $ grace $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,15 +1,31 @@
 (* lift: extract realistic faults from a layout.
 
-     dune exec bin/lift_main.exe -- LAYOUT.cif [-o faults.flt] [--p-min P]
-         [--uniform-pdf] [--no-merge] [--report]
+     dune exec bin/lift_main.exe -- extract LAYOUT.cif [-o faults.flt]
+         [--p-min P] [--uniform-pdf] [--no-merge] [--report]
+         [--tile NM] [--domains N] [--cache DIR] [--stats FILE]
+         [--trace FILE.jsonl] [--metrics]
 
-   The input is the CIF-like layout format of {!Layout.Cif}; the output is
-   the fault-list interface format consumed by anafault. *)
+     dune exec bin/lift_main.exe -- synth --rows N --cols M
+         [--nudge R,C] [--mesh] -o layout.cif
 
-let run input output p_min uniform no_merge report_flag =
+   Extraction runs through the staged pipeline (Layout -> Tiles ->
+   Connectivity -> Sites -> Critical_area -> Ranked_faults): --tile sets
+   the tile side, --domains fans the per-tile stages over OCaml 5
+   domains, --cache keeps content-addressed stage artefacts between runs
+   so a local geometry edit re-extracts only the dirty tiles.  The
+   result is byte-identical to the serial path in every configuration.
+   --stats writes the per-stage computed/cached tile counters as JSON;
+   --trace/--metrics expose the lib/obs telemetry stream.
+
+   [synth] generates pipeline-scale layouts: an arrayed four-transistor
+   delay-cell grid (4 devices/cell), or with --mesh a pure-interconnect
+   ladder.  --nudge shifts one cell's interior metal2 strap by 500 nm -
+   a single-tile edit for incremental re-extraction tests. *)
+
+let run_extract input output p_min uniform no_merge report_flag tile domains
+    cache stats trace metrics =
   let tech = Layout.Tech.default in
   let mask = Layout.Cif.load ~tech input in
-  let ext = Extract.Extractor.extract mask in
   let pdf =
     if uniform then
       Some
@@ -18,10 +34,12 @@ let run input output p_min uniform no_merge report_flag =
              x_max = float_of_int tech.Layout.Tech.defect_x_max })
     else None
   in
-  let options =
-    { Defects.Lift.pdf; p_min; merge_equivalent = not no_merge }
+  let options = { Defects.Lift.pdf; p_min; merge_equivalent = not no_merge } in
+  let obs = if trace <> None || metrics then Obs.memory () else Obs.null in
+  let config =
+    { Defects.Pipeline.tile_nm = tile; domains; cache_dir = cache; obs; options }
   in
-  let result = Defects.Lift.run ~options ext in
+  let { Defects.Pipeline.result; counters; _ } = Defects.Pipeline.run ~config mask in
   if report_flag then Format.printf "%a@." Defects.Lift.pp_report result
   else begin
     let text = Faults.Fault_list.to_string (Defects.Lift.ranked result) in
@@ -32,6 +50,37 @@ let run input output p_min uniform no_merge report_flag =
       Format.eprintf "%a -> %s@." Defects.Lift.pp_classes result.Defects.Lift.classes path
     | None -> print_string text
   end;
+  Option.iter
+    (fun path ->
+      let json = Obs.Json.to_string (Defects.Pipeline.counters_to_json counters) in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc json;
+          output_char oc '\n'))
+    stats;
+  let events = Obs.drain obs in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          Obs.Jsonl.write oc events);
+      Format.eprintf "trace written to %s (%d events)@." path (List.length events))
+    trace;
+  if metrics then
+    Format.printf "@.telemetry summary@.%a@." Obs.Summary.pp
+      (Obs.Summary.of_events events);
+  0
+
+let run_synth rows cols nudge mesh output =
+  let mask =
+    if mesh then Synth.Layout_synth.mesh ~rows ~cols ()
+    else Synth.Layout_synth.vco_array ~rows ~cols ?nudge ()
+  in
+  (match output with
+  | Some path ->
+    Layout.Cif.save mask path;
+    Format.eprintf "%d shapes -> %s@." (Layout.Mask.shape_count mask) path
+  | None -> print_string (Layout.Cif.to_string mask));
   0
 
 open Cmdliner
@@ -55,10 +104,52 @@ let no_merge =
 let report_flag =
   Arg.(value & flag & info [ "report" ] ~doc:"Print a human-readable report instead of a fault list.")
 
+let tile =
+  Arg.(value & opt int Defects.Pipeline.default_config.Defects.Pipeline.tile_nm
+       & info [ "tile" ] ~docv:"NM" ~doc:"Pipeline tile side in nm; 0 disables tiling (one tile).")
+
+let domains =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for the per-tile pipeline stages.")
+
+let cache =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc:"Keep content-addressed stage artefacts in $(docv); re-runs recompute only dirty tiles.")
+
+let stats =
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE" ~doc:"Write per-stage computed/cached tile counters as JSON to $(docv).")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the telemetry stream as JSON lines to $(docv).")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the aggregated telemetry summary table.")
+
+let extract_term =
+  Term.(const run_extract $ input $ output $ p_min $ uniform $ no_merge
+        $ report_flag $ tile $ domains $ cache $ stats $ trace $ metrics)
+
+let extract_cmd =
+  Cmd.v (Cmd.info "extract" ~doc:"extract layout-realistic faults through the staged pipeline") extract_term
+
+let rows =
+  Arg.(value & opt int 16 & info [ "rows" ] ~docv:"N" ~doc:"Grid rows.")
+
+let cols =
+  Arg.(value & opt int 16 & info [ "cols" ] ~docv:"N" ~doc:"Grid columns.")
+
+let nudge =
+  Arg.(value & opt (some (pair ~sep:',' int int)) None
+       & info [ "nudge" ] ~docv:"R,C" ~doc:"Shift cell $(docv)'s interior metal2 strap by 500 nm (single-tile edit).")
+
+let mesh =
+  Arg.(value & flag & info [ "mesh" ] ~doc:"Generate the pure-interconnect ladder instead of the delay-cell array.")
+
+let synth_cmd =
+  Cmd.v
+    (Cmd.info "synth" ~doc:"generate pipeline-scale layouts (delay-cell arrays, interconnect meshes)")
+    Term.(const run_synth $ rows $ cols $ nudge $ mesh $ output)
+
 let cmd =
   let doc = "extract layout-realistic faults (LIFT)" in
-  Cmd.v
-    (Cmd.info "lift" ~doc)
-    Term.(const run $ input $ output $ p_min $ uniform $ no_merge $ report_flag)
+  Cmd.group (Cmd.info "lift" ~doc) [ extract_cmd; synth_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -40,11 +40,25 @@ type t = {
 
 (* Fingerprints are lowercase hex; refuse anything that could escape
    the cache directory. *)
+(* A key is a hex fingerprint, optionally namespaced by a short
+   lowercase prefix ("lift-<hex>" for extraction results): enough
+   structure to be safe as a file name, loose enough for every job
+   kind the daemon caches. *)
 let valid_key key =
-  key <> ""
-  && String.for_all
-       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
-       key
+  let hex s =
+    s <> ""
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+         s
+  in
+  match String.index_opt key '-' with
+  | None -> hex key
+  | Some i ->
+    i > 0
+    && String.for_all
+         (fun c -> c >= 'a' && c <= 'z')
+         (String.sub key 0 i)
+    && hex (String.sub key (i + 1) (String.length key - i - 1))
 
 let fsync_channel oc =
   flush oc;

@@ -4,11 +4,15 @@
     a digest over the printed circuit deck, every result-affecting
     option, and the printed fault list), so two submissions of the same
     electrical problem - whatever file names or whitespace they arrived
-    with - address the same entry.  Values are
-    {!Anafault.Campaign.result_to_json} objects, one file per entry
-    ([<fingerprint>.json]): a checksum header line followed by the
-    payload, written tmp + fsync + rename (directory fsynced too) so a
-    crash never commits a torn entry.
+    with - address the same entry.  Other job kinds may namespace
+    their fingerprints with a lowercase prefix ([lift-<hex>] for
+    extraction results); prefixed and bare keys share the directory,
+    the budget and the LRU order.  Values are
+    {!Anafault.Campaign.result_to_json} objects (or the job kind's own
+    answer object), one file per entry ([<fingerprint>.json]): a
+    checksum header line followed by the payload, written tmp + fsync +
+    rename (directory fsynced too) so a crash never commits a torn
+    entry.
 
     An entry whose checksum fails to validate - bit rot, a torn write,
     a pre-checksum legacy file - is {e quarantined}: renamed to

@@ -7,6 +7,70 @@ module J = Obs.Json
 
 let ( let* ) = Result.bind
 
+type lift_spec = {
+  layout : string;
+  p_min : float;
+  uniform_pdf : bool;
+  merge_equivalent : bool;
+  tile_nm : int;
+}
+
+let lift_spec_to_json s =
+  J.Obj
+    [
+      ("layout", J.String s.layout);
+      ("p_min", J.Float s.p_min);
+      ("uniform_pdf", J.Bool s.uniform_pdf);
+      ("merge_equivalent", J.Bool s.merge_equivalent);
+      ("tile_nm", J.Int s.tile_nm);
+    ]
+
+let lift_spec_of_json json =
+  let* fields =
+    match json with
+    | J.Obj f -> Ok f
+    | _ -> Error "lift spec: want a JSON object"
+  in
+  let* layout =
+    match List.assoc_opt "layout" fields with
+    | Some (J.String s) -> Ok s
+    | Some _ | None -> Error "lift spec: want a layout string"
+  in
+  let float_field name default =
+    match List.assoc_opt name fields with
+    | None -> Ok default
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | Some _ -> Error (Printf.sprintf "lift spec: %s must be a number" name)
+  in
+  let bool_field name default =
+    match List.assoc_opt name fields with
+    | None -> Ok default
+    | Some (J.Bool b) -> Ok b
+    | Some _ -> Error (Printf.sprintf "lift spec: %s must be a boolean" name)
+  in
+  let* p_min = float_field "p_min" 0.0 in
+  let* uniform_pdf = bool_field "uniform_pdf" false in
+  let* merge_equivalent = bool_field "merge_equivalent" true in
+  let* tile_nm =
+    match List.assoc_opt "tile_nm" fields with
+    | None -> Ok 0
+    | Some (J.Int i) when i >= 0 -> Ok i
+    | Some _ -> Error "lift spec: tile_nm must be a non-negative integer"
+  in
+  Ok { layout; p_min; uniform_pdf; merge_equivalent; tile_nm }
+
+(* The content address of an extraction.  tile_nm is deliberately NOT
+   part of the digest: tiling changes how the answer is computed, never
+   what it is (the pipeline is byte-identical to the serial path), so a
+   client retiling the same layout still hits the cache. *)
+let lift_fingerprint s =
+  let canonical =
+    Printf.sprintf "lift|%h|%b|%b|%s" s.p_min s.uniform_pdf s.merge_equivalent
+      s.layout
+  in
+  "lift-" ^ Digest.to_hex (Digest.string canonical)
+
 type request =
   | Submit of {
       spec : Anafault.Campaign.spec;
@@ -14,6 +78,12 @@ type request =
       deadline_s : float option;
           (* wall-clock budget for the whole job, measured from
              acceptance; the server may cap it with --job-deadline *)
+    }
+  | Extract of {
+      lift : lift_spec;
+      simulate : Anafault.Campaign.spec option;
+      client : string option;
+      deadline_s : float option;
     }
   | Cancel of { fingerprint : string }
   | Stats
@@ -33,6 +103,21 @@ let request_to_json = function
        match deadline_s with
        | None -> []
        | Some d -> [ ("deadline_s", J.Float d) ]))
+  | Extract { lift; simulate; client; deadline_s } ->
+    J.Obj
+      (("cmd", J.String "extract")
+       :: ("lift", lift_spec_to_json lift)
+       ::
+       ((match simulate with
+        | None -> []
+        | Some spec -> [ ("simulate", Anafault.Campaign.spec_to_json spec) ])
+       @ (match client with
+         | None -> []
+         | Some c -> [ ("client", J.String c) ])
+       @
+       match deadline_s with
+       | None -> []
+       | Some d -> [ ("deadline_s", J.Float d) ]))
   | Cancel { fingerprint } ->
     J.Obj [ ("cmd", J.String "cancel"); ("fingerprint", J.String fingerprint) ]
   | Stats -> J.Obj [ ("cmd", J.String "stats") ]
@@ -48,26 +133,44 @@ let request_of_json json =
     | Some (J.String s) -> Ok s
     | Some _ | None -> Error "request: want a cmd string"
   in
+  let client_of cmd =
+    match List.assoc_opt "client" fields with
+    | None -> Ok None
+    | Some (J.String c) -> Ok (Some c)
+    | Some _ -> Error (cmd ^ ": client must be a string")
+  in
+  let deadline_of cmd =
+    match List.assoc_opt "deadline_s" fields with
+    | None -> Ok None
+    | Some (J.Float d) when d > 0.0 -> Ok (Some d)
+    | Some (J.Int d) when d > 0 -> Ok (Some (float_of_int d))
+    | Some _ -> Error (cmd ^ ": deadline_s must be a positive number")
+  in
   match cmd with
   | "submit" -> begin
     match List.assoc_opt "spec" fields with
     | None -> Error "submit: missing spec"
     | Some spec_json ->
       let* spec = Anafault.Campaign.spec_of_json spec_json in
-      let* client =
-        match List.assoc_opt "client" fields with
-        | None -> Ok None
-        | Some (J.String c) -> Ok (Some c)
-        | Some _ -> Error "submit: client must be a string"
-      in
-      let* deadline_s =
-        match List.assoc_opt "deadline_s" fields with
-        | None -> Ok None
-        | Some (J.Float d) when d > 0.0 -> Ok (Some d)
-        | Some (J.Int d) when d > 0 -> Ok (Some (float_of_int d))
-        | Some _ -> Error "submit: deadline_s must be a positive number"
-      in
+      let* client = client_of "submit" in
+      let* deadline_s = deadline_of "submit" in
       Ok (Submit { spec; client; deadline_s })
+  end
+  | "extract" -> begin
+    match List.assoc_opt "lift" fields with
+    | None -> Error "extract: missing lift spec"
+    | Some lift_json ->
+      let* lift = lift_spec_of_json lift_json in
+      let* simulate =
+        match List.assoc_opt "simulate" fields with
+        | None -> Ok None
+        | Some spec_json ->
+          let* spec = Anafault.Campaign.spec_of_json spec_json in
+          Ok (Some spec)
+      in
+      let* client = client_of "extract" in
+      let* deadline_s = deadline_of "extract" in
+      Ok (Extract { lift; simulate; client; deadline_s })
   end
   | "cancel" -> begin
     match List.assoc_opt "fingerprint" fields with
@@ -124,8 +227,81 @@ let rejected_of_json json =
 
 let ok = J.Obj [ ("ok", J.Bool true) ]
 
+(* --- Extraction answers ------------------------------------------------ *)
+
+type extracted = {
+  ex_fingerprint : string;
+  ex_cached : bool;
+  ex_faults : string;
+  ex_sites : int;
+  ex_bridging : int;
+  ex_line_opens : int;
+  ex_contact_opens : int;
+  ex_stuck_opens : int;
+}
+
+let extracted_to_json e =
+  J.Obj
+    [
+      ("event", J.String "extracted");
+      ("fingerprint", J.String e.ex_fingerprint);
+      ("cached", J.Bool e.ex_cached);
+      ("faults", J.String e.ex_faults);
+      ("sites_considered", J.Int e.ex_sites);
+      ("bridging", J.Int e.ex_bridging);
+      ("line_opens", J.Int e.ex_line_opens);
+      ("contact_opens", J.Int e.ex_contact_opens);
+      ("stuck_opens", J.Int e.ex_stuck_opens);
+    ]
+
+let extracted_of_json json =
+  match json with
+  | J.Obj fields -> begin
+    match List.assoc_opt "event" fields with
+    | Some (J.String "extracted") ->
+      let str name =
+        match List.assoc_opt name fields with
+        | Some (J.String s) -> Ok s
+        | Some _ | None ->
+          Error (Printf.sprintf "extracted: want a %s string" name)
+      in
+      let int name =
+        match List.assoc_opt name fields with
+        | Some (J.Int i) -> Ok i
+        | Some _ | None ->
+          Error (Printf.sprintf "extracted: want a %s integer" name)
+      in
+      let* ex_fingerprint = str "fingerprint" in
+      let* ex_faults = str "faults" in
+      let ex_cached =
+        match List.assoc_opt "cached" fields with
+        | Some (J.Bool b) -> b
+        | _ -> false
+      in
+      let* ex_sites = int "sites_considered" in
+      let* ex_bridging = int "bridging" in
+      let* ex_line_opens = int "line_opens" in
+      let* ex_contact_opens = int "contact_opens" in
+      let* ex_stuck_opens = int "stuck_opens" in
+      Ok
+        (Some
+           {
+             ex_fingerprint;
+             ex_cached;
+             ex_faults;
+             ex_sites;
+             ex_bridging;
+             ex_line_opens;
+             ex_contact_opens;
+             ex_stuck_opens;
+           })
+    | _ -> Ok None
+  end
+  | _ -> Ok None
+
 let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs
-    ~rejected ~replayed ~shard_restarts ~evictions ~corrupt ~cancelled =
+    ~rejected ~replayed ~shard_restarts ~evictions ~corrupt ~cancelled
+    ~extracts ~extract_hits =
   J.Obj
     [
       ("jobs", J.Int jobs);
@@ -139,6 +315,8 @@ let stats_to_json ~jobs ~cache_hits ~coalesced ~faults_simulated ~shard_runs
       ("evictions", J.Int evictions);
       ("corrupt", J.Int corrupt);
       ("cancelled", J.Int cancelled);
+      ("extracts", J.Int extracts);
+      ("extract_hits", J.Int extract_hits);
     ]
 
 let send oc json =

@@ -13,11 +13,25 @@
     {v
     {"cmd": "submit", "spec": { ...campaign spec... }, "client": "ci",
      "deadline_s": 30.0}
+    {"cmd": "extract", "lift": { ...lift spec... },
+     "simulate": { ...campaign spec... }, "client": "ci"}
     {"cmd": "cancel", "fingerprint": "..."}
     {"cmd": "stats"}
     {"cmd": "ping"}
     {"cmd": "shutdown"}
     v}
+
+    An [Extract] runs LIFT fault extraction on an inline layout and is
+    answered with one ["extracted"] object carrying the fault list (in
+    the fault-list interface format) and the per-class counts; the
+    result is content-addressed in the daemon's cache under a
+    ["lift-"]-prefixed fingerprint of the spec, so a repeated layout is
+    answered without re-extracting.  When [simulate] is present the
+    extracted faults then flow straight into the campaign machinery -
+    the embedded spec's own [faults] field is replaced by the extracted
+    list - and the usual submit event stream follows the ["extracted"]
+    object on the same connection: extract-then-simulate in one round
+    trip.
 
     A [Cancel] names the job by its campaign fingerprint (the one the
     ["accepted"] event reported).  It is answered with one [ok] object
@@ -30,6 +44,28 @@
     exceptions; the daemon answers with a ["failed"] event and keeps
     serving. *)
 
+(** What LIFT extraction needs to be reproducible: the layout itself
+    (inline, CIF-like format) and the pricing options.  [tile_nm] is
+    the staged pipeline's tile side (0 = one tile); it does not affect
+    the result, only how much of the daemon's stage-artefact cache a
+    re-extraction of an edited layout can reuse. *)
+type lift_spec = {
+  layout : string;
+  p_min : float;
+  uniform_pdf : bool;
+  merge_equivalent : bool;
+  tile_nm : int;
+}
+
+val lift_spec_to_json : lift_spec -> Obs.Json.t
+
+val lift_spec_of_json : Obs.Json.t -> (lift_spec, string) result
+
+(** Content address of an extraction: ["lift-"] + a digest of the
+    canonical spec serialisation.  The prefix keeps extraction results
+    and campaign results apart in the shared daemon cache. *)
+val lift_fingerprint : lift_spec -> string
+
 type request =
   | Submit of {
       spec : Anafault.Campaign.spec;
@@ -40,6 +76,17 @@ type request =
           ([None] pools into the anonymous bucket); [deadline_s] is a
           wall-clock budget for the whole job measured from acceptance
           (the server may cap it further with its --job-deadline) *)
+  | Extract of {
+      lift : lift_spec;
+      simulate : Anafault.Campaign.spec option;
+      client : string option;
+      deadline_s : float option;
+    }
+      (** extract faults from [lift.layout]; with [simulate], feed the
+          extracted list into that campaign spec (its [faults] field is
+          replaced) and stream the simulation events after the
+          ["extracted"] answer.  [client]/[deadline_s] scope the chained
+          simulation exactly as in [Submit]. *)
   | Cancel of { fingerprint : string }
       (** stop the queued-or-running job with this campaign
           fingerprint; its subscribers receive a terminal
@@ -78,6 +125,30 @@ val rejected_of_json :
 (** The one-object answers to non-submit requests. *)
 val ok : Obs.Json.t
 
+(** {1 Extraction answers} *)
+
+(** The daemon's answer to an [Extract]: the ranked fault list in the
+    fault-list interface format, plus the per-class counts the report
+    would print. *)
+type extracted = {
+  ex_fingerprint : string;
+  ex_cached : bool;
+  ex_faults : string;  (** fault-list interface text, ranked order *)
+  ex_sites : int;  (** sites considered before thresholding *)
+  ex_bridging : int;
+  ex_line_opens : int;
+  ex_contact_opens : int;
+  ex_stuck_opens : int;
+}
+
+(** [{"event":"extracted", ...}] *)
+val extracted_to_json : extracted -> Obs.Json.t
+
+(** [Ok (Some _)] for an extraction answer, [Ok None] for anything
+    else (fall through to the event codec), [Error] for a malformed
+    one. *)
+val extracted_of_json : Obs.Json.t -> (extracted option, string) result
+
 (** Counters object: jobs accepted, cache hits, faults simulated, ... *)
 val stats_to_json :
   jobs:int ->
@@ -91,6 +162,8 @@ val stats_to_json :
   evictions:int ->
   corrupt:int ->
   cancelled:int ->
+  extracts:int ->
+  extract_hits:int ->
   Obs.Json.t
 
 (** {1 Line transport} *)

@@ -38,6 +38,9 @@ type config = {
   shards : int;
   shard_retries : int;
   worker_exe : string option;
+  lift_domains : int;
+      (* worker domains for the per-tile stages of an Extract request's
+         staged LIFT pipeline; 1 = serial *)
   job_deadline : float option;
       (* server-side cap on any job's wall clock, from acceptance;
          tightens (never loosens) a submit's own deadline_s *)
@@ -60,6 +63,7 @@ let default_config ~socket_path ~work_dir =
     shards = 1;
     shard_retries = 2;
     worker_exe = None;
+    lift_domains = 1;
     job_deadline = None;
     grace = 2.0;
     obs = Obs.null;
@@ -110,6 +114,8 @@ type t = {
   mutable replayed : int;
   mutable shard_restarts : int;
   mutable cancelled : int;
+  mutable extracts : int;
+  mutable extract_hits : int;
 }
 
 let log t fmt =
@@ -549,6 +555,7 @@ let stats_json t =
     ~shard_runs:t.shard_runs ~rejected:t.rejected ~replayed:t.replayed
     ~shard_restarts:t.shard_restarts ~evictions:(Cache.evictions t.cache)
     ~corrupt:(Cache.corrupt t.cache) ~cancelled:t.cancelled
+    ~extracts:t.extracts ~extract_hits:t.extract_hits
 
 let send_event sub ev =
   Mutex.protect sub.swrite (fun () ->
@@ -768,6 +775,108 @@ let handle_submit t sub spec client deadline_s =
             done)
     end
 
+(* An Extract request: LIFT the inline layout through the staged
+   pipeline and answer with one "extracted" object.  The fault list is
+   content-addressed in the shared result cache under a "lift-"
+   fingerprint, so a repeated layout never re-extracts; the pipeline's
+   own stage artefacts persist under work_dir/lift-stages, so an
+   {e edited} layout re-extracts only its dirty tiles.  Extraction is
+   synchronous on the handler thread - pure CPU over bytes the client
+   already shipped, no WAL or shards involved.  With [simulate], the
+   extracted list replaces the embedded campaign spec's faults field
+   and the job flows through the normal submit admission on the same
+   connection: extract-then-simulate in one round trip. *)
+let handle_extract t sub lift simulate client deadline_s =
+  Mutex.protect t.slock (fun () -> t.extracts <- t.extracts + 1);
+  let fp = Protocol.lift_fingerprint lift in
+  let cached =
+    match Cache.find t.cache fp with
+    | None -> None
+    | Some json -> begin
+      match Protocol.extracted_of_json json with
+      | Ok (Some e) -> Some { e with Protocol.ex_cached = true }
+      | Ok None | Error _ -> None (* stale or torn entry: treat as a miss *)
+    end
+  in
+  let answer =
+    match cached with
+    | Some e ->
+      Mutex.protect t.slock (fun () -> t.extract_hits <- t.extract_hits + 1);
+      Obs.count t.cfg.obs "daemon.extract_hit" 1 ~attrs:[ ("job", Obs.Str fp) ];
+      log t "extract %s: cache hit" fp;
+      Ok e
+    | None -> begin
+      let tech = Layout.Tech.default in
+      match Layout.Cif.of_string ~tech lift.Protocol.layout with
+      | exception Layout.Cif.Parse_error (line, msg) ->
+        Error (Printf.sprintf "layout line %d: %s" line msg)
+      | exception e -> Error (Printexc.to_string e)
+      | mask -> begin
+        let pdf =
+          if lift.Protocol.uniform_pdf then
+            Some
+              (Geom.Critical_area.Uniform
+                 {
+                   x_min = float_of_int tech.Layout.Tech.defect_x_min;
+                   x_max = float_of_int tech.Layout.Tech.defect_x_max;
+                 })
+          else None
+        in
+        let options =
+          {
+            Defects.Lift.pdf;
+            p_min = lift.Protocol.p_min;
+            merge_equivalent = lift.Protocol.merge_equivalent;
+          }
+        in
+        let config =
+          {
+            Defects.Pipeline.tile_nm = lift.Protocol.tile_nm;
+            domains = t.cfg.lift_domains;
+            cache_dir = Some (Filename.concat t.cfg.work_dir "lift-stages");
+            obs = Obs.tagged t.cfg.obs [ ("job", Obs.Str fp) ];
+            options;
+          }
+        in
+        match Defects.Pipeline.run ~config mask with
+        | exception e -> Error (Printexc.to_string e)
+        | { Defects.Pipeline.result; _ } ->
+          let classes = result.Defects.Lift.classes in
+          let e =
+            {
+              Protocol.ex_fingerprint = fp;
+              ex_cached = false;
+              ex_faults =
+                Faults.Fault_list.to_string (Defects.Lift.ranked result);
+              ex_sites = result.Defects.Lift.sites_considered;
+              ex_bridging = classes.Defects.Lift.bridging;
+              ex_line_opens = classes.Defects.Lift.line_opens;
+              ex_contact_opens = classes.Defects.Lift.contact_opens;
+              ex_stuck_opens = classes.Defects.Lift.stuck_opens;
+            }
+          in
+          Cache.store t.cache fp (Protocol.extracted_to_json e);
+          log t "extract %s: %d faults" fp
+            (Defects.Lift.total classes);
+          Ok e
+      end
+    end
+  in
+  match answer with
+  | Error message ->
+    log t "extract %s: failed (%s)" fp message;
+    send_event sub (Campaign.Failed { message = "extract: " ^ message })
+  | Ok e -> begin
+    Mutex.protect sub.swrite (fun () ->
+        Protocol.send sub.sout (Protocol.extracted_to_json e));
+    match simulate with
+    | None -> ()
+    | Some spec ->
+      handle_submit t sub
+        { spec with Campaign.faults = e.Protocol.ex_faults }
+        client deadline_s
+  end
+
 let request_shutdown t =
   Mutex.protect t.qlock (fun () ->
       t.stopping <- true;
@@ -804,6 +913,9 @@ let handle_client t fd =
         loop ()
       | Ok (Protocol.Submit { spec; client; deadline_s }) ->
         handle_submit t sub spec client deadline_s;
+        loop ()
+      | Ok (Protocol.Extract { lift; simulate; client; deadline_s }) ->
+        handle_extract t sub lift simulate client deadline_s;
         loop ()
       | Ok (Protocol.Cancel { fingerprint }) ->
         let cancelled = handle_cancel t fingerprint in
@@ -950,6 +1062,8 @@ let run cfg =
         replayed = 0;
         shard_restarts = 0;
         cancelled = 0;
+        extracts = 0;
+        extract_hits = 0;
       }
     in
     log t "listening on %s (cache %s, shards %d)" cfg.socket_path cache_dir

@@ -19,6 +19,15 @@
     that was running resumes from its campaign journal, and finished
     results wait in the cache for the resubmitting client.
 
+    Fault extraction is a first-class job kind: an [extract] request
+    runs LIFT ({!Defects.Pipeline}) on an inline layout, answers with
+    the ranked fault list, and content-addresses the result in the
+    same cache under a ["lift-"] fingerprint - with the pipeline's
+    stage artefacts kept under [<work_dir>/lift-stages], so an edited
+    layout re-extracts only its dirty tiles.  An [extract] carrying a
+    [simulate] spec chains straight into the submit path with the
+    extracted faults: extract-then-simulate in one round trip.
+
     Backpressure: with [queue_limit] set, a submission past the bound
     answers with a typed [queue_full] rejection; with [client_quota]
     set, each client (the [client] string of the submit request) is
@@ -64,6 +73,9 @@ type config = {
   worker_exe : string option;
       (** the [anafault] binary used for [--shard] children; required
           when [shards > 1] *)
+  lift_domains : int;
+      (** worker domains for the per-tile stages of an [extract]
+          request's staged LIFT pipeline; 1 = serial *)
   job_deadline : float option;
       (** server-side cap (seconds) on any job's wall clock, measured
           from acceptance; tightens - never loosens - a submit's own

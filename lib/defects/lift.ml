@@ -29,7 +29,13 @@ let probability tech mech ca_nm2 =
 (* A candidate fault before id assignment. *)
 type cand = { kind : Faults.Fault.kind; mechanism : string; prob : float; note : string }
 
-let candidates ?pdf (ext : Extract.Extraction.t) =
+(* Turn enumerated sites into fault candidates.  The site lists arrive in
+   the canonical order ([Sites.bridges] then [opens] then [cut_opens] then
+   [stuck], each in its own documented order), whether they came from the
+   serial enumerators below or from the staged {!Pipeline}'s per-tile
+   merge: candidate order decides fault ids, so both paths must feed the
+   same order here. *)
+let cands_of (ext : Extract.Extraction.t) ~bridges ~opens ~cut_opens ~stuck =
   let tech = ext.mask.Layout.Mask.tech in
   let name = Extract.Extraction.net_name ext in
   let bridges =
@@ -42,7 +48,7 @@ let candidates ?pdf (ext : Extract.Extraction.t) =
           prob = probability tech mech s.bridge_ca;
           note = Printf.sprintf "on %s" (Layout.Layer.to_string s.bridge_layer);
         })
-      (Sites.bridges ?pdf ext)
+      bridges
   in
   let opens =
     List.map
@@ -56,7 +62,7 @@ let candidates ?pdf (ext : Extract.Extraction.t) =
             Printf.sprintf "cut of %s shape %s" (Layout.Layer.to_string s.open_layer)
               (Geom.Rect.to_string ext.conductors.(s.conductor).Extract.Extraction.rect);
         })
-      (Sites.opens ?pdf ext)
+      opens
   in
   let cut_opens =
     List.map
@@ -69,7 +75,7 @@ let candidates ?pdf (ext : Extract.Extraction.t) =
             Printf.sprintf "missing cut %s"
               (Geom.Rect.to_string ext.cuts.(s.cut_index).Extract.Extraction.cut_rect);
         })
-      (Sites.cut_opens ?pdf ext)
+      cut_opens
   in
   let stuck =
     List.map
@@ -82,9 +88,13 @@ let candidates ?pdf (ext : Extract.Extraction.t) =
           prob = probability tech mech s.stuck_ca;
           note = Printf.sprintf "channel of %s" s.channel.Extract.Extraction.device;
         })
-      (Sites.stuck ?pdf ext)
+      stuck
   in
   bridges @ opens @ cut_opens @ stuck
+
+let candidates ?pdf (ext : Extract.Extraction.t) =
+  cands_of ext ~bridges:(Sites.bridges ?pdf ext) ~opens:(Sites.opens ?pdf ext)
+    ~cut_opens:(Sites.cut_opens ?pdf ext) ~stuck:(Sites.stuck ?pdf ext)
 
 let merge cands =
   let rec fold acc = function
@@ -121,8 +131,7 @@ let classify faults =
     { bridging = 0; line_opens = 0; contact_opens = 0; stuck_opens = 0 }
     faults
 
-let run ?(options = default_options) ext =
-  let cands = candidates ?pdf:options.pdf ext in
+let finalise options cands =
   let sites_considered = List.length cands in
   let cands = if options.merge_equivalent then merge cands else cands in
   let cands = List.filter (fun c -> c.prob >= options.p_min) cands in
@@ -136,9 +145,35 @@ let run ?(options = default_options) ext =
   in
   { faults; classes = classify faults; sites_considered }
 
+let run ?(options = default_options) ext =
+  finalise options (candidates ?pdf:options.pdf ext)
+
+(* Total order for the ranked list: probability (descending) is the
+   ranking the paper cares about, but ties happen - equivalent-by-area
+   sites on symmetric layouts - and [List.sort] is stable only against
+   the input order, which a parallel pipeline must not depend on.  Break
+   ties by fault class (bridges, then breaks, then stuck-opens), then by
+   numeric site id, so the byte output is identical across runs, domain
+   counts and enumeration strategies. *)
+let kind_rank = function
+  | Faults.Fault.Bridge _ -> 0
+  | Faults.Fault.Break _ -> 1
+  | Faults.Fault.Stuck_open _ -> 2
+
+let id_number (f : Faults.Fault.t) =
+  if String.length f.id > 1 && f.id.[0] = '#' then
+    Option.value ~default:max_int
+      (int_of_string_opt (String.sub f.id 1 (String.length f.id - 1)))
+  else max_int
+
 let ranked r =
   List.sort
-    (fun (a : Faults.Fault.t) b -> Float.compare b.prob a.prob)
+    (fun (a : Faults.Fault.t) b ->
+      let c = Float.compare b.prob a.prob in
+      if c <> 0 then c
+      else
+        let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+        if c <> 0 then c else Int.compare (id_number a) (id_number b))
     r.faults
 
 let pp_classes ppf c =

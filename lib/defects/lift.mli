@@ -40,8 +40,43 @@ type result = {
 (** [run ?options ext] performs the extraction. *)
 val run : ?options:options -> Extract.Extraction.t -> result
 
-(** [ranked r] is [r.faults] sorted by decreasing probability. *)
+(** [ranked r] is [r.faults] under a documented total order: probability
+    descending, ties broken by fault class (bridges, breaks, stuck-opens)
+    and then by numeric site id - byte-stable across runs, domain counts
+    and enumeration strategies. *)
 val ranked : result -> Faults.Fault.t list
+
+(** {1 Staged entry points}
+
+    The two halves of {!run}, split so the incremental {!Pipeline} can
+    substitute its own (cached, per-tile) site enumeration: [cands_of]
+    prices enumerated sites into fault candidates, [finalise] merges,
+    thresholds and assigns ids.  [run options ext] is
+    [finalise options (cands_of ext ~bridges:... )] over the serial
+    {!Sites} enumerators.  Candidate order decides fault ids: callers
+    must pass the site lists in the enumerators' canonical orders. *)
+
+(** A candidate fault before id assignment. *)
+type cand = {
+  kind : Faults.Fault.kind;
+  mechanism : string;
+  prob : float;
+  note : string;
+}
+
+val cands_of :
+  Extract.Extraction.t ->
+  bridges:Sites.bridge_site list ->
+  opens:Sites.open_site list ->
+  cut_opens:Sites.cut_open_site list ->
+  stuck:Sites.stuck_site list ->
+  cand list
+
+val finalise : options -> cand list -> result
+
+(** [probability tech mech ca_nm2] is [d_rel * D0 * A_crit] in defects
+    per die. *)
+val probability : Layout.Tech.t -> Layout.Tech.mechanism -> float -> float
 
 val classify : Faults.Fault.t list -> classes
 

@@ -1,0 +1,55 @@
+(** Staged, parallel, incremental LIFT for mega-layouts.
+
+    The monolithic [Extractor.extract |> Lift.run] flow, decomposed into
+    explicit stages with content-addressed artefacts:
+
+    {v Layout -> Tiles -> Connectivity -> Sites -> Critical_area -> Ranked_faults v}
+
+    A uniform {!Geom.Tiling} grid covers the layout; every geometric fact
+    is owned by exactly one tile and computed inside that tile's margin
+    window ([max defect_x_max (2 * cut_side)]), so per-tile artefacts
+    union to exactly the global answer.  Artefacts are keyed by digests
+    of everything they read - window geometry for connectivity, window
+    plus touched-net digests for sites, window plus pdf parameters for
+    critical areas - and persisted in [cache_dir], so a re-run after a
+    one-tile geometry edit recomputes only the dirty tiles and the tiles
+    whose nets it rewired.  Tile fan-out runs over {!Pool} on OCaml 5
+    domains.
+
+    The ranked fault list is byte-identical to the serial
+    [Lift.run]'s across runs, cache states, tile sizes and domain
+    counts. *)
+
+type stage_counter = { computed : int; cached : int }
+
+type counters = {
+  tiles : int;
+  connectivity : stage_counter;
+  sites : stage_counter;
+  critical_area : stage_counter;
+}
+
+val counters_to_json : counters -> Obs.Json.t
+
+type config = {
+  tile_nm : int;  (** tile side; [<= 0] means one tile (no tiling) *)
+  domains : int;  (** worker domains for the per-tile stages *)
+  cache_dir : string option;  (** artefact store; [None] disables caching *)
+  obs : Obs.sink;
+  options : Lift.options;
+}
+
+(** 200 um tiles, one domain, no cache, null sink, {!Lift.default_options}. *)
+val default_config : config
+
+type t = {
+  result : Lift.result;
+  extraction : Extract.Extraction.t;
+  counters : counters;
+}
+
+(** [run ?config mask] extracts faults through the staged pipeline.
+    Equivalent to
+    [Extract.Extractor.extract mask |> Lift.run ~options] - byte for
+    byte, ranked or not - but cached, tiled and parallel. *)
+val run : ?config:config -> Layout.Mask.t -> t

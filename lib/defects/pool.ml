@@ -1,0 +1,53 @@
+(* Work-stealing parallel map over OCaml 5 domains, the Parsim pattern
+   shrunk to the pipeline's needs: per-tile costs vary wildly (an empty
+   corner tile against one stuffed with devices), so every domain pulls
+   the next task index from a shared atomic counter instead of taking a
+   static slice.  Results land in indexed slots, so the output order -
+   and everything derived from it - is independent of the domain count.
+   A task that raises aborts the whole map: the first exception is
+   re-raised after every domain has been joined, never swallowed. *)
+
+let map ?(obs = Obs.null) ?(name = "pool") ~domains f n =
+  let domains = max 1 (min domains 64) in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then begin
+    (* The serial path runs in the calling domain: no spawn cost, and
+       exceptions propagate directly. *)
+    Array.init n f
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed : exn option Atomic.t = Atomic.make None in
+    let worker () =
+      let stolen = ref 0 in
+      let rec loop () =
+        if Atomic.get failed = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f i with
+            | v -> results.(i) <- Some v
+            | exception exn -> ignore (Atomic.compare_and_set failed None (Some exn)));
+            incr stolen;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      if Obs.enabled obs then Obs.count obs (name ^ ".tasks_stolen") !stolen
+    in
+    let spawned =
+      Array.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failed with Some exn -> raise exn | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+          (* Unreachable: every index below [n] was claimed by exactly
+             one worker and either filled or recorded a failure. *)
+          assert false)
+      results
+  end

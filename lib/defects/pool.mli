@@ -1,0 +1,13 @@
+(** Work-stealing parallel map over OCaml 5 domains (the [Parsim]
+    scheduling pattern, shrunk to the pipeline's per-tile stages).
+
+    [map ~domains f n] is [Array.init n f] computed by up to [domains]
+    domains pulling task indices from a shared atomic counter.  Results
+    fill indexed slots, so the output - and everything derived from it -
+    is byte-identical whatever the domain count.  [domains <= 1] (or a
+    single task) runs serially in the calling domain.  If any task
+    raises, the first exception is re-raised after all domains joined.
+
+    [obs] receives a per-domain [<name>.tasks_stolen] counter. *)
+val map :
+  ?obs:Obs.sink -> ?name:string -> domains:int -> (int -> 'a) -> int -> 'a array

@@ -88,28 +88,125 @@ let bridges ?pdf (ext : Extract.Extraction.t) =
    terminals by the component their anchor lands in; terminals anchored on
    the suppressed conductor form their own (disconnected) group.  The
    largest group keeps the original net; the others move.  [None] when the
-   topology is unchanged (at most one group). *)
-let split_effect (ext : Extract.Extraction.t) ~skip_conductor ~skip_cut ~net =
-  let cut_shapes =
-    Array.map (fun (c : Extract.Extraction.cut) -> (c.cut_layer, c.cut_rect)) ext.cuts
-  in
-  let uf, _ =
-    Extract.Connectivity.unify ~conductors:ext.conductors ~cut_shapes ~skip_conductor ~skip_cut
-  in
-  let terminals = Extract.Extraction.terminals_of_net ext net in
-  let groups : (int, Faults.Fault.terminal list ref) Hashtbl.t = Hashtbl.create 8 in
+   topology is unchanged (at most one group).
+
+   The recomputation is net-local: removing shapes only removes edges, and
+   every edge between two members of a net lies entirely inside the net
+   (same-layer touching pairs connect same-net conductors by definition;
+   a cut's join list is one net's conductors), so rebuilding connectivity
+   over just the net's members and cuts is exact - and orders of magnitude
+   cheaper than the global re-unify it replaces on mega-layouts, where
+   LIFT runs it once per conductor and once per cut.
+
+   Group identity is canonical: each attached group is keyed by the
+   smallest global conductor index anchoring one of its terminals (the
+   detached group keeps the -1 sentinel), never by a union-find root, so
+   the winner of a population tie - and with it the moved-terminal list -
+   is the same whatever connectivity implementation produced the
+   components. *)
+
+type splitter = {
+  sp_ext : Extract.Extraction.t;
+  sp_members : int array array;  (* net -> ascending conductor indices *)
+  sp_cuts : int list array;  (* net -> ascending indices of its cuts *)
+  sp_terms : Extract.Extraction.terminal list array;  (* net -> terminals *)
+}
+
+let splitter (ext : Extract.Extraction.t) =
+  let nets = Extract.Extraction.net_count ext in
+  let members = Array.make nets [] in
+  Array.iteri
+    (fun k net -> members.(net) <- k :: members.(net))
+    ext.net_of;
+  let cuts = Array.make nets [] in
+  Array.iteri
+    (fun ci (c : Extract.Extraction.cut) ->
+      match c.joins with
+      | [] -> ()
+      | anchor :: _ -> cuts.(ext.net_of.(anchor)) <- ci :: cuts.(ext.net_of.(anchor)))
+    ext.cuts;
+  let terms = Array.make nets [] in
   List.iter
     (fun (t : Extract.Extraction.terminal) ->
-      let key =
-        if skip_conductor t.conductor then -1 else Geom.Union_find.find uf t.conductor
+      let net = ext.net_of.(t.conductor) in
+      terms.(net) <- t :: terms.(net))
+    ext.terminals;
+  {
+    sp_ext = ext;
+    sp_members = Array.map (fun l -> Array.of_list (List.rev l)) members;
+    sp_cuts = Array.map List.rev cuts;
+    sp_terms = Array.map List.rev terms;
+  }
+
+let split sp ~skip_conductor ~skip_cut ~net =
+  let ext = sp.sp_ext in
+  let members = sp.sp_members.(net) in
+  let m = Array.length members in
+  let pos : (int, int) Hashtbl.t = Hashtbl.create (2 * m) in
+  Array.iteri (fun p g -> Hashtbl.add pos g p) members;
+  let uf = Geom.Union_find.create m in
+  (* Same-layer touching pairs among the net's surviving members, walked
+     in the canonical layer order. *)
+  List.iter
+    (fun layer ->
+      let positions =
+        Array.of_seq
+          (Seq.filter
+             (fun p ->
+               let g = members.(p) in
+               Layout.Layer.equal ext.conductors.(g).Extract.Extraction.layer layer
+               && not (skip_conductor g))
+             (Seq.init m Fun.id))
       in
+      let rects =
+        Array.map
+          (fun p -> ext.conductors.(members.(p)).Extract.Extraction.rect)
+          positions
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Geom.Union_find.union uf positions.(a) positions.(b)))
+        (Geom.Rect_set.touching_pairs rects))
+    Extract.Connectivity.conducting_layers;
+  (* The net's surviving cuts re-join their surviving conductors. *)
+  List.iter
+    (fun ci ->
+      if not (skip_cut ci) then begin
+        match
+          List.filter (fun g -> not (skip_conductor g)) ext.cuts.(ci).joins
+        with
+        | first :: rest ->
+          let pf = Hashtbl.find pos first in
+          List.iter
+            (fun g -> ignore (Geom.Union_find.union uf pf (Hashtbl.find pos g)))
+            rest
+        | [] -> ()
+      end)
+    sp.sp_cuts.(net);
+  (* Group terminals by component, keyed canonically. *)
+  let groups : (int, (int * Faults.Fault.terminal list) ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let detached = ref [] and have_detached = ref false in
+  List.iter
+    (fun (t : Extract.Extraction.terminal) ->
       let term = { Faults.Fault.device = t.device; port = t.port } in
-      match Hashtbl.find_opt groups key with
-      | Some r -> r := term :: !r
-      | None -> Hashtbl.add groups key (ref [ term ]))
-    terminals;
+      if skip_conductor t.conductor then begin
+        have_detached := true;
+        detached := term :: !detached
+      end
+      else begin
+        let root = Geom.Union_find.find uf (Hashtbl.find pos t.conductor) in
+        match Hashtbl.find_opt groups root with
+        | Some r ->
+          let key, terms = !r in
+          r := (min key t.conductor, term :: terms)
+        | None -> Hashtbl.add groups root (ref (t.conductor, [ term ]))
+      end)
+    sp.sp_terms.(net);
   let group_list =
-    Hashtbl.fold (fun key r acc -> (key, List.sort compare !r) :: acc) groups []
+    Hashtbl.fold (fun _ r acc -> let key, terms = !r in (key, List.sort compare terms) :: acc) groups []
+    |> (fun l -> if !have_detached then (-1, List.sort compare !detached) :: l else l)
     |> List.sort compare
   in
   match group_list with
@@ -137,14 +234,18 @@ let split_effect (ext : Extract.Extraction.t) ~skip_conductor ~skip_cut ~net =
     in
     if moved = [] then None else Some moved
 
+let split_effect (ext : Extract.Extraction.t) ~skip_conductor ~skip_cut ~net =
+  split (splitter ext) ~skip_conductor ~skip_cut ~net
+
 let opens ?pdf (ext : Extract.Extraction.t) =
   let pdf = pdf_of ?pdf ext in
+  let sp = splitter ext in
   Array.to_list
     (Array.mapi
        (fun k (c : Extract.Extraction.conductor) ->
          let net = ext.net_of.(k) in
          match
-           split_effect ext ~skip_conductor:(Int.equal k) ~skip_cut:(fun _ -> false) ~net
+           split sp ~skip_conductor:(Int.equal k) ~skip_cut:(fun _ -> false) ~net
          with
          | None -> None
          | Some moved ->
@@ -161,9 +262,36 @@ let opens ?pdf (ext : Extract.Extraction.t) =
        ext.conductors)
   |> List.filter_map Fun.id
 
+let cut_mech (ext : Extract.Extraction.t) (cut : Extract.Extraction.cut) =
+  match cut.cut_layer with
+  | Layout.Layer.Via -> Layout.Tech.Via_open
+  | Layout.Layer.Contact ->
+    (* Which lower layer does this contact land on? *)
+    let lower =
+      List.find_map
+        (fun j ->
+          let layer = ext.conductors.(j).Extract.Extraction.layer in
+          match layer with
+          | Layout.Layer.Poly | Layout.Layer.Ndiff | Layout.Layer.Pdiff ->
+            Some layer
+          | Layout.Layer.Metal1 | Layout.Layer.Metal2 | Layout.Layer.Contact
+          | Layout.Layer.Via | Layout.Layer.Nwell ->
+            None)
+        cut.joins
+    in
+    Layout.Tech.Contact_open_to (Option.value lower ~default:Layout.Layer.Poly)
+  | Layout.Layer.Ndiff | Layout.Layer.Pdiff | Layout.Layer.Poly
+  | Layout.Layer.Metal1 | Layout.Layer.Metal2 | Layout.Layer.Nwell ->
+    assert false
+
+let cut_ca ~x_max pdf ~side =
+  Geom.Critical_area.weighted ~x_max pdf
+    (Geom.Critical_area.contact_open_area ~side)
+
 let cut_opens ?pdf (ext : Extract.Extraction.t) =
   let pdf = pdf_of ?pdf ext in
   let tech = tech_of ext in
+  let sp = splitter ext in
   Array.to_list
     (Array.mapi
        (fun ci (cut : Extract.Extraction.cut) ->
@@ -172,41 +300,21 @@ let cut_opens ?pdf (ext : Extract.Extraction.t) =
          | anchor :: _ ->
            let net = ext.net_of.(anchor) in
            (match
-              split_effect ext
-                ~skip_conductor:(fun _ -> false)
-                ~skip_cut:(Int.equal ci) ~net
+              split sp ~skip_conductor:(fun _ -> false) ~skip_cut:(Int.equal ci) ~net
             with
            | None -> None
            | Some moved ->
-             let mech =
-               match cut.cut_layer with
-               | Layout.Layer.Via -> Layout.Tech.Via_open
-               | Layout.Layer.Contact ->
-                 (* Which lower layer does this contact land on? *)
-                 let lower =
-                   List.find_map
-                     (fun j ->
-                       let layer = ext.conductors.(j).Extract.Extraction.layer in
-                       match layer with
-                       | Layout.Layer.Poly | Layout.Layer.Ndiff | Layout.Layer.Pdiff ->
-                         Some layer
-                       | Layout.Layer.Metal1 | Layout.Layer.Metal2 | Layout.Layer.Contact
-                       | Layout.Layer.Via | Layout.Layer.Nwell ->
-                         None)
-                     cut.joins
-                 in
-                 Layout.Tech.Contact_open_to
-                   (Option.value lower ~default:Layout.Layer.Poly)
-               | Layout.Layer.Ndiff | Layout.Layer.Pdiff | Layout.Layer.Poly
-               | Layout.Layer.Metal1 | Layout.Layer.Metal2 | Layout.Layer.Nwell ->
-                 assert false
-             in
              let ca =
-               Geom.Critical_area.weighted
-                 ~x_max:(float_of_int tech.Layout.Tech.defect_x_max) pdf
-                 (Geom.Critical_area.contact_open_area ~side:tech.Layout.Tech.cut_side)
+               cut_ca ~x_max:(x_max_of ext) pdf ~side:tech.Layout.Tech.cut_side
              in
-             Some { cut_index = ci; cut_mech = mech; cut_moved = moved; cut_net = net; cut_ca = ca }))
+             Some
+               {
+                 cut_index = ci;
+                 cut_mech = cut_mech ext cut;
+                 cut_moved = moved;
+                 cut_net = net;
+                 cut_ca = ca;
+               }))
        ext.cuts)
   |> List.filter_map Fun.id
 

@@ -56,10 +56,57 @@ val stuck : ?pdf:Geom.Critical_area.size_pdf -> Extract.Extraction.t -> stuck_si
 (** [split_effect ext ~skip_conductor ~skip_cut ~net] recomputes [net]'s
     connectivity with the given shapes suppressed and returns the
     terminals split off it, or [None] when the topology is unchanged
-    (shared with the Monte-Carlo defect injector). *)
+    (shared with the Monte-Carlo defect injector).
+
+    The recomputation is net-local (suppression only removes edges, and
+    every connectivity edge lies inside one net), and terminal groups are
+    identified canonically by their smallest anchoring conductor index,
+    so results are independent of how connectivity was computed. *)
 val split_effect :
   Extract.Extraction.t ->
   skip_conductor:(int -> bool) ->
   skip_cut:(int -> bool) ->
   net:int ->
   Faults.Fault.terminal list option
+
+(** {1 Shared machinery}
+
+    Exposed for the staged {!Pipeline}, which enumerates sites per tile
+    and must reproduce this module's results byte for byte. *)
+
+(** Pre-indexed per-net membership (conductors, cuts, terminals) for
+    repeated {!split} queries over one extraction. *)
+type splitter
+
+val splitter : Extract.Extraction.t -> splitter
+
+(** [split sp ~skip_conductor ~skip_cut ~net] is {!split_effect} against
+    the pre-built index. *)
+val split :
+  splitter ->
+  skip_conductor:(int -> bool) ->
+  skip_cut:(int -> bool) ->
+  net:int ->
+  Faults.Fault.terminal list option
+
+(** Size-weighted critical areas: closed forms for the cubic pdf, numeric
+    integration otherwise.  Dimensions in nm, results in nm^2. *)
+
+val short_ca :
+  x_max:float -> Geom.Critical_area.size_pdf -> spacing:int -> length:int -> float
+
+val open_ca_of :
+  x_max:float -> Geom.Critical_area.size_pdf -> width:int -> length:int -> float
+
+val cut_ca : x_max:float -> Geom.Critical_area.size_pdf -> side:int -> float
+
+(** [cut_mech ext cut] is the failure mechanism of a missing [cut]
+    (via open, or contact open to the lower layer it lands on). *)
+val cut_mech : Extract.Extraction.t -> Extract.Extraction.cut -> Layout.Tech.mechanism
+
+(** [pdf_of ?pdf ext] is [pdf], defaulting to the technology's defect-size
+    pdf; [x_max_of ext] the maximum defect diameter as a float. *)
+val pdf_of :
+  ?pdf:Geom.Critical_area.size_pdf -> Extract.Extraction.t -> Geom.Critical_area.size_pdf
+
+val x_max_of : Extract.Extraction.t -> float

@@ -16,3 +16,44 @@ val unify :
   skip_conductor:(int -> bool) ->
   skip_cut:(int -> bool) ->
   Geom.Union_find.t * int list array
+
+(** The canonical same-layer adjacency order shared by every
+    connectivity path (global, tiled, net-local), so union sequences
+    agree between implementations. *)
+val conducting_layers : Layout.Layer.t list
+
+(** {1 Tile-aware adjacency}
+
+    The per-tile half of the staged pipeline's Connectivity stage.
+    [members] are the (ascending) global conductor indices inside one
+    tile's margin window; results are {e window-local member positions},
+    which is what makes them cacheable across runs in which global
+    indices shift.  Unioning every tile's pairs and joins into one
+    {!Geom.Union_find.t} reproduces {!unify} exactly (cross-tile nets
+    stitch where their members share a window). *)
+
+(** [pair_anchor a b] is the canonical ownership point of a pair of
+    rectangles, [(max x0s, max y0s)]: on both rects when they touch,
+    inside the facing gap's window when they face. *)
+val pair_anchor : Geom.Rect.t -> Geom.Rect.t -> int * int
+
+(** [tile_pairs ~conductors ~members ~owns] lists the same-layer
+    touching pairs [(a, b)] (member positions, [a < b]) whose anchor
+    point [(max x0s, max y0s)] the tile owns - each global pair is owned
+    by exactly one tile. *)
+val tile_pairs :
+  conductors:Extraction.conductor array ->
+  members:int array ->
+  owns:(x:int -> y:int -> bool) ->
+  (int * int) list
+
+(** [tile_cut_joins ~conductors ~members ~cut_shapes ~owned_cuts] lists,
+    for every cut of [owned_cuts] (global cut indices anchored in this
+    tile), the member positions it joins, ascending - the tiled form of
+    {!unify}'s per-cut join lists. *)
+val tile_cut_joins :
+  conductors:Extraction.conductor array ->
+  members:int array ->
+  cut_shapes:(Layout.Layer.t * Geom.Rect.t) array ->
+  owned_cuts:int array ->
+  int list array

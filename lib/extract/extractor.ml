@@ -121,19 +121,90 @@ let name_nets mask (conductors : Extraction.conductor array) net_of net_total =
   Array.iteri (fun id n -> if n = "" then names.(id) <- Printf.sprintf "n%d" id) names;
   names
 
+(* A coarse uniform grid over the conductor rectangles, so MOS
+   recognition queries only the conductors near a channel instead of
+   scanning the whole array per side (the O(channels * conductors)
+   hot spot on synthesized mega-layouts).  Queries return ascending
+   indices, preserving the first-match semantics of the linear scan. *)
+module Conductor_index = struct
+  type t = {
+    origin : Geom.Rect.t;
+    cell : int;
+    buckets : (int * int, int list ref) Hashtbl.t;
+  }
+
+  let cells t (r : Geom.Rect.t) =
+    ( (r.Geom.Rect.x0 - t.origin.Geom.Rect.x0) / t.cell,
+      (r.Geom.Rect.x1 - t.origin.Geom.Rect.x0) / t.cell,
+      (r.Geom.Rect.y0 - t.origin.Geom.Rect.y0) / t.cell,
+      (r.Geom.Rect.y1 - t.origin.Geom.Rect.y0) / t.cell )
+
+  let build (conductors : Extraction.conductor array) =
+    let n = Array.length conductors in
+    let origin =
+      if n = 0 then Geom.Rect.make 0 0 1 1
+      else
+        Array.fold_left
+          (fun acc (c : Extraction.conductor) -> Geom.Rect.hull acc c.rect)
+          conductors.(0).rect conductors
+    in
+    let cell =
+      if n = 0 then 1
+      else begin
+        let avg =
+          Array.fold_left
+            (fun acc (c : Extraction.conductor) ->
+              acc + max (Geom.Rect.width c.rect) (Geom.Rect.height c.rect))
+            0 conductors
+          / n
+        in
+        max 1 avg
+      end
+    in
+    let t = { origin; cell; buckets = Hashtbl.create 256 } in
+    Array.iteri
+      (fun i (c : Extraction.conductor) ->
+        let cx0, cx1, cy0, cy1 = cells t c.rect in
+        for cx = cx0 to cx1 do
+          for cy = cy0 to cy1 do
+            match Hashtbl.find_opt t.buckets (cx, cy) with
+            | Some l -> l := i :: !l
+            | None -> Hashtbl.add t.buckets (cx, cy) (ref [ i ])
+          done
+        done)
+      conductors;
+    t
+
+  (* Ascending conductor indices with a rectangle near [r] (everything
+     touching [r] is included; farther conductors may be too). *)
+  let near t (r : Geom.Rect.t) =
+    let cx0, cx1, cy0, cy1 = cells t (Geom.Rect.expand r 1) in
+    let acc = ref [] in
+    for cx = cx0 to cx1 do
+      for cy = cy0 to cy1 do
+        match Hashtbl.find_opt t.buckets (cx, cy) with
+        | Some l -> acc := !l @ !acc
+        | None -> ()
+      done
+    done;
+    List.sort_uniq Int.compare !acc
+end
+
 (* MOSFET recognition: the diffusion pieces flanking a channel on opposite
    sides are its source and drain; the poly shape above is its gate. *)
 let recognise_mos mask conductors (channels : ([ `N | `P ] * Geom.Rect.t) list) =
+  let index = Conductor_index.build conductors in
   let find_gate ch =
-    let rec go i =
-      if i >= Array.length conductors then err "channel %s has no poly gate" (Geom.Rect.to_string ch)
-      else begin
-        let (c : Extraction.conductor) = conductors.(i) in
-        if Layout.Layer.equal c.layer Layout.Layer.Poly && Geom.Rect.overlaps c.rect ch then i
-        else go (i + 1)
-      end
+    let found =
+      List.find_opt
+        (fun i ->
+          let (c : Extraction.conductor) = conductors.(i) in
+          Layout.Layer.equal c.layer Layout.Layer.Poly && Geom.Rect.overlaps c.rect ch)
+        (Conductor_index.near index ch)
     in
-    go 0
+    match found with
+    | Some i -> i
+    | None -> err "channel %s has no poly gate" (Geom.Rect.to_string ch)
   in
   let diff_layer = function
     | `N -> Layout.Layer.Ndiff
@@ -142,8 +213,9 @@ let recognise_mos mask conductors (channels : ([ `N | `P ] * Geom.Rect.t) list) 
   List.mapi
     (fun k (kind, ch) ->
       let layer = diff_layer kind in
+      let nearby = Conductor_index.near index ch in
       let neighbours side =
-        let ok i (c : Extraction.conductor) =
+        let ok (c : Extraction.conductor) =
           Layout.Layer.equal c.layer layer
           && Geom.Rect.touches c.rect ch
           &&
@@ -152,11 +224,8 @@ let recognise_mos mask conductors (channels : ([ `N | `P ] * Geom.Rect.t) list) 
           | `Right -> c.rect.Geom.Rect.x0 >= ch.Geom.Rect.x1
           | `Below -> c.rect.Geom.Rect.y1 <= ch.Geom.Rect.y0
           | `Above -> c.rect.Geom.Rect.y0 >= ch.Geom.Rect.y1
-          |> fun cond -> cond && i >= 0
         in
-        let found = ref None in
-        Array.iteri (fun i c -> if !found = None && ok i c then found := Some i) conductors;
-        !found
+        List.find_opt (fun i -> ok conductors.(i)) nearby
       in
       let source, drain, w_nm, l_nm =
         match (neighbours `Left, neighbours `Right, neighbours `Below, neighbours `Above) with
@@ -220,16 +289,33 @@ let recognise_caps ~options mask (conductors : Extraction.conductor array) =
       else None)
     mask.Layout.Mask.hints
 
-let extract ?(options = default_options) mask =
-  let channel_list = find_channels mask in
-  let channel_rects = List.map snd channel_list in
-  let conductors = build_conductors mask channel_rects in
-  let cut_shapes = cut_shapes mask in
-  let uf, joins =
-    Connectivity.unify ~conductors ~cut_shapes
-      ~skip_conductor:(fun _ -> false)
-      ~skip_cut:(fun _ -> false)
-  in
+(* The geometry-only first half of extraction: everything that does not
+   need connectivity.  The staged pipeline computes it once per run, then
+   builds the union-find from per-tile (possibly cached) adjacency and
+   hands both back to [assemble]; the classic [extract] below is the same
+   two halves around a global [Connectivity.unify]. *)
+type skeleton = {
+  sk_mask : Layout.Mask.t;
+  sk_channels : ([ `N | `P ] * Geom.Rect.t) list;
+  sk_conductors : Extraction.conductor array;
+  sk_cut_shapes : (Layout.Layer.t * Geom.Rect.t) array;
+}
+
+let skeleton mask =
+  let sk_channels = find_channels mask in
+  let channel_rects = List.map snd sk_channels in
+  {
+    sk_mask = mask;
+    sk_channels;
+    sk_conductors = build_conductors mask channel_rects;
+    sk_cut_shapes = cut_shapes mask;
+  }
+
+let assemble ?(options = default_options) sk ~uf ~joins =
+  let mask = sk.sk_mask in
+  let channel_list = sk.sk_channels in
+  let conductors = sk.sk_conductors in
+  let cut_shapes = sk.sk_cut_shapes in
   let net_of, net_total = number_nets uf (Array.length conductors) in
   let net_names = name_nets mask conductors net_of net_total in
   let channels = recognise_mos mask conductors channel_list in
@@ -297,3 +383,12 @@ let extract ?(options = default_options) mask =
     circuit;
     terminals;
   }
+
+let extract ?options mask =
+  let sk = skeleton mask in
+  let uf, joins =
+    Connectivity.unify ~conductors:sk.sk_conductors ~cut_shapes:sk.sk_cut_shapes
+      ~skip_conductor:(fun _ -> false)
+      ~skip_cut:(fun _ -> false)
+  in
+  assemble ?options sk ~uf ~joins

@@ -23,3 +23,33 @@ val default_options : options
     on opposite sides, a label over empty space, a capacitor hint without
     both plates). *)
 val extract : ?options:options -> Layout.Mask.t -> Extraction.t
+
+(** {1 Staged extraction}
+
+    The two halves of {!extract}, split so the LIFT pipeline can compute
+    connectivity from per-tile (cached, parallel) adjacency between
+    them: [skeleton] is geometry only (channels, conductors, cut
+    shapes), [assemble] turns a union-find over those conductors plus
+    the per-cut join lists into the finished {!Extraction.t}.
+    [extract] = [skeleton] |> global {!Connectivity.unify} |>
+    [assemble]. *)
+
+type skeleton = {
+  sk_mask : Layout.Mask.t;
+  sk_channels : ([ `N | `P ] * Geom.Rect.t) list;
+  sk_conductors : Extraction.conductor array;
+  sk_cut_shapes : (Layout.Layer.t * Geom.Rect.t) array;
+}
+
+val skeleton : Layout.Mask.t -> skeleton
+
+(** [assemble sk ~uf ~joins] finishes extraction; [joins] must hold, for
+    every cut of [sk.sk_cut_shapes], the conductor indices it joins
+    (ascending), exactly as {!Connectivity.unify} returns them.  Raises
+    {!Extract_error} as {!extract} does. *)
+val assemble :
+  ?options:options ->
+  skeleton ->
+  uf:Geom.Union_find.t ->
+  joins:int list array ->
+  Extraction.t

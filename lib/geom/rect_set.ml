@@ -45,6 +45,17 @@ let union_area rs =
     done;
     !total
 
+(* Tile-clipped union area: clip first so the scanline only compresses
+   the coordinates inside the window (what a per-tile stage sees). *)
+let union_area_in ~clip rs =
+  union_area
+    (List.filter_map
+       (fun r ->
+         match Rect.inter r clip with
+         | Some i when not (Rect.is_degenerate i) -> Some i
+         | Some _ | None -> None)
+       rs)
+
 let subtract rs cut = List.concat_map (fun r -> Rect.subtract r cut) rs
 
 let subtract_all rs cuts = List.fold_left subtract rs cuts

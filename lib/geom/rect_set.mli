@@ -9,6 +9,13 @@
     once), by coordinate-compressed scanline. *)
 val union_area : Rect.t list -> int
 
+(** [union_area_in ~clip rs] is the union area of [rs] restricted to the
+    [clip] window: rectangles are clipped first, so the scanline works on
+    window-local coordinates (the per-tile form of {!union_area};
+    summing it over the cells of a partition of the plane equals the
+    global union area). *)
+val union_area_in : clip:Rect.t -> Rect.t list -> int
+
 (** [subtract rs cut] removes [cut] from every rectangle of [rs]. *)
 val subtract : Rect.t list -> Rect.t -> Rect.t list
 

@@ -1,0 +1,61 @@
+(* A uniform tile grid over a layout bounding box.  Tiles partition the
+   plane: every point belongs to exactly one tile (half-open cells,
+   clamped at the high edges), which is what makes per-tile ownership of
+   geometric facts - a touching pair, a facing pair, a cut - exact:
+   assign the fact to the tile owning its anchor point and no tile ever
+   double-counts or drops it. *)
+
+type t = { bbox : Rect.t; tile_nm : int; nx : int; ny : int }
+
+let create ~tile_nm bbox =
+  if Rect.is_degenerate bbox then invalid_arg "Tiling.create: degenerate bbox";
+  let w = Rect.width bbox and h = Rect.height bbox in
+  let tile_nm = if tile_nm <= 0 then max w h else tile_nm in
+  let cells extent = max 1 ((extent + tile_nm - 1) / tile_nm) in
+  { bbox; tile_nm; nx = cells w; ny = cells h }
+
+let count t = t.nx * t.ny
+
+let tile_nm t = t.tile_nm
+
+(* Tile [i] = (ix, iy) with i = iy * nx + ix; the high row/column is
+   clipped to the bounding box. *)
+let rect t i =
+  if i < 0 || i >= count t then invalid_arg "Tiling.rect: tile out of range";
+  let ix = i mod t.nx and iy = i / t.nx in
+  let x0 = t.bbox.Rect.x0 + (ix * t.tile_nm)
+  and y0 = t.bbox.Rect.y0 + (iy * t.tile_nm) in
+  Rect.make x0 y0
+    (min t.bbox.Rect.x1 (x0 + t.tile_nm))
+    (min t.bbox.Rect.y1 (y0 + t.tile_nm))
+
+let window t ~margin i = Rect.expand (rect t i) margin
+
+let clamp lo hi v = max lo (min hi v)
+
+(* The tile owning point (x, y): half-open cells [x0 + k*t, x0 + (k+1)*t),
+   clamped so points on (or beyond) the high edges land in the last
+   row/column.  Total over the plane. *)
+let owner t ~x ~y =
+  let ix = clamp 0 (t.nx - 1) ((x - t.bbox.Rect.x0) / t.tile_nm)
+  and iy = clamp 0 (t.ny - 1) ((y - t.bbox.Rect.y0) / t.tile_nm) in
+  (iy * t.nx) + ix
+
+(* All tiles whose [margin]-expanded rect touches [r] - the tiles that
+   must consider [r] a member of their window. *)
+let covering t ~margin (r : Rect.t) =
+  (* The divisions bound the candidate range; widened by one cell on each
+     side because integer division truncates toward zero and touching is
+     closed, then made exact by the final [Rect.touches] test. *)
+  let lo_x = clamp 0 (t.nx - 1) (((r.Rect.x0 - margin - t.bbox.Rect.x0) / t.tile_nm) - 1)
+  and hi_x = clamp 0 (t.nx - 1) (((r.Rect.x1 + margin - t.bbox.Rect.x0) / t.tile_nm) + 1)
+  and lo_y = clamp 0 (t.ny - 1) (((r.Rect.y0 - margin - t.bbox.Rect.y0) / t.tile_nm) - 1)
+  and hi_y = clamp 0 (t.ny - 1) (((r.Rect.y1 + margin - t.bbox.Rect.y0) / t.tile_nm) + 1) in
+  let acc = ref [] in
+  for iy = hi_y downto lo_y do
+    for ix = hi_x downto lo_x do
+      let i = (iy * t.nx) + ix in
+      if Rect.touches (window t ~margin i) r then acc := i :: !acc
+    done
+  done;
+  !acc

@@ -1,0 +1,38 @@
+(** A uniform tile grid over a layout bounding box.
+
+    Tiles partition the plane: {!owner} maps every point to exactly one
+    tile (half-open cells, clamped at the high edges).  The staged LIFT
+    pipeline assigns each geometric fact - a touching pair, a facing
+    pair, a cut - to the tile owning its anchor point, so per-tile
+    results union to exactly the global result, whatever the tile size
+    or the number of domains. *)
+
+type t
+
+(** [create ~tile_nm bbox] lays a grid of [tile_nm]-sided cells over
+    [bbox] (the high row/column is clipped).  [tile_nm <= 0] means one
+    tile covering the whole box.  Raises [Invalid_argument] on a
+    degenerate box. *)
+val create : tile_nm:int -> Rect.t -> t
+
+val count : t -> int
+
+(** The effective tile side, after the [<= 0] defaulting. *)
+val tile_nm : t -> int
+
+(** [rect t i] is tile [i]'s cell.  Raises [Invalid_argument] out of
+    range. *)
+val rect : t -> int -> Rect.t
+
+(** [window t ~margin i] is the cell expanded by [margin] on every side:
+    the neighbourhood a tile-local stage must see to reproduce the
+    global answer for facts anchored in the tile. *)
+val window : t -> margin:int -> int -> Rect.t
+
+(** [owner t ~x ~y] is the unique tile owning point [(x, y)]; total over
+    the plane (outside points clamp to the border tiles). *)
+val owner : t -> x:int -> y:int -> int
+
+(** [covering t ~margin r] lists the tiles whose [margin]-window touches
+    [r]: the tiles that consider [r] a member. *)
+val covering : t -> margin:int -> Rect.t -> int list

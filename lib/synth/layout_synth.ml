@@ -1,0 +1,156 @@
+(* Direct layout synthesis for pipeline-scale workloads.
+
+   [Row_synth] builds a layout from a schematic; this module skips the
+   schematic and arrays a hand-designed four-transistor delay cell into a
+   grid, so benchmarks and smoke tests can dial in thousands of devices
+   with full control over the geometry the LIFT pipeline sees:
+
+   - every cell spans one [cell_pitch_nm] square, aligned with the
+     pipeline's natural tile size;
+   - the power rails of a row merge across cells into row-spanning nets,
+     so per-tile connectivity must stitch nets across tile borders;
+   - each cell keeps a floating metal2 strap facing a static partner line
+     deep in the cell interior (>= the pipeline margin from every cell
+     border).  [nudge] shifts one cell's strap by [nudge_nm]: a
+     single-tile geometry edit that changes exactly one bridge site's
+     critical area, the probe the incremental smoke test uses to assert
+     that only the dirty tile recomputes. *)
+
+let cell_pitch_nm = 40_000
+
+let nudge_nm = 500
+
+(* Cell-local coordinates (nm), chosen against the default 500 nm-lambda
+   process: transistor channels 4000 x 1000, rails 2000 wide, and every
+   strap/partner edge at least 13 000 from the cell border - beyond the
+   pipeline's margin [max defect_x_max (2 * cut_side)] = 8000 - so a
+   strap edit stays invisible to neighbouring tiles' windows. *)
+
+let rail_w = 2_000
+let gnd_y = 5_000
+let vdd_y = 35_000
+let mos_w = 4_000
+let mos_l = 1_000
+let nmos_y = 10_000
+let pmos_y = 24_000
+let left_x = 4_000
+let right_x = 20_000
+
+let tech_lambda b = (Layout.Builder.tech b).Layout.Tech.lambda
+
+let cell b ~tech:_ ~ox ~oy ~r ~c ~nudged =
+  let open Geom in
+  let name side n = Printf.sprintf "M%c_r%d_c%d_%d" side r c n in
+  let m1 =
+    Layout.Builder.mos b ~name:(name 'N' 0) ~kind:`N
+      ~at:(Point.make (ox + left_x) (oy + nmos_y))
+      ~w:mos_w ~l:mos_l ()
+  in
+  let m2 =
+    Layout.Builder.mos b ~name:(name 'N' 1) ~kind:`N
+      ~at:(Point.make (ox + right_x) (oy + nmos_y))
+      ~w:mos_w ~l:mos_l ()
+  in
+  let m3 =
+    Layout.Builder.mos b ~name:(name 'P' 0) ~kind:`P
+      ~at:(Point.make (ox + left_x) (oy + pmos_y))
+      ~w:mos_w ~l:mos_l ()
+  in
+  let m4 =
+    Layout.Builder.mos b ~name:(name 'P' 1) ~kind:`P
+      ~at:(Point.make (ox + right_x) (oy + pmos_y))
+      ~w:mos_w ~l:mos_l ()
+  in
+  (* NMOS sources to the ground rail, PMOS sources to the supply rail. *)
+  List.iter
+    (fun (p : Geom.Point.t) ->
+      Layout.Builder.wire b Layout.Layer.Metal1 ~width:rail_w
+        [ p; Point.make p.Point.x (oy + gnd_y) ])
+    [ m1.Layout.Builder.source; m2.Layout.Builder.source ];
+  List.iter
+    (fun (p : Geom.Point.t) ->
+      Layout.Builder.wire b Layout.Layer.Metal1 ~width:rail_w
+        [ p; Point.make p.Point.x (oy + vdd_y) ])
+    [ m3.Layout.Builder.source; m4.Layout.Builder.source ];
+  (* Column gates: NMOS gate strip top to PMOS gate strip bottom (the
+     strips extend poly_ext beyond the diffusion, so the jumper never
+     crosses a channel). *)
+  List.iter
+    (fun ((dn : Layout.Builder.mos_ports), (up : Layout.Builder.mos_ports)) ->
+      let x = dn.Layout.Builder.gate.Point.x in
+      Layout.Builder.wire b Layout.Layer.Poly ~width:mos_l
+        [
+          dn.Layout.Builder.gate;
+          Point.make x (up.Layout.Builder.channel.Rect.y0 - 2 * (tech_lambda b));
+        ])
+    [ (m1, m3); (m2, m4) ];
+  (* Column outputs: NMOS drain to PMOS drain in metal1. *)
+  List.iter
+    (fun ((dn : Layout.Builder.mos_ports), (up : Layout.Builder.mos_ports)) ->
+      Layout.Builder.wire b Layout.Layer.Metal1 ~width:rail_w
+        [ dn.Layout.Builder.drain; up.Layout.Builder.drain ])
+    [ (m1, m3); (m2, m4) ];
+  (* The interior metal2 pair: a static partner line and the floating
+     strap the incremental smoke test nudges. *)
+  let partner_y = oy + 15_000 in
+  let strap_y = oy + 18_000 + if nudged then nudge_nm else 0 in
+  Layout.Builder.rect b Layout.Layer.Metal2
+    (Rect.make (ox + 14_000) partner_y (ox + 26_000) (partner_y + 1_000));
+  Layout.Builder.rect b Layout.Layer.Metal2
+    (Rect.make (ox + 14_000) strap_y (ox + 26_000) (strap_y + 1_000))
+
+let vco_array ?(tech = Layout.Tech.default) ~rows ~cols ?nudge () =
+  if rows < 1 || cols < 1 then invalid_arg "Layout_synth.vco_array: empty grid";
+  let b = Layout.Builder.create tech in
+  for r = 0 to rows - 1 do
+    let oy = r * cell_pitch_nm in
+    (* Row-spanning power rails: one wire per row, shared by every cell,
+       so the rail nets cross every tile border of the row. *)
+    Layout.Builder.wire b Layout.Layer.Metal1 ~width:rail_w
+      [
+        Geom.Point.make 0 (oy + gnd_y);
+        Geom.Point.make (cols * cell_pitch_nm) (oy + gnd_y);
+      ];
+    Layout.Builder.wire b Layout.Layer.Metal1 ~width:rail_w
+      [
+        Geom.Point.make 0 (oy + vdd_y);
+        Geom.Point.make (cols * cell_pitch_nm) (oy + vdd_y);
+      ];
+    Layout.Builder.label b Layout.Layer.Metal1
+      (Geom.Point.make 2_000 (oy + gnd_y))
+      (Printf.sprintf "gnd_r%d" r);
+    Layout.Builder.label b Layout.Layer.Metal1
+      (Geom.Point.make 2_000 (oy + vdd_y))
+      (Printf.sprintf "vdd_r%d" r);
+    for c = 0 to cols - 1 do
+      let nudged = nudge = Some (r, c) in
+      cell b ~tech ~ox:(c * cell_pitch_nm) ~oy ~r ~c ~nudged
+    done
+  done;
+  Layout.Builder.finish b
+
+let mesh ?(tech = Layout.Tech.default) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Layout_synth.mesh: empty grid";
+  let b = Layout.Builder.create tech in
+  let pitch = 10_000 in
+  let w = 1_500 in
+  (* Horizontal metal1 rungs and vertical metal2 risers, via-stitched at
+     every crossing: a pure-interconnect ladder whose bridge-site count
+     scales with rows * cols, for Rect_set and pipeline scaling work. *)
+  for r = 0 to rows - 1 do
+    let y = r * pitch in
+    Layout.Builder.wire b Layout.Layer.Metal1 ~width:w
+      [ Geom.Point.make 0 y; Geom.Point.make ((cols - 1) * pitch) y ]
+  done;
+  for c = 0 to cols - 1 do
+    let x = c * pitch in
+    Layout.Builder.wire b Layout.Layer.Metal2 ~width:w
+      [ Geom.Point.make x 0; Geom.Point.make x ((rows - 1) * pitch) ];
+    (* Stitch each riser to alternating rungs so rails stay distinct nets
+       horizontally but the grid still has vertical structure. *)
+    for r = 0 to rows - 1 do
+      if (r + c) mod 2 = 0 then
+        Layout.Builder.via b (Geom.Point.make x (r * pitch))
+    done
+  done;
+  Layout.Builder.finish b

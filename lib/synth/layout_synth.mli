@@ -1,0 +1,35 @@
+(** Direct layout synthesis for pipeline-scale workloads.
+
+    Where {!Row_synth} lays out a schematic, this module arrays a
+    hand-designed four-transistor delay cell into a [rows] x [cols] grid
+    (4 MOS devices per cell; 16 x 16 passes a thousand devices), with
+    geometry tuned for the staged LIFT pipeline: cells span one
+    {!cell_pitch_nm} square, row power rails merge into row-spanning
+    nets that force cross-tile net stitching, and each cell carries a
+    floating interior metal2 strap facing a static partner line. *)
+
+(** Cell side, nm.  Tiling a {!vco_array} layout at this size puts each
+    cell's interior geometry at least the pipeline margin away from
+    every window border of the neighbouring tiles. *)
+val cell_pitch_nm : int
+
+(** How far {!vco_array}'s [nudge] shifts the designated cell's strap. *)
+val nudge_nm : int
+
+(** [vco_array ~rows ~cols ()] builds the delay-cell array.
+    [nudge:(r, c)] shifts cell [(r, c)]'s metal2 strap up by
+    {!nudge_nm}: a single-tile geometry edit relative to the un-nudged
+    layout, invisible to every other tile's margin window.  Raises
+    [Invalid_argument] on an empty grid. *)
+val vco_array :
+  ?tech:Layout.Tech.t ->
+  rows:int ->
+  cols:int ->
+  ?nudge:int * int ->
+  unit ->
+  Layout.Mask.t
+
+(** [mesh ~rows ~cols ()] is a pure-interconnect ladder: horizontal
+    metal1 rungs, vertical metal2 risers, via-stitched at alternating
+    crossings - bridge-site count scaling with [rows * cols]. *)
+val mesh : ?tech:Layout.Tech.t -> rows:int -> cols:int -> unit -> Layout.Mask.t

@@ -120,11 +120,78 @@ let codec_tests =
             Protocol.Submit { spec; client = None; deadline_s = None };
             Protocol.Submit { spec; client = Some "ci"; deadline_s = None };
             Protocol.Submit { spec; client = Some "ci"; deadline_s = Some 30.0 };
+            (let lift =
+               {
+                 Protocol.layout = "tech lambda=500\n";
+                 p_min = 3e-8;
+                 uniform_pdf = false;
+                 merge_equivalent = true;
+                 tile_nm = 200_000;
+               }
+             in
+             Protocol.Extract { lift; simulate = None; client = None; deadline_s = None });
+            (let lift =
+               {
+                 Protocol.layout = "tech lambda=500\n";
+                 p_min = 0.0;
+                 uniform_pdf = true;
+                 merge_equivalent = false;
+                 tile_nm = 0;
+               }
+             in
+             Protocol.Extract
+               { lift; simulate = Some spec; client = Some "ci"; deadline_s = Some 9.5 });
             Protocol.Cancel { fingerprint = "abc123" };
             Protocol.Stats;
             Protocol.Ping;
             Protocol.Shutdown;
           ]);
+    Alcotest.test_case "lift fingerprint is content, not layout-of-work" `Quick
+      (fun () ->
+        let lift =
+          {
+            Protocol.layout = "tech lambda=500\n";
+            p_min = 3e-8;
+            uniform_pdf = false;
+            merge_equivalent = true;
+            tile_nm = 200_000;
+          }
+        in
+        let fp = Protocol.lift_fingerprint lift in
+        check_bool "prefixed" true (String.length fp > 5 && String.sub fp 0 5 = "lift-");
+        (* Retiling the same layout must still hit the cache... *)
+        check_bool "tile-free" true
+          (Protocol.lift_fingerprint { lift with Protocol.tile_nm = 0 } = fp);
+        (* ...while any change to layout or pricing must not. *)
+        check_bool "layout keyed" true
+          (Protocol.lift_fingerprint { lift with Protocol.layout = "x" } <> fp);
+        check_bool "p_min keyed" true
+          (Protocol.lift_fingerprint { lift with Protocol.p_min = 1e-9 } <> fp);
+        check_bool "pdf keyed" true
+          (Protocol.lift_fingerprint { lift with Protocol.uniform_pdf = true } <> fp));
+    Alcotest.test_case "extracted round-trip" `Quick (fun () ->
+        let e =
+          {
+            Protocol.ex_fingerprint = "lift-abc";
+            ex_cached = true;
+            ex_faults = "# fault list\n";
+            ex_sites = 42;
+            ex_bridging = 7;
+            ex_line_opens = 3;
+            ex_contact_opens = 2;
+            ex_stuck_opens = 1;
+          }
+        in
+        (match Protocol.extracted_of_json (Protocol.extracted_to_json e) with
+        | Ok (Some back) -> check_bool "equal" true (back = e)
+        | Ok None | Error _ -> Alcotest.fail "extracted did not round-trip");
+        (* Non-extracted objects fall through for the event codec. *)
+        match
+          Protocol.extracted_of_json
+            (Campaign.event_to_json (Campaign.Cache_hit { fingerprint = "x" }))
+        with
+        | Ok None -> ()
+        | Ok (Some _) | Error _ -> Alcotest.fail "event misread as extracted");
     Alcotest.test_case "event round-trips" `Quick (fun () ->
         let faults = fault_array () in
         List.iter
@@ -1132,6 +1199,118 @@ let daemon_tests =
                  false
                | _ -> true)
              result2.Campaign.results);
+        ignore (one_shot socket_path Protocol.Shutdown);
+        Thread.join server);
+    Alcotest.test_case "extract: cache, and chain into simulation" `Slow
+      (fun () ->
+        let dir = daemon_socket_dir () in
+        let socket_path = Filename.concat dir "d.sock" in
+        let cfg =
+          Anafaultd.Server.default_config ~socket_path
+            ~work_dir:(Filename.concat dir "work")
+        in
+        let server = Thread.create (fun () -> Anafaultd.Server.run cfg) () in
+        (* A two-net metal1 layout whose labels name the inverter deck's
+           nets, so the extracted bridge is simulatable against [spec]'s
+           circuit. *)
+        let layout =
+          let b = Layout.Builder.create Layout.Tech.default in
+          Layout.Builder.rect b Layout.Layer.Metal1
+            (Geom.Rect.make 0 0 20_000 1_000);
+          Layout.Builder.rect b Layout.Layer.Metal1
+            (Geom.Rect.make 0 3_000 20_000 4_000);
+          Layout.Builder.label b Layout.Layer.Metal1
+            (Geom.Point.make 100 500) "vdd";
+          Layout.Builder.label b Layout.Layer.Metal1
+            (Geom.Point.make 100 3_500) "out";
+          Layout.Cif.to_string (Layout.Builder.finish b)
+        in
+        let lift =
+          {
+            Protocol.layout;
+            p_min = 0.0;
+            uniform_pdf = false;
+            merge_equivalent = true;
+            tile_nm = 0;
+          }
+        in
+        (* Send one extract request and hand the answer plus the still
+           open stream to [k]. *)
+        let extract ?simulate k =
+          let fd = connect socket_path in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Protocol.send oc
+            (Protocol.request_to_json
+               (Protocol.Extract
+                  { lift; simulate; client = None; deadline_s = None }));
+          match ok "recv" (Protocol.recv ic) with
+          | None -> Alcotest.fail "daemon closed before answering"
+          | Some json -> begin
+            match ok "extracted" (Protocol.extracted_of_json json) with
+            | Some e -> k e ic
+            | None ->
+              Alcotest.failf "expected an extracted object, got %s"
+                (J.to_string json)
+          end
+        in
+        (* First extraction computes. *)
+        let first =
+          extract (fun e _ic ->
+              check_bool "not cached" false e.Protocol.ex_cached;
+              check_bool "lift fingerprint" true
+                (String.sub e.Protocol.ex_fingerprint 0 5 = "lift-");
+              check_bool "found the bridge" true (e.Protocol.ex_bridging >= 1);
+              (* The answer is fault-list interface text. *)
+              let parsed = Faults.Fault_list.of_string e.Protocol.ex_faults in
+              check_int "faults parse" e.Protocol.ex_sites
+                (max e.Protocol.ex_sites (List.length parsed));
+              check_bool "bridges out and vdd" true
+                (List.exists
+                   (fun f ->
+                     match f.Faults.Fault.kind with
+                     | Faults.Fault.Bridge { net_a; net_b } ->
+                       List.sort compare [ net_a; net_b ] = [ "out"; "vdd" ]
+                     | _ -> false)
+                   parsed);
+              e)
+        in
+        (* Second extraction of the same spec is a cache hit, byte for
+           byte. *)
+        extract (fun e _ic ->
+            check_bool "cached" true e.Protocol.ex_cached;
+            check_string "same bytes" first.Protocol.ex_faults
+              e.Protocol.ex_faults);
+        (* Extract-then-simulate: the embedded spec's faults field is
+           replaced by the extracted list and the usual event stream
+           follows on the same connection. *)
+        let sim_spec = { spec with Campaign.faults = "" } in
+        extract ~simulate:sim_spec (fun e ic ->
+            let faults =
+              Array.of_list
+                (ok "compile chained"
+                   (Campaign.compile
+                      { spec with Campaign.faults = e.Protocol.ex_faults }))
+                  .Campaign.faults
+            in
+            let events = drain_events ~faults ic in
+            check_bool "accepted" true
+              (List.exists
+                 (function Campaign.Accepted _ -> true | _ -> false)
+                 events);
+            let result = finished_of events in
+            check_int "simulated the extracted list" (Array.length faults)
+              (List.length result.Campaign.results));
+        (* Counters: three extractions, two answered from the cache; the
+           chained simulation was one ordinary job. *)
+        let stats = one_shot socket_path Protocol.Stats in
+        check_int "extracts" 3 (stat_int stats "extracts");
+        check_int "extract hits" 2 (stat_int stats "extract_hits");
+        check_int "jobs" 1 (stat_int stats "jobs");
         ignore (one_shot socket_path Protocol.Shutdown);
         Thread.join server);
   ]

@@ -141,6 +141,83 @@ let rect_set_tests =
           (Geom.Rect.equal
              (bounding_box [ rect 0 0 1 1; rect 5 7 9 8 ])
              (rect 0 0 9 8)));
+    (* Sweep-line edge cases: abutting, degenerate, duplicated and
+       singleton inputs must not double-count or drop area. *)
+    Alcotest.test_case "union area touching not overlapping" `Quick (fun () ->
+        (* Abutting along a shared edge: zero overlap, exact sum. *)
+        check_int "area" 8 (union_area [ rect 0 0 2 2; rect 2 0 4 2 ]);
+        check_int "area" 8 (union_area [ rect 0 0 2 2; rect 0 2 2 4 ]);
+        (* Corner-touching only. *)
+        check_int "area" 8 (union_area [ rect 0 0 2 2; rect 2 2 4 4 ]));
+    Alcotest.test_case "union area degenerate rects" `Quick (fun () ->
+        (* Zero-width and zero-height rectangles contribute nothing. *)
+        check_int "zero width" 0 (union_area [ rect 3 0 3 10 ]);
+        check_int "zero height" 0 (union_area [ rect 0 3 10 3 ]);
+        check_int "mixed" 4 (union_area [ rect 0 0 2 2; rect 5 0 5 9; rect 0 5 9 5 ]));
+    Alcotest.test_case "union area duplicates counted once" `Quick (fun () ->
+        let r = rect 1 1 4 3 in
+        check_int "dups" (Geom.Rect.area r) (union_area [ r; r; r ]));
+    Alcotest.test_case "union area single rect" `Quick (fun () ->
+        check_int "single" 6 (union_area [ rect (-1) (-2) 1 1 ]));
+    Alcotest.test_case "union_area_in clips first" `Quick (fun () ->
+        let rs = [ rect 0 0 4 4; rect 2 2 6 6 ] in
+        (* Full window reproduces union_area; a quadrant window sees
+           only the clipped parts; a disjoint window sees nothing. *)
+        check_int "full" (union_area rs) (union_area_in ~clip:(rect 0 0 6 6) rs);
+        check_int "quadrant" 9 (union_area_in ~clip:(rect 3 3 6 6) rs);
+        check_int "outside" 0 (union_area_in ~clip:(rect 10 10 20 20) rs));
+    Alcotest.test_case "union_area_in partition sums to union_area" `Quick
+      (fun () ->
+        let rs = [ rect 0 0 4 4; rect 2 2 6 6; rect 5 0 7 2; rect 1 5 3 7 ] in
+        let total = ref 0 in
+        for cx = 0 to 3 do
+          for cy = 0 to 3 do
+            total :=
+              !total
+              + union_area_in
+                  ~clip:(rect (cx * 2) (cy * 2) ((cx + 1) * 2) ((cy + 1) * 2))
+                  rs
+          done
+        done;
+        check_int "partition" (union_area rs) !total);
+    Alcotest.test_case "touching_pairs abutting edge" `Quick (fun () ->
+        (* Shares an edge: touching, and reported exactly once, sorted. *)
+        check_bool "edge" true
+          (touching_pairs [| rect 0 0 2 2; rect 2 0 4 2 |] = [ (0, 1) ]);
+        (* Corner contact still counts as touching. *)
+        check_bool "corner" true
+          (touching_pairs [| rect 0 0 2 2; rect 2 2 4 4 |] = [ (0, 1) ]);
+        (* A 1-unit gap does not. *)
+        check_int "gap" 0
+          (List.length (touching_pairs [| rect 0 0 2 2; rect 3 0 5 2 |])));
+    Alcotest.test_case "touching_pairs duplicates and singleton" `Quick
+      (fun () ->
+        let r = rect 0 0 2 2 in
+        check_bool "dups" true (touching_pairs [| r; r |] = [ (0, 1) ]);
+        check_int "single" 0 (List.length (touching_pairs [| r |]));
+        check_int "empty" 0 (List.length (touching_pairs [||])));
+    Alcotest.test_case "close_pairs excludes touching" `Quick (fun () ->
+        (* Abutting conductors are connected, not a bridge site. *)
+        check_int "abutting" 0
+          (List.length (close_pairs ~within:5 [| rect 0 0 2 10; rect 2 0 4 10 |]));
+        (* Spacing exactly at the bound is included... *)
+        check_bool "at bound" true
+          (close_pairs ~within:3 [| rect 0 0 2 10; rect 5 0 7 10 |]
+          = [ (0, 1, 3, 10) ]);
+        (* ...one past it is not. *)
+        check_int "past bound" 0
+          (List.length (close_pairs ~within:2 [| rect 0 0 2 10; rect 5 0 7 10 |])));
+    Alcotest.test_case "close_pairs output sorted ascending" `Quick (fun () ->
+        (* The documented determinism contract: pairs come out sorted by
+           (i, j) whatever the bucket traversal order was. *)
+        let rs =
+          [|
+            rect 0 0 2 10; rect 5 0 7 10; rect 10 0 12 10; rect 15 0 17 10;
+          |]
+        in
+        let pairs = close_pairs ~within:3 rs in
+        check_bool "sorted" true (List.sort compare pairs = pairs);
+        check_int "count" 3 (List.length pairs));
   ]
 
 let ca_tests =
